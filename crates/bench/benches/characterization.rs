@@ -1,0 +1,40 @@
+//! Regenerates Figs. 2–3 and Tables 1–3 (paper §2.2 + §5) and benchmarks
+//! the characterization pipeline.
+//!
+//! The reproduced rows are printed once before timing starts, so
+//! `cargo bench` output contains the paper-shaped series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memento_experiments::{characterization, config_table, EvalContext};
+use memento_workloads::suite;
+use std::time::Duration;
+
+fn bench_characterization(c: &mut Criterion) {
+    let specs = suite::all_workloads();
+
+    // Print the regenerated artifacts once.
+    let result = characterization::run_for(&specs);
+    eprintln!("\n=== fig2 / fig3 / table1 (regenerated) ===\n{result}\n");
+    eprintln!("=== table3 (regenerated) ===\n{}\n", config_table::run());
+
+    let mut ctx = EvalContext::new();
+    let t2 = characterization::mm_breakdown_for(&mut ctx, &specs);
+    eprintln!("=== table2 (regenerated) ===\n{t2}\n");
+
+    let mut group = c.benchmark_group("characterization");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+
+    group.bench_function("fig2_fig3_table1_all_workloads", |b| {
+        b.iter(|| characterization::run_for(&specs))
+    });
+    group.bench_function("table2_user_kernel_memoized", |b| {
+        b.iter(|| characterization::mm_breakdown_for(&mut ctx, &specs))
+    });
+    group.bench_function("table3_config", |b| b.iter(config_table::run));
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterization);
+criterion_main!(benches);

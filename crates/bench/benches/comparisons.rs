@@ -1,0 +1,30 @@
+//! Regenerates the §6.1 iso-storage and §6.7 idealized-Mallacc
+//! comparisons and benchmarks them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memento_experiments::{comparisons, EvalContext};
+use std::time::Duration;
+
+fn bench_comparisons(c: &mut Criterion) {
+    let mut ctx = EvalContext::new();
+
+    let iso = comparisons::iso_storage(&mut ctx);
+    eprintln!("\n=== iso-storage (regenerated) ===\n{iso}\n");
+    let mallacc = comparisons::mallacc(&mut ctx);
+    eprintln!("=== mallacc (regenerated) ===\n{mallacc}\n");
+
+    let mut group = c.benchmark_group("comparisons");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    group.bench_function("iso_storage", |b| {
+        b.iter(|| comparisons::iso_storage(&mut ctx))
+    });
+    group.bench_function("mallacc_compare", |b| {
+        b.iter(|| comparisons::mallacc(&mut ctx))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_comparisons);
+criterion_main!(benches);

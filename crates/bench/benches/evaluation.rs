@@ -1,0 +1,79 @@
+//! Regenerates the main evaluation figures (Fig. 8 speedup, Fig. 9 gain
+//! breakdown, Fig. 10 bandwidth, Fig. 11 memory usage, Fig. 12 HOT hit
+//! rates, Fig. 13 arena-list frequency, Fig. 14 pricing) and benchmarks
+//! both the simulations and the figure assembly.
+//!
+//! The first call populates the memoized run cache (that is the actual
+//! full-system simulation sweep: 23 workloads × 3 configurations); the
+//! printed output contains the reproduced series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memento_experiments::{
+    arena_list, bandwidth, breakdown, hot, memusage, pricing, speedup, EvalContext,
+};
+use memento_system::{Machine, SystemConfig};
+use memento_workloads::suite;
+use std::time::Duration;
+
+fn bench_evaluation(c: &mut Criterion) {
+    let mut ctx = EvalContext::new();
+    let specs = ctx.workloads();
+
+    eprintln!("\npopulating run cache (23 workloads x baseline/memento/no-bypass)...");
+    let fig8 = speedup::run_for(&mut ctx, &specs);
+    eprintln!("\n=== fig8 (regenerated) ===\n{fig8}");
+    let fig9 = breakdown::run_for(&mut ctx, &specs);
+    eprintln!("\n=== fig9 (regenerated) ===\n{fig9}");
+    let fig10 = bandwidth::run_for(&mut ctx, &specs);
+    eprintln!("\n=== fig10 (regenerated) ===\n{fig10}");
+    let fig11 = memusage::run_for(&mut ctx, &specs);
+    eprintln!("\n=== fig11 (regenerated) ===\n{fig11}");
+    let fig12 = hot::run_for(&mut ctx, &specs);
+    eprintln!("\n=== fig12 (regenerated) ===\n{fig12}");
+    let fig13 = arena_list::run_for(&mut ctx, &specs);
+    eprintln!("\n=== fig13 (regenerated) ===\n{fig13}");
+    let fig14 = pricing::run_for(&mut ctx, &specs);
+    eprintln!("\n=== fig14 (regenerated) ===\n{fig14}\n");
+
+    let mut group = c.benchmark_group("evaluation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+
+    // The real workhorse: one end-to-end function simulation per design.
+    let aes = ctx.workload("aes");
+    group.bench_function("fig8_single_run_baseline", |b| {
+        b.iter(|| Machine::new(SystemConfig::baseline()).run(&aes))
+    });
+    group.bench_function("fig8_single_run_memento", |b| {
+        b.iter(|| Machine::new(SystemConfig::memento()).run(&aes))
+    });
+
+    // Figure assembly over the memoized sweep.
+    group.bench_function("fig8_speedup", |b| b.iter(|| speedup::run_for(&mut ctx, &specs)));
+    group.bench_function("fig9_breakdown", |b| {
+        b.iter(|| breakdown::run_for(&mut ctx, &specs))
+    });
+    group.bench_function("fig10_bandwidth", |b| {
+        b.iter(|| bandwidth::run_for(&mut ctx, &specs))
+    });
+    group.bench_function("fig11_memusage", |b| {
+        b.iter(|| memusage::run_for(&mut ctx, &specs))
+    });
+    group.bench_function("fig12_hot_hit", |b| b.iter(|| hot::run_for(&mut ctx, &specs)));
+    group.bench_function("fig13_arena_list", |b| {
+        b.iter(|| arena_list::run_for(&mut ctx, &specs))
+    });
+    group.bench_function("fig14_pricing", |b| {
+        b.iter(|| pricing::run_for(&mut ctx, &specs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluation);
+criterion_main!(benches);
+
+#[allow(dead_code)]
+fn keep_suite_linked() {
+    let _ = suite::all_workloads();
+}

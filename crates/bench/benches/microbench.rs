@@ -1,0 +1,76 @@
+//! Microbenchmarks of the simulator's building blocks: raw `obj-alloc` /
+//! `obj-free` device operations, cache-hierarchy accesses, page walks, and
+//! trace generation. These measure *simulator* throughput (host-side), the
+//! practical metric for anyone extending the reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memento_cache::{AccessKind, MemSystem, MemSystemConfig};
+use memento_core::device::{MementoConfig, MementoDevice};
+use memento_core::page_alloc::PoolBackend;
+use memento_core::region::MementoRegion;
+use memento_simcore::physmem::{Frame, PhysMem};
+use memento_simcore::PhysAddr;
+use memento_vm::tlb::Tlb;
+use memento_workloads::{generator, suite};
+use std::time::Duration;
+
+struct BumpOs(u64);
+
+impl PoolBackend for BumpOs {
+    fn grant_frames(&mut self, n: u64) -> Vec<Frame> {
+        let start = self.0;
+        self.0 += n;
+        (start..start + n).map(Frame::from_number).collect()
+    }
+    fn accept_frames(&mut self, _frames: &[Frame]) {}
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microbench");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+
+    // Device obj-alloc/obj-free at steady state (HOT hits).
+    {
+        let mut mem = PhysMem::new(1 << 30);
+        let scratch = mem.alloc_frame().unwrap().base_addr();
+        let mut dev = MementoDevice::new(MementoConfig::paper_default(), 1, scratch);
+        let mut os = BumpOs(1024);
+        let mut sys = MemSystem::new(MemSystemConfig::paper_default(1));
+        let mut tlbs = vec![Tlb::default()];
+        let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+        group.bench_function("obj_alloc_obj_free_hit_pair", |b| {
+            b.iter(|| {
+                let a = dev
+                    .obj_alloc(&mut mem, &mut sys, &mut os, 0, &mut proc, 48)
+                    .expect("alloc");
+                dev.obj_free(&mut mem, &mut sys, &mut os, &mut tlbs, 0, &mut proc, a.addr)
+                    .expect("free");
+            })
+        });
+    }
+
+    // Cache hierarchy warm access.
+    {
+        let mut sys = MemSystem::new(MemSystemConfig::paper_default(1));
+        let addr = PhysAddr::new(0x100000);
+        sys.access(0, AccessKind::Read, addr);
+        group.bench_function("mem_system_l1_hit", |b| {
+            b.iter(|| sys.access(0, AccessKind::Read, addr))
+        });
+    }
+
+    // Trace generation for the heaviest workload.
+    {
+        let spec = suite::by_name("ir").expect("ir");
+        group.bench_function("trace_generation_ir", |b| {
+            b.iter(|| generator::generate(&spec))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

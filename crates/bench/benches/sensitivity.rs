@@ -1,0 +1,46 @@
+//! Regenerates the §6.6 sensitivity studies (`MAP_POPULATE`,
+//! multi-process HOT flushing, fragmentation, cold starts, allocator
+//! tuning) and benchmarks them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memento_experiments::{sensitivity, EvalContext};
+use std::time::Duration;
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut ctx = EvalContext::new();
+    let specs = ctx.workloads();
+
+    let pop = sensitivity::populate_for(&mut ctx, &specs);
+    eprintln!("\n=== sens-populate (regenerated) ===\n{pop}\n");
+    let frag = sensitivity::fragmentation_for(&mut ctx, &specs);
+    eprintln!("=== sens-fragmentation (regenerated) ===\n{frag}\n");
+    let multi = sensitivity::multiprocess(&ctx);
+    eprintln!("=== sens-multiproc (regenerated) ===\n{multi}\n");
+    // Cold-start and tuning are heavier (fresh machines per row): run on
+    // representative subsets for the printed output.
+    let cold_specs = vec![ctx.workload("html"), ctx.workload("US"), ctx.workload("bfs-go")];
+    let cold = sensitivity::coldstart_for(&mut ctx, &cold_specs);
+    eprintln!("=== sens-coldstart (regenerated) ===\n{cold}\n");
+    let tune_specs = vec![ctx.workload("html"), ctx.workload("mk")];
+    let tuning = sensitivity::tuning_for(&mut ctx, &tune_specs);
+    eprintln!("=== sens-tuning (regenerated) ===\n{tuning}\n");
+
+    let mut group = c.benchmark_group("sensitivity");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("sens_populate", |b| {
+        b.iter(|| sensitivity::populate_for(&mut ctx, &specs))
+    });
+    group.bench_function("sens_fragmentation", |b| {
+        b.iter(|| sensitivity::fragmentation_for(&mut ctx, &specs))
+    });
+    let quick = EvalContext::quick();
+    group.bench_function("sens_multiproc", |b| {
+        b.iter(|| sensitivity::multiprocess_for(&quick, &["aes", "jl"], 2000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivity);
+criterion_main!(benches);

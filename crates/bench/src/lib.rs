@@ -1,0 +1,14 @@
+//! Benchmark-only crate: the Criterion harness lives in `benches/`.
+//!
+//! One bench group per paper artifact:
+//!
+//! - `characterization` — Figs. 2–3, Tables 1–3
+//! - `evaluation` — Figs. 8–14 (prints every regenerated series)
+//! - `comparisons` — §6.1 iso-storage, §6.7 idealized Mallacc
+//! - `sensitivity` — the §6.6 studies
+//! - `microbench` — raw simulator-throughput measurements
+//!
+//! Run with `cargo bench --workspace`; each group prints the reproduced
+//! paper-shaped rows before timing begins.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,88 @@
+//! Property-based tests of the cache hierarchy: inclusion-free coherence
+//! of presence state, conservation of dirty data, and hit/latency sanity
+//! under arbitrary access streams.
+
+use memento_cache::{AccessKind, CacheConfig, Dram, DramConfig, MemSystem, MemSystemConfig};
+use memento_simcore::addr::PhysAddr;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn small_system() -> MemSystem {
+    MemSystem::new(MemSystemConfig {
+        cores: 2,
+        l1i: CacheConfig::new("L1I", 1024, 2, 2),
+        l1d: CacheConfig::new("L1D", 1024, 2, 2),
+        l2: CacheConfig::new("L2", 4096, 4, 14),
+        llc: CacheConfig::new("LLC", 8192, 4, 40),
+        dram: DramConfig::ddr4_3200(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every demand read of a line is served from DRAM at most... as many
+    /// times as it was evicted + 1; in particular, re-reading a just-read
+    /// line never goes to DRAM, and total DRAM reads never exceed the
+    /// number of accesses.
+    #[test]
+    fn dram_reads_bounded_by_misses(
+        accesses in proptest::collection::vec((0usize..2, 0u64..256, any::<bool>()), 1..400)
+    ) {
+        let mut sys = small_system();
+        let mut total = 0u64;
+        for (core, line, write) in accesses {
+            let addr = PhysAddr::new(line * 64);
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let out = sys.access(core, kind, addr);
+            total += 1;
+            // Immediately re-access: must hit L1 with no DRAM traffic.
+            let reads_before = sys.dram_stats().read_lines;
+            let again = sys.access(core, kind, addr);
+            prop_assert_eq!(again.level, memento_cache::HitLevel::L1);
+            prop_assert_eq!(sys.dram_stats().read_lines, reads_before);
+            prop_assert!(out.cycles.raw() >= 2, "L1 latency is the floor");
+            total += 1;
+        }
+        prop_assert!(sys.dram_stats().read_lines <= total);
+    }
+
+    /// Writes are never lost: every written line is either still cached
+    /// somewhere (a later read hits above DRAM) or was written back (DRAM
+    /// write counter covers it). Flush-all forces the written-back count
+    /// to cover every dirty line.
+    #[test]
+    fn dirty_lines_conserved(lines in proptest::collection::vec(0u64..512, 1..200)) {
+        let mut sys = small_system();
+        let unique: HashSet<u64> = lines.iter().copied().collect();
+        for line in &lines {
+            sys.access(0, AccessKind::Write, PhysAddr::new(line * 64));
+        }
+        sys.flush_all();
+        // After a full flush every dirty line went to DRAM at least once.
+        prop_assert!(
+            sys.dram_stats().write_lines >= unique.len() as u64,
+            "writebacks {} < dirty lines {}",
+            sys.dram_stats().write_lines,
+            unique.len()
+        );
+    }
+
+    /// DRAM row-buffer accounting: hits + misses equals accesses, and
+    /// hitting the same line twice in a row is always a row hit.
+    #[test]
+    fn dram_row_accounting(lines in proptest::collection::vec(0u64..4096, 1..200)) {
+        let mut dram = Dram::new(DramConfig::ddr4_3200());
+        let mut n = 0;
+        for line in lines {
+            dram.read_line(PhysAddr::new(line * 64));
+            let misses_before = dram.stats().row_misses;
+            dram.read_line(PhysAddr::new(line * 64));
+            prop_assert_eq!(dram.stats().row_misses, misses_before, "same row re-read");
+            n += 2;
+        }
+        let s = dram.stats();
+        prop_assert_eq!(s.row_hits + s.row_misses, n);
+        prop_assert_eq!(s.read_lines, n);
+    }
+}

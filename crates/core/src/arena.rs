@@ -1,0 +1,247 @@
+//! Memento arena headers (paper Fig. 5a).
+//!
+//! An arena header occupies the first 64 bytes — exactly one cache line — of
+//! the arena's header page and holds: the arena's base VA, a 256-bit
+//! allocation bitmap, the 11-bit bypass counter, and prev/next pointers
+//! linking same-class arenas into the available/full lists. The header is a
+//! real data structure in simulated physical memory; the HOT caches a copy.
+
+use crate::size_class::OBJECTS_PER_ARENA;
+use memento_simcore::addr::{PhysAddr, VirtAddr};
+use memento_simcore::physmem::PhysMem;
+use serde::{Deserialize, Serialize};
+
+/// Byte offsets of the header fields within the header page.
+mod layout {
+    /// VA field.
+    pub const VA: u64 = 0x00;
+    /// 256-bit bitmap (4 words).
+    pub const BITMAP: u64 = 0x08;
+    /// Bypass counter.
+    pub const BYPASS: u64 = 0x28;
+    /// Prev pointer (physical address; 0 = null).
+    pub const PREV: u64 = 0x30;
+    /// Next pointer (physical address; 0 = null).
+    pub const NEXT: u64 = 0x38;
+}
+
+/// Size of the header in bytes (one cache line).
+pub const HEADER_BYTES: u64 = 64;
+
+/// An in-flight copy of an arena header (as cached by a HOT entry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArenaHeader {
+    /// Base virtual address of the arena.
+    pub va: VirtAddr,
+    /// Allocation bitmap: bit i set ⇒ object i allocated.
+    pub bitmap: [u64; 4],
+    /// Bypass counter: number of body lines known to have been touched
+    /// (lines at index ≥ counter were never accessed — safe to bypass).
+    pub bypass_counter: u64,
+    /// Previous arena header in the current list (PA; 0 = null).
+    pub prev: u64,
+    /// Next arena header in the current list (PA; 0 = null).
+    pub next: u64,
+}
+
+impl ArenaHeader {
+    /// A fresh header for an arena at `va`: empty bitmap, zero bypass
+    /// counter, unlinked.
+    pub fn fresh(va: VirtAddr) -> Self {
+        ArenaHeader {
+            va,
+            ..Default::default()
+        }
+    }
+
+    /// Loads a header from simulated memory at `pa`.
+    pub fn load(mem: &PhysMem, pa: PhysAddr) -> Self {
+        ArenaHeader {
+            va: VirtAddr::new(mem.read_u64(pa.add(layout::VA))),
+            bitmap: [
+                mem.read_u64(pa.add(layout::BITMAP)),
+                mem.read_u64(pa.add(layout::BITMAP + 8)),
+                mem.read_u64(pa.add(layout::BITMAP + 16)),
+                mem.read_u64(pa.add(layout::BITMAP + 24)),
+            ],
+            bypass_counter: mem.read_u64(pa.add(layout::BYPASS)),
+            prev: mem.read_u64(pa.add(layout::PREV)),
+            next: mem.read_u64(pa.add(layout::NEXT)),
+        }
+    }
+
+    /// Stores the header to simulated memory at `pa`.
+    pub fn store(&self, mem: &mut PhysMem, pa: PhysAddr) {
+        mem.write_u64(pa.add(layout::VA), self.va.raw());
+        for (i, w) in self.bitmap.iter().enumerate() {
+            mem.write_u64(pa.add(layout::BITMAP + 8 * i as u64), *w);
+        }
+        mem.write_u64(pa.add(layout::BYPASS), self.bypass_counter);
+        mem.write_u64(pa.add(layout::PREV), self.prev);
+        mem.write_u64(pa.add(layout::NEXT), self.next);
+    }
+
+    /// Finds the lowest clear bit, if any.
+    pub fn find_clear(&self) -> Option<usize> {
+        for (w, word) in self.bitmap.iter().enumerate() {
+            if *word != u64::MAX {
+                return Some(w * 64 + word.trailing_ones() as usize);
+            }
+        }
+        None
+    }
+
+    /// Whether object `index` is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `index >= 256`.
+    pub fn is_set(&self, index: usize) -> bool {
+        debug_assert!(index < OBJECTS_PER_ARENA);
+        self.bitmap[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Marks object `index` allocated.
+    pub fn set(&mut self, index: usize) {
+        debug_assert!(index < OBJECTS_PER_ARENA);
+        self.bitmap[index / 64] |= 1u64 << (index % 64);
+    }
+
+    /// Marks object `index` free.
+    pub fn clear(&mut self, index: usize) {
+        debug_assert!(index < OBJECTS_PER_ARENA);
+        self.bitmap[index / 64] &= !(1u64 << (index % 64));
+    }
+
+    /// Number of allocated objects.
+    pub fn live_objects(&self) -> u32 {
+        self.bitmap.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether every object is allocated.
+    pub fn is_full(&self) -> bool {
+        self.bitmap.iter().all(|w| *w == u64::MAX)
+    }
+
+    /// Whether no object is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.bitmap.iter().all(|w| *w == 0)
+    }
+}
+
+/// Raw field accessors used by list surgery on headers that are *not*
+/// currently cached (the hardware updates neighbours' prev/next in place).
+pub mod raw {
+    use super::layout;
+    use memento_simcore::addr::PhysAddr;
+    use memento_simcore::physmem::PhysMem;
+
+    /// Reads the `next` pointer of the header at `pa`.
+    pub fn next(mem: &PhysMem, pa: PhysAddr) -> u64 {
+        mem.read_u64(pa.add(layout::NEXT))
+    }
+
+    /// Writes the `next` pointer of the header at `pa`.
+    pub fn set_next(mem: &mut PhysMem, pa: PhysAddr, value: u64) {
+        mem.write_u64(pa.add(layout::NEXT), value);
+    }
+
+    /// Reads the `prev` pointer of the header at `pa`.
+    pub fn prev(mem: &PhysMem, pa: PhysAddr) -> u64 {
+        mem.read_u64(pa.add(layout::PREV))
+    }
+
+    /// Writes the `prev` pointer of the header at `pa`.
+    pub fn set_prev(mem: &mut PhysMem, pa: PhysAddr, value: u64) {
+        mem.write_u64(pa.add(layout::PREV), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_header_is_empty() {
+        let h = ArenaHeader::fresh(VirtAddr::new(0x6000_0000_0000));
+        assert!(h.is_empty());
+        assert!(!h.is_full());
+        assert_eq!(h.live_objects(), 0);
+        assert_eq!(h.find_clear(), Some(0));
+        assert_eq!(h.bypass_counter, 0);
+    }
+
+    #[test]
+    fn set_clear_roundtrip() {
+        let mut h = ArenaHeader::fresh(VirtAddr::new(0x1000));
+        for idx in [0usize, 63, 64, 127, 128, 255] {
+            assert!(!h.is_set(idx));
+            h.set(idx);
+            assert!(h.is_set(idx));
+        }
+        assert_eq!(h.live_objects(), 6);
+        h.clear(64);
+        assert!(!h.is_set(64));
+        assert_eq!(h.live_objects(), 5);
+    }
+
+    #[test]
+    fn find_clear_skips_allocated_prefix() {
+        let mut h = ArenaHeader::fresh(VirtAddr::new(0));
+        for i in 0..100 {
+            h.set(i);
+        }
+        assert_eq!(h.find_clear(), Some(100));
+    }
+
+    #[test]
+    fn full_arena_has_no_clear_bit() {
+        let mut h = ArenaHeader::fresh(VirtAddr::new(0));
+        for i in 0..OBJECTS_PER_ARENA {
+            h.set(i);
+        }
+        assert!(h.is_full());
+        assert_eq!(h.find_clear(), None);
+        h.clear(200);
+        assert_eq!(h.find_clear(), Some(200));
+        assert!(!h.is_full());
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut mem = PhysMem::new(1 << 20);
+        let frame = mem.alloc_frame().unwrap();
+        let pa = frame.base_addr();
+        let mut h = ArenaHeader::fresh(VirtAddr::new(0x6000_0000_8000));
+        h.set(3);
+        h.set(250);
+        h.bypass_counter = 17;
+        h.prev = 0xa000;
+        h.next = 0xb000;
+        h.store(&mut mem, pa);
+        let loaded = ArenaHeader::load(&mem, pa);
+        assert_eq!(loaded, h);
+    }
+
+    #[test]
+    fn raw_pointer_surgery() {
+        let mut mem = PhysMem::new(1 << 20);
+        let frame = mem.alloc_frame().unwrap();
+        let pa = frame.base_addr();
+        ArenaHeader::fresh(VirtAddr::new(0x4000)).store(&mut mem, pa);
+        raw::set_next(&mut mem, pa, 0x0123_4000);
+        raw::set_prev(&mut mem, pa, 0x0567_8000);
+        assert_eq!(raw::next(&mem, pa), 0x0123_4000);
+        assert_eq!(raw::prev(&mem, pa), 0x0567_8000);
+        // Field writes are visible through a full load too.
+        let h = ArenaHeader::load(&mem, pa);
+        assert_eq!(h.next, 0x0123_4000);
+        assert_eq!(h.prev, 0x0567_8000);
+    }
+
+    #[test]
+    fn header_fits_one_cache_line() {
+        // VA(8) + bitmap(32) + bypass(8) + prev(8) + next(8) = 64.
+        assert_eq!(HEADER_BYTES, 64);
+    }
+}

@@ -1,0 +1,58 @@
+//! Latency model for Memento's hardware structures.
+//!
+//! Table 3 of the paper: the HOT is a 3.4 KB direct-mapped structure with a
+//! 2-cycle access; the AAC is a 32-entry direct-mapped cache with a 1-cycle
+//! access. Memory-side work (header loads/writebacks, Memento page-table
+//! reads/writes) is charged through the cache hierarchy at simulation time,
+//! so the constants here cover only the fixed hardware datapath costs.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed cycle costs of Memento datapath operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MementoCosts {
+    /// HOT access (hit path of `obj-alloc`/`obj-free`).
+    pub hot_access: u64,
+    /// AAC hit (bump-pointer read at the memory controller).
+    pub aac_hit: u64,
+    /// Fixed arena-allocation datapath work (pool pop, header prep control).
+    pub arena_alloc_base: u64,
+    /// Fixed arena-free datapath work (reclamation control).
+    pub arena_free_base: u64,
+    /// Per-level control overhead of an on-demand Memento page-table
+    /// populate step (beyond the memory accesses themselves).
+    pub walk_populate_step: u64,
+    /// Cost of delivering one TLB shootdown to a core.
+    pub shootdown_per_core: u64,
+}
+
+impl MementoCosts {
+    /// Paper-calibrated defaults.
+    pub fn calibrated() -> Self {
+        MementoCosts {
+            hot_access: 2,
+            aac_hit: 1,
+            arena_alloc_base: 12,
+            arena_free_base: 18,
+            walk_populate_step: 4,
+            shootdown_per_core: 120,
+        }
+    }
+}
+
+impl Default for MementoCosts {
+    fn default() -> Self {
+        MementoCosts::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_hit_is_two_cycles() {
+        assert_eq!(MementoCosts::default().hot_access, 2);
+        assert_eq!(MementoCosts::default().aac_hit, 1);
+    }
+}

@@ -1,0 +1,477 @@
+//! Integration-grade tests of the assembled Memento device FSM.
+
+use crate::device::{MementoConfig, MementoDevice, MementoError, MementoProcess};
+use crate::page_alloc::PoolBackend;
+use crate::region::MementoRegion;
+use crate::size_class::{SizeClass, OBJECTS_PER_ARENA};
+use memento_cache::{MemSystem, MemSystemConfig};
+use memento_simcore::addr::{VirtAddr, PAGE_SIZE};
+use memento_simcore::cycles::Cycles;
+use memento_simcore::physmem::{Frame, PhysMem};
+use memento_vm::tlb::Tlb;
+
+struct TestOs {
+    next: u64,
+    returned: Vec<Frame>,
+}
+
+impl TestOs {
+    fn new() -> Self {
+        TestOs {
+            next: 4096,
+            returned: Vec::new(),
+        }
+    }
+}
+
+impl PoolBackend for TestOs {
+    fn grant_frames(&mut self, n: u64) -> Vec<Frame> {
+        let start = self.next;
+        self.next += n;
+        (start..start + n).map(Frame::from_number).collect()
+    }
+
+    fn accept_frames(&mut self, frames: &[Frame]) {
+        self.returned.extend_from_slice(frames);
+    }
+}
+
+struct Rig {
+    mem: PhysMem,
+    sys: MemSystem,
+    tlbs: Vec<Tlb>,
+    os: TestOs,
+    dev: MementoDevice,
+    proc: MementoProcess,
+}
+
+fn rig() -> Rig {
+    rig_with(MementoConfig::paper_default())
+}
+
+fn rig_with(cfg: MementoConfig) -> Rig {
+    let mut mem = PhysMem::new(4 << 30);
+    let scratch = mem.alloc_frame().unwrap().base_addr();
+    let mut dev = MementoDevice::new(cfg, 1, scratch);
+    let mut os = TestOs::new();
+    let proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+    Rig {
+        mem,
+        sys: MemSystem::new(MemSystemConfig::paper_default(1)),
+        tlbs: vec![Tlb::default()],
+        os,
+        dev,
+        proc,
+    }
+}
+
+impl Rig {
+    fn alloc(&mut self, size: usize) -> VirtAddr {
+        self.dev
+            .obj_alloc(&mut self.mem, &mut self.sys, &mut self.os, 0, &mut self.proc, size)
+            .expect("alloc")
+            .addr
+    }
+
+    fn free(&mut self, va: VirtAddr) {
+        self.dev
+            .obj_free(
+                &mut self.mem,
+                &mut self.sys,
+                &mut self.os,
+                &mut self.tlbs,
+                0,
+                &mut self.proc,
+                va,
+            )
+            .expect("free");
+    }
+}
+
+#[test]
+fn alloc_returns_distinct_in_region_addresses() {
+    let mut r = rig();
+    let region = r.proc.region();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..1000 {
+        let a = r.alloc(24);
+        assert!(region.contains(a));
+        assert!(seen.insert(a.raw()), "address handed out twice");
+    }
+}
+
+#[test]
+fn first_alloc_misses_then_hits() {
+    let mut r = rig();
+    r.alloc(8);
+    let s = r.dev.hot_stats(0);
+    assert_eq!(s.alloc.misses, 1, "initialization counts as a miss");
+    for _ in 0..100 {
+        r.alloc(8);
+    }
+    let s = r.dev.hot_stats(0);
+    assert_eq!(s.alloc.misses, 1);
+    assert_eq!(s.alloc.hits, 100);
+}
+
+#[test]
+fn hit_cost_is_two_cycles() {
+    let mut r = rig();
+    r.alloc(8);
+    let out = r
+        .dev
+        .obj_alloc(&mut r.mem, &mut r.sys, &mut r.os, 0, &mut r.proc, 8)
+        .unwrap();
+    assert!(out.hot_hit);
+    assert_eq!(out.obj_cycles, Cycles::new(2));
+    assert_eq!(out.page_cycles, Cycles::ZERO);
+}
+
+#[test]
+fn arena_rollover_after_256_allocations() {
+    let mut r = rig();
+    let addrs: Vec<VirtAddr> = (0..OBJECTS_PER_ARENA + 1).map(|_| r.alloc(8)).collect();
+    // Objects 0..255 in arena 0, object 256 in arena 1.
+    let region = r.proc.region();
+    let first = region.locate(addrs[0]).unwrap();
+    let last_in_first = region.locate(addrs[255]).unwrap();
+    let rolled = region.locate(addrs[256]).unwrap();
+    assert_eq!(first.arena_base, last_in_first.arena_base);
+    assert_ne!(first.arena_base, rolled.arena_base);
+    assert_eq!(r.dev.obj_stats().arena_inits, 2);
+    assert_eq!(r.dev.obj_stats().alloc_list_ops, 1, "one full-list push");
+}
+
+#[test]
+fn free_hit_reuses_slot() {
+    let mut r = rig();
+    let a = r.alloc(64);
+    r.free(a);
+    let b = r.alloc(64);
+    assert_eq!(a, b, "lowest clear bit is the just-freed slot");
+    assert_eq!(r.dev.hot_stats(0).free.hits, 1);
+}
+
+#[test]
+fn double_free_raises_exception() {
+    let mut r = rig();
+    let a = r.alloc(32);
+    r.free(a);
+    let err = r
+        .dev
+        .obj_free(&mut r.mem, &mut r.sys, &mut r.os, &mut r.tlbs, 0, &mut r.proc, a)
+        .unwrap_err();
+    assert_eq!(err, MementoError::DoubleFree(a));
+}
+
+#[test]
+fn free_outside_region_is_software_path() {
+    let mut r = rig();
+    let err = r
+        .dev
+        .obj_free(
+            &mut r.mem,
+            &mut r.sys,
+            &mut r.os,
+            &mut r.tlbs,
+            0,
+            &mut r.proc,
+            VirtAddr::new(0x1234),
+        )
+        .unwrap_err();
+    assert!(matches!(err, MementoError::NotMementoAddress(_)));
+}
+
+#[test]
+fn oversized_alloc_is_software_path() {
+    let mut r = rig();
+    let err = r
+        .dev
+        .obj_alloc(&mut r.mem, &mut r.sys, &mut r.os, 0, &mut r.proc, 513)
+        .unwrap_err();
+    assert_eq!(err, MementoError::SizeTooLarge(513));
+}
+
+#[test]
+fn free_miss_updates_header_in_memory() {
+    let mut r = rig();
+    // Fill one arena completely so it moves to the full list, plus one more
+    // allocation to roll over.
+    let addrs: Vec<VirtAddr> = (0..OBJECTS_PER_ARENA + 1).map(|_| r.alloc(8)).collect();
+    // Free an object from the *first* (now full-listed) arena: a HOT miss.
+    let misses_before = r.dev.hot_stats(0).free.misses;
+    r.free(addrs[0]);
+    assert_eq!(r.dev.hot_stats(0).free.misses, misses_before + 1);
+    assert_eq!(
+        r.dev.obj_stats().free_list_ops,
+        1,
+        "full -> available move is a list op"
+    );
+    // Allocating 256 more from the current arena then rolling over should
+    // pick up the now-available old arena and reuse slot 0.
+    let mut last = None;
+    for _ in 0..OBJECTS_PER_ARENA {
+        last = Some(r.alloc(8));
+    }
+    assert_eq!(last, Some(addrs[0]), "slot 0 of the first arena reused");
+}
+
+#[test]
+fn emptied_cold_arena_is_reclaimed() {
+    let mut r = rig();
+    let addrs: Vec<VirtAddr> = (0..OBJECTS_PER_ARENA + 1).map(|_| r.alloc(8)).collect();
+    let arenas_freed_before = r.dev.page_stats().arenas_freed;
+    // Free every object of the first arena (all HOT misses; arena moves
+    // full -> avail on the first, then empties on the last).
+    for va in &addrs[..OBJECTS_PER_ARENA] {
+        r.free(*va);
+    }
+    assert_eq!(r.dev.page_stats().arenas_freed, arenas_freed_before + 1);
+    // Its pages were reclaimed: the header VA no longer translates.
+    let region = r.proc.region();
+    let base = region.locate(addrs[0]).unwrap().arena_base;
+    assert!(r.proc.paging.page_table.translate(&r.mem, base).is_none());
+}
+
+#[test]
+fn current_arena_not_reclaimed_when_emptied() {
+    let mut r = rig();
+    let a = r.alloc(128);
+    r.free(a); // current arena now empty, stays cached
+    assert_eq!(r.dev.page_stats().arenas_freed, 0);
+    let b = r.alloc(128);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn size_classes_use_disjoint_slices() {
+    let mut r = rig();
+    let a = r.alloc(8);
+    let b = r.alloc(512);
+    let region = r.proc.region();
+    assert_ne!(
+        region.locate(a).unwrap().class,
+        region.locate(b).unwrap().class
+    );
+}
+
+#[test]
+fn bypass_grants_first_touch_only() {
+    let mut r = rig();
+    let a = r.alloc(512); // 512B object: 8 lines
+    assert!(r.dev.bypass_check(0, &r.proc, a), "first touch bypasses");
+    assert!(!r.dev.bypass_check(0, &r.proc, a), "second touch does not");
+    assert!(
+        r.dev.bypass_check(0, &r.proc, a.add(64)),
+        "next line first touch"
+    );
+    assert_eq!(r.dev.obj_stats().bypass_grants, 2);
+}
+
+#[test]
+fn bypass_disabled_config() {
+    let mut r = rig_with(MementoConfig {
+        bypass_enabled: false,
+        ..MementoConfig::paper_default()
+    });
+    let a = r.alloc(512);
+    assert!(!r.dev.bypass_check(0, &r.proc, a));
+}
+
+#[test]
+fn bypass_counter_rolls_back_on_free() {
+    let mut r = rig();
+    let a = r.alloc(512);
+    // Touch both lines regions: line indexes 0..8 for object 0.
+    for l in 0..8u64 {
+        assert!(r.dev.bypass_check(0, &r.proc, a.add(l * 64)));
+    }
+    r.free(a);
+    // Counter rolled back to 0: the same lines bypass again after realloc.
+    let b = r.alloc(512);
+    assert_eq!(a, b);
+    assert!(r.dev.bypass_check(0, &r.proc, b));
+}
+
+#[test]
+fn demand_walk_backs_body_pages() {
+    let mut r = rig();
+    let a = r.alloc(512);
+    // Body pages are not backed until touched.
+    let page = a.page_base();
+    assert!(r.proc.paging.page_table.translate(&r.mem, page).is_none());
+    let (frame, cycles) = r.dev.translate_miss(
+        &mut r.mem,
+        &mut r.sys,
+        &mut r.os,
+        0,
+        &mut r.proc,
+        page,
+    );
+    assert!(cycles > Cycles::ZERO);
+    assert_eq!(
+        r.proc
+            .paging
+            .page_table
+            .translate(&r.mem, page)
+            .unwrap()
+            .frame,
+        frame
+    );
+}
+
+#[test]
+fn hot_flush_and_lazy_restore() {
+    let mut r = rig();
+    let a = r.alloc(40);
+    let flush_cycles = r.dev.flush_hot(&mut r.mem, &mut r.sys, 0, &mut r.proc);
+    assert!(flush_cycles > Cycles::ZERO);
+    assert_eq!(r.dev.hot_stats(0).flushes, 1);
+    // Next alloc misses (reload) but continues in the same arena.
+    let b = r.alloc(40);
+    let region = r.proc.region();
+    assert_eq!(
+        region.locate(a).unwrap().arena_base,
+        region.locate(b).unwrap().arena_base
+    );
+    // And the free of the original object now hits again.
+    r.free(a);
+    assert_eq!(r.dev.hot_stats(0).free.hits, 1);
+}
+
+#[test]
+fn flush_then_free_miss_consults_saved_heads() {
+    let mut r = rig();
+    // Roll over one arena so the full list is non-empty, then flush.
+    let addrs: Vec<VirtAddr> = (0..OBJECTS_PER_ARENA + 1).map(|_| r.alloc(16)).collect();
+    r.dev.flush_hot(&mut r.mem, &mut r.sys, 0, &mut r.proc);
+    // Free from the full-listed arena while the HOT is cold.
+    r.free(addrs[0]);
+    assert_eq!(r.dev.obj_stats().free_list_ops, 1);
+    // Reload path continues allocating without corruption.
+    for _ in 0..10 {
+        r.alloc(16);
+    }
+}
+
+#[test]
+fn detach_returns_all_frames_to_os() {
+    let mut r = rig();
+    for _ in 0..1000 {
+        r.alloc(8);
+    }
+    let in_use = r.proc.paging.frames_in_use();
+    assert!(in_use > 0);
+    let proc = r.proc;
+    r.dev.detach_process(&mut r.mem, &mut r.os, proc, &[0]);
+    assert_eq!(r.os.returned.len(), in_use);
+}
+
+#[test]
+fn list_ops_are_rare() {
+    let mut r = rig();
+    // 10k allocations with quick frees: list ops should be well under 1%
+    // of operations (paper Fig. 13).
+    let mut live = Vec::new();
+    for i in 0..10_000usize {
+        let a = r.alloc(32);
+        live.push(a);
+        if i % 2 == 1 {
+            let v = live.remove(live.len() - 2);
+            r.free(v);
+        }
+    }
+    let s = r.dev.obj_stats();
+    let rate = (s.alloc_list_ops + s.free_list_ops) as f64 / (s.allocs + s.frees) as f64;
+    assert!(rate < 0.01, "list op rate {rate} should be <1%");
+}
+
+#[test]
+fn every_size_class_allocates() {
+    let mut r = rig();
+    for sc in SizeClass::all() {
+        let size = sc.object_size();
+        let a = r.alloc(size);
+        let loc = r.proc.region().locate(a).unwrap();
+        assert_eq!(loc.class, sc);
+        assert_eq!(loc.object_index, 0);
+        // Interior pointer of the object still resolves to it.
+        let interior = a.add(size as u64 - 1);
+        assert_eq!(r.proc.region().locate(interior).unwrap().object_index, 0);
+    }
+}
+
+#[test]
+fn remote_free_from_another_core() {
+    // Paper §4: an object allocated by one thread may be freed by another.
+    // The hardware-only path handles it as a HOT miss on the freeing core:
+    // the arena header is fetched and updated through the (coherent)
+    // memory hierarchy.
+    let mut mem = PhysMem::new(4 << 30);
+    let scratch = mem.alloc_frame().unwrap().base_addr();
+    let mut dev = MementoDevice::new(MementoConfig::paper_default(), 2, scratch);
+    let mut os = TestOs::new();
+    let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+    let mut sys = MemSystem::new(MemSystemConfig::paper_default(2));
+    let mut tlbs = vec![Tlb::default(), Tlb::default()];
+
+    // Core 0 allocates.
+    let a = dev
+        .obj_alloc(&mut mem, &mut sys, &mut os, 0, &mut proc, 64)
+        .unwrap();
+    // Core 1 frees: must be a HOT miss on core 1 but fully correct.
+    let out = dev
+        .obj_free(&mut mem, &mut sys, &mut os, &mut tlbs, 1, &mut proc, a.addr)
+        .unwrap();
+    assert!(!out.hot_hit, "remote free misses the local HOT");
+    // The coherence supply invalidated core 0's entry, so core 0 reloads
+    // the fresh header on its next allocation and correctly reuses the
+    // remotely-freed slot.
+    let b = dev
+        .obj_alloc(&mut mem, &mut sys, &mut os, 0, &mut proc, 64)
+        .unwrap();
+    assert!(!b.hot_hit, "invalidated entry reloads");
+    assert_eq!(b.addr, a.addr, "coherent reuse of the freed slot");
+    // A genuine double free (remote free of the same slot twice in a row)
+    // is still detected through memory.
+    dev.obj_free(&mut mem, &mut sys, &mut os, &mut tlbs, 1, &mut proc, b.addr)
+        .unwrap();
+    let err = dev
+        .obj_free(&mut mem, &mut sys, &mut os, &mut tlbs, 1, &mut proc, b.addr)
+        .unwrap_err();
+    assert_eq!(err, MementoError::DoubleFree(b.addr));
+}
+
+#[test]
+fn per_core_hots_are_isolated() {
+    let mut mem = PhysMem::new(4 << 30);
+    let scratch = mem.alloc_frame().unwrap().base_addr();
+    let mut dev = MementoDevice::new(MementoConfig::paper_default(), 2, scratch);
+    let mut os = TestOs::new();
+    let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+    let mut sys = MemSystem::new(MemSystemConfig::paper_default(2));
+
+    // Each core allocates from its own arena of the same class (per-core
+    // bump pointers interleave arena VAs).
+    let a0 = dev
+        .obj_alloc(&mut mem, &mut sys, &mut os, 0, &mut proc, 32)
+        .unwrap();
+    let a1 = dev
+        .obj_alloc(&mut mem, &mut sys, &mut os, 1, &mut proc, 32)
+        .unwrap();
+    let region = proc.region();
+    let l0 = region.locate(a0.addr).unwrap();
+    let l1 = region.locate(a1.addr).unwrap();
+    assert_eq!(l0.class, l1.class);
+    assert_ne!(l0.arena_base, l1.arena_base, "per-core arenas are disjoint");
+    assert_eq!(dev.hot_stats(0).alloc.total(), 1);
+    assert_eq!(dev.hot_stats(1).alloc.total(), 1);
+}
+
+#[test]
+fn object_addresses_are_beyond_header_page() {
+    let mut r = rig();
+    let a = r.alloc(8);
+    let loc = r.proc.region().locate(a).unwrap();
+    assert!(a.offset_from(loc.arena_base) >= PAGE_SIZE as u64);
+}

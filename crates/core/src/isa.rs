@@ -1,0 +1,233 @@
+//! The Memento ISA extension: `obj-alloc` and `obj-free` (paper §3.1).
+//!
+//! Memento adds two instructions so language runtimes can reach the
+//! hardware object allocator without hardwiring to any particular software
+//! allocator:
+//!
+//! - `obj-alloc rd, rs` — rs carries the requested size; rd receives the
+//!   virtual address of a block satisfying it.
+//! - `obj-free rs` — rs carries the virtual address to deallocate.
+//!
+//! This module gives the instructions a concrete encoding (as an x86-style
+//! escape sequence would) plus decode/execute semantics over a
+//! [`MementoDevice`], so the integration contract of §4 — software checks
+//! the size/region and issues the instruction — is executable and testable.
+
+use crate::device::{AllocOutcome, FreeOutcome, MementoDevice, MementoError, MementoProcess};
+use crate::page_alloc::PoolBackend;
+use memento_cache::MemSystem;
+use memento_simcore::addr::VirtAddr;
+use memento_simcore::physmem::PhysMem;
+use memento_vm::tlb::Tlb;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Two-byte opcode prefix chosen from x86's unused 0F 38 escape space.
+pub const OPCODE_OBJ_ALLOC: u16 = 0x0FA0;
+/// `obj-free` opcode.
+pub const OPCODE_OBJ_FREE: u16 = 0x0FA1;
+
+/// A decoded Memento instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MementoInstr {
+    /// `obj-alloc rd, rs`: allocate `size` bytes (the value in rs).
+    ObjAlloc {
+        /// Requested size in bytes (register operand value).
+        size: u32,
+    },
+    /// `obj-free rs`: free the object at `addr` (the value in rs).
+    ObjFree {
+        /// Virtual address operand value.
+        addr: VirtAddr,
+    },
+}
+
+impl MementoInstr {
+    /// Encodes the instruction into a 64-bit word: opcode in the high 16
+    /// bits, operand in the low 48 (sizes fit trivially; virtual addresses
+    /// use the canonical 48-bit space).
+    pub fn encode(self) -> u64 {
+        match self {
+            MementoInstr::ObjAlloc { size } => {
+                ((OPCODE_OBJ_ALLOC as u64) << 48) | size as u64
+            }
+            MementoInstr::ObjFree { addr } => {
+                ((OPCODE_OBJ_FREE as u64) << 48) | (addr.raw() & 0xFFFF_FFFF_FFFF)
+            }
+        }
+    }
+
+    /// Decodes a 64-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on an unknown opcode.
+    pub fn decode(word: u64) -> Result<Self, DecodeError> {
+        let opcode = (word >> 48) as u16;
+        let operand = word & 0xFFFF_FFFF_FFFF;
+        match opcode {
+            OPCODE_OBJ_ALLOC => Ok(MementoInstr::ObjAlloc {
+                size: operand as u32,
+            }),
+            OPCODE_OBJ_FREE => Ok(MementoInstr::ObjFree {
+                addr: VirtAddr::new(operand),
+            }),
+            other => Err(DecodeError(other)),
+        }
+    }
+}
+
+impl fmt::Display for MementoInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MementoInstr::ObjAlloc { size } => write!(f, "obj-alloc {size}"),
+            MementoInstr::ObjFree { addr } => write!(f, "obj-free {addr}"),
+        }
+    }
+}
+
+/// Unknown opcode during decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError(pub u16);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown Memento opcode {:#06x}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Result of executing a Memento instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// `obj-alloc` retired; rd = allocated address.
+    Allocated(AllocOutcome),
+    /// `obj-free` retired.
+    Freed(FreeOutcome),
+}
+
+/// Executes a decoded instruction against the device — the dispatch the
+/// core's decoder performs when it encounters a Memento opcode.
+///
+/// # Errors
+///
+/// Propagates [`MementoError`]: `SizeTooLarge` and `NotMementoAddress`
+/// trap to the software allocator path; `DoubleFree` raises an exception.
+#[allow(clippy::too_many_arguments)]
+pub fn execute(
+    instr: MementoInstr,
+    dev: &mut MementoDevice,
+    mem: &mut PhysMem,
+    mem_sys: &mut MemSystem,
+    backend: &mut dyn PoolBackend,
+    tlbs: &mut [Tlb],
+    core: usize,
+    proc: &mut MementoProcess,
+) -> Result<ExecOutcome, MementoError> {
+    match instr {
+        MementoInstr::ObjAlloc { size } => dev
+            .obj_alloc(mem, mem_sys, backend, core, proc, size as usize)
+            .map(ExecOutcome::Allocated),
+        MementoInstr::ObjFree { addr } => dev
+            .obj_free(mem, mem_sys, backend, tlbs, core, proc, addr)
+            .map(ExecOutcome::Freed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MementoConfig;
+    use crate::region::MementoRegion;
+    use memento_cache::MemSystemConfig;
+    use memento_simcore::physmem::Frame;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for instr in [
+            MementoInstr::ObjAlloc { size: 8 },
+            MementoInstr::ObjAlloc { size: 512 },
+            MementoInstr::ObjFree {
+                addr: VirtAddr::new(0x6000_0000_1040),
+            },
+        ] {
+            let word = instr.encode();
+            assert_eq!(MementoInstr::decode(word), Ok(instr));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcodes() {
+        let err = MementoInstr::decode(0xDEAD_0000_0000_0001).unwrap_err();
+        assert_eq!(err.0, 0xDEAD);
+        assert!(err.to_string().contains("0xdead"));
+    }
+
+    #[test]
+    fn display_is_assembly_like() {
+        assert_eq!(
+            MementoInstr::ObjAlloc { size: 48 }.to_string(),
+            "obj-alloc 48"
+        );
+    }
+
+    struct BumpOs(u64);
+    impl PoolBackend for BumpOs {
+        fn grant_frames(&mut self, n: u64) -> Vec<Frame> {
+            let s = self.0;
+            self.0 += n;
+            (s..s + n).map(Frame::from_number).collect()
+        }
+        fn accept_frames(&mut self, _f: &[Frame]) {}
+    }
+
+    #[test]
+    fn executed_pair_roundtrips_through_the_device() {
+        let mut mem = PhysMem::new(1 << 30);
+        let scratch = mem.alloc_frame().unwrap().base_addr();
+        let mut dev = MementoDevice::new(MementoConfig::paper_default(), 1, scratch);
+        let mut os = BumpOs(2048);
+        let mut sys = MemSystem::new(MemSystemConfig::paper_default(1));
+        let mut tlbs = vec![Tlb::default()];
+        let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+
+        // Fetch-decode-execute obj-alloc.
+        let word = MementoInstr::ObjAlloc { size: 64 }.encode();
+        let out = execute(
+            MementoInstr::decode(word).unwrap(),
+            &mut dev, &mut mem, &mut sys, &mut os, &mut tlbs, 0, &mut proc,
+        )
+        .unwrap();
+        let addr = match out {
+            ExecOutcome::Allocated(a) => a.addr,
+            other => panic!("expected alloc, got {other:?}"),
+        };
+
+        // And obj-free of the returned register value.
+        let word = MementoInstr::ObjFree { addr }.encode();
+        let out = execute(
+            MementoInstr::decode(word).unwrap(),
+            &mut dev, &mut mem, &mut sys, &mut os, &mut tlbs, 0, &mut proc,
+        )
+        .unwrap();
+        assert!(matches!(out, ExecOutcome::Freed(f) if f.hot_hit));
+    }
+
+    #[test]
+    fn oversized_alloc_traps_to_software() {
+        let mut mem = PhysMem::new(1 << 30);
+        let scratch = mem.alloc_frame().unwrap().base_addr();
+        let mut dev = MementoDevice::new(MementoConfig::paper_default(), 1, scratch);
+        let mut os = BumpOs(2048);
+        let mut sys = MemSystem::new(MemSystemConfig::paper_default(1));
+        let mut tlbs = vec![Tlb::default()];
+        let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+        let err = execute(
+            MementoInstr::ObjAlloc { size: 4096 },
+            &mut dev, &mut mem, &mut sys, &mut os, &mut tlbs, 0, &mut proc,
+        )
+        .unwrap_err();
+        assert_eq!(err, MementoError::SizeTooLarge(4096));
+    }
+}

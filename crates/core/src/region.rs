@@ -1,0 +1,230 @@
+//! The reserved Memento virtual-address region and its bit-arithmetic
+//! address decomposition.
+//!
+//! The OS reserves a VA region per process and exposes it through the
+//! `MRS`/`MRE` region control registers (paper §3.2). The region is divided
+//! *evenly* into 64 size-class slices, which is the key design decision that
+//! lets hardware recover the size class and arena base of any object address
+//! with simple arithmetic — no table lookups on the `obj-free` path.
+
+use crate::size_class::{SizeClass, NUM_SIZE_CLASSES, OBJECTS_PER_ARENA};
+use memento_simcore::addr::{VirtAddr, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default base of the reserved region (well away from the mmap area).
+pub const DEFAULT_REGION_BASE: u64 = 0x6000_0000_0000;
+
+/// Default bytes per size-class slice (256 MiB; 16 GiB of VA total — virtual
+/// address space is plentiful).
+pub const DEFAULT_CLASS_SLICE_BYTES: u64 = 256 << 20;
+
+/// Location of an object within the region, recovered from its address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectLocation {
+    /// The size class the address belongs to.
+    pub class: SizeClass,
+    /// Base virtual address of the containing arena.
+    pub arena_base: VirtAddr,
+    /// Object index within the arena (0..256).
+    pub object_index: usize,
+}
+
+/// The per-process Memento region: the values of the MRS and MRE registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MementoRegion {
+    mrs: VirtAddr,
+    mre: VirtAddr,
+}
+
+impl MementoRegion {
+    /// Creates a region `[base, base + 64 * slice_bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base` and `slice_bytes` are page-aligned and every
+    /// slice fits at least one arena of its class.
+    pub fn new(base: VirtAddr, slice_bytes: u64) -> Self {
+        assert!(base.is_page_aligned(), "region base must be page-aligned");
+        assert_eq!(slice_bytes % PAGE_SIZE as u64, 0, "slice must be whole pages");
+        for sc in SizeClass::all() {
+            assert!(
+                slice_bytes >= sc.arena_bytes() as u64,
+                "slice too small for one {sc} arena"
+            );
+        }
+        MementoRegion {
+            mrs: base,
+            mre: base.add(slice_bytes * NUM_SIZE_CLASSES as u64),
+        }
+    }
+
+    /// The default region used throughout the evaluation.
+    pub fn standard() -> Self {
+        MementoRegion::new(VirtAddr::new(DEFAULT_REGION_BASE), DEFAULT_CLASS_SLICE_BYTES)
+    }
+
+    /// Memento Region Start register value.
+    pub fn mrs(&self) -> VirtAddr {
+        self.mrs
+    }
+
+    /// Memento Region End register value (exclusive).
+    pub fn mre(&self) -> VirtAddr {
+        self.mre
+    }
+
+    /// Bytes per size-class slice.
+    pub fn slice_bytes(&self) -> u64 {
+        self.mre.offset_from(self.mrs) / NUM_SIZE_CLASSES as u64
+    }
+
+    /// Whether `va` falls inside the reserved region — the MMU's check
+    /// against the MRS/MRE register pair.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.mrs && va < self.mre
+    }
+
+    /// Start of the slice assigned to `class`.
+    pub fn class_base(&self, class: SizeClass) -> VirtAddr {
+        self.mrs.add(self.slice_bytes() * class.index() as u64)
+    }
+
+    /// Maximum number of arenas a slice can hold for `class`.
+    pub fn arenas_per_class(&self, class: SizeClass) -> u64 {
+        self.slice_bytes() / class.arena_bytes() as u64
+    }
+
+    /// Base address of the `n`-th arena of `class`.
+    pub fn arena_at(&self, class: SizeClass, n: u64) -> VirtAddr {
+        self.class_base(class).add(n * class.arena_bytes() as u64)
+    }
+
+    /// Decomposes an object address into (class, arena base, object index) —
+    /// the pure bit/divide arithmetic the hardware performs on `obj-free`.
+    /// Returns `None` when `va` lies outside the region or inside an arena
+    /// header page.
+    pub fn locate(&self, va: VirtAddr) -> Option<ObjectLocation> {
+        if !self.contains(va) {
+            return None;
+        }
+        let offset = va.offset_from(self.mrs);
+        let slice = self.slice_bytes();
+        let class = SizeClass::from_index((offset / slice) as usize);
+        let class_offset = offset % slice;
+        let arena_bytes = class.arena_bytes() as u64;
+        let arena_index = class_offset / arena_bytes;
+        let arena_base = self.arena_at(class, arena_index);
+        let within = va.offset_from(arena_base);
+        if within < PAGE_SIZE as u64 {
+            return None; // header page, not an object
+        }
+        let body_offset = within - PAGE_SIZE as u64;
+        let object_index = (body_offset / class.object_size() as u64) as usize;
+        if object_index >= OBJECTS_PER_ARENA {
+            return None; // body padding past the last object
+        }
+        Some(ObjectLocation {
+            class,
+            arena_base,
+            object_index,
+        })
+    }
+
+    /// Address of object `index` in the arena at `arena_base` of `class`.
+    pub fn object_addr(&self, class: SizeClass, arena_base: VirtAddr, index: usize) -> VirtAddr {
+        debug_assert!(index < OBJECTS_PER_ARENA);
+        arena_base.add(PAGE_SIZE as u64 + (index * class.object_size()) as u64)
+    }
+}
+
+impl fmt::Display for MementoRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memento-region[{}..{})", self.mrs, self.mre)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> MementoRegion {
+        MementoRegion::standard()
+    }
+
+    #[test]
+    fn registers_and_bounds() {
+        let r = region();
+        assert_eq!(r.mrs(), VirtAddr::new(DEFAULT_REGION_BASE));
+        assert_eq!(r.slice_bytes(), DEFAULT_CLASS_SLICE_BYTES);
+        assert!(r.contains(r.mrs()));
+        assert!(!r.contains(r.mre()));
+        assert!(!r.contains(VirtAddr::new(0x1000)));
+    }
+
+    #[test]
+    fn locate_roundtrips_every_class() {
+        let r = region();
+        for sc in SizeClass::all() {
+            for arena_n in [0u64, 1, 7] {
+                let base = r.arena_at(sc, arena_n);
+                for idx in [0usize, 1, 128, 255] {
+                    let addr = r.object_addr(sc, base, idx);
+                    let loc = r.locate(addr).unwrap_or_else(|| {
+                        panic!("locate failed for {sc} arena {arena_n} obj {idx}")
+                    });
+                    assert_eq!(loc.class, sc);
+                    assert_eq!(loc.arena_base, base);
+                    assert_eq!(loc.object_index, idx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locate_interior_bytes_of_object() {
+        let r = region();
+        let sc = SizeClass::for_size(64).unwrap();
+        let base = r.arena_at(sc, 3);
+        let addr = r.object_addr(sc, base, 10).add(17);
+        let loc = r.locate(addr).unwrap();
+        assert_eq!(loc.object_index, 10);
+    }
+
+    #[test]
+    fn header_page_is_not_an_object() {
+        let r = region();
+        let sc = SizeClass::for_size(8).unwrap();
+        let base = r.arena_at(sc, 0);
+        assert_eq!(r.locate(base), None);
+        assert_eq!(r.locate(base.add(4095)), None);
+        assert!(r.locate(base.add(4096)).is_some());
+    }
+
+    #[test]
+    fn outside_region_is_none() {
+        let r = region();
+        assert_eq!(r.locate(VirtAddr::new(0x1234)), None);
+        assert_eq!(r.locate(r.mre()), None);
+    }
+
+    #[test]
+    fn slices_do_not_overlap() {
+        let r = region();
+        for i in 0..NUM_SIZE_CLASSES - 1 {
+            let a = SizeClass::from_index(i);
+            let b = SizeClass::from_index(i + 1);
+            assert!(r.class_base(a) < r.class_base(b));
+            let last = r.arena_at(a, r.arenas_per_class(a) - 1);
+            assert!(last.add(a.arena_bytes() as u64) <= r.class_base(b));
+        }
+    }
+
+    #[test]
+    fn arenas_per_class_positive() {
+        let r = region();
+        for sc in SizeClass::all() {
+            assert!(r.arenas_per_class(sc) >= 1000, "{sc} has plenty of arenas");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Size classes and arena geometry.
+//!
+//! Memento supports allocations up to 512 bytes in 8-byte increments — 64
+//! size classes (paper §3.1). Every arena holds exactly
+//! [`OBJECTS_PER_ARENA`] objects of one class: its first page is the header,
+//! the body follows, rounded up to whole pages.
+
+use memento_simcore::addr::PAGE_SIZE;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of size classes (8..=512 bytes in 8-byte steps).
+pub const NUM_SIZE_CLASSES: usize = 64;
+
+/// Largest object size Memento serves; larger requests go to software.
+pub const MAX_OBJECT_SIZE: usize = 512;
+
+/// Objects per arena (paper §3.1: 256, balancing metadata cost and internal
+/// fragmentation).
+pub const OBJECTS_PER_ARENA: usize = 256;
+
+/// A size class index in `0..64`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct SizeClass(u8);
+
+impl SizeClass {
+    /// Builds a size class from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < NUM_SIZE_CLASSES, "size class index {index} out of range");
+        SizeClass(index as u8)
+    }
+
+    /// Classifies a request of `size` bytes: rounds up to the nearest 8-byte
+    /// boundary. Returns `None` for zero or for sizes above
+    /// [`MAX_OBJECT_SIZE`] (those are served by software).
+    pub fn for_size(size: usize) -> Option<Self> {
+        if size == 0 || size > MAX_OBJECT_SIZE {
+            return None;
+        }
+        Some(SizeClass((size.div_ceil(8) - 1) as u8))
+    }
+
+    /// The class index (0..64).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Object size served by this class, in bytes.
+    pub const fn object_size(self) -> usize {
+        (self.0 as usize + 1) * 8
+    }
+
+    /// Bytes of arena body (objects only).
+    pub const fn body_bytes(self) -> usize {
+        self.object_size() * OBJECTS_PER_ARENA
+    }
+
+    /// Pages of arena body (rounded up).
+    pub const fn body_pages(self) -> usize {
+        self.body_bytes().div_ceil(PAGE_SIZE)
+    }
+
+    /// Total arena footprint in pages: one header page plus the body.
+    pub const fn arena_pages(self) -> usize {
+        1 + self.body_pages()
+    }
+
+    /// Total arena footprint in bytes.
+    pub const fn arena_bytes(self) -> usize {
+        self.arena_pages() * PAGE_SIZE
+    }
+
+    /// Iterates over all 64 classes.
+    pub fn all() -> impl Iterator<Item = SizeClass> {
+        (0..NUM_SIZE_CLASSES).map(SizeClass::from_index)
+    }
+}
+
+impl fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sc{}({}B)", self.0, self.object_size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_rounds_up_to_8() {
+        assert_eq!(SizeClass::for_size(1).unwrap().object_size(), 8);
+        assert_eq!(SizeClass::for_size(8).unwrap().object_size(), 8);
+        assert_eq!(SizeClass::for_size(9).unwrap().object_size(), 16);
+        assert_eq!(SizeClass::for_size(512).unwrap().object_size(), 512);
+        assert_eq!(SizeClass::for_size(512).unwrap().index(), 63);
+    }
+
+    #[test]
+    fn out_of_range_sizes_rejected() {
+        assert_eq!(SizeClass::for_size(0), None);
+        assert_eq!(SizeClass::for_size(513), None);
+        assert_eq!(SizeClass::for_size(4096), None);
+    }
+
+    #[test]
+    fn arena_geometry_small_class() {
+        // 8-byte objects: body = 2048 B = 1 page, arena = 2 pages.
+        let sc = SizeClass::for_size(8).unwrap();
+        assert_eq!(sc.body_bytes(), 2048);
+        assert_eq!(sc.body_pages(), 1);
+        assert_eq!(sc.arena_pages(), 2);
+    }
+
+    #[test]
+    fn arena_geometry_large_class() {
+        // 512-byte objects: body = 128 KiB = 32 pages, arena = 33 pages.
+        let sc = SizeClass::for_size(512).unwrap();
+        assert_eq!(sc.body_pages(), 32);
+        assert_eq!(sc.arena_pages(), 33);
+    }
+
+    #[test]
+    fn all_classes_cover_the_range() {
+        let classes: Vec<SizeClass> = SizeClass::all().collect();
+        assert_eq!(classes.len(), 64);
+        for (i, sc) in classes.iter().enumerate() {
+            assert_eq!(sc.index(), i);
+            assert_eq!(sc.object_size(), (i + 1) * 8);
+            assert!(sc.arena_pages() >= 2);
+        }
+    }
+
+    #[test]
+    fn display_shows_size() {
+        assert_eq!(format!("{}", SizeClass::from_index(0)), "sc0(8B)");
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_out_of_range_panics() {
+        SizeClass::from_index(64);
+    }
+}

@@ -1,0 +1,260 @@
+//! Ablations of Memento's own design choices (the knobs DESIGN.md calls
+//! out): the optional eager-replenish optimization of §3.1, the hardware
+//! page-pool refill batch, and the AAC pointer-slot capacity.
+
+use crate::table::{f3, Table};
+use memento_core::device::MementoConfig;
+use memento_core::page_alloc::PageAllocatorConfig;
+use memento_system::{stats, Machine, Mode, SystemConfig};
+use memento_workloads::spec::WorkloadSpec;
+use memento_workloads::suite;
+use std::fmt;
+
+/// One ablation row.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Geometric-mean speedup over the baseline across the workload set.
+    pub speedup: f64,
+    /// Mean HOT-miss-path share of `obj-alloc` operations.
+    pub alloc_miss_rate: f64,
+}
+
+/// Ablation results.
+#[derive(Clone, Debug)]
+pub struct AblationResult {
+    /// Variant rows (first row is the paper-default configuration).
+    pub rows: Vec<AblationRow>,
+}
+
+fn memento_with(mcfg: MementoConfig) -> SystemConfig {
+    SystemConfig {
+        mode: Mode::Memento(mcfg),
+        ..SystemConfig::baseline()
+    }
+}
+
+fn measure(cfg: SystemConfig, specs: &[WorkloadSpec]) -> (f64, f64) {
+    let mut speedups = Vec::new();
+    let mut miss_rates = Vec::new();
+    for spec in specs {
+        let base = Machine::new(SystemConfig::baseline()).run(spec);
+        let mem = Machine::new(cfg.clone()).run(spec);
+        speedups.push(stats::speedup(&base, &mem));
+        let hot = mem.hot.expect("memento run");
+        miss_rates.push(1.0 - hot.alloc.hit_rate());
+    }
+    (
+        stats::geomean(&speedups),
+        miss_rates.iter().sum::<f64>() / miss_rates.len().max(1) as f64,
+    )
+}
+
+/// Runs the ablation suite over `names` (scaled by `scale_divisor`).
+pub fn run_for(names: &[&str], scale_divisor: u64) -> AblationResult {
+    let specs: Vec<WorkloadSpec> = names
+        .iter()
+        .map(|n| {
+            let mut s = suite::by_name(n).expect("known workload");
+            s.total_instructions /= scale_divisor;
+            s
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let default = MementoConfig::paper_default();
+
+    let (s, m) = measure(memento_with(default), &specs);
+    rows.push(AblationRow {
+        variant: "paper default".into(),
+        speedup: s,
+        alloc_miss_rate: m,
+    });
+
+    // §3.1's optional optimization: eagerly replenish the next arena so
+    // HOT-miss latency is hidden off the critical path.
+    let (s, m) = measure(
+        memento_with(MementoConfig {
+            eager_replenish: true,
+            ..default
+        }),
+        &specs,
+    );
+    rows.push(AblationRow {
+        variant: "eager replenish".into(),
+        speedup: s,
+        alloc_miss_rate: m,
+    });
+
+    // No bypass (Fig. 9/10's ablation).
+    let (s, m) = measure(
+        memento_with(MementoConfig {
+            bypass_enabled: false,
+            ..default
+        }),
+        &specs,
+    );
+    rows.push(AblationRow {
+        variant: "no bypass".into(),
+        speedup: s,
+        alloc_miss_rate: m,
+    });
+
+    // Pool refill batch: tiny (4) and large (64) grants.
+    for batch in [4u64, 64] {
+        let (s, m) = measure(
+            memento_with(MementoConfig {
+                page_alloc: PageAllocatorConfig {
+                    refill_batch: batch,
+                    low_water: (batch / 4).max(1) as usize,
+                    ..default.page_alloc
+                },
+                ..default
+            }),
+            &specs,
+        );
+        rows.push(AblationRow {
+            variant: format!("pool batch {batch}"),
+            speedup: s,
+            alloc_miss_rate: m,
+        });
+    }
+
+    // AAC slots per entry: 1 (near-no caching) vs the default 8.
+    let (s, m) = measure(
+        memento_with(MementoConfig {
+            page_alloc: PageAllocatorConfig {
+                aac_slots: 1,
+                ..default.page_alloc
+            },
+            ..default
+        }),
+        &specs,
+    );
+    rows.push(AblationRow {
+        variant: "aac 1 slot".into(),
+        speedup: s,
+        alloc_miss_rate: m,
+    });
+
+    AblationResult { rows }
+}
+
+/// Default ablation set.
+pub fn run() -> AblationResult {
+    run_for(&["html", "US", "bfs-go"], 2)
+}
+
+/// §4 future-work extension study: an enhanced GC that proactively frees
+/// dead ephemeral objects through `obj-free` instead of deferring to the
+/// sweep, on the Golang workloads.
+#[derive(Clone, Debug)]
+pub struct ProactiveGcResult {
+    /// `(workload, memento speedup, memento+proactive speedup, LLC miss
+    /// ratio proactive/deferred)` rows.
+    pub rows: Vec<(String, f64, f64, f64)>,
+}
+
+/// Runs the proactive-GC extension comparison over Go workloads.
+pub fn proactive_gc_for(names: &[&str], scale_divisor: u64) -> ProactiveGcResult {
+    let mut rows = Vec::new();
+    for name in names {
+        let mut spec = suite::by_name(name).expect("known workload");
+        spec.total_instructions /= scale_divisor;
+        let base = Machine::new(SystemConfig::baseline()).run(&spec);
+        let memento = Machine::new(SystemConfig::memento()).run(&spec);
+        let proactive = Machine::new(SystemConfig::memento_proactive_gc()).run(&spec);
+        let llc_ratio = (proactive.mem.llc.demand.misses.max(1)) as f64
+            / (memento.mem.llc.demand.misses.max(1)) as f64;
+        rows.push((
+            spec.name.clone(),
+            stats::speedup(&base, &memento),
+            stats::speedup(&base, &proactive),
+            llc_ratio,
+        ));
+    }
+    ProactiveGcResult { rows }
+}
+
+/// Default proactive-GC study over the Go functions.
+pub fn proactive_gc() -> ProactiveGcResult {
+    proactive_gc_for(&["html-go", "bfs-go", "aes-go"], 2)
+}
+
+impl fmt::Display for ProactiveGcResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§4 extension — GC with proactive ephemeral frees via obj-free (Golang)"
+        )?;
+        let mut t = Table::new(vec![
+            "workload",
+            "Memento",
+            "+proactive",
+            "LLC-miss ratio",
+        ]);
+        for (name, m, p, llc) in &self.rows {
+            t.row(vec![name.clone(), f3(*m), f3(*p), f3(*llc)]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+impl fmt::Display for AblationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Design-choice ablations (geomean speedup over baseline)")?;
+        let mut t = Table::new(vec!["variant", "speedup", "HOT alloc-miss"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.variant.clone(),
+                f3(r.speedup),
+                format!("{:.3}%", r.alloc_miss_rate * 100.0),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proactive_gc_is_sane() {
+        let result = proactive_gc_for(&["aes-go"], 8);
+        let (_, memento, proactive, llc_ratio) = result.rows[0].clone();
+        assert!(memento > 1.0);
+        assert!(proactive > 1.0);
+        // Proactive frees recycle ephemeral slots, so cache pressure must
+        // not grow (the paper's motivating intuition).
+        assert!(llc_ratio < 1.15, "LLC miss ratio {llc_ratio}");
+        assert!(result.to_string().contains("proactive"));
+    }
+
+    #[test]
+    fn ablations_order_sanely() {
+        let result = run_for(&["html"], 8);
+        let get = |label: &str| {
+            result
+                .rows
+                .iter()
+                .find(|r| r.variant == label)
+                .map(|r| r.speedup)
+                .expect("variant present")
+        };
+        let default = get("paper default");
+        assert!(default > 1.0);
+        assert!(
+            get("no bypass") <= default + 1e-9,
+            "bypass can only help"
+        );
+        assert!(
+            get("eager replenish") >= default - 1e-9,
+            "hiding miss latency can only help"
+        );
+        // Pool batch size is a memory/perf trade-off, not a perf cliff.
+        assert!((get("pool batch 4") - default).abs() < 0.05);
+        assert!((get("aac 1 slot") - default).abs() < 0.05);
+    }
+}

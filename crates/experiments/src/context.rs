@@ -1,0 +1,165 @@
+//! Memoized evaluation context: one simulation per (workload, config).
+
+use memento_system::{Machine, RunStats, SystemConfig};
+use memento_workloads::spec::{Category, WorkloadSpec};
+use memento_workloads::suite;
+use std::collections::HashMap;
+
+/// Warm-up fraction for long-running workloads (the paper measures
+/// data-processing applications and platform services at steady state).
+pub const STEADY_WARMUP: f64 = 0.4;
+
+/// System design points evaluated across the figures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConfigKind {
+    /// Software stack (the paper's baseline).
+    Baseline,
+    /// Full Memento.
+    Memento,
+    /// Memento with main-memory bypass disabled (Figs. 9/10 attribution).
+    MementoNoBypass,
+    /// §6.1 iso-storage baseline (HOT SRAM donated to the L1D).
+    IsoStorage,
+    /// §6.7 idealized Mallacc.
+    IdealMallacc,
+    /// §6.6 `MAP_POPULATE` baseline.
+    BaselinePopulate,
+}
+
+impl ConfigKind {
+    /// The system configuration for this design point.
+    pub fn system_config(self) -> SystemConfig {
+        match self {
+            ConfigKind::Baseline => SystemConfig::baseline(),
+            ConfigKind::Memento => SystemConfig::memento(),
+            ConfigKind::MementoNoBypass => SystemConfig::memento_no_bypass(),
+            ConfigKind::IsoStorage => SystemConfig::iso_storage(),
+            ConfigKind::IdealMallacc => SystemConfig::ideal_mallacc(),
+            ConfigKind::BaselinePopulate => SystemConfig::baseline_populate(),
+        }
+    }
+}
+
+/// Memoizing evaluation context shared by all experiment runners.
+pub struct EvalContext {
+    cache: HashMap<(String, ConfigKind), RunStats>,
+    scale_divisor: u64,
+}
+
+impl EvalContext {
+    /// Full-fidelity context (the workload sizes behind EXPERIMENTS.md).
+    pub fn new() -> Self {
+        EvalContext {
+            cache: HashMap::new(),
+            scale_divisor: 1,
+        }
+    }
+
+    /// Quick context for tests/CI: workloads shrunk 8× (shapes preserved,
+    /// absolute numbers noisier).
+    pub fn quick() -> Self {
+        EvalContext {
+            cache: HashMap::new(),
+            scale_divisor: 8,
+        }
+    }
+
+    /// The workload suite at this context's scale.
+    pub fn workloads(&self) -> Vec<WorkloadSpec> {
+        suite::all_workloads()
+            .into_iter()
+            .map(|mut s| {
+                s.total_instructions /= self.scale_divisor;
+                s
+            })
+            .collect()
+    }
+
+    /// One workload by paper name, at this context's scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name.
+    pub fn workload(&self, name: &str) -> WorkloadSpec {
+        let mut s = suite::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+        s.total_instructions /= self.scale_divisor;
+        s
+    }
+
+    /// Runs (or returns the memoized run of) `spec` under `kind`.
+    /// Long-running categories are measured at steady state.
+    pub fn run(&mut self, spec: &WorkloadSpec, kind: ConfigKind) -> &RunStats {
+        let key = (spec.name.clone(), kind);
+        self.cache.entry(key).or_insert_with(|| {
+            let mut machine = Machine::new(kind.system_config());
+            if spec.category == Category::Function {
+                machine.run(spec)
+            } else {
+                machine.run_steady(spec, STEADY_WARMUP)
+            }
+        })
+    }
+
+    /// Convenience: the (baseline, memento) pair for `spec`.
+    pub fn pair(&mut self, spec: &WorkloadSpec) -> (RunStats, RunStats) {
+        let base = self.run(spec, ConfigKind::Baseline).clone();
+        let mem = self.run(spec, ConfigKind::Memento).clone();
+        (base, mem)
+    }
+}
+
+impl Default for EvalContext {
+    fn default() -> Self {
+        EvalContext::new()
+    }
+}
+
+/// Group-average helper over workload categories, in the paper's reporting
+/// order (func-avg, data-avg, pltf-avg).
+pub fn group_label(cat: Category) -> &'static str {
+    match cat {
+        Category::Function => "func-avg",
+        Category::DataProc => "data-avg",
+        Category::Platform => "pltf-avg",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_scales_workloads() {
+        let full = EvalContext::new();
+        let quick = EvalContext::quick();
+        let f = full.workload("aes");
+        let q = quick.workload("aes");
+        assert_eq!(f.total_instructions, q.total_instructions * 8);
+    }
+
+    #[test]
+    fn runs_are_memoized() {
+        let mut ctx = EvalContext::quick();
+        let mut spec = ctx.workload("aes");
+        spec.total_instructions = 50_000;
+        let a = ctx.run(&spec, ConfigKind::Baseline).total_cycles();
+        let b = ctx.run(&spec, ConfigKind::Baseline).total_cycles();
+        assert_eq!(a, b);
+        assert_eq!(ctx.cache.len(), 1);
+    }
+
+    #[test]
+    fn config_kinds_materialize() {
+        for kind in [
+            ConfigKind::Baseline,
+            ConfigKind::Memento,
+            ConfigKind::MementoNoBypass,
+            ConfigKind::IsoStorage,
+            ConfigKind::IdealMallacc,
+            ConfigKind::BaselinePopulate,
+        ] {
+            let cfg = kind.system_config();
+            assert!(cfg.cores >= 1);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Experiment runners that regenerate every table and figure of the
+//! Memento paper's evaluation (§2.2, §5, §6).
+//!
+//! Each module reproduces one artifact and returns a typed result with a
+//! `Display` implementation that prints the same rows/series the paper
+//! reports:
+//!
+//! | Module | Artifact |
+//! |---|---|
+//! | [`characterization`] | Fig. 2 (allocation sizes), Fig. 3 (lifetimes), Table 1 (joint), Table 2 (user/kernel split) |
+//! | [`config_table`] | Table 3 (simulated configuration) |
+//! | [`speedup`] | Fig. 8 (normalized speedup) |
+//! | [`breakdown`] | Fig. 9 (gain attribution) |
+//! | [`bandwidth`] | Fig. 10 (DRAM-traffic reduction) |
+//! | [`memusage`] | Fig. 11 (aggregate memory usage) |
+//! | [`hot`] | Fig. 12 (HOT hit rates) |
+//! | [`arena_list`] | Fig. 13 (arena-list operation frequency) |
+//! | [`pricing`] | Fig. 14 (normalized runtime pricing) |
+//! | [`comparisons`] | §6.1 iso-storage, §6.7 idealized Mallacc |
+//! | [`sensitivity`] | §6.6 studies: `MAP_POPULATE`, multi-process, fragmentation, cold starts, allocator tuning |
+//! | [`multicore`] | extension: spatial co-location, one function per core |
+//! | [`ablation`] | extension: eager replenish / bypass / pool batch / AAC ablations |
+//!
+//! Runs are memoized in an [`EvalContext`] so one sweep feeds every figure.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use memento_experiments::{speedup, EvalContext};
+//!
+//! let mut ctx = EvalContext::quick(); // shrunk workloads for CI
+//! let fig8 = speedup::run(&mut ctx);
+//! println!("{fig8}");
+//! assert!(fig8.func_avg > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod arena_list;
+pub mod bandwidth;
+pub mod breakdown;
+pub mod characterization;
+pub mod comparisons;
+pub mod config_table;
+pub mod context;
+pub mod hot;
+pub mod memusage;
+pub mod multicore;
+pub mod pricing;
+pub mod report;
+pub mod sensitivity;
+pub mod speedup;
+pub mod table;
+
+pub use context::{ConfigKind, EvalContext};
+pub use table::Table;

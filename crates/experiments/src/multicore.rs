@@ -1,0 +1,114 @@
+//! Multi-core co-location: several functions running *concurrently*, one
+//! per core, sharing the LLC, DRAM, and Memento's memory-controller page
+//! allocator (per-core HOTs and TLBs).
+//!
+//! The paper evaluates multi-tenancy through time-sharing (§6.6) and
+//! argues the multi-core design in §4; this experiment extends the
+//! evaluation to true spatial co-location and checks that per-function
+//! speedups survive cache/bandwidth contention.
+
+use crate::table::{f3, Table};
+use memento_system::{stats, Machine, SystemConfig};
+use memento_workloads::spec::WorkloadSpec;
+use memento_workloads::suite;
+use std::fmt;
+
+/// Result of the co-location experiment.
+#[derive(Clone, Debug)]
+pub struct MulticoreResult {
+    /// `(workload, solo speedup, co-located speedup)` rows.
+    pub rows: Vec<(String, f64, f64)>,
+    /// Geometric mean of co-located speedups.
+    pub colocated_avg: f64,
+    /// Geometric mean of solo speedups for the same set.
+    pub solo_avg: f64,
+}
+
+/// Runs `names` concurrently on as many cores, under baseline and Memento,
+/// and compares per-function speedups against their solo runs.
+pub fn run_for(names: &[&str], scale_divisor: u64) -> MulticoreResult {
+    let specs: Vec<WorkloadSpec> = names
+        .iter()
+        .map(|n| {
+            let mut s = suite::by_name(n).expect("known workload");
+            s.total_instructions /= scale_divisor;
+            s
+        })
+        .collect();
+    let cores = specs.len();
+
+    let cfg_base = SystemConfig {
+        cores,
+        mem: memento_cache::MemSystemConfig::paper_default(cores),
+        ..SystemConfig::baseline()
+    };
+    let cfg_mem = SystemConfig {
+        cores,
+        mem: memento_cache::MemSystemConfig::paper_default(cores),
+        ..SystemConfig::memento()
+    };
+
+    let base_runs = Machine::new(cfg_base).run_concurrent(&specs);
+    let mem_runs = Machine::new(cfg_mem).run_concurrent(&specs);
+
+    let mut rows = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let solo_base = Machine::new(SystemConfig::baseline()).run(spec);
+        let solo_mem = Machine::new(SystemConfig::memento()).run(spec);
+        rows.push((
+            spec.name.clone(),
+            stats::speedup(&solo_base, &solo_mem),
+            // Per-function cycle ledgers are per-run even under sharing.
+            base_runs[i].total_cycles().raw() as f64
+                / mem_runs[i].total_cycles().raw().max(1) as f64,
+        ));
+    }
+    let solo: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let colo: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    MulticoreResult {
+        solo_avg: stats::geomean(&solo),
+        colocated_avg: stats::geomean(&colo),
+        rows,
+    }
+}
+
+/// Default four-function co-location study.
+pub fn run() -> MulticoreResult {
+    run_for(&["html", "US", "bfs-go", "jl"], 2)
+}
+
+impl fmt::Display for MulticoreResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Multi-core co-location ({} functions, one per core, shared LLC/DRAM)",
+            self.rows.len()
+        )?;
+        let mut t = Table::new(vec!["workload", "solo", "co-located"]);
+        for (name, solo, colo) in &self.rows {
+            t.row(vec![name.clone(), f3(*solo), f3(*colo)]);
+        }
+        writeln!(f, "{t}")?;
+        write!(
+            f,
+            "geomean: solo {:.3} vs co-located {:.3}",
+            self.solo_avg, self.colocated_avg
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colocation_preserves_wins() {
+        let result = run_for(&["aes", "jl"], 8);
+        assert_eq!(result.rows.len(), 2);
+        for (name, solo, colo) in &result.rows {
+            assert!(*solo > 1.0, "{name} solo {solo}");
+            assert!(*colo > 1.0, "{name} co-located {colo}");
+        }
+        assert!(result.to_string().contains("co-location"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Full-evaluation report: every table and figure in one pass, plus a
+//! JSON export for EXPERIMENTS.md regeneration.
+
+use crate::context::EvalContext;
+use crate::{
+    arena_list, bandwidth, breakdown, characterization, comparisons, config_table, hot,
+    memusage, pricing, sensitivity, speedup,
+};
+use serde_json::json;
+use std::fmt;
+
+/// The complete evaluation.
+pub struct FullReport {
+    /// Table 3.
+    pub config: config_table::ConfigTable,
+    /// Figs. 2/3 + Table 1.
+    pub characterization: characterization::CharacterizationResult,
+    /// Table 2.
+    pub mm_breakdown: characterization::MmBreakdownResult,
+    /// Fig. 8.
+    pub speedup: speedup::SpeedupResult,
+    /// Fig. 9.
+    pub breakdown: breakdown::BreakdownResult,
+    /// Fig. 10.
+    pub bandwidth: bandwidth::BandwidthResult,
+    /// Fig. 11.
+    pub memusage: memusage::MemUsageResult,
+    /// Fig. 12.
+    pub hot: hot::HotResult,
+    /// Fig. 13.
+    pub arena_list: arena_list::ArenaListResult,
+    /// Fig. 14.
+    pub pricing: pricing::PricingResult,
+    /// §6.1.
+    pub iso: comparisons::IsoStorageResult,
+    /// §6.7.
+    pub mallacc: comparisons::MallaccResult,
+    /// §6.6 populate.
+    pub populate: sensitivity::PopulateResult,
+    /// §6.6 fragmentation.
+    pub fragmentation: sensitivity::FragmentationResult,
+}
+
+/// Runs the complete evaluation (reusing memoized runs across figures).
+pub fn run(ctx: &mut EvalContext) -> FullReport {
+    FullReport {
+        config: config_table::run(),
+        characterization: characterization::run(ctx),
+        mm_breakdown: characterization::mm_breakdown(ctx),
+        speedup: speedup::run(ctx),
+        breakdown: breakdown::run(ctx),
+        bandwidth: bandwidth::run(ctx),
+        memusage: memusage::run(ctx),
+        hot: hot::run(ctx),
+        arena_list: arena_list::run(ctx),
+        pricing: pricing::run(ctx),
+        iso: comparisons::iso_storage(ctx),
+        mallacc: comparisons::mallacc(ctx),
+        populate: sensitivity::populate(ctx),
+        fragmentation: sensitivity::fragmentation(ctx),
+    }
+}
+
+impl FullReport {
+    /// Key headline numbers as JSON (for archival/regression tracking).
+    pub fn summary_json(&self) -> serde_json::Value {
+        json!({
+            "func_avg_speedup": self.speedup.func_avg,
+            "data_avg_speedup": self.speedup.data_avg,
+            "pltf_avg_speedup": self.speedup.pltf_avg,
+            "func_bandwidth_reduction": self.bandwidth.func_avg,
+            "bypass_bandwidth_share": self.bandwidth.bypass_avg,
+            "hot_alloc_hit": self.hot.func_alloc_avg,
+            "hot_free_hit": self.hot.func_free_avg,
+            "max_arena_list_alloc_rate": self.arena_list.max_alloc_rate,
+            "runtime_pricing_saving": self.pricing.runtime_saving_avg,
+            "end_to_end_pricing_saving": self.pricing.end_to_end_saving_avg,
+            "iso_storage_avg": self.iso.iso_avg,
+            "mallacc_avg": self.mallacc.mallacc_avg,
+            "mallacc_memento_avg": self.mallacc.memento_avg,
+            "speedups": self.speedup.rows.iter()
+                .map(|r| json!({"name": r.name, "speedup": r.speedup}))
+                .collect::<Vec<_>>(),
+        })
+    }
+}
+
+impl fmt::Display for FullReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.config)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.characterization)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.mm_breakdown)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.speedup)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.breakdown)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.bandwidth)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.memusage)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.hot)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.arena_list)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.pricing)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.iso)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.mallacc)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.populate)?;
+        writeln!(f)?;
+        write!(f, "{}", self.fragmentation)
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal ASCII table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// # Examples
+///
+/// ```
+/// use memento_experiments::table::Table;
+///
+/// let mut t = Table::new(vec!["workload", "speedup"]);
+/// t.row(vec!["html".into(), "1.27".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("workload"));
+/// assert!(s.contains("1.27"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table {
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        t.row(vec!["y".into()]); // short row padded
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the buddy allocator: the invariants every
+//! physical-memory allocator must uphold under arbitrary alloc/free
+//! interleavings.
+
+use memento_kernel::buddy::{BuddyAllocator, FrameUse};
+use memento_simcore::physmem::Frame;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// An abstract operation on the allocator.
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc(u8),
+    /// Free the n-th oldest live block (modulo live count).
+    Free(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..4).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::Free),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No frame is ever handed out twice while live, every handed-out
+    /// block stays within the managed range, and freeing everything
+    /// restores full capacity.
+    #[test]
+    fn buddy_never_double_allocates(ops in ops()) {
+        let start = 7u64;
+        let frames = 512u64;
+        let mut buddy = BuddyAllocator::new(
+            Frame::from_number(start),
+            Frame::from_number(start + frames),
+        );
+        let capacity = buddy.free_frames();
+        let mut live: Vec<(Frame, u8)> = Vec::new();
+        let mut owned: HashSet<u64> = HashSet::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(order) => {
+                    if let Ok(f) = buddy.alloc_order(order, FrameUse::UserHeap) {
+                        let pages = 1u64 << order;
+                        prop_assert!(f.number() >= start);
+                        prop_assert!(f.number() + pages <= start + frames);
+                        for p in f.number()..f.number() + pages {
+                            prop_assert!(
+                                owned.insert(p),
+                                "frame {p} handed out twice"
+                            );
+                        }
+                        live.push((f, order));
+                    }
+                }
+                Op::Free(idx) => {
+                    if !live.is_empty() {
+                        let (f, order) = live.remove(idx % live.len());
+                        for p in f.number()..f.number() + (1u64 << order) {
+                            owned.remove(&p);
+                        }
+                        buddy.free_order(f, order, FrameUse::UserHeap);
+                    }
+                }
+            }
+            prop_assert_eq!(
+                buddy.free_frames() + owned.len() as u64,
+                capacity,
+                "conservation of frames"
+            );
+        }
+
+        // Drain everything: capacity must be fully restored and a maximal
+        // block must coalesce back.
+        for (f, order) in live {
+            buddy.free_order(f, order, FrameUse::UserHeap);
+        }
+        prop_assert_eq!(buddy.free_frames(), capacity);
+    }
+
+    /// Aggregate statistics are monotone and current never exceeds peak.
+    #[test]
+    fn buddy_stats_invariants(orders in proptest::collection::vec(0u8..3, 1..50)) {
+        let mut buddy = BuddyAllocator::new(
+            Frame::from_number(0),
+            Frame::from_number(1024),
+        );
+        let mut live = Vec::new();
+        let mut last_aggregate = 0;
+        for (i, order) in orders.iter().enumerate() {
+            if let Ok(f) = buddy.alloc_order(*order, FrameUse::PageTable) {
+                live.push((f, *order));
+            }
+            if i % 3 == 2 {
+                if let Some((f, o)) = live.pop() {
+                    buddy.free_order(f, o, FrameUse::PageTable);
+                }
+            }
+            let st = buddy.stats().get(FrameUse::PageTable);
+            prop_assert!(st.aggregate >= last_aggregate, "aggregate monotone");
+            prop_assert!(st.current <= st.peak, "current bounded by peak");
+            prop_assert!(st.peak <= st.aggregate, "peak bounded by aggregate");
+            last_aggregate = st.aggregate;
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Strongly-typed addresses and memory geometry constants.
+//!
+//! The simulator distinguishes virtual from physical addresses at the type
+//! level ([`VirtAddr`] / [`PhysAddr`]) so a translation step can never be
+//! skipped by accident — the compiler refuses to hand a virtual address to a
+//! cache, which is physically indexed in this model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of a base page in bytes (x86-64 4 KiB pages).
+pub const PAGE_SIZE: usize = 4096;
+
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Size of a cache line in bytes (Table 3 of the paper: 64 B lines).
+pub const CACHE_LINE_SIZE: usize = 64;
+
+/// log2 of [`CACHE_LINE_SIZE`].
+pub const CACHE_LINE_SHIFT: u32 = 6;
+
+macro_rules! addr_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// The zero address.
+            pub const ZERO: $name = $name(0);
+
+            /// Creates an address from a raw 64-bit value.
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw 64-bit value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the address advanced by `bytes`.
+            ///
+            /// # Panics
+            ///
+            /// Panics on 64-bit overflow, which always indicates a simulator
+            /// bug rather than a modeled condition.
+            pub const fn add(self, bytes: u64) -> Self {
+                $name(self.0 + bytes)
+            }
+
+            /// Returns the byte distance from `origin` to `self`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `origin` is above `self`.
+            pub const fn offset_from(self, origin: Self) -> u64 {
+                self.0 - origin.0
+            }
+
+            /// Returns the address rounded down to its page boundary.
+            pub const fn page_base(self) -> Self {
+                $name(self.0 & !((PAGE_SIZE as u64) - 1))
+            }
+
+            /// Returns the offset of the address within its page.
+            pub const fn page_offset(self) -> u64 {
+                self.0 & ((PAGE_SIZE as u64) - 1)
+            }
+
+            /// Returns the page number (address divided by the page size).
+            pub const fn page_number(self) -> u64 {
+                self.0 >> PAGE_SHIFT
+            }
+
+            /// Returns the address rounded down to its cache-line boundary.
+            pub const fn line_base(self) -> Self {
+                $name(self.0 & !((CACHE_LINE_SIZE as u64) - 1))
+            }
+
+            /// Returns the cache-line number (address divided by line size).
+            pub const fn line_number(self) -> u64 {
+                self.0 >> CACHE_LINE_SHIFT
+            }
+
+            /// Returns true when the address is page-aligned.
+            pub const fn is_page_aligned(self) -> bool {
+                self.page_offset() == 0
+            }
+
+            /// Rounds the address up to the next page boundary (identity if
+            /// already aligned).
+            pub const fn page_align_up(self) -> Self {
+                $name((self.0 + PAGE_SIZE as u64 - 1) & !((PAGE_SIZE as u64) - 1))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(addr: $name) -> u64 {
+                addr.0
+            }
+        }
+    };
+}
+
+addr_type! {
+    /// A virtual address in a simulated process address space.
+    VirtAddr
+}
+
+addr_type! {
+    /// A physical address in simulated DRAM.
+    PhysAddr
+}
+
+impl VirtAddr {
+    /// Returns the 9-bit page-table index for the given level of a 4-level
+    /// x86-64 page table, where level 3 is the root (PGD) and level 0 the
+    /// leaf (PTE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > 3`.
+    pub fn pt_index(self, level: u8) -> usize {
+        assert!(level <= 3, "x86-64 long mode has 4 page-table levels");
+        ((self.0 >> (PAGE_SHIFT + 9 * level as u32)) & 0x1ff) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic() {
+        let a = VirtAddr::new(0x1234);
+        assert_eq!(a.page_base(), VirtAddr::new(0x1000));
+        assert_eq!(a.page_offset(), 0x234);
+        assert_eq!(a.page_number(), 1);
+        assert!(!a.is_page_aligned());
+        assert!(a.page_base().is_page_aligned());
+        assert_eq!(a.page_align_up(), VirtAddr::new(0x2000));
+        assert_eq!(VirtAddr::new(0x2000).page_align_up(), VirtAddr::new(0x2000));
+    }
+
+    #[test]
+    fn line_arithmetic() {
+        let a = PhysAddr::new(0x1fff);
+        assert_eq!(a.line_base(), PhysAddr::new(0x1fc0));
+        assert_eq!(a.line_number(), 0x1fff >> 6);
+    }
+
+    #[test]
+    fn offsets_and_add() {
+        let base = VirtAddr::new(0x4000);
+        let above = base.add(0x123);
+        assert_eq!(above.offset_from(base), 0x123);
+        assert_eq!(above.raw(), 0x4123);
+    }
+
+    #[test]
+    fn pt_index_levels() {
+        // Address with distinct 9-bit fields: build from indices.
+        let va = VirtAddr::new(
+            (1u64 << (12 + 27)) | (2u64 << (12 + 18)) | (3u64 << (12 + 9)) | (4u64 << 12) | 5,
+        );
+        assert_eq!(va.pt_index(3), 1);
+        assert_eq!(va.pt_index(2), 2);
+        assert_eq!(va.pt_index(1), 3);
+        assert_eq!(va.pt_index(0), 4);
+        assert_eq!(va.page_offset(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pt_index_rejects_bad_level() {
+        VirtAddr::new(0).pt_index(4);
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(format!("{}", VirtAddr::new(0xabc)), "0xabc");
+        assert_eq!(format!("{:?}", PhysAddr::new(0xabc)), "PhysAddr(0xabc)");
+        assert_eq!(format!("{:x}", PhysAddr::new(0xabc)), "abc");
+    }
+
+    #[test]
+    fn conversions() {
+        let v: VirtAddr = 42u64.into();
+        let raw: u64 = v.into();
+        assert_eq!(raw, 42);
+    }
+}

@@ -1,0 +1,314 @@
+//! Cycle accounting.
+//!
+//! The Memento paper reports where execution time goes: userspace allocation
+//! vs. kernel memory management (Table 2) and, for Memento itself, which
+//! hardware mechanism produced each saved cycle (Fig. 9). The simulator
+//! therefore attributes every simulated cycle to a [`CycleBucket`] in a
+//! [`CycleAccount`] ledger.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A quantity of CPU clock cycles (3 GHz core in the reference config).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, Serialize, Deserialize,
+)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Returns the raw count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction — convenient for "cycles saved" deltas.
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Converts to seconds at the given core frequency in Hz.
+    pub fn as_seconds(self, freq_hz: f64) -> f64 {
+        self.0 as f64 / freq_hz
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cy", self.0)
+    }
+}
+
+/// Attribution bucket for a simulated cycle.
+///
+/// The buckets mirror the paper's reporting axes:
+/// user/kernel memory-management split (Table 2) and the Memento
+/// obj-alloc / obj-free / page-mgmt components (Fig. 9).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CycleBucket {
+    /// Application compute and ordinary (non-allocator) memory accesses.
+    Compute,
+    /// Userspace software-allocator allocation path.
+    UserAlloc,
+    /// Userspace software-allocator free path.
+    UserFree,
+    /// Kernel memory management: mmap/munmap syscalls, page-fault handling,
+    /// buddy allocation, page-table construction/teardown.
+    KernelMm,
+    /// Memento hardware object allocator servicing `obj-alloc`.
+    HwAlloc,
+    /// Memento hardware object allocator servicing `obj-free`.
+    HwFree,
+    /// Memento hardware page allocator: arena handout, Memento page walks,
+    /// arena reclamation, TLB shootdowns.
+    HwPage,
+    /// Container/platform setup outside the function proper (cold starts).
+    Setup,
+}
+
+impl CycleBucket {
+    /// Every bucket, in reporting order.
+    pub const ALL: [CycleBucket; 8] = [
+        CycleBucket::Compute,
+        CycleBucket::UserAlloc,
+        CycleBucket::UserFree,
+        CycleBucket::KernelMm,
+        CycleBucket::HwAlloc,
+        CycleBucket::HwFree,
+        CycleBucket::HwPage,
+        CycleBucket::Setup,
+    ];
+
+    /// True for buckets that count as memory-management work (everything but
+    /// plain compute and setup).
+    pub fn is_memory_management(self) -> bool {
+        !matches!(self, CycleBucket::Compute | CycleBucket::Setup)
+    }
+}
+
+impl fmt::Display for CycleBucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CycleBucket::Compute => "compute",
+            CycleBucket::UserAlloc => "user-alloc",
+            CycleBucket::UserFree => "user-free",
+            CycleBucket::KernelMm => "kernel-mm",
+            CycleBucket::HwAlloc => "hw-alloc",
+            CycleBucket::HwFree => "hw-free",
+            CycleBucket::HwPage => "hw-page",
+            CycleBucket::Setup => "setup",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A ledger attributing simulated cycles to [`CycleBucket`]s.
+///
+/// # Examples
+///
+/// ```
+/// use memento_simcore::cycles::{CycleAccount, CycleBucket, Cycles};
+///
+/// let mut acct = CycleAccount::new();
+/// acct.charge(CycleBucket::Compute, Cycles::new(100));
+/// acct.charge(CycleBucket::UserAlloc, Cycles::new(40));
+/// acct.charge(CycleBucket::KernelMm, Cycles::new(60));
+/// assert_eq!(acct.total(), Cycles::new(200));
+/// assert_eq!(acct.memory_management_total(), Cycles::new(100));
+/// ```
+#[derive(Clone, Default, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CycleAccount {
+    buckets: [u64; CycleBucket::ALL.len()],
+}
+
+impl CycleAccount {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn index(bucket: CycleBucket) -> usize {
+        CycleBucket::ALL
+            .iter()
+            .position(|b| *b == bucket)
+            .expect("bucket present in ALL")
+    }
+
+    /// Adds `cycles` to `bucket`.
+    pub fn charge(&mut self, bucket: CycleBucket, cycles: Cycles) {
+        self.buckets[Self::index(bucket)] += cycles.raw();
+    }
+
+    /// Returns the cycles attributed to `bucket`.
+    pub fn get(&self, bucket: CycleBucket) -> Cycles {
+        Cycles(self.buckets[Self::index(bucket)])
+    }
+
+    /// Returns the sum over all buckets.
+    pub fn total(&self) -> Cycles {
+        Cycles(self.buckets.iter().sum())
+    }
+
+    /// Returns the sum over the memory-management buckets.
+    pub fn memory_management_total(&self) -> Cycles {
+        CycleBucket::ALL
+            .iter()
+            .filter(|b| b.is_memory_management())
+            .map(|b| self.get(*b))
+            .sum()
+    }
+
+    /// Userspace share of memory-management cycles (software + Memento
+    /// object-allocator work), as used for the Table 2 breakdown.
+    pub fn user_mm(&self) -> Cycles {
+        self.get(CycleBucket::UserAlloc)
+            + self.get(CycleBucket::UserFree)
+            + self.get(CycleBucket::HwAlloc)
+            + self.get(CycleBucket::HwFree)
+    }
+
+    /// Kernel/page-level share of memory-management cycles.
+    pub fn kernel_mm(&self) -> Cycles {
+        self.get(CycleBucket::KernelMm) + self.get(CycleBucket::HwPage)
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &CycleAccount) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += *src;
+        }
+    }
+
+    /// Iterates over `(bucket, cycles)` pairs in reporting order.
+    pub fn iter(&self) -> impl Iterator<Item = (CycleBucket, Cycles)> + '_ {
+        CycleBucket::ALL
+            .iter()
+            .map(move |b| (*b, self.get(*b)))
+    }
+}
+
+impl fmt::Display for CycleAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (bucket, cycles) in self.iter() {
+            if cycles != Cycles::ZERO {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{bucket}={}", cycles.raw())?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_total() {
+        let mut acct = CycleAccount::new();
+        acct.charge(CycleBucket::Compute, Cycles::new(10));
+        acct.charge(CycleBucket::Compute, Cycles::new(5));
+        acct.charge(CycleBucket::HwPage, Cycles::new(7));
+        assert_eq!(acct.get(CycleBucket::Compute), Cycles::new(15));
+        assert_eq!(acct.total(), Cycles::new(22));
+        assert_eq!(acct.memory_management_total(), Cycles::new(7));
+    }
+
+    #[test]
+    fn user_kernel_split() {
+        let mut acct = CycleAccount::new();
+        acct.charge(CycleBucket::UserAlloc, Cycles::new(30));
+        acct.charge(CycleBucket::UserFree, Cycles::new(10));
+        acct.charge(CycleBucket::KernelMm, Cycles::new(40));
+        acct.charge(CycleBucket::HwAlloc, Cycles::new(1));
+        acct.charge(CycleBucket::HwPage, Cycles::new(2));
+        assert_eq!(acct.user_mm(), Cycles::new(41));
+        assert_eq!(acct.kernel_mm(), Cycles::new(42));
+    }
+
+    #[test]
+    fn merge_ledgers() {
+        let mut a = CycleAccount::new();
+        a.charge(CycleBucket::Compute, Cycles::new(1));
+        let mut b = CycleAccount::new();
+        b.charge(CycleBucket::Compute, Cycles::new(2));
+        b.charge(CycleBucket::Setup, Cycles::new(3));
+        a.merge(&b);
+        assert_eq!(a.get(CycleBucket::Compute), Cycles::new(3));
+        assert_eq!(a.get(CycleBucket::Setup), Cycles::new(3));
+    }
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(4);
+        assert_eq!(a + b, Cycles::new(14));
+        assert_eq!(a - b, Cycles::new(6));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycles::new(14));
+        let total: Cycles = [a, b].into_iter().sum();
+        assert_eq!(total, Cycles::new(14));
+        assert!((Cycles::new(3_000_000_000).as_seconds(3.0e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", CycleAccount::new()), "(empty)");
+        let mut acct = CycleAccount::new();
+        acct.charge(CycleBucket::HwAlloc, Cycles::new(2));
+        assert_eq!(format!("{acct}"), "hw-alloc=2");
+        assert_eq!(format!("{}", Cycles::new(9)), "9 cy");
+    }
+
+    #[test]
+    fn bucket_classification() {
+        assert!(!CycleBucket::Compute.is_memory_management());
+        assert!(!CycleBucket::Setup.is_memory_management());
+        assert!(CycleBucket::UserAlloc.is_memory_management());
+        assert!(CycleBucket::HwPage.is_memory_management());
+    }
+}

@@ -1,0 +1,263 @@
+//! Small statistics helpers used across the simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A hit/miss counter pair with derived hit rate.
+///
+/// # Examples
+///
+/// ```
+/// use memento_simcore::stats::HitMiss;
+///
+/// let mut hm = HitMiss::default();
+/// hm.hit();
+/// hm.hit();
+/// hm.miss();
+/// assert_eq!(hm.total(), 3);
+/// assert!((hm.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HitMiss {
+    /// Number of hits recorded.
+    pub hits: u64,
+    /// Number of misses recorded.
+    pub misses: u64,
+}
+
+impl HitMiss {
+    /// Records one hit.
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records one miss.
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records a hit when `was_hit`, a miss otherwise.
+    pub fn record(&mut self, was_hit: bool) {
+        if was_hit {
+            self.hit();
+        } else {
+            self.miss();
+        }
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of events that were hits; 1.0 when no events were recorded
+    /// (an empty structure never missed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another counter pair into this one.
+    pub fn merge(&mut self, other: HitMiss) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
+    /// Counters accumulated since `earlier` (a snapshot of this counter).
+    pub fn delta(&self, earlier: HitMiss) -> HitMiss {
+        HitMiss {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+impl fmt::Display for HitMiss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ({:.2}%)",
+            self.hits,
+            self.total(),
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// A fixed-bin histogram over `u64` samples, used for the paper's size and
+/// lifetime distributions (Figs. 2 and 3).
+///
+/// Bin `i` covers `[i * width, (i + 1) * width)`; samples at or beyond
+/// `bins * width` land in the overflow bin.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    width: u64,
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins of `width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `bins == 0`.
+    pub fn new(width: u64, bins: usize) -> Self {
+        assert!(width > 0 && bins > 0, "histogram needs nonzero geometry");
+        Histogram {
+            width,
+            counts: vec![0; bins],
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let bin = (sample / self.width) as usize;
+        match self.counts.get_mut(bin) {
+            Some(c) => *c += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, bin: usize) -> u64 {
+        self.counts[bin]
+    }
+
+    /// Count of samples beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of regular bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Percentage of samples in bin `i` (0.0 when empty).
+    pub fn percent(&self, bin: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[bin] as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Percentage of samples in the overflow bin.
+    pub fn percent_overflow(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.overflow as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Fraction of samples strictly below `threshold` (which must be a
+    /// multiple of the bin width to be exact).
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let full_bins = (threshold / self.width) as usize;
+        let below: u64 = self.counts.iter().take(full_bins).sum();
+        below as f64 / total as f64
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.width, other.width, "histogram width mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "histogram bins mismatch");
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += *src;
+        }
+        self.overflow += other.overflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hitmiss_rates() {
+        let mut hm = HitMiss::default();
+        assert_eq!(hm.hit_rate(), 1.0);
+        hm.record(true);
+        hm.record(false);
+        hm.record(false);
+        assert_eq!(hm.hits, 1);
+        assert_eq!(hm.misses, 2);
+        assert!((hm.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        let mut other = HitMiss::default();
+        other.hit();
+        hm.merge(other);
+        assert_eq!(hm.hits, 2);
+        assert_eq!(format!("{hm}"), "2/4 (50.00%)");
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(512, 8);
+        h.record(0);
+        h.record(511);
+        h.record(512);
+        h.record(4095);
+        h.record(4096); // overflow (bins cover up to 8*512 = 4096)
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(7), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+        assert!((h.percent(0) - 40.0).abs() < 1e-12);
+        assert!((h.fraction_below(512) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(16, 4);
+        let mut b = Histogram::new(16, 4);
+        a.record(1);
+        b.record(1);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_merge_geometry_mismatch() {
+        let mut a = Histogram::new(16, 4);
+        let b = Histogram::new(32, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn histogram_empty_percentages() {
+        let h = Histogram::new(16, 4);
+        assert_eq!(h.percent(0), 0.0);
+        assert_eq!(h.percent_overflow(), 0.0);
+        assert_eq!(h.fraction_below(32), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! The shared large-allocation path: requests above 512 bytes are served by
+//! `mmap` directly (paper §2.1: "allocation requests larger than 512 bytes
+//! ... eventually call mmap as well"), with page-granular rounding.
+
+use crate::traits::{AllocCtx, FreeOutcome, SoftOutcome};
+use memento_kernel::kernel::MmapFlags;
+use memento_simcore::addr::VirtAddr;
+use memento_simcore::cycles::Cycles;
+use std::collections::HashMap;
+
+/// The mmap-backed large-object path embedded in every allocator model.
+#[derive(Debug, Default)]
+pub struct LargePath {
+    /// Live large objects: address → mapped length.
+    live: HashMap<u64, u64>,
+    /// Instruction cost of the large alloc/free user path.
+    user_cost: u64,
+    /// mmap flags to use (populate toggled by the §6.6 study).
+    flags: MmapFlags,
+}
+
+impl LargePath {
+    /// Creates the path with a fixed user-side instruction cost per call.
+    pub fn new(user_cost: u64, flags: MmapFlags) -> Self {
+        LargePath {
+            live: HashMap::new(),
+            user_cost,
+            flags,
+        }
+    }
+
+    /// Number of live large objects.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Allocates `size` bytes via `mmap`.
+    pub fn alloc(&mut self, ctx: &mut AllocCtx<'_>, size: usize) -> SoftOutcome {
+        let len = VirtAddr::new(size as u64).page_align_up().raw().max(4096);
+        let (addr, kernel_cycles) = ctx.mmap(len, self.flags);
+        self.live.insert(addr.raw(), len);
+        SoftOutcome {
+            addr,
+            user_cycles: Cycles::new(self.user_cost),
+            kernel_cycles,
+        }
+    }
+
+    /// Frees a large object via `munmap`. Returns `None` when `addr` was
+    /// not allocated here.
+    pub fn free(&mut self, ctx: &mut AllocCtx<'_>, addr: VirtAddr) -> Option<FreeOutcome> {
+        let len = self.live.remove(&addr.raw())?;
+        let kernel_cycles = ctx.munmap(addr, len);
+        Some(FreeOutcome {
+            user_cycles: Cycles::new(self.user_cost),
+            kernel_cycles,
+        })
+    }
+
+    /// Whether `addr` is a live large object.
+    pub fn owns(&self, addr: VirtAddr) -> bool {
+        self.live.contains_key(&addr.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testutil::CtxOwner;
+
+    #[test]
+    fn large_alloc_roundtrip() {
+        let mut owner = CtxOwner::new();
+        let mut ctx = owner.ctx();
+        let mut lp = LargePath::new(40, MmapFlags::default());
+        let out = lp.alloc(&mut ctx, 10_000);
+        assert!(out.kernel_cycles > Cycles::ZERO);
+        assert!(lp.owns(out.addr));
+        assert_eq!(lp.live_count(), 1);
+        let fr = lp.free(&mut ctx, out.addr).unwrap();
+        assert!(fr.kernel_cycles > Cycles::ZERO);
+        assert!(!lp.owns(out.addr));
+    }
+
+    #[test]
+    fn foreign_address_not_freed() {
+        let mut owner = CtxOwner::new();
+        let mut ctx = owner.ctx();
+        let mut lp = LargePath::new(40, MmapFlags::default());
+        assert!(lp.free(&mut ctx, VirtAddr::new(0x1000)).is_none());
+    }
+}

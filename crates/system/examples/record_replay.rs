@@ -1,0 +1,41 @@
+//! Record/replay: generate a workload trace once, persist it to JSON, and
+//! replay the identical trace under both system designs — the workflow for
+//! comparing design variants on frozen inputs.
+//!
+//! ```sh
+//! cargo run --release -p memento-system --example record_replay
+//! ```
+
+use memento_system::{stats, Machine, SystemConfig};
+use memento_workloads::event::Trace;
+use memento_workloads::{generator, suite};
+
+fn main() -> std::io::Result<()> {
+    let mut spec = suite::by_name("html").expect("html workload");
+    spec.total_instructions = 1_000_000;
+
+    // Record.
+    let trace = generator::generate(&spec);
+    let path = std::env::temp_dir().join("memento-html.trace.json");
+    trace.save(&path)?;
+    println!(
+        "recorded {} events ({} allocs) to {}",
+        trace.events.len(),
+        trace.alloc_count(),
+        path.display()
+    );
+
+    // Replay under both designs.
+    let replayed = Trace::load(&path)?;
+    assert_eq!(replayed.events, trace.events, "lossless persistence");
+    let base = Machine::new(SystemConfig::baseline()).run_trace(&spec, &replayed);
+    let mem = Machine::new(SystemConfig::memento()).run_trace(&spec, &replayed);
+    println!(
+        "replayed: baseline {} cy, memento {} cy, speedup {:.3}",
+        base.total_cycles().raw(),
+        mem.total_cycles().raw(),
+        stats::speedup(&base, &mem)
+    );
+    std::fs::remove_file(path).ok();
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! System configurations for every evaluated design point.
+
+use memento_cache::MemSystemConfig;
+use memento_core::device::MementoConfig;
+use memento_kernel::costs::KernelCosts;
+use serde::{Deserialize, Serialize};
+
+/// Which memory-management design the machine runs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Mode {
+    /// The software stack: language allocator + kernel (the paper's
+    /// baseline).
+    Baseline,
+    /// The Memento hardware (with its own feature toggles).
+    Memento(MementoConfig),
+    /// §6.7: an idealized Mallacc — userspace malloc acceleration with a
+    /// zero-latency, always-hitting cache; kernel costs unchanged; C++
+    /// only in the paper, but the machine will run any workload.
+    IdealMallacc,
+}
+
+/// A complete system configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Memory-management design point.
+    pub mode: Mode,
+    /// Cache/DRAM geometry (Table 3 defaults; the iso-storage study swaps
+    /// the L1D).
+    pub mem: MemSystemConfig,
+    /// Kernel cost model.
+    pub kernel_costs: KernelCosts,
+    /// Pass `MAP_POPULATE` to every allocator mmap (§6.6 study).
+    pub populate: bool,
+    /// Cycles per instruction for plain application compute (4-issue OOO
+    /// abstraction: 0.5).
+    pub cpi: f64,
+    /// Memory-level-parallelism discount on *application data accesses*:
+    /// an out-of-order core overlaps independent loads/stores, so only
+    /// this fraction of their latency lands on the critical path.
+    /// Allocator metadata walks and kernel work stay fully serialized
+    /// (pointer chases and privileged code don't overlap).
+    pub touch_overlap: f64,
+    /// Simulated physical memory in bytes.
+    pub phys_mem_bytes: u64,
+    /// Cores (each with private L1/L2/TLB/HOT).
+    pub cores: usize,
+    /// Fixed container-setup cycles prepended to the run (cold starts,
+    /// §6.6); zero for the default warm-start methodology.
+    pub coldstart_cycles: u64,
+    /// The paper's §4 future-work extension: an enhanced GC that uses
+    /// Memento to *proactively* free dead ephemeral objects at death time
+    /// (via `obj-free`) instead of deferring them to the next mark-sweep
+    /// cycle, trading a little obj-free work for lower cache pressure.
+    /// Only meaningful for GC'd runtimes under Memento.
+    pub proactive_gc_free: bool,
+}
+
+impl SystemConfig {
+    /// The paper's baseline system.
+    pub fn baseline() -> Self {
+        SystemConfig {
+            mode: Mode::Baseline,
+            mem: MemSystemConfig::paper_default(1),
+            kernel_costs: KernelCosts::calibrated(),
+            populate: false,
+            cpi: 0.5,
+            touch_overlap: 0.4,
+            phys_mem_bytes: 2 << 30,
+            cores: 1,
+            coldstart_cycles: 0,
+            proactive_gc_free: false,
+        }
+    }
+
+    /// The full Memento system (paper defaults: bypass on).
+    pub fn memento() -> Self {
+        SystemConfig {
+            mode: Mode::Memento(MementoConfig::paper_default()),
+            ..Self::baseline()
+        }
+    }
+
+    /// Memento with the main-memory bypass disabled (Fig. 9/10 component
+    /// attribution).
+    pub fn memento_no_bypass() -> Self {
+        SystemConfig {
+            mode: Mode::Memento(MementoConfig {
+                bypass_enabled: false,
+                ..MementoConfig::paper_default()
+            }),
+            ..Self::baseline()
+        }
+    }
+
+    /// §6.1 iso-storage: baseline whose L1D gets the HOT's SRAM (36 KB,
+    /// 9-way).
+    pub fn iso_storage() -> Self {
+        SystemConfig {
+            mem: MemSystemConfig::iso_storage(1),
+            ..Self::baseline()
+        }
+    }
+
+    /// §6.7 idealized Mallacc.
+    pub fn ideal_mallacc() -> Self {
+        SystemConfig {
+            mode: Mode::IdealMallacc,
+            ..Self::baseline()
+        }
+    }
+
+    /// The §4 future-work extension: Memento plus a GC that proactively
+    /// frees dead ephemeral objects through `obj-free`.
+    pub fn memento_proactive_gc() -> Self {
+        SystemConfig {
+            proactive_gc_free: true,
+            ..Self::memento()
+        }
+    }
+
+    /// §6.6 `MAP_POPULATE` baseline.
+    pub fn baseline_populate() -> Self {
+        SystemConfig {
+            populate: true,
+            ..Self::baseline()
+        }
+    }
+
+    /// Whether this configuration runs the Memento hardware.
+    pub fn is_memento(&self) -> bool {
+        matches!(self.mode, Mode::Memento(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_expected() {
+        assert!(!SystemConfig::baseline().is_memento());
+        assert!(SystemConfig::memento().is_memento());
+        assert!(SystemConfig::baseline_populate().populate);
+        assert_eq!(
+            SystemConfig::iso_storage().mem.l1d.size_bytes,
+            36 * 1024
+        );
+        match SystemConfig::memento_no_bypass().mode {
+            Mode::Memento(cfg) => assert!(!cfg.bypass_enabled),
+            _ => panic!("expected memento mode"),
+        }
+    }
+
+    #[test]
+    fn baseline_matches_table3() {
+        let cfg = SystemConfig::baseline();
+        assert_eq!(cfg.mem.l1d.size_bytes, 32 * 1024);
+        assert_eq!(cfg.mem.l2.size_bytes, 256 * 1024);
+        assert_eq!(cfg.mem.llc.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(cfg.cpi, 0.5);
+    }
+}

@@ -1,0 +1,971 @@
+//! The simulated machine: executes workload traces against a configured
+//! memory-management design and produces [`RunStats`].
+
+use crate::config::{Mode, SystemConfig};
+use crate::gc::{GcPolicy, GoGcState};
+use crate::stats::RunStats;
+use memento_cache::{AccessKind, MemSystem};
+use memento_core::device::{MementoDevice, MementoProcess};
+use memento_core::page_alloc::PoolBackend;
+use memento_core::region::MementoRegion;
+use memento_kernel::access::demand_access;
+use memento_kernel::buddy::FrameUse;
+use memento_kernel::kernel::{Kernel, Process};
+use memento_simcore::addr::{VirtAddr, CACHE_LINE_SIZE, PAGE_SIZE};
+use memento_simcore::cycles::{CycleAccount, CycleBucket, Cycles};
+use memento_simcore::physmem::{Frame, PhysMem};
+use memento_softalloc::go::GoAlloc;
+use memento_softalloc::je::{JeConfig, JeMalloc};
+use memento_softalloc::py::PyMalloc;
+use memento_softalloc::traits::{AllocCtx, SoftwareAllocator};
+use memento_vm::tlb::Tlb;
+use memento_vm::walker::PageWalker;
+use memento_workloads::event::{Event, Trace};
+use memento_workloads::generator::generate;
+use memento_workloads::spec::{AllocatorKind, Language, WorkloadSpec};
+use std::collections::HashMap;
+
+/// Memento's threshold: requests above this go to the software allocator.
+const HW_MAX_SIZE: usize = 512;
+
+/// Mark cost per live object during a Go GC cycle (cycles).
+const GC_MARK_PER_OBJECT: u64 = 9;
+
+/// OS adapter implementing the Memento pool backend over the kernel buddy
+/// allocator.
+struct OsBackend<'a> {
+    kernel: &'a mut Kernel,
+}
+
+impl PoolBackend for OsBackend<'_> {
+    fn grant_frames(&mut self, n: u64) -> Vec<Frame> {
+        match self.kernel.grant_pool_frames(n) {
+            Ok((frames, _cycles)) => frames,
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn accept_frames(&mut self, frames: &[Frame]) {
+        for f in frames {
+            self.kernel.buddy.free(*f, FrameUse::MementoPool);
+        }
+    }
+}
+
+/// Snapshot of machine-level counters, used to measure only the
+/// steady-state portion of long-running workloads (the paper measures
+/// data-processing and platform services "at the steady state", §5).
+#[derive(Clone)]
+struct StatSnapshot {
+    mem: memento_cache::MemSystemStats,
+    kernel: memento_kernel::kernel::KernelStats,
+    frames: memento_kernel::buddy::FrameStats,
+    soft: memento_softalloc::traits::SoftAllocStats,
+    hot: Option<memento_core::hot::HotStats>,
+    page: Option<memento_core::page_alloc::PageAllocStats>,
+    obj: Option<memento_core::device::ObjStats>,
+}
+
+/// Per-run (per-process) execution state.
+pub struct FunctionRun {
+    spec: WorkloadSpec,
+    proc: Process,
+    mproc: Option<MementoProcess>,
+    soft: Box<dyn SoftwareAllocator>,
+    objects: HashMap<u64, (VirtAddr, u32)>,
+    gc: Option<GoGcState>,
+    account: CycleAccount,
+    gc_runs: u64,
+    allocs_seen: u64,
+    frag_live: u64,
+    frag_total: u64,
+    snapshot: Option<StatSnapshot>,
+    finished: bool,
+}
+
+/// Sample arena occupancy every this many allocations (fragmentation
+/// study §6.6 measures slot utilization during execution).
+const FRAG_SAMPLE_EVERY: u64 = 2048;
+
+impl FunctionRun {
+    /// The cycle ledger accumulated so far.
+    pub fn account(&self) -> &CycleAccount {
+        &self.account
+    }
+}
+
+fn build_allocator(spec: &WorkloadSpec, populate: bool) -> Box<dyn SoftwareAllocator> {
+    let flags = memento_kernel::kernel::MmapFlags { populate };
+    match spec.allocator {
+        AllocatorKind::PyMalloc => Box::new(PyMalloc::with_flags(flags)),
+        AllocatorKind::PyMallocTuned { arena_kb } => {
+            Box::new(PyMalloc::with_arena_bytes(flags, arena_kb * 1024))
+        }
+        AllocatorKind::JeMalloc {
+            pool_kb,
+            prefault_pages,
+        } => Box::new(JeMalloc::with_config(JeConfig {
+            pool_bytes: pool_kb * 1024,
+            prefault_pages,
+            flags,
+        })),
+        AllocatorKind::GoAlloc => Box::new(GoAlloc::with_flags(flags)),
+    }
+}
+
+/// The simulated machine.
+pub struct Machine {
+    cfg: SystemConfig,
+    mem: PhysMem,
+    mem_sys: MemSystem,
+    tlbs: Vec<Tlb>,
+    walker: PageWalker,
+    kernel: Kernel,
+    device: Option<MementoDevice>,
+}
+
+impl Machine {
+    /// Builds a machine for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if physical memory is too small to boot.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let mut mem = PhysMem::new(cfg.phys_mem_bytes);
+        // Reserve the AAC pointer block before the kernel takes over the
+        // rest of physical memory.
+        let pointer_block = mem.alloc_frame().expect("boot frame").base_addr();
+        let kernel = Kernel::boot(&mut mem, cfg.kernel_costs);
+        let device = match cfg.mode {
+            Mode::Memento(mcfg) => Some(MementoDevice::new(mcfg, cfg.cores, pointer_block)),
+            _ => None,
+        };
+        Machine {
+            mem_sys: MemSystem::new(cfg.mem.clone()),
+            tlbs: (0..cfg.cores).map(|_| Tlb::default()).collect(),
+            walker: PageWalker::new(),
+            kernel,
+            device,
+            mem,
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Starts a run of `spec`: creates the process and allocator state.
+    pub fn start(&mut self, spec: &WorkloadSpec) -> FunctionRun {
+        let proc = self.kernel.create_process(&mut self.mem);
+        let mproc = self.device.as_mut().map(|dev| {
+            let mut backend = OsBackend {
+                kernel: &mut self.kernel,
+            };
+            dev.attach_process(&mut self.mem, &mut backend, MementoRegion::standard())
+        });
+        let mut account = CycleAccount::new();
+        if self.cfg.coldstart_cycles > 0 {
+            account.charge(CycleBucket::Setup, Cycles::new(self.cfg.coldstart_cycles));
+        }
+        let gc = (spec.language == Language::Golang)
+            .then(|| GoGcState::new(GcPolicy::for_category(spec.category)));
+        FunctionRun {
+            spec: spec.clone(),
+            proc,
+            mproc,
+            soft: build_allocator(spec, self.cfg.populate),
+            objects: HashMap::new(),
+            gc,
+            account,
+            gc_runs: 0,
+            allocs_seen: 0,
+            frag_live: 0,
+            frag_total: 0,
+            snapshot: None,
+            finished: false,
+        }
+    }
+
+    /// Marks the start of the measured (steady-state) window for `run`:
+    /// counters accumulated so far are treated as warm-up and excluded
+    /// from the collected statistics.
+    pub fn begin_measurement(&self, run: &mut FunctionRun) {
+        run.account = CycleAccount::new();
+        run.gc_runs = 0;
+        run.frag_live = 0;
+        run.frag_total = 0;
+        run.snapshot = Some(StatSnapshot {
+            mem: self.mem_sys.stats(),
+            kernel: self.kernel.stats(),
+            frames: self.kernel.frame_stats().clone(),
+            soft: run.soft.stats(),
+            hot: self.device.as_ref().map(|d| d.hot_stats_total()),
+            page: self.device.as_ref().map(|d| d.page_stats()),
+            obj: self.device.as_ref().map(|d| d.obj_stats()),
+        });
+    }
+
+    fn soft_ctx<'a>(
+        kernel: &'a mut Kernel,
+        walker: &'a mut PageWalker,
+        mem: &'a mut PhysMem,
+        mem_sys: &'a mut MemSystem,
+        tlb: &'a mut Tlb,
+        proc: &'a mut Process,
+        core: usize,
+    ) -> AllocCtx<'a> {
+        AllocCtx {
+            kernel,
+            walker,
+            mem,
+            mem_sys,
+            tlb,
+            proc,
+            core,
+        }
+    }
+
+    /// Executes one software allocation, applying the Mallacc idealization
+    /// when configured.
+    fn soft_alloc(&mut self, run: &mut FunctionRun, core: usize, size: usize) -> VirtAddr {
+        let mut ctx = Self::soft_ctx(
+            &mut self.kernel,
+            &mut self.walker,
+            &mut self.mem,
+            &mut self.mem_sys,
+            &mut self.tlbs[core],
+            &mut run.proc,
+            core,
+        );
+        let out = run.soft.alloc(&mut ctx, size);
+        let mut user = out.user_cycles;
+        if matches!(self.cfg.mode, Mode::IdealMallacc) && size <= HW_MAX_SIZE {
+            // §6.7: zero-latency, always-hitting malloc acceleration.
+            user = Cycles::new(user.raw().min(1));
+        }
+        run.account.charge(CycleBucket::UserAlloc, user);
+        run.account.charge(CycleBucket::KernelMm, out.kernel_cycles);
+        out.addr
+    }
+
+    fn soft_free(&mut self, run: &mut FunctionRun, core: usize, addr: VirtAddr, size: usize) {
+        let mut ctx = Self::soft_ctx(
+            &mut self.kernel,
+            &mut self.walker,
+            &mut self.mem,
+            &mut self.mem_sys,
+            &mut self.tlbs[core],
+            &mut run.proc,
+            core,
+        );
+        let out = run.soft.free(&mut ctx, addr, size);
+        let mut user = out.user_cycles;
+        if matches!(self.cfg.mode, Mode::IdealMallacc) && size <= HW_MAX_SIZE {
+            user = Cycles::new(user.raw().min(1));
+        }
+        run.account.charge(CycleBucket::UserFree, user);
+        run.account.charge(CycleBucket::KernelMm, out.kernel_cycles);
+    }
+
+    fn hw_alloc(&mut self, run: &mut FunctionRun, core: usize, size: usize) -> VirtAddr {
+        let dev = self.device.as_mut().expect("memento mode");
+        let mproc = run.mproc.as_mut().expect("memento process");
+        let mut backend = OsBackend {
+            kernel: &mut self.kernel,
+        };
+        let out = dev
+            .obj_alloc(&mut self.mem, &mut self.mem_sys, &mut backend, core, mproc, size)
+            .expect("hardware alloc within 512B");
+        run.account.charge(CycleBucket::HwAlloc, out.obj_cycles);
+        run.account.charge(CycleBucket::HwPage, out.page_cycles);
+        out.addr
+    }
+
+    fn hw_free(&mut self, run: &mut FunctionRun, core: usize, addr: VirtAddr) {
+        let dev = self.device.as_mut().expect("memento mode");
+        let mproc = run.mproc.as_mut().expect("memento process");
+        let mut backend = OsBackend {
+            kernel: &mut self.kernel,
+        };
+        let out = dev
+            .obj_free(
+                &mut self.mem,
+                &mut self.mem_sys,
+                &mut backend,
+                &mut self.tlbs,
+                core,
+                mproc,
+                addr,
+            )
+            .expect("hardware free of live object");
+        run.account.charge(CycleBucket::HwFree, out.obj_cycles);
+        run.account.charge(CycleBucket::HwPage, out.page_cycles);
+    }
+
+    /// One demand data access at `va` for a run, honouring the configured
+    /// design (baseline fault path vs. Memento walk + bypass).
+    fn data_access(&mut self, run: &mut FunctionRun, core: usize, va: VirtAddr, write: bool) {
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let in_region = run
+            .mproc
+            .as_ref()
+            .map(|mp| mp.region().contains(va))
+            .unwrap_or(false);
+
+        let overlap = self.cfg.touch_overlap;
+        let discount = |c: Cycles| Cycles::new((c.raw() as f64 * overlap).ceil() as u64);
+        if !in_region {
+            // Baseline path (also used for software-managed memory under
+            // Memento). The data access itself is discounted by the MLP
+            // factor; translation/fault work stays on the critical path.
+            let acc = demand_access(
+                &mut self.kernel,
+                &mut self.walker,
+                &mut self.mem,
+                &mut self.mem_sys,
+                &mut self.tlbs[core],
+                core,
+                &mut run.proc,
+                va,
+                kind,
+            )
+            .expect("data access within mapped memory");
+            let serial = acc.user_cycles - acc.access_cycles;
+            run.account
+                .charge(CycleBucket::Compute, serial + discount(acc.access_cycles));
+            run.account.charge(CycleBucket::KernelMm, acc.kernel_cycles);
+            return;
+        }
+
+        // Memento region: TLB → Memento walk (never faults) → bypass check.
+        let dev = self.device.as_mut().expect("memento mode");
+        let mproc = run.mproc.as_mut().expect("memento process");
+        let lookup = self.tlbs[core].lookup(va);
+        run.account.charge(CycleBucket::Compute, lookup.cycles);
+        let frame = match lookup.frame {
+            Some(f) => f,
+            None => {
+                let mut backend = OsBackend {
+                    kernel: &mut self.kernel,
+                };
+                let (frame, cycles) = dev.translate_miss(
+                    &mut self.mem,
+                    &mut self.mem_sys,
+                    &mut backend,
+                    core,
+                    mproc,
+                    va,
+                );
+                run.account.charge(CycleBucket::HwPage, cycles);
+                self.tlbs[core].insert(va, frame);
+                frame
+            }
+        };
+        let pa = frame.base_addr().add(va.page_offset());
+        let bypass = dev.bypass_check(core, mproc, va);
+        let out = if bypass {
+            self.mem_sys.access_bypassed(core, kind, pa)
+        } else {
+            self.mem_sys.access(core, kind, pa)
+        };
+        run.account.charge(CycleBucket::Compute, discount(out.cycles));
+    }
+
+    /// Samples heap utilization for the Â§6.6 fragmentation study: live
+    /// small-object bytes versus physical bytes backing the small-object
+    /// heap. Works for both designs so hardware fragmentation can be
+    /// compared against the software allocators (the paper finds them
+    /// within Â±2%).
+    fn sample_fragmentation(&mut self, run: &mut FunctionRun, core: usize) {
+        if let (Some(dev), Some(mproc)) = (self.device.as_ref(), run.mproc.as_ref()) {
+            let (live, backed) = dev.scan_occupancy(&self.mem, core, mproc);
+            run.frag_live += live;
+            run.frag_total += backed;
+            return;
+        }
+        // Baseline: live small bytes over user-heap pages backing them
+        // (large objects' page-rounded footprint excluded).
+        let mut live_small = 0u64;
+        let mut large_pages = 0u64;
+        for (_, (_, size)) in run.objects.iter() {
+            if *size as usize <= HW_MAX_SIZE {
+                live_small += *size as u64;
+            } else {
+                large_pages += VirtAddr::new(*size as u64).page_align_up().raw() / PAGE_SIZE as u64;
+            }
+        }
+        let heap_pages = self
+            .kernel
+            .frame_stats()
+            .get(FrameUse::UserHeap)
+            .current
+            .saturating_sub(large_pages);
+        // Large-object residency is an estimate; never let the backed
+        // total fall below the live bytes it must contain.
+        run.frag_live += live_small;
+        run.frag_total += (heap_pages * PAGE_SIZE as u64).max(live_small);
+    }
+
+    /// Runs a Go GC cycle if due.
+    fn maybe_collect(&mut self, run: &mut FunctionRun, core: usize) {
+        let due = run.gc.as_ref().map(|g| g.should_collect()).unwrap_or(false);
+        if !due {
+            return;
+        }
+        let (swept, live_objects) = {
+            let gc = run.gc.as_mut().expect("checked above");
+            let live = gc.live_objects;
+            (gc.begin_collection(), live)
+        };
+        run.gc_runs += 1;
+        // Mark phase: proportional to the live set.
+        run.account.charge(
+            CycleBucket::UserFree,
+            Cycles::new(live_objects * GC_MARK_PER_OBJECT),
+        );
+        // Sweep phase: free every dead object through the active design.
+        for (addr, size) in swept {
+            let in_region = run
+                .mproc
+                .as_ref()
+                .map(|mp| mp.region().contains(addr))
+                .unwrap_or(false);
+            if in_region {
+                self.hw_free(run, core, addr);
+            } else {
+                self.soft_free(run, core, addr, size as usize);
+            }
+        }
+    }
+
+    /// Executes a single event on core 0.
+    pub fn step(&mut self, run: &mut FunctionRun, event: &Event) {
+        self.step_on(run, event, 0);
+    }
+
+    /// Executes a single event on the given core (multi-core co-location:
+    /// each function is pinned to a core; the LLC, DRAM, kernel, and the
+    /// hardware page allocator are shared).
+    pub fn step_on(&mut self, run: &mut FunctionRun, event: &Event, core: usize) {
+        debug_assert!(!run.finished, "step after Exit");
+        debug_assert!(core < self.cfg.cores, "core {core} out of range");
+        match event {
+            Event::Compute { instructions } => {
+                let cycles = (*instructions as f64 * self.cfg.cpi).round() as u64;
+                run.account
+                    .charge(CycleBucket::Compute, Cycles::new(cycles));
+            }
+            Event::Alloc { id, size } => {
+                let size_us = *size as usize;
+                let addr = if self.device.is_some() && size_us <= HW_MAX_SIZE {
+                    self.hw_alloc(run, core, size_us)
+                } else {
+                    self.soft_alloc(run, core, size_us)
+                };
+                run.objects.insert(id.0, (addr, *size));
+                run.allocs_seen += 1;
+                if run.allocs_seen.is_multiple_of(FRAG_SAMPLE_EVERY) {
+                    self.sample_fragmentation(run, core);
+                }
+                if let Some(gc) = run.gc.as_mut() {
+                    gc.on_alloc(*size);
+                }
+                self.maybe_collect(run, core);
+            }
+            Event::Free { id } => {
+                let (addr, size) = match run.objects.remove(&id.0) {
+                    Some(v) => v,
+                    None => return, // tolerated: double-free in a trace
+                };
+                if run.gc.is_some() {
+                    let in_region = run
+                        .mproc
+                        .as_ref()
+                        .map(|mp| mp.region().contains(addr))
+                        .unwrap_or(false);
+                    if self.cfg.proactive_gc_free && in_region {
+                        // §4 extension: the enhanced GC recognizes the
+                        // ephemeral death and frees it through Memento
+                        // immediately, instead of deferring to the sweep.
+                        let gc = run.gc.as_mut().expect("checked");
+                        gc.live_bytes = gc.live_bytes.saturating_sub(size as u64);
+                        gc.live_objects = gc.live_objects.saturating_sub(1);
+                        self.hw_free(run, core, addr);
+                        return;
+                    }
+                    // Go: objects die; storage waits for the GC (or exit).
+                    run.gc.as_mut().expect("checked").on_death(addr, size);
+                    return;
+                }
+                let in_region = run
+                    .mproc
+                    .as_ref()
+                    .map(|mp| mp.region().contains(addr))
+                    .unwrap_or(false);
+                if in_region {
+                    self.hw_free(run, core, addr);
+                } else {
+                    self.soft_free(run, core, addr, size as usize);
+                }
+            }
+            Event::Touch {
+                id,
+                offset,
+                len,
+                write,
+            } => {
+                let Some(&(addr, size)) = run.objects.get(&id.0) else {
+                    return;
+                };
+                debug_assert!(offset + len <= size);
+                let start = addr.add(*offset as u64);
+                let end = addr.add((*offset + *len - 1) as u64);
+                let mut line = start.line_base();
+                while line <= end {
+                    self.data_access(run, core, line, *write);
+                    line = line.add(CACHE_LINE_SIZE as u64);
+                }
+            }
+            Event::Exit => {
+                self.finish_run(run, core);
+            }
+        }
+    }
+
+    /// Runs several functions concurrently, one per core, interleaving
+    /// events round-robin (one event per core per round — a simple but
+    /// fair co-location model). All cores share the LLC, DRAM, the kernel,
+    /// and Memento's memory-controller page allocator; HOTs and TLBs are
+    /// per-core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs.len()` exceeds the configured core count.
+    pub fn run_concurrent(&mut self, specs: &[WorkloadSpec]) -> Vec<RunStats> {
+        assert!(
+            specs.len() <= self.cfg.cores,
+            "need {} cores, configured {}",
+            specs.len(),
+            self.cfg.cores
+        );
+        let traces: Vec<Trace> = specs.iter().map(generate).collect();
+        let mut runs: Vec<FunctionRun> = specs.iter().map(|s| self.start(s)).collect();
+        let mut cursors = vec![0usize; specs.len()];
+        loop {
+            let mut progressed = false;
+            for core in 0..runs.len() {
+                if runs[core].finished {
+                    continue;
+                }
+                let events = &traces[core].events;
+                if cursors[core] < events.len() {
+                    let event = events[cursors[core]];
+                    cursors[core] += 1;
+                    self.step_on(&mut runs[core], &event, core);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        runs.iter().map(|r| self.collect(r)).collect()
+    }
+
+    fn finish_run(&mut self, run: &mut FunctionRun, core: usize) {
+        run.finished = true;
+
+        // Library-init cycles belong to container setup (warm starts).
+        let (su, sk) = run.soft.take_setup_cycles();
+        run.account.charge(CycleBucket::Setup, su + sk);
+
+        // Fragmentation: if the run was too short for a periodic sample,
+        // take one now (before teardown empties the heap).
+        if run.frag_total == 0 {
+            self.sample_fragmentation(run, core);
+        }
+
+        // Allocator exit hook.
+        {
+            let mut ctx = Self::soft_ctx(
+                &mut self.kernel,
+                &mut self.walker,
+                &mut self.mem,
+                &mut self.mem_sys,
+                &mut self.tlbs[core],
+                &mut run.proc,
+                core,
+            );
+            let (u, k) = run.soft.on_exit(&mut ctx);
+            run.account.charge(CycleBucket::UserFree, u);
+            run.account.charge(CycleBucket::KernelMm, k);
+        }
+
+        // Memento teardown: the hardware page allocator returns the
+        // function's entire small-object heap to the OS pool in one batch.
+        if let (Some(dev), Some(mproc)) = (self.device.as_mut(), run.mproc.take()) {
+            let mut backend = OsBackend {
+                kernel: &mut self.kernel,
+            };
+            run.account.charge(
+                CycleBucket::HwPage,
+                Cycles::new(dev.config().costs.arena_free_base),
+            );
+            dev.detach_process(&mut self.mem, &mut backend, mproc, &[core]);
+        }
+
+        // OS teardown of remaining VMAs (the baseline's batch free at
+        // exit; under Memento only software-managed mappings remain).
+        let vmas: Vec<(VirtAddr, u64)> = run
+            .proc
+            .addr_space
+            .iter()
+            .map(|v| (v.start, v.len()))
+            .collect();
+        for (start, len) in vmas {
+            let out = self
+                .kernel
+                .munmap(
+                    &mut self.mem,
+                    &mut self.mem_sys,
+                    &mut self.tlbs[core],
+                    core,
+                    &mut run.proc,
+                    start,
+                    len,
+                )
+                .expect("teardown munmap");
+            run.account.charge(CycleBucket::KernelMm, out.cycles);
+        }
+        // Process switch-out at exit.
+        let cs = self.kernel.context_switch(&mut self.tlbs[core]);
+        run.account.charge(CycleBucket::KernelMm, cs);
+    }
+
+    /// Performs a context switch between time-shared runs: kernel cost plus
+    /// a HOT flush under Memento (§6.6 multi-process study).
+    pub fn context_switch(&mut self, from: &mut FunctionRun, core: usize) {
+        let cs = self.kernel.context_switch(&mut self.tlbs[core]);
+        from.account.charge(CycleBucket::KernelMm, cs);
+        if let (Some(dev), Some(mproc)) = (self.device.as_mut(), from.mproc.as_mut()) {
+            let flush = dev.flush_hot(&mut self.mem, &mut self.mem_sys, core, mproc);
+            from.account.charge(CycleBucket::HwFree, flush);
+        }
+    }
+
+    /// Collects final statistics for a finished run. The machine is
+    /// single-tenant per run for statistic purposes: use a fresh machine
+    /// per measurement (time-shared experiments aggregate explicitly).
+    pub fn collect(&self, run: &FunctionRun) -> RunStats {
+        debug_assert!(run.finished, "collect before Exit");
+        let frames_now = self.kernel.frame_stats().clone();
+        let mem_now = self.mem_sys.stats();
+        let kernel_now = self.kernel.stats();
+        let soft_now = run.soft.stats();
+        let hot_now = self.device.as_ref().map(|d| d.hot_stats_total());
+        let page_now = self.device.as_ref().map(|d| d.page_stats());
+        let obj_now = self.device.as_ref().map(|d| d.obj_stats());
+        let (mem_stats, kernel_stats, frames, soft_stats, hot, page, obj) =
+            match &run.snapshot {
+                Some(snap) => (
+                    mem_now.delta(&snap.mem),
+                    kernel_now.delta(snap.kernel),
+                    frames_now.delta(&snap.frames),
+                    soft_now.delta(snap.soft),
+                    hot_now.map(|h| h.delta(snap.hot.unwrap_or_default())),
+                    page_now.map(|p| p.delta(snap.page.unwrap_or_default())),
+                    obj_now.map(|o| o.delta(snap.obj.unwrap_or_default())),
+                ),
+                None => (mem_now, kernel_now, frames_now, soft_now, hot_now, page_now, obj_now),
+            };
+        // Fig. 11's metric is OS-level: "total number of physical pages
+        // allocated during simulated execution". The entire Memento pool
+        // (including the hardware-built Memento page table) is user-
+        // attributed memory the process acquired for its heap; kernel
+        // memory is what the OS itself allocates (process page tables,
+        // metadata) — which Memento mostly eliminates.
+        let user_pages = frames.get(FrameUse::UserHeap).aggregate
+            + frames.get(FrameUse::MementoPool).aggregate;
+        let kernel_pages = frames.get(FrameUse::PageTable).aggregate
+            + frames.get(FrameUse::KernelMeta).aggregate;
+        RunStats {
+            name: run.spec.name.clone(),
+            cycles: run.account.clone(),
+            mem: mem_stats,
+            kernel: kernel_stats,
+            soft: Some(soft_stats),
+            hot,
+            page,
+            obj,
+            user_pages_agg: user_pages,
+            kernel_pages_agg: kernel_pages,
+            peak_pages: frames.peak_total(),
+            gc_runs: run.gc_runs,
+            arena_slot_idle_fraction: (run.frag_total > 0)
+                .then(|| 1.0 - run.frag_live as f64 / run.frag_total as f64),
+        }
+    }
+
+    /// Convenience: generates the trace for `spec`, runs it to completion,
+    /// and returns the statistics.
+    pub fn run(&mut self, spec: &WorkloadSpec) -> RunStats {
+        let trace = generate(spec);
+        self.run_trace(spec, &trace)
+    }
+
+    /// Runs a pre-generated trace to completion.
+    pub fn run_trace(&mut self, spec: &WorkloadSpec, trace: &Trace) -> RunStats {
+        let mut run = self.start(spec);
+        for event in &trace.events {
+            self.step(&mut run, event);
+        }
+        self.collect(&run)
+    }
+
+    /// Runs `spec` but measures only the steady-state window after the
+    /// first `warmup_fraction` of events — how the paper evaluates the
+    /// long-running data-processing applications and platform services.
+    pub fn run_steady(&mut self, spec: &WorkloadSpec, warmup_fraction: f64) -> RunStats {
+        let trace = generate(spec);
+        let cut = ((trace.events.len() as f64) * warmup_fraction.clamp(0.0, 0.95)) as usize;
+        let mut run = self.start(spec);
+        for (i, event) in trace.events.iter().enumerate() {
+            if i == cut {
+                self.begin_measurement(&mut run);
+            }
+            self.step(&mut run, event);
+        }
+        self.collect(&run)
+    }
+
+    /// Runs several functions time-shared on one core with round-robin
+    /// quanta of `quantum_events` events (§6.6 multi-process study).
+    /// Returns per-function statistics; context-switch and HOT-flush costs
+    /// are charged to the switched-out function.
+    pub fn run_timeshared(
+        &mut self,
+        specs: &[WorkloadSpec],
+        quantum_events: usize,
+    ) -> Vec<RunStats> {
+        let traces: Vec<Trace> = specs.iter().map(generate).collect();
+        let mut runs: Vec<FunctionRun> = specs.iter().map(|s| self.start(s)).collect();
+        let mut cursors = vec![0usize; specs.len()];
+        loop {
+            let mut progressed = false;
+            for i in 0..runs.len() {
+                if runs[i].finished {
+                    continue;
+                }
+                let events = &traces[i].events;
+                let end = (cursors[i] + quantum_events).min(events.len());
+                for e in &events[cursors[i]..end] {
+                    self.step(&mut runs[i], e);
+                }
+                cursors[i] = end;
+                progressed = true;
+                if !runs[i].finished {
+                    self.context_switch(&mut runs[i], 0);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        runs.iter().map(|r| self.collect(r)).collect()
+    }
+
+    /// Total page-fault count so far (test/diagnostic accessor).
+    pub fn page_faults(&self) -> u64 {
+        self.kernel.stats().page_faults
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("mode", &self.cfg.mode)
+            .field("kernel", &self.kernel.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{bandwidth_reduction, speedup};
+    use memento_workloads::suite;
+
+    fn small_spec(name: &str) -> WorkloadSpec {
+        small_spec_n(name, 300_000)
+    }
+
+    fn small_spec_n(name: &str, insts: u64) -> WorkloadSpec {
+        let mut s = suite::by_name(name).expect("workload exists");
+        s.total_instructions = insts; // keep unit tests fast
+        s
+    }
+
+    #[test]
+    fn baseline_runs_python_function() {
+        let spec = small_spec("aes");
+        let stats = Machine::new(SystemConfig::baseline()).run(&spec);
+        assert!(stats.total_cycles() > Cycles::new(100_000));
+        assert!(stats.kernel.page_faults > 0, "lazy mmap must fault");
+        assert!(stats.kernel.mmaps > 0);
+        assert!(stats.mm_fraction() > 0.03, "allocation-heavy workload");
+        assert!(stats.hot.is_none());
+    }
+
+    #[test]
+    fn memento_runs_and_wins() {
+        // Long enough that compulsory HOT misses stop dominating.
+        let spec = small_spec_n("aes", 2_500_000);
+        let base = Machine::new(SystemConfig::baseline()).run(&spec);
+        let mem = Machine::new(SystemConfig::memento()).run(&spec);
+        let s = speedup(&base, &mem);
+        assert!(s > 1.0, "memento must be faster, got {s}");
+        let hot = mem.hot.expect("hot stats present");
+        assert!(hot.alloc.hit_rate() > 0.95, "alloc hit rate {:?}", hot.alloc);
+    }
+
+    #[test]
+    fn memento_reduces_page_faults() {
+        let spec = small_spec("html");
+        let mut base_machine = Machine::new(SystemConfig::baseline());
+        base_machine.run(&spec);
+        let base_faults = base_machine.page_faults();
+        let mut mem_machine = Machine::new(SystemConfig::memento());
+        mem_machine.run(&spec);
+        let mem_faults = mem_machine.page_faults();
+        // Large objects (>512B) stay on the software path and still fault;
+        // the small-object heap must fault-free under Memento.
+        assert!(
+            mem_faults < base_faults,
+            "faults: baseline {base_faults}, memento {mem_faults}"
+        );
+    }
+
+    #[test]
+    fn bypass_reduces_dram_reads() {
+        let spec = small_spec("html");
+        let with = Machine::new(SystemConfig::memento()).run(&spec);
+        let without = Machine::new(SystemConfig::memento_no_bypass()).run(&spec);
+        assert!(with.mem.bypassed_fills > 0);
+        assert!(
+            with.dram().read_lines <= without.dram().read_lines,
+            "bypass cannot increase DRAM reads"
+        );
+    }
+
+    #[test]
+    fn memento_reduces_bandwidth() {
+        let spec = small_spec("UM");
+        let base = Machine::new(SystemConfig::baseline()).run(&spec);
+        let mem = Machine::new(SystemConfig::memento()).run(&spec);
+        let red = bandwidth_reduction(&base, &mem);
+        assert!(red > 0.0, "bandwidth reduction {red} must be positive");
+    }
+
+    #[test]
+    fn go_function_defers_frees_to_exit() {
+        let spec = small_spec("aes-go");
+        let stats = Machine::new(SystemConfig::baseline()).run(&spec);
+        assert_eq!(stats.gc_runs, 0, "function heaps stay below GC minimum");
+        // Baseline Go: no individual frees, teardown via munmap.
+        assert_eq!(stats.soft.expect("soft stats").frees, 0);
+        assert!(stats.kernel.munmaps > 0);
+    }
+
+    #[test]
+    fn platform_service_collects_garbage() {
+        let mut spec = suite::by_name("invoke").expect("platform workload");
+        // Enough allocation volume to cross the GC heap minimum.
+        spec.total_instructions = 6_000_000;
+        let stats = Machine::new(SystemConfig::baseline()).run(&spec);
+        assert!(stats.gc_runs > 0, "platform segment must GC");
+        assert!(stats.soft.expect("soft").frees > 0, "sweep frees objects");
+    }
+
+    #[test]
+    fn mallacc_sits_between_baseline_and_memento_for_cpp() {
+        let spec = small_spec("US");
+        let base = Machine::new(SystemConfig::baseline()).run(&spec);
+        let mallacc = Machine::new(SystemConfig::ideal_mallacc()).run(&spec);
+        let memento = Machine::new(SystemConfig::memento()).run(&spec);
+        let s_mallacc = speedup(&base, &mallacc);
+        let s_memento = speedup(&base, &memento);
+        assert!(s_mallacc > 1.0, "mallacc speedup {s_mallacc}");
+        assert!(
+            s_memento > s_mallacc,
+            "memento {s_memento} must beat mallacc {s_mallacc}"
+        );
+    }
+
+    #[test]
+    fn populate_increases_footprint() {
+        let spec = small_spec("aes-go");
+        let lazy = Machine::new(SystemConfig::baseline()).run(&spec);
+        let eager = Machine::new(SystemConfig::baseline_populate()).run(&spec);
+        assert!(
+            eager.user_pages_agg > lazy.user_pages_agg * 2,
+            "populate: {} vs lazy {}",
+            eager.user_pages_agg,
+            lazy.user_pages_agg
+        );
+        assert!(eager.kernel.page_faults < lazy.kernel.page_faults);
+    }
+
+    #[test]
+    fn coldstart_dilutes_speedup() {
+        let spec = small_spec("bfs");
+        let base = Machine::new(SystemConfig::baseline()).run(&spec);
+        let mem = Machine::new(SystemConfig::memento()).run(&spec);
+        let warm = speedup(&base, &mem);
+
+        let mut cold_cfg_b = SystemConfig::baseline();
+        cold_cfg_b.coldstart_cycles = base.total_cycles().raw() / 2;
+        let mut cold_cfg_m = SystemConfig::memento();
+        cold_cfg_m.coldstart_cycles = cold_cfg_b.coldstart_cycles;
+        let base_c = Machine::new(cold_cfg_b).run(&spec);
+        let mem_c = Machine::new(cold_cfg_m).run(&spec);
+        let cold = speedup(&base_c, &mem_c);
+        assert!(cold > 1.0 && cold < warm, "cold {cold} vs warm {warm}");
+    }
+
+    #[test]
+    fn timeshared_runs_complete() {
+        let specs: Vec<WorkloadSpec> =
+            ["aes", "jl"].iter().map(|n| small_spec_n(n, 1_000_000)).collect();
+        let mut machine = Machine::new(SystemConfig::memento());
+        let stats = machine.run_timeshared(&specs, 2000);
+        assert_eq!(stats.len(), 2);
+        for s in &stats {
+            assert!(s.total_cycles() > Cycles::ZERO);
+        }
+        // HOT was flushed at least once per switch.
+        let hot = stats[0].hot.expect("hot stats");
+        assert!(hot.flushes > 0);
+    }
+
+    #[test]
+    fn fragmentation_is_low() {
+        let spec = small_spec_n("US", 1_500_000);
+        let stats = Machine::new(SystemConfig::memento()).run(&spec);
+        let frag = stats.arena_slot_idle_fraction.expect("measured");
+        assert!((0.0..=0.95).contains(&frag), "idle fraction {frag}");
+        // The comparative claim (Â§6.6): hardware fragmentation within a few
+        // percent of the software allocator's.
+        let base = Machine::new(SystemConfig::baseline()).run(&spec);
+        let base_frag = base.arena_slot_idle_fraction.expect("measured");
+        assert!(
+            (frag - base_frag).abs() < 0.25,
+            "hardware {frag} vs software {base_frag}"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Run statistics: everything the experiment runners need to regenerate
+//! the paper's tables and figures.
+
+use memento_cache::{DramStats, MemSystemStats};
+use memento_core::device::ObjStats;
+use memento_core::hot::HotStats;
+use memento_core::page_alloc::PageAllocStats;
+use memento_kernel::kernel::KernelStats;
+use memento_simcore::cycles::{CycleAccount, CycleBucket, Cycles};
+use memento_softalloc::traits::SoftAllocStats;
+use serde::{Deserialize, Serialize};
+
+/// Core frequency used to convert cycles to seconds (Table 3: 3 GHz).
+pub const CORE_FREQ_HZ: f64 = 3.0e9;
+
+/// Statistics from one workload run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Workload name.
+    pub name: String,
+    /// Cycle attribution ledger.
+    pub cycles: CycleAccount,
+    /// Memory-hierarchy statistics.
+    pub mem: MemSystemStats,
+    /// Kernel activity.
+    pub kernel: KernelStats,
+    /// Software allocator activity (baseline + large path under Memento).
+    pub soft: Option<SoftAllocStats>,
+    /// HOT statistics (Memento runs).
+    pub hot: Option<HotStats>,
+    /// Hardware page-allocator statistics (Memento runs).
+    pub page: Option<PageAllocStats>,
+    /// Object-allocator statistics (Memento runs).
+    pub obj: Option<ObjStats>,
+    /// Aggregate user-attributed pages allocated during the run.
+    pub user_pages_agg: u64,
+    /// Aggregate kernel-attributed pages allocated during the run.
+    pub kernel_pages_agg: u64,
+    /// Peak resident pages (upper bound: per-use peaks summed).
+    pub peak_pages: u64,
+    /// Garbage-collection cycles run (Golang).
+    pub gc_runs: u64,
+    /// Fraction of arena-header object slots unused at exit, over all
+    /// arenas ever inspected (fragmentation study §6.6); `None` for
+    /// baseline runs.
+    pub arena_slot_idle_fraction: Option<f64>,
+}
+
+impl RunStats {
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> Cycles {
+        self.cycles.total()
+    }
+
+    /// Simulated wall-clock seconds at 3 GHz.
+    pub fn runtime_seconds(&self) -> f64 {
+        self.total_cycles().as_seconds(CORE_FREQ_HZ)
+    }
+
+    /// DRAM statistics shortcut.
+    pub fn dram(&self) -> DramStats {
+        self.mem.dram
+    }
+
+    /// Total DRAM bytes moved (Fig. 10's quantity).
+    pub fn dram_bytes(&self) -> u64 {
+        self.mem.dram.total_bytes()
+    }
+
+    /// Memory-management share of cycles (Table 2's quantity).
+    pub fn mm_fraction(&self) -> f64 {
+        let total = self.total_cycles().raw();
+        if total == 0 {
+            return 0.0;
+        }
+        self.cycles.memory_management_total().raw() as f64 / total as f64
+    }
+
+    /// User share of memory-management cycles.
+    pub fn user_mm_share(&self) -> f64 {
+        let mm = self.cycles.memory_management_total().raw();
+        if mm == 0 {
+            return 0.0;
+        }
+        self.cycles.user_mm().raw() as f64 / mm as f64
+    }
+
+    /// Kernel share of memory-management cycles.
+    pub fn kernel_mm_share(&self) -> f64 {
+        let mm = self.cycles.memory_management_total().raw();
+        if mm == 0 {
+            return 0.0;
+        }
+        self.cycles.kernel_mm().raw() as f64 / mm as f64
+    }
+
+    /// Peak resident memory in megabytes (pricing input).
+    pub fn peak_memory_mb(&self) -> f64 {
+        self.peak_pages as f64 * 4096.0 / (1024.0 * 1024.0)
+    }
+
+    /// Cycles in a given bucket.
+    pub fn bucket(&self, b: CycleBucket) -> Cycles {
+        self.cycles.get(b)
+    }
+}
+
+/// Speedup of `opt` over `base` (>1 means `opt` is faster).
+pub fn speedup(base: &RunStats, opt: &RunStats) -> f64 {
+    base.total_cycles().raw() as f64 / opt.total_cycles().raw().max(1) as f64
+}
+
+/// Normalized DRAM-traffic reduction: 1 − opt/base (Fig. 10's quantity).
+pub fn bandwidth_reduction(base: &RunStats, opt: &RunStats) -> f64 {
+    let b = base.dram_bytes().max(1) as f64;
+    1.0 - opt.dram_bytes() as f64 / b
+}
+
+/// Geometric mean of a slice of ratios.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(total_compute: u64, user: u64, kernel: u64) -> RunStats {
+        let mut s = RunStats {
+            name: "t".into(),
+            ..Default::default()
+        };
+        s.cycles.charge(CycleBucket::Compute, Cycles::new(total_compute));
+        s.cycles.charge(CycleBucket::UserAlloc, Cycles::new(user));
+        s.cycles.charge(CycleBucket::KernelMm, Cycles::new(kernel));
+        s
+    }
+
+    #[test]
+    fn shares_and_fractions() {
+        let s = stats_with(600, 200, 200);
+        assert!((s.mm_fraction() - 0.4).abs() < 1e-12);
+        assert!((s.user_mm_share() - 0.5).abs() < 1e-12);
+        assert!((s.kernel_mm_share() - 0.5).abs() < 1e-12);
+        assert_eq!(s.total_cycles(), Cycles::new(1000));
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let base = stats_with(1200, 0, 0);
+        let opt = stats_with(1000, 0, 0);
+        assert!((speedup(&base, &opt) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_uniform() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_seconds_at_3ghz() {
+        let s = stats_with(3_000_000_000, 0, 0);
+        assert!((s.runtime_seconds() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,233 @@
+//! Paging-structure caches (PWC).
+//!
+//! Real MMUs cache intermediate page-table entries (PGD/PUD/PMD, in Linux
+//! terms) so a TLB miss usually needs one memory access — the leaf PTE —
+//! instead of four. The reference configuration leaves the PWC disabled to
+//! match the calibrated baseline; the ablation study enables it to measure
+//! how much of Memento's page-management win survives a stronger walker.
+
+use memento_simcore::addr::VirtAddr;
+use memento_simcore::physmem::Frame;
+use memento_simcore::stats::HitMiss;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one PWC level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PwcConfig {
+    /// Entries per cached level (levels 1..=3; the leaf is never cached —
+    /// that is the TLB's job).
+    pub entries_per_level: usize,
+}
+
+impl PwcConfig {
+    /// A typical modern geometry (e.g. 32 entries per structure level).
+    pub fn typical() -> Self {
+        PwcConfig {
+            entries_per_level: 32,
+        }
+    }
+}
+
+impl Default for PwcConfig {
+    fn default() -> Self {
+        PwcConfig::typical()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PwcEntry {
+    /// Root frame the entry belongs to (address-space discriminator).
+    root: u64,
+    /// The virtual-address prefix covered (upper bits above the level).
+    tag: u64,
+    /// The table frame the walk may resume from.
+    table: Frame,
+    valid: bool,
+    lru: u64,
+}
+
+/// Per-core paging-structure cache covering levels 3 (entries pointing to
+/// level-2 tables) down to 1 (entries pointing to leaf tables).
+#[derive(Clone, Debug)]
+pub struct PagingStructureCache {
+    /// `levels[i]` caches the table reached *after* consuming the entry at
+    /// level `i + 1` (i.e. `levels[0]` holds level-1 tables).
+    levels: [Vec<PwcEntry>; 3],
+    stamp: u64,
+    stats: HitMiss,
+}
+
+fn tag_for(va: VirtAddr, level: u8) -> u64 {
+    // Bits above the given level's index field.
+    va.raw() >> (12 + 9 * (level as u32 + 1))
+}
+
+impl PagingStructureCache {
+    /// Builds an empty PWC.
+    pub fn new(cfg: PwcConfig) -> Self {
+        let mk = || {
+            vec![
+                PwcEntry {
+                    root: 0,
+                    tag: 0,
+                    table: Frame::from_number(0),
+                    valid: false,
+                    lru: 0,
+                };
+                cfg.entries_per_level
+            ]
+        };
+        PagingStructureCache {
+            levels: [mk(), mk(), mk()],
+            stamp: 0,
+            stats: HitMiss::default(),
+        }
+    }
+
+    /// Lookup statistics.
+    pub fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    /// Finds the deepest cached table on the walk path for `va` under
+    /// `root`. Returns `(level_of_table, table)` where `level_of_table` is
+    /// the level whose entry should be read next (2, 1, or 0); `None`
+    /// means the walk must start from the root (level 3).
+    pub fn lookup(&mut self, root: Frame, va: VirtAddr) -> Option<(u8, Frame)> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        // Deepest first: a level-1 table lets the walker read the leaf
+        // directly.
+        for table_level in 0..3u8 {
+            let tag = tag_for(va, table_level);
+            if let Some(e) = self.levels[table_level as usize]
+                .iter_mut()
+                .find(|e| e.valid && e.root == root.number() && e.tag == tag)
+            {
+                e.lru = stamp;
+                self.stats.hit();
+                return Some((table_level, e.table));
+            }
+        }
+        self.stats.miss();
+        None
+    }
+
+    /// Records that the walk for `va` under `root` reached `table`, a
+    /// structure table at `table_level` (0 = leaf table, 1, or 2).
+    pub fn insert(&mut self, root: Frame, va: VirtAddr, table_level: u8, table: Frame) {
+        debug_assert!(table_level < 3);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let tag = tag_for(va, table_level);
+        let set = &mut self.levels[table_level as usize];
+        if let Some(e) = set
+            .iter_mut()
+            .find(|e| e.valid && e.root == root.number() && e.tag == tag)
+        {
+            e.table = table;
+            e.lru = stamp;
+            return;
+        }
+        let victim = set
+            .iter()
+            .position(|e| !e.valid)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.lru)
+                    .map(|(i, _)| i)
+                    .expect("non-empty set")
+            });
+        set[victim] = PwcEntry {
+            root: root.number(),
+            tag,
+            table,
+            valid: true,
+            lru: stamp,
+        };
+    }
+
+    /// Invalidates everything (context switch / page-table teardown).
+    pub fn flush(&mut self) {
+        for level in &mut self.levels {
+            for e in level.iter_mut() {
+                e.valid = false;
+            }
+        }
+    }
+}
+
+impl Default for PagingStructureCache {
+    fn default() -> Self {
+        PagingStructureCache::new(PwcConfig::typical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> Frame {
+        Frame::from_number(7)
+    }
+
+    #[test]
+    fn miss_then_hit_at_depth() {
+        let mut pwc = PagingStructureCache::default();
+        let va = VirtAddr::new(0x1234_5678_9000);
+        assert_eq!(pwc.lookup(root(), va), None);
+        pwc.insert(root(), va, 0, Frame::from_number(100));
+        assert_eq!(pwc.lookup(root(), va), Some((0, Frame::from_number(100))));
+        // A neighbouring page in the same 2 MB window shares the leaf table.
+        let sibling = VirtAddr::new(0x1234_5678_A000);
+        assert_eq!(
+            pwc.lookup(root(), sibling),
+            Some((0, Frame::from_number(100)))
+        );
+    }
+
+    #[test]
+    fn deeper_entries_win() {
+        let mut pwc = PagingStructureCache::default();
+        let va = VirtAddr::new(0x4000_0000_0000);
+        pwc.insert(root(), va, 2, Frame::from_number(50)); // 512 GB window
+        pwc.insert(root(), va, 0, Frame::from_number(52)); // 2 MB window
+        assert_eq!(pwc.lookup(root(), va), Some((0, Frame::from_number(52))));
+        // Outside the 2 MB window but inside the 512 GB window: level 2.
+        let far = VirtAddr::new(0x4000_4000_0000);
+        assert_eq!(pwc.lookup(root(), far), Some((2, Frame::from_number(50))));
+    }
+
+    #[test]
+    fn roots_are_isolated() {
+        let mut pwc = PagingStructureCache::default();
+        let va = VirtAddr::new(0x9000);
+        pwc.insert(root(), va, 0, Frame::from_number(9));
+        assert_eq!(pwc.lookup(Frame::from_number(8), va), None);
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut pwc = PagingStructureCache::default();
+        let va = VirtAddr::new(0x9000);
+        pwc.insert(root(), va, 1, Frame::from_number(9));
+        pwc.flush();
+        assert_eq!(pwc.lookup(root(), va), None);
+    }
+
+    #[test]
+    fn lru_eviction_within_level() {
+        let mut pwc = PagingStructureCache::new(PwcConfig {
+            entries_per_level: 2,
+        });
+        let mk = |i: u64| VirtAddr::new(i << 21); // distinct 2MB windows
+        pwc.insert(root(), mk(1), 0, Frame::from_number(1));
+        pwc.insert(root(), mk(2), 0, Frame::from_number(2));
+        pwc.lookup(root(), mk(1)); // make (2) the LRU
+        pwc.insert(root(), mk(3), 0, Frame::from_number(3));
+        assert!(pwc.lookup(root(), mk(1)).is_some());
+        assert_eq!(pwc.lookup(root(), mk(2)), None, "LRU victim evicted");
+        assert!(pwc.lookup(root(), mk(3)).is_some());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the virtual-memory substrate: page tables under
+//! arbitrary map/unmap interleavings, and the TLB against a reference
+//! model.
+
+use memento_simcore::addr::{VirtAddr, PAGE_SIZE};
+use memento_simcore::physmem::{Frame, PhysMem};
+use memento_vm::pagetable::{PageTable, PtePerms};
+use memento_vm::tlb::Tlb;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum PtOp {
+    Map(u16),
+    Unmap(u16),
+}
+
+fn pt_ops() -> impl Strategy<Value = Vec<PtOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u16>().prop_map(PtOp::Map),
+            any::<u16>().prop_map(PtOp::Unmap),
+        ],
+        1..150,
+    )
+}
+
+fn page_va(n: u16) -> VirtAddr {
+    // Spread pages over several table subtrees.
+    VirtAddr::new((n as u64 % 1024) * PAGE_SIZE as u64 + (n as u64 / 1024) * (1 << 30))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The page table agrees with a hash-map model under arbitrary
+    /// map/unmap sequences, and table-page accounting never leaks.
+    #[test]
+    fn page_table_matches_model(ops in pt_ops()) {
+        let mut mem = PhysMem::new(256 << 20);
+        let mut pt = PageTable::new(&mut mem).unwrap();
+        let mut model: HashMap<u64, Frame> = HashMap::new();
+        let mut next_frame = 10_000u64;
+
+        for op in ops {
+            match op {
+                PtOp::Map(n) => {
+                    let va = page_va(n);
+                    let frame = Frame::from_number(next_frame);
+                    next_frame += 1;
+                    let res = pt.map_boot(&mut mem, va, frame, PtePerms::rw());
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(va.raw()) {
+                        prop_assert!(res.is_ok());
+                        e.insert(frame);
+                    } else {
+                        prop_assert!(res.is_err(), "double map must fail");
+                    }
+                }
+                PtOp::Unmap(n) => {
+                    let va = page_va(n);
+                    let res = pt.unmap(&mut mem, va);
+                    prop_assert_eq!(res.leaf_frame, model.remove(&va.raw()));
+                }
+            }
+            prop_assert!(pt.table_pages() >= 1, "root always allocated");
+        }
+
+        // Model equivalence for every address ever seen.
+        for (va, frame) in &model {
+            let t = pt.translate(&mem, VirtAddr::new(*va)).expect("mapped");
+            prop_assert_eq!(t.frame, *frame);
+        }
+        // Unmapping the rest returns to a root-only table.
+        let addrs: Vec<u64> = model.keys().copied().collect();
+        for va in addrs {
+            pt.unmap(&mut mem, VirtAddr::new(va));
+        }
+        prop_assert_eq!(pt.table_pages(), 1, "all tables reclaimed");
+    }
+
+    /// The TLB never returns a stale or wrong translation relative to the
+    /// insert/shootdown/flush history.
+    #[test]
+    fn tlb_never_lies(ops in proptest::collection::vec((0u8..3, any::<u16>()), 1..300)) {
+        let mut tlb = Tlb::default();
+        let mut model: HashMap<u64, Frame> = HashMap::new();
+        for (kind, n) in ops {
+            let va = page_va(n);
+            match kind {
+                0 => {
+                    let frame = Frame::from_number(n as u64 + 5);
+                    tlb.insert(va, frame);
+                    model.insert(va.page_number(), frame);
+                }
+                1 => {
+                    tlb.shootdown(va);
+                    model.remove(&va.page_number());
+                }
+                _ => {
+                    // Lookup: a hit must match the model exactly; a miss is
+                    // always allowed (capacity evictions).
+                    if let Some(frame) = tlb.lookup(va).frame {
+                        prop_assert_eq!(
+                            Some(&frame),
+                            model.get(&va.page_number()),
+                            "TLB returned a translation the model disagrees with"
+                        );
+                    }
+                }
+            }
+        }
+        tlb.flush();
+        for key in model.keys() {
+            let va = VirtAddr::new(key * PAGE_SIZE as u64);
+            prop_assert!(tlb.lookup(va).frame.is_none(), "flush must clear");
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Trace characterization: the measurements behind Fig. 2 (allocation
+//! sizes), Fig. 3 (malloc-free distance) and Table 1 (joint distribution).
+
+use crate::event::{Event, Trace};
+use memento_simcore::stats::Histogram;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Fig. 2 geometry: 512-byte bins up to 4 KB, then overflow.
+pub const SIZE_BIN_WIDTH: u64 = 512;
+/// Number of regular size bins.
+pub const SIZE_BINS: usize = 8;
+
+/// Fig. 3 geometry: 16-wide distance bins up to 256, then overflow
+/// ([257-Inf], which also holds never-freed objects).
+pub const LIFETIME_BIN_WIDTH: u64 = 16;
+/// Number of regular lifetime bins.
+pub const LIFETIME_BINS: usize = 16;
+
+/// Table 1's quadrants, as percentages of all allocations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct JointQuadrants {
+    /// ≤512 B, freed within 16 same-class allocations... (short-lived).
+    pub small_short: f64,
+    /// ≤512 B, long-lived.
+    pub small_long: f64,
+    /// >512 B, short-lived.
+    pub large_short: f64,
+    /// >512 B, long-lived.
+    pub large_long: f64,
+}
+
+/// The full characterization of one trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Characterization {
+    /// Allocation-size histogram (Fig. 2).
+    pub size_hist: Histogram,
+    /// Malloc-free distance histogram (Fig. 3); overflow = long-lived.
+    pub lifetime_hist: Histogram,
+    /// Table 1 quadrants.
+    pub quadrants: JointQuadrants,
+}
+
+impl Characterization {
+    /// An empty characterization (for merging).
+    pub fn empty() -> Self {
+        Characterization {
+            size_hist: Histogram::new(SIZE_BIN_WIDTH, SIZE_BINS),
+            lifetime_hist: Histogram::new(LIFETIME_BIN_WIDTH, LIFETIME_BINS),
+            quadrants: JointQuadrants::default(),
+        }
+    }
+
+    /// Fraction of allocations ≤ 512 B. The histogram's first bin covers
+    /// [0, 512), so count sizes of exactly 512 via the quadrants instead.
+    pub fn small_fraction(&self) -> f64 {
+        (self.quadrants.small_short + self.quadrants.small_long) / 100.0
+    }
+
+    /// Fraction of allocations freed within 16 same-class allocations.
+    pub fn short16_fraction(&self) -> f64 {
+        self.lifetime_hist.percent(0) / 100.0
+    }
+
+    /// Fraction of allocations that are long-lived (never freed or freed
+    /// only at teardown).
+    pub fn long_fraction(&self) -> f64 {
+        self.lifetime_hist.percent_overflow() / 100.0
+    }
+}
+
+fn class_key(size: u32) -> usize {
+    if size as usize > 512 {
+        64
+    } else {
+        (size as usize).div_ceil(8) - 1
+    }
+}
+
+/// Characterizes one trace. Teardown frees (after the last allocation) are
+/// counted as long-lived, matching the paper's treatment of objects that
+/// "rely on OS deallocation when the function exits".
+pub fn characterize(trace: &Trace) -> Characterization {
+    let mut ch = Characterization::empty();
+    // Index of the last Alloc event: frees after it are teardown frees.
+    let last_alloc_idx = trace
+        .events
+        .iter()
+        .rposition(|e| matches!(e, Event::Alloc { .. }))
+        .unwrap_or(0);
+
+    let mut class_counts = [0u64; 65];
+    // id → (size, class, class count at allocation).
+    let mut live: HashMap<u64, (u32, usize, u64)> = HashMap::new();
+    let mut distances: Vec<(u32, Option<u64>)> = Vec::new();
+
+    for (idx, event) in trace.events.iter().enumerate() {
+        match event {
+            Event::Alloc { id, size } => {
+                let class = class_key(*size);
+                class_counts[class] += 1;
+                live.insert(id.0, (*size, class, class_counts[class]));
+            }
+            Event::Free { id } => {
+                if let Some((size, class, at)) = live.remove(&id.0) {
+                    if idx > last_alloc_idx {
+                        distances.push((size, None)); // teardown: long-lived
+                    } else {
+                        distances.push((size, Some(class_counts[class] - at + 1)));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Survivors are long-lived.
+    for (_, (size, _, _)) in live {
+        distances.push((size, None));
+    }
+
+    let total = distances.len() as f64;
+    for (size, dist) in distances {
+        // Fig. 2 bins are inclusive ([1,512], [513,1024], ...): shift by
+        // one so a 512-byte allocation lands in the first bin.
+        ch.size_hist.record(size as u64 - 1);
+        match dist {
+            // Fig. 3 bins are inclusive too: distance 16 is in [1-16].
+            Some(d) => ch.lifetime_hist.record(d - 1),
+            None => ch.lifetime_hist.record(u64::MAX),
+        }
+        let small = size <= 512;
+        let short = matches!(dist, Some(d) if d <= 256);
+        let q = &mut ch.quadrants;
+        match (small, short) {
+            (true, true) => q.small_short += 1.0,
+            (true, false) => q.small_long += 1.0,
+            (false, true) => q.large_short += 1.0,
+            (false, false) => q.large_long += 1.0,
+        }
+    }
+    if total > 0.0 {
+        ch.quadrants.small_short *= 100.0 / total;
+        ch.quadrants.small_long *= 100.0 / total;
+        ch.quadrants.large_short *= 100.0 / total;
+        ch.quadrants.large_long *= 100.0 / total;
+    }
+    ch
+}
+
+/// Merges characterizations (e.g. per-language aggregation for Fig. 2/3).
+pub fn merge(items: &[Characterization]) -> Characterization {
+    let mut out = Characterization::empty();
+    let mut weight = 0.0;
+    for item in items {
+        out.size_hist.merge(&item.size_hist);
+        out.lifetime_hist.merge(&item.lifetime_hist);
+        let w = item.size_hist.total() as f64;
+        out.quadrants.small_short += item.quadrants.small_short * w;
+        out.quadrants.small_long += item.quadrants.small_long * w;
+        out.quadrants.large_short += item.quadrants.large_short * w;
+        out.quadrants.large_long += item.quadrants.large_long * w;
+        weight += w;
+    }
+    if weight > 0.0 {
+        out.quadrants.small_short /= weight;
+        out.quadrants.small_long /= weight;
+        out.quadrants.large_short /= weight;
+        out.quadrants.large_long /= weight;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ObjectId;
+
+    fn mk(events: Vec<Event>) -> Trace {
+        Trace {
+            name: "t".into(),
+            events,
+        }
+    }
+
+    #[test]
+    fn short_lived_distance_one() {
+        let t = mk(vec![
+            Event::Alloc {
+                id: ObjectId(1),
+                size: 8,
+            },
+            Event::Free { id: ObjectId(1) },
+            Event::Alloc {
+                id: ObjectId(2),
+                size: 8,
+            },
+            Event::Exit,
+        ]);
+        let ch = characterize(&t);
+        // Object 1 freed with distance 1 → bin 0; object 2 never freed →
+        // overflow.
+        assert_eq!(ch.lifetime_hist.count(0), 1);
+        assert_eq!(ch.lifetime_hist.overflow(), 1);
+        assert!((ch.quadrants.small_short - 50.0).abs() < 1e-9);
+        assert!((ch.quadrants.small_long - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_counts_same_class_only() {
+        let t = mk(vec![
+            Event::Alloc {
+                id: ObjectId(1),
+                size: 8,
+            },
+            // Ten allocations of a different class in between.
+            Event::Alloc {
+                id: ObjectId(2),
+                size: 256,
+            },
+            Event::Alloc {
+                id: ObjectId(3),
+                size: 256,
+            },
+            Event::Free { id: ObjectId(1) },
+            Event::Alloc {
+                id: ObjectId(4),
+                size: 8,
+            },
+            Event::Exit,
+        ]);
+        let ch = characterize(&t);
+        // Object 1's same-class distance is 1 despite interleaved allocs.
+        assert_eq!(ch.lifetime_hist.count(0), 1);
+    }
+
+    #[test]
+    fn teardown_frees_count_long() {
+        let t = mk(vec![
+            Event::Alloc {
+                id: ObjectId(1),
+                size: 64,
+            },
+            Event::Alloc {
+                id: ObjectId(2),
+                size: 64,
+            },
+            // Teardown: frees after the last alloc.
+            Event::Free { id: ObjectId(1) },
+            Event::Free { id: ObjectId(2) },
+            Event::Exit,
+        ]);
+        let ch = characterize(&t);
+        assert_eq!(ch.lifetime_hist.overflow(), 2);
+        assert!((ch.long_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_bins_follow_fig2() {
+        let t = mk(vec![
+            Event::Alloc {
+                id: ObjectId(1),
+                size: 100,
+            },
+            Event::Alloc {
+                id: ObjectId(2),
+                size: 512,
+            },
+            Event::Alloc {
+                id: ObjectId(3),
+                size: 1000,
+            },
+            Event::Exit,
+        ]);
+        let ch = characterize(&t);
+        assert_eq!(ch.size_hist.count(0), 2, "[1,512] bin");
+        assert_eq!(ch.size_hist.count(1), 1, "[513,1024] bin");
+        assert!((ch.small_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_weighs_by_allocations() {
+        let a = characterize(&mk(vec![
+            Event::Alloc {
+                id: ObjectId(1),
+                size: 8,
+            },
+            Event::Exit,
+        ]));
+        let b = characterize(&mk(vec![
+            Event::Alloc {
+                id: ObjectId(1),
+                size: 1000,
+            },
+            Event::Alloc {
+                id: ObjectId(2),
+                size: 1000,
+            },
+            Event::Exit,
+        ]));
+        let m = merge(&[a, b]);
+        assert_eq!(m.size_hist.total(), 3);
+        assert!((m.quadrants.small_long - 100.0 / 3.0).abs() < 1e-6);
+    }
+}

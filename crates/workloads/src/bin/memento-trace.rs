@@ -1,0 +1,99 @@
+//! `memento-trace`: generate, inspect, and characterize workload traces
+//! from the command line.
+//!
+//! ```text
+//! memento-trace list                      # the 23 named workloads
+//! memento-trace gen <name> [out.json]     # generate (and optionally save)
+//! memento-trace stats <trace.json>        # characterize a saved trace
+//! ```
+
+use memento_workloads::analysis::characterize;
+use memento_workloads::event::Trace;
+use memento_workloads::generator::generate;
+use memento_workloads::suite;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: memento-trace <list | gen <workload> [out.json] | stats <trace.json>>");
+    ExitCode::FAILURE
+}
+
+fn print_summary(trace: &Trace) {
+    let ch = characterize(trace);
+    println!("trace '{}'", trace.name);
+    println!("  events:        {}", trace.events.len());
+    println!("  allocations:   {}", trace.alloc_count());
+    println!("  frees:         {}", trace.free_count());
+    println!("  instructions:  {}", trace.total_instructions());
+    println!("  MallocPKI:     {:.2}", trace.malloc_pki());
+    println!(
+        "  <=512B:        {:.1}%",
+        ch.small_fraction() * 100.0
+    );
+    println!(
+        "  short-lived:   {:.1}% freed within 16 same-class allocations",
+        ch.short16_fraction() * 100.0
+    );
+    println!(
+        "  long-lived:    {:.1}% survive to teardown",
+        ch.long_fraction() * 100.0
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!(
+                "{:<12} {:<8} {:<10} {:>12} {:>6}",
+                "name", "language", "category", "instructions", "pki"
+            );
+            for spec in suite::all_workloads() {
+                println!(
+                    "{:<12} {:<8} {:<10} {:>12} {:>6.2}",
+                    spec.name,
+                    spec.language.to_string(),
+                    spec.category.to_string(),
+                    spec.total_instructions,
+                    spec.malloc_pki
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("gen") => {
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            let Some(spec) = suite::by_name(name) else {
+                eprintln!("unknown workload '{name}' (try `memento-trace list`)");
+                return ExitCode::FAILURE;
+            };
+            let trace = generate(&spec);
+            print_summary(&trace);
+            if let Some(out) = args.get(2) {
+                if let Err(e) = trace.save(out) {
+                    eprintln!("failed to save {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("  saved to:      {out}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("stats") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            match Trace::load(path) {
+                Ok(trace) => {
+                    print_summary(&trace);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("failed to load {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,187 @@
+//! The trace event model executed by the machine.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A workload-level object identifier (the machine maps ids to addresses at
+/// execution time, since baseline and Memento place objects differently).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// One trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// Allocate `size` bytes as object `id`.
+    Alloc {
+        /// Object id (unique per trace).
+        id: ObjectId,
+        /// Requested size in bytes.
+        size: u32,
+    },
+    /// Free object `id` (for Golang this marks death; the GC model decides
+    /// when storage is actually reclaimed).
+    Free {
+        /// Object id.
+        id: ObjectId,
+    },
+    /// Access `len` bytes of object `id` starting at `offset`.
+    Touch {
+        /// Object id.
+        id: ObjectId,
+        /// Byte offset within the object.
+        offset: u32,
+        /// Bytes accessed.
+        len: u32,
+        /// Store (true) or load (false).
+        write: bool,
+    },
+    /// Execute `instructions` of non-allocator application work.
+    Compute {
+        /// Instruction count.
+        instructions: u32,
+    },
+    /// Function exits; the OS batch-frees remaining memory.
+    Exit,
+}
+
+/// A complete generated trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Trace {
+    /// Workload name the trace was generated from.
+    pub name: String,
+    /// The events in program order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Serializes the trace to JSON for record/replay workflows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), self)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Loads a trace previously written by [`Trace::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialization errors.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(std::io::BufReader::new(file))
+            .map_err(std::io::Error::other)
+    }
+
+    /// Number of `Alloc` events.
+    pub fn alloc_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Alloc { .. }))
+            .count()
+    }
+
+    /// Number of `Free` events.
+    pub fn free_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Free { .. }))
+            .count()
+    }
+
+    /// Total `Compute` instructions.
+    pub fn total_instructions(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::Compute { instructions } => *instructions as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Mallocs per kilo-instruction (the paper's workload-selection
+    /// criterion is ≥ 0.5 MallocPKI).
+    pub fn malloc_pki(&self) -> f64 {
+        let insts = self.total_instructions();
+        if insts == 0 {
+            return 0.0;
+        }
+        self.alloc_count() as f64 * 1000.0 / insts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_counters() {
+        let t = Trace {
+            name: "t".into(),
+            events: vec![
+                Event::Alloc {
+                    id: ObjectId(1),
+                    size: 8,
+                },
+                Event::Touch {
+                    id: ObjectId(1),
+                    offset: 0,
+                    len: 8,
+                    write: true,
+                },
+                Event::Compute { instructions: 1000 },
+                Event::Free { id: ObjectId(1) },
+                Event::Exit,
+            ],
+        };
+        assert_eq!(t.alloc_count(), 1);
+        assert_eq!(t.free_count(), 1);
+        assert_eq!(t.total_instructions(), 1000);
+        assert!((t.malloc_pki() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let t = Trace {
+            name: "roundtrip".into(),
+            events: vec![
+                Event::Alloc {
+                    id: ObjectId(1),
+                    size: 64,
+                },
+                Event::Exit,
+            ],
+        };
+        let dir = std::env::temp_dir().join("memento-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(back.name, t.name);
+        assert_eq!(back.events, t.events);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn events_serialize() {
+        let e = Event::Alloc {
+            id: ObjectId(7),
+            size: 24,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

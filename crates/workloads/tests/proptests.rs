@@ -1,0 +1,139 @@
+//! Property-based tests of the trace generator: any spec in the supported
+//! parameter space must produce a well-formed, deterministic trace whose
+//! distributions track the spec.
+
+use memento_workloads::event::Event;
+use memento_workloads::generator::generate;
+use memento_workloads::spec::{
+    AllocatorKind, Category, Language, LifetimeProfile, SizeProfile, WorkloadSpec,
+};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        prop_oneof![
+            Just(Language::Python),
+            Just(Language::Cpp),
+            Just(Language::Golang)
+        ],
+        200_000u64..2_000_000,
+        0.5f64..20.0,
+        0.80f64..1.0,
+        16.0f64..128.0,
+        0.1f64..0.95,
+        1.0f64..20.0,
+        0.0f64..1.0,
+        0.0f64..3.0,
+        4usize..128,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(
+                language,
+                insts,
+                pki,
+                small_frac,
+                small_mean,
+                short_frac,
+                short_dist,
+                exit_frac,
+                touch,
+                hot,
+                seed,
+            )| WorkloadSpec {
+                name: "prop".into(),
+                language,
+                category: Category::Function,
+                allocator: AllocatorKind::PyMalloc,
+                total_instructions: insts,
+                malloc_pki: pki,
+                size: SizeProfile::typical(small_frac, small_mean),
+                lifetime: LifetimeProfile {
+                    short_fraction: short_frac,
+                    short_mean_distance: short_dist,
+                    exit_free_fraction: exit_frac,
+                },
+                touch_intensity: touch,
+                hot_set: hot,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural well-formedness: unique ids, no touch/free of dead or
+    /// unknown objects, touches in bounds, exactly one terminal Exit.
+    #[test]
+    fn traces_are_well_formed(spec in arb_spec()) {
+        let trace = generate(&spec);
+        let mut live: HashMap<u64, u32> = HashMap::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut exited = false;
+        for e in &trace.events {
+            prop_assert!(!exited, "event after Exit");
+            match e {
+                Event::Alloc { id, size } => {
+                    prop_assert!(*size >= 8);
+                    prop_assert!(seen.insert(id.0), "id reuse");
+                    live.insert(id.0, *size);
+                }
+                Event::Free { id } => {
+                    prop_assert!(live.remove(&id.0).is_some(), "bad free");
+                }
+                Event::Touch { id, offset, len, .. } => {
+                    let size = *live.get(&id.0).expect("touch of dead object");
+                    prop_assert!(offset + len <= size, "touch out of bounds");
+                    prop_assert!(*len >= 1);
+                }
+                Event::Compute { instructions } => prop_assert!(*instructions >= 1),
+                Event::Exit => exited = true,
+            }
+        }
+        prop_assert!(exited);
+    }
+
+    /// Determinism: the same spec generates byte-identical traces.
+    #[test]
+    fn generation_is_deterministic(spec in arb_spec()) {
+        let a = generate(&spec);
+        let b = generate(&spec);
+        prop_assert_eq!(a.events, b.events);
+    }
+
+    /// The realized MallocPKI tracks the spec within tolerance.
+    #[test]
+    fn pki_tracks_spec(spec in arb_spec()) {
+        let trace = generate(&spec);
+        let realized = trace.malloc_pki();
+        prop_assert!(
+            (realized - spec.malloc_pki).abs() / spec.malloc_pki < 0.30,
+            "realized {realized} vs spec {}",
+            spec.malloc_pki
+        );
+    }
+
+    /// The small-allocation fraction tracks the spec's size profile.
+    #[test]
+    fn size_fraction_tracks_spec(spec in arb_spec()) {
+        let trace = generate(&spec);
+        let (mut small, mut total) = (0u64, 0u64);
+        for e in &trace.events {
+            if let Event::Alloc { size, .. } = e {
+                total += 1;
+                if *size <= 512 {
+                    small += 1;
+                }
+            }
+        }
+        prop_assume!(total > 200);
+        let frac = small as f64 / total as f64;
+        prop_assert!(
+            (frac - spec.size.small_fraction).abs() < 0.08,
+            "small fraction {frac} vs spec {}",
+            spec.size.small_fraction
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! The complete evaluation: every table and figure of the paper in one
+//! pass, with a JSON summary written next to the text report.
+//!
+//! ```sh
+//! cargo run --release --example full_evaluation
+//! ```
+//!
+//! Runs all 23 workloads under up to six system configurations (runs are
+//! memoized across figures); expect a few minutes.
+
+use memento_experiments::{ablation, multicore, report, sensitivity, EvalContext};
+
+fn main() {
+    let mut ctx = EvalContext::new();
+    let full = report::run(&mut ctx);
+    println!("{full}");
+
+    println!();
+    println!("{}", sensitivity::multiprocess(&ctx));
+    println!();
+    println!("{}", multicore::run());
+    println!();
+    println!("{}", ablation::run());
+    println!();
+    println!("{}", ablation::proactive_gc());
+
+    let json = serde_json::to_string_pretty(&full.summary_json()).expect("serializable");
+    let path = "evaluation_summary.json";
+    if std::fs::write(path, &json).is_ok() {
+        println!("\nheadline numbers written to {path}");
+    } else {
+        println!("\nheadline numbers:\n{json}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: run one serverless function on the baseline software stack
+//! and on Memento, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use memento_simcore::cycles::CycleBucket;
+use memento_system::{stats, Machine, SystemConfig};
+use memento_workloads::suite;
+
+fn main() {
+    // `pyaes` from FunctionBench: a Python function with a small working
+    // set and allocation-heavy inner loops.
+    let spec = suite::by_name("aes").expect("aes is in the suite");
+    println!(
+        "workload: {} ({} {}, {:.1} MallocPKI)",
+        spec.name, spec.language, spec.category, spec.malloc_pki
+    );
+
+    let baseline = Machine::new(SystemConfig::baseline()).run(&spec);
+    let memento = Machine::new(SystemConfig::memento()).run(&spec);
+
+    println!("\n              baseline        Memento");
+    println!(
+        "cycles     {:>12}   {:>12}",
+        baseline.total_cycles().raw(),
+        memento.total_cycles().raw()
+    );
+    println!(
+        "runtime    {:>10.3}ms   {:>10.3}ms",
+        baseline.runtime_seconds() * 1e3,
+        memento.runtime_seconds() * 1e3
+    );
+    println!(
+        "DRAM bytes {:>12}   {:>12}",
+        baseline.dram_bytes(),
+        memento.dram_bytes()
+    );
+    println!(
+        "page faults{:>12}   {:>12}",
+        baseline.kernel.page_faults, memento.kernel.page_faults
+    );
+
+    println!("\nwhere the baseline spends memory-management time:");
+    for bucket in [
+        CycleBucket::UserAlloc,
+        CycleBucket::UserFree,
+        CycleBucket::KernelMm,
+    ] {
+        println!(
+            "  {bucket:<12} {:>10} cycles",
+            baseline.bucket(bucket).raw()
+        );
+    }
+    println!("what Memento replaces it with:");
+    for bucket in [CycleBucket::HwAlloc, CycleBucket::HwFree, CycleBucket::HwPage] {
+        println!("  {bucket:<12} {:>10} cycles", memento.bucket(bucket).raw());
+    }
+
+    let hot = memento.hot.expect("memento run tracks the HOT");
+    println!(
+        "\nHOT hit rates: obj-alloc {:.2}%, obj-free {:.2}%",
+        hot.alloc.hit_rate() * 100.0,
+        hot.free.hit_rate() * 100.0
+    );
+    println!(
+        "speedup: {:.3}x   DRAM-traffic reduction: {:.1}%",
+        stats::speedup(&baseline, &memento),
+        stats::bandwidth_reduction(&baseline, &memento) * 100.0
+    );
+}

@@ -1,0 +1,149 @@
+//! Failure injection: malformed traces, resource exhaustion, and hardware
+//! exception paths must degrade predictably, never corrupt state.
+
+use memento_system::{Machine, SystemConfig};
+use memento_workloads::event::{Event, ObjectId, Trace};
+use memento_workloads::spec::{
+    AllocatorKind, Category, Language, LifetimeProfile, SizeProfile, WorkloadSpec,
+};
+
+fn tiny_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "inject".into(),
+        language: Language::Python,
+        category: Category::Function,
+        allocator: AllocatorKind::PyMalloc,
+        total_instructions: 10_000,
+        malloc_pki: 5.0,
+        size: SizeProfile::typical(0.95, 48.0),
+        lifetime: LifetimeProfile::for_language(Language::Python),
+        touch_intensity: 1.0,
+        hot_set: 8,
+        seed: 9,
+    }
+}
+
+fn trace(events: Vec<Event>) -> Trace {
+    Trace {
+        name: "inject".into(),
+        events,
+    }
+}
+
+#[test]
+fn double_free_in_trace_is_tolerated() {
+    // A buggy application double-frees: the machine drops the second free
+    // (the object is no longer tracked) rather than corrupting the heap.
+    let t = trace(vec![
+        Event::Alloc {
+            id: ObjectId(1),
+            size: 64,
+        },
+        Event::Free { id: ObjectId(1) },
+        Event::Free { id: ObjectId(1) },
+        Event::Exit,
+    ]);
+    for cfg in [SystemConfig::baseline(), SystemConfig::memento()] {
+        let stats = Machine::new(cfg).run_trace(&tiny_spec(), &t);
+        assert!(stats.total_cycles().raw() > 0);
+    }
+}
+
+#[test]
+fn free_of_unknown_object_is_tolerated() {
+    let t = trace(vec![
+        Event::Alloc {
+            id: ObjectId(1),
+            size: 32,
+        },
+        Event::Free { id: ObjectId(999) },
+        Event::Exit,
+    ]);
+    let stats = Machine::new(SystemConfig::memento()).run_trace(&tiny_spec(), &t);
+    assert!(stats.total_cycles().raw() > 0);
+}
+
+#[test]
+fn touch_of_dead_object_is_dropped() {
+    let t = trace(vec![
+        Event::Alloc {
+            id: ObjectId(1),
+            size: 128,
+        },
+        Event::Free { id: ObjectId(1) },
+        Event::Touch {
+            id: ObjectId(1),
+            offset: 0,
+            len: 64,
+            write: true,
+        },
+        Event::Exit,
+    ]);
+    let stats = Machine::new(SystemConfig::memento()).run_trace(&tiny_spec(), &t);
+    assert!(stats.total_cycles().raw() > 0);
+}
+
+#[test]
+fn empty_trace_still_tears_down() {
+    let t = trace(vec![Event::Exit]);
+    let stats = Machine::new(SystemConfig::baseline()).run_trace(&tiny_spec(), &t);
+    // Teardown (context switch out) still charges kernel work.
+    assert!(stats.cycles.kernel_mm().raw() > 0);
+}
+
+#[test]
+#[should_panic(expected = "OutOfMemory")]
+fn physical_memory_exhaustion_is_loud() {
+    // A machine with almost no physical memory cannot back the heap: the
+    // simulator fails fast (allocation models treat OOM as fatal) instead
+    // of silently mis-accounting.
+    let cfg = SystemConfig {
+        phys_mem_bytes: 2 << 20, // 2 MiB: boot + a handful of frames
+        ..SystemConfig::baseline()
+    };
+    let mut spec = tiny_spec();
+    spec.total_instructions = 5_000_000;
+    spec.malloc_pki = 10.0;
+    spec.size.small_fraction = 0.5; // lots of large objects -> many pages
+    let _ = Machine::new(cfg).run(&spec);
+}
+
+#[test]
+fn giant_objects_exercise_mmap_threshold() {
+    // A 256 KB object crosses glibc's mmap threshold and gets a dedicated
+    // mapping that is unmapped on free.
+    let t = trace(vec![
+        Event::Alloc {
+            id: ObjectId(1),
+            size: 256 * 1024,
+        },
+        Event::Touch {
+            id: ObjectId(1),
+            offset: 0,
+            len: 4096,
+            write: true,
+        },
+        Event::Free { id: ObjectId(1) },
+        Event::Exit,
+    ]);
+    let stats = Machine::new(SystemConfig::baseline()).run_trace(&tiny_spec(), &t);
+    let soft = stats.soft.expect("soft stats");
+    assert!(soft.frees >= 1);
+    assert!(stats.kernel.munmaps >= 1, "giant free munmaps");
+}
+
+#[test]
+fn zero_compute_trace_is_fine() {
+    // Allocation-only trace: no Compute events at all.
+    let mut events = Vec::new();
+    for i in 0..100 {
+        events.push(Event::Alloc {
+            id: ObjectId(i),
+            size: 16,
+        });
+    }
+    events.push(Event::Exit);
+    let stats = Machine::new(SystemConfig::memento()).run_trace(&tiny_spec(), &trace(events));
+    let hot = stats.hot.expect("hot");
+    assert_eq!(hot.alloc.total(), 100);
+}

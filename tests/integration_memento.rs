@@ -1,0 +1,156 @@
+//! Integration tests of the Memento hardware end-to-end: `obj-alloc` /
+//! `obj-free` via the HOT, the hardware page allocator's on-demand Memento
+//! page table, main-memory bypass, and process teardown.
+
+use memento_system::{stats, Machine, SystemConfig};
+use memento_workloads::spec::WorkloadSpec;
+use memento_workloads::suite;
+
+fn shrunk(name: &str, insts: u64) -> WorkloadSpec {
+    let mut s = suite::by_name(name).expect("known workload");
+    s.total_instructions = insts;
+    s
+}
+
+#[test]
+fn every_workload_runs_and_wins_under_memento() {
+    for mut spec in suite::all_workloads() {
+        spec.total_instructions = spec.total_instructions.min(400_000);
+        let base = Machine::new(SystemConfig::baseline()).run(&spec);
+        let mem = Machine::new(SystemConfig::memento()).run(&spec);
+        let s = stats::speedup(&base, &mem);
+        assert!(
+            s > 1.0,
+            "{}: memento must not lose ({s:.3})",
+            spec.name
+        );
+        assert!(s < 2.0, "{}: implausible speedup {s:.3}", spec.name);
+    }
+}
+
+#[test]
+fn hot_hit_rates_match_paper_shape() {
+    // Paper Fig. 12: allocation hit rate ~99.8%, uniform across workloads.
+    for name in ["html", "US", "html-go", "Redis"] {
+        // Long enough that compulsory per-class misses stop dominating;
+        // the full-scale calibration test enforces the 99.8% band.
+        let spec = shrunk(name, 2_500_000);
+        let stats = Machine::new(SystemConfig::memento()).run(&spec);
+        let hot = stats.hot.expect("hot stats");
+        assert!(
+            hot.alloc.hit_rate() > 0.97,
+            "{name}: alloc hit {:.4}",
+            hot.alloc.hit_rate()
+        );
+    }
+}
+
+#[test]
+fn small_object_heap_never_faults() {
+    // The Memento region is served by the hardware page allocator: no VMA,
+    // no page-fault handler. Only the software large-object path faults.
+    let mut spec = shrunk("aes", 1_000_000);
+    spec.size.small_fraction = 1.0; // no large objects at all
+    let mut machine = Machine::new(SystemConfig::memento());
+    let _ = machine.run(&spec);
+    assert_eq!(
+        machine.page_faults(),
+        0,
+        "an all-small workload must never enter the fault handler"
+    );
+}
+
+#[test]
+fn bypass_eliminates_dram_reads_for_fresh_objects() {
+    let spec = shrunk("html", 800_000);
+    let with = Machine::new(SystemConfig::memento()).run(&spec);
+    let without = Machine::new(SystemConfig::memento_no_bypass()).run(&spec);
+    assert!(with.mem.bypassed_fills > 0, "bypass must fire");
+    assert!(
+        with.dram().read_lines < without.dram().read_lines,
+        "bypass reads {} !< no-bypass reads {}",
+        with.dram().read_lines,
+        without.dram().read_lines
+    );
+    assert_eq!(without.mem.bypassed_fills, 0);
+}
+
+#[test]
+fn memento_reduces_memory_traffic() {
+    let spec = shrunk("UM", 1_000_000);
+    let base = Machine::new(SystemConfig::baseline()).run(&spec);
+    let mem = Machine::new(SystemConfig::memento()).run(&spec);
+    let red = stats::bandwidth_reduction(&base, &mem);
+    assert!(red > 0.05, "UM traffic reduction {red:.3} too small");
+}
+
+#[test]
+fn arena_list_operations_stay_rare() {
+    let spec = shrunk("bfs", 1_500_000);
+    let stats = Machine::new(SystemConfig::memento()).run(&spec);
+    let obj = stats.obj.expect("obj stats");
+    let alloc_rate = obj.alloc_list_ops as f64 / obj.allocs.max(1) as f64;
+    let free_rate = obj.free_list_ops as f64 / obj.frees.max(1) as f64;
+    assert!(alloc_rate < 0.01, "alloc list rate {alloc_rate:.4}");
+    assert!(free_rate < 0.012, "free list rate {free_rate:.4}");
+}
+
+#[test]
+fn timeshared_functions_flush_and_recover() {
+    let specs: Vec<WorkloadSpec> = ["aes", "jl", "bfs", "mk"]
+        .iter()
+        .map(|n| shrunk(n, 200_000))
+        .collect();
+    let mut machine = Machine::new(SystemConfig::memento());
+    let all = machine.run_timeshared(&specs, 1500);
+    assert_eq!(all.len(), 4);
+    for s in &all {
+        let hot = s.hot.expect("hot stats");
+        assert!(hot.flushes > 0, "{}: HOT must flush on switches", s.name);
+        assert!(s.total_cycles().raw() > 0);
+    }
+}
+
+#[test]
+fn memento_is_deterministic() {
+    let spec = shrunk("jd", 400_000);
+    let a = Machine::new(SystemConfig::memento()).run(&spec);
+    let b = Machine::new(SystemConfig::memento()).run(&spec);
+    assert_eq!(a.total_cycles(), b.total_cycles());
+    assert_eq!(a.mem.bypassed_fills, b.mem.bypassed_fills);
+    assert_eq!(
+        a.hot.expect("hot").alloc.hits,
+        b.hot.expect("hot").alloc.hits
+    );
+}
+
+#[test]
+fn iso_storage_l1d_is_no_substitute() {
+    // §6.1: giving the HOT's SRAM to the L1D yields far less than Memento.
+    let spec = shrunk("html", 800_000);
+    let base = Machine::new(SystemConfig::baseline()).run(&spec);
+    let iso = Machine::new(SystemConfig::iso_storage()).run(&spec);
+    let mem = Machine::new(SystemConfig::memento()).run(&spec);
+    let s_iso = stats::speedup(&base, &iso);
+    let s_mem = stats::speedup(&base, &mem);
+    assert!(
+        s_mem > s_iso + 0.02,
+        "memento {s_mem:.3} must clearly beat iso-storage {s_iso:.3}"
+    );
+}
+
+#[test]
+fn mallacc_lacks_kernel_help() {
+    // §6.7: idealized Mallacc accelerates userspace only; Memento roughly
+    // doubles its gains on C++ and helps the kernel path too.
+    let spec = shrunk("US", 1_000_000);
+    let base = Machine::new(SystemConfig::baseline()).run(&spec);
+    let mallacc = Machine::new(SystemConfig::ideal_mallacc()).run(&spec);
+    let mem = Machine::new(SystemConfig::memento()).run(&spec);
+    assert!(stats::speedup(&base, &mallacc) > 1.0);
+    assert!(stats::speedup(&base, &mem) > stats::speedup(&base, &mallacc));
+    assert_eq!(
+        base.kernel.page_faults, mallacc.kernel.page_faults,
+        "mallacc leaves the kernel path untouched"
+    );
+}
