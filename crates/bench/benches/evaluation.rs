@@ -50,7 +50,9 @@ fn bench_evaluation(c: &mut Criterion) {
     });
 
     // Figure assembly over the memoized sweep.
-    group.bench_function("fig8_speedup", |b| b.iter(|| speedup::run_for(&mut ctx, &specs)));
+    group.bench_function("fig8_speedup", |b| {
+        b.iter(|| speedup::run_for(&mut ctx, &specs))
+    });
     group.bench_function("fig9_breakdown", |b| {
         b.iter(|| breakdown::run_for(&mut ctx, &specs))
     });
@@ -60,7 +62,9 @@ fn bench_evaluation(c: &mut Criterion) {
     group.bench_function("fig11_memusage", |b| {
         b.iter(|| memusage::run_for(&mut ctx, &specs))
     });
-    group.bench_function("fig12_hot_hit", |b| b.iter(|| hot::run_for(&mut ctx, &specs)));
+    group.bench_function("fig12_hot_hit", |b| {
+        b.iter(|| hot::run_for(&mut ctx, &specs))
+    });
     group.bench_function("fig13_arena_list", |b| {
         b.iter(|| arena_list::run_for(&mut ctx, &specs))
     });

@@ -18,7 +18,11 @@ fn bench_sensitivity(c: &mut Criterion) {
     eprintln!("=== sens-multiproc (regenerated) ===\n{multi}\n");
     // Cold-start and tuning are heavier (fresh machines per row): run on
     // representative subsets for the printed output.
-    let cold_specs = vec![ctx.workload("html"), ctx.workload("US"), ctx.workload("bfs-go")];
+    let cold_specs = vec![
+        ctx.workload("html"),
+        ctx.workload("US"),
+        ctx.workload("bfs-go"),
+    ];
     let cold = sensitivity::coldstart_for(&mut ctx, &cold_specs);
     eprintln!("=== sens-coldstart (regenerated) ===\n{cold}\n");
     let tune_specs = vec![ctx.workload("html"), ctx.workload("mk")];

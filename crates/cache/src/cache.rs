@@ -7,10 +7,9 @@
 use memento_simcore::addr::{PhysAddr, CACHE_LINE_SHIFT, CACHE_LINE_SIZE};
 use memento_simcore::cycles::Cycles;
 use memento_simcore::stats::HitMiss;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and latency of one cache level.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Human-readable level name ("L1D", "LLC", ...), used in reports.
     pub name: String,
@@ -82,7 +81,7 @@ struct Line {
 }
 
 /// Per-level statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand hits/misses.
     pub demand: HitMiss,
@@ -154,7 +153,10 @@ impl SetAssocCache {
 
     fn set_and_tag(&self, addr: PhysAddr) -> (usize, u64) {
         let line = addr.raw() >> self.set_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Looks up the line holding `addr`. On a hit the LRU stamp is refreshed
@@ -179,9 +181,7 @@ impl SetAssocCache {
     /// Probes without updating LRU or stats (used by coherence-style checks).
     pub fn probe(&self, addr: PhysAddr) -> bool {
         let (set_idx, tag) = self.set_and_tag(addr);
-        self.sets[set_idx]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Installs the line holding `addr`, evicting the LRU way if needed.
@@ -204,13 +204,12 @@ impl SetAssocCache {
 
         let victim_idx = match set.iter().position(|l| !l.valid) {
             Some(i) => i,
-            None => {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("non-empty set")
-            }
+            None => set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set"),
         };
         let victim = set[victim_idx];
         let eviction = if victim.valid {

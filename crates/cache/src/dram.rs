@@ -7,10 +7,9 @@
 
 use memento_simcore::addr::{PhysAddr, CACHE_LINE_SIZE};
 use memento_simcore::cycles::Cycles;
-use serde::{Deserialize, Serialize};
 
 /// DRAM geometry and timing.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DramConfig {
     /// Number of banks (paper Table 3: 16).
     pub banks: usize,
@@ -41,7 +40,7 @@ impl Default for DramConfig {
 }
 
 /// Traffic and row-buffer statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Cache lines read from DRAM (demand fills and page walks).
     pub read_lines: u64,

@@ -4,10 +4,9 @@ use crate::cache::{CacheConfig, CacheStats, Eviction, SetAssocCache};
 use crate::dram::{Dram, DramConfig, DramStats};
 use memento_simcore::addr::PhysAddr;
 use memento_simcore::cycles::Cycles;
-use serde::{Deserialize, Serialize};
 
 /// Kind of memory access issued to the hierarchy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessKind {
     /// Data load.
     Read,
@@ -18,7 +17,7 @@ pub enum AccessKind {
 }
 
 /// Level at which an access was satisfied.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum HitLevel {
     /// First-level cache.
     L1,
@@ -44,7 +43,7 @@ pub struct AccessOutcome {
 }
 
 /// Configuration of the whole memory system.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MemSystemConfig {
     /// Number of cores (each gets private L1I/L1D/L2).
     pub cores: usize,
@@ -89,7 +88,7 @@ struct CoreCaches {
 }
 
 /// Aggregated statistics snapshot.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MemSystemStats {
     /// Combined L1I stats across cores.
     pub l1i: CacheStats,
@@ -191,12 +190,7 @@ impl MemSystem {
         }
     }
 
-    fn fill_l2(
-        core: &mut CoreCaches,
-        llc: &mut SetAssocCache,
-        dram: &mut Dram,
-        addr: PhysAddr,
-    ) {
+    fn fill_l2(core: &mut CoreCaches, llc: &mut SetAssocCache, dram: &mut Dram, addr: PhysAddr) {
         if let Eviction::Dirty(victim) = core.l2.fill(addr, false) {
             Self::fill_llc(llc, dram, victim, true);
         }
@@ -468,6 +462,10 @@ mod tests {
         let mut m = sys();
         m.access(0, AccessKind::Read, PhysAddr::new(0x1000));
         let out = m.access(0, AccessKind::Read, PhysAddr::new(0x1004));
-        assert_eq!(out.level, HitLevel::L1, "same line despite different offset");
+        assert_eq!(
+            out.level,
+            HitLevel::L1,
+            "same line despite different offset"
+        );
     }
 }

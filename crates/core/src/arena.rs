@@ -9,7 +9,6 @@
 use crate::size_class::OBJECTS_PER_ARENA;
 use memento_simcore::addr::{PhysAddr, VirtAddr};
 use memento_simcore::physmem::PhysMem;
-use serde::{Deserialize, Serialize};
 
 /// Byte offsets of the header fields within the header page.
 mod layout {
@@ -29,7 +28,7 @@ mod layout {
 pub const HEADER_BYTES: u64 = 64;
 
 /// An in-flight copy of an arena header (as cached by a HOT entry).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ArenaHeader {
     /// Base virtual address of the arena.
     pub va: VirtAddr,

@@ -6,10 +6,8 @@
 //! reads/writes) is charged through the cache hierarchy at simulation time,
 //! so the constants here cover only the fixed hardware datapath costs.
 
-use serde::{Deserialize, Serialize};
-
 /// Fixed cycle costs of Memento datapath operations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MementoCosts {
     /// HOT access (hit path of `obj-alloc`/`obj-free`).
     pub hot_access: u64,

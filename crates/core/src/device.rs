@@ -19,7 +19,6 @@ use memento_simcore::addr::{PhysAddr, VirtAddr, CACHE_LINE_SIZE, PAGE_SIZE};
 use memento_simcore::cycles::Cycles;
 use memento_simcore::physmem::PhysMem;
 use memento_vm::tlb::Tlb;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -29,7 +28,7 @@ use std::fmt;
 const CURRENT_SENTINEL: u64 = u64::MAX;
 
 /// Device configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MementoConfig {
     /// Enable the main-memory bypass mechanism (§3.3).
     pub bypass_enabled: bool,
@@ -136,7 +135,7 @@ pub struct FreeOutcome {
 }
 
 /// Object-allocator activity counters (drives Fig. 13).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ObjStats {
     /// `obj-alloc` operations served.
     pub allocs: u64,
@@ -229,9 +228,7 @@ impl MementoDevice {
     ) -> MementoProcess {
         let cores = self.hots.len();
         MementoProcess {
-            paging: self
-                .page_alloc
-                .attach_process(mem, backend, cores, region),
+            paging: self.page_alloc.attach_process(mem, backend, cores, region),
             saved: HashMap::new(),
         }
     }
@@ -384,7 +381,15 @@ impl MementoDevice {
                         None => (0, 0),
                     };
                     page_cycles += self.install_new_arena(
-                        mem, mem_sys, backend, core, proc, class, avail, full, &mut obj_cycles,
+                        mem,
+                        mem_sys,
+                        backend,
+                        core,
+                        proc,
+                        class,
+                        avail,
+                        full,
+                        &mut obj_cycles,
                     );
                 }
             }
@@ -395,10 +400,7 @@ impl MementoDevice {
             if let Some(idx) = entry.header.find_clear() {
                 entry.header.set(idx);
                 entry.dirty = true;
-                let addr = proc
-                    .paging
-                    .region
-                    .object_addr(class, entry.header.va, idx);
+                let addr = proc.paging.region.object_addr(class, entry.header.va, idx);
                 self.hots[core].stats_mut().alloc.record(hot_hit);
                 return Ok(AllocOutcome {
                     addr,
@@ -421,7 +423,11 @@ impl MementoDevice {
                 .access(core, AccessKind::Write, full_entry.pa)
                 .cycles;
             if full_entry.full_head != 0 {
-                raw::set_prev(mem, PhysAddr::new(full_entry.full_head), full_entry.pa.raw());
+                raw::set_prev(
+                    mem,
+                    PhysAddr::new(full_entry.full_head),
+                    full_entry.pa.raw(),
+                );
                 slow_cycles += mem_sys
                     .access(core, AccessKind::Write, PhysAddr::new(full_entry.full_head))
                     .cycles;
@@ -490,9 +496,9 @@ impl MementoDevice {
         full_head: u64,
         obj_cycles: &mut Cycles,
     ) -> Cycles {
-        let arena = self
-            .page_alloc
-            .alloc_arena(mem, mem_sys, backend, core, &mut proc.paging, class);
+        let arena =
+            self.page_alloc
+                .alloc_arena(mem, mem_sys, backend, core, &mut proc.paging, class);
         let mut header = ArenaHeader::fresh(arena.va);
         header.prev = CURRENT_SENTINEL;
         header.store(mem, arena.header_pa);
@@ -768,12 +774,7 @@ impl MementoDevice {
     /// bytes actually backing arena body pages. This is the §6.6
     /// fragmentation measurement — body pages are demand-backed, so unused
     /// slots in never-touched pages cost nothing. Untimed instrumentation.
-    pub fn scan_occupancy(
-        &self,
-        mem: &PhysMem,
-        core: usize,
-        proc: &MementoProcess,
-    ) -> (u64, u64) {
+    pub fn scan_occupancy(&self, mem: &PhysMem, core: usize, proc: &MementoProcess) -> (u64, u64) {
         fn measure(
             header: &ArenaHeader,
             class: SizeClass,
@@ -791,12 +792,7 @@ impl MementoDevice {
             }
             (live, backed)
         }
-        fn visit(
-            pa: u64,
-            class: SizeClass,
-            mem: &PhysMem,
-            proc: &MementoProcess,
-        ) -> (u64, u64) {
+        fn visit(pa: u64, class: SizeClass, mem: &PhysMem, proc: &MementoProcess) -> (u64, u64) {
             let (mut live, mut backed) = (0u64, 0u64);
             let mut at = pa;
             let mut guard = 0;

@@ -68,7 +68,14 @@ fn rig_with(cfg: MementoConfig) -> Rig {
 impl Rig {
     fn alloc(&mut self, size: usize) -> VirtAddr {
         self.dev
-            .obj_alloc(&mut self.mem, &mut self.sys, &mut self.os, 0, &mut self.proc, size)
+            .obj_alloc(
+                &mut self.mem,
+                &mut self.sys,
+                &mut self.os,
+                0,
+                &mut self.proc,
+                size,
+            )
             .expect("alloc")
             .addr
     }
@@ -159,7 +166,15 @@ fn double_free_raises_exception() {
     r.free(a);
     let err = r
         .dev
-        .obj_free(&mut r.mem, &mut r.sys, &mut r.os, &mut r.tlbs, 0, &mut r.proc, a)
+        .obj_free(
+            &mut r.mem,
+            &mut r.sys,
+            &mut r.os,
+            &mut r.tlbs,
+            0,
+            &mut r.proc,
+            a,
+        )
         .unwrap_err();
     assert_eq!(err, MementoError::DoubleFree(a));
 }
@@ -300,14 +315,9 @@ fn demand_walk_backs_body_pages() {
     // Body pages are not backed until touched.
     let page = a.page_base();
     assert!(r.proc.paging.page_table.translate(&r.mem, page).is_none());
-    let (frame, cycles) = r.dev.translate_miss(
-        &mut r.mem,
-        &mut r.sys,
-        &mut r.os,
-        0,
-        &mut r.proc,
-        page,
-    );
+    let (frame, cycles) =
+        r.dev
+            .translate_miss(&mut r.mem, &mut r.sys, &mut r.os, 0, &mut r.proc, page);
     assert!(cycles > Cycles::ZERO);
     assert_eq!(
         r.proc

@@ -11,7 +11,6 @@ use crate::arena::ArenaHeader;
 use crate::size_class::{SizeClass, NUM_SIZE_CLASSES};
 use memento_simcore::addr::PhysAddr;
 use memento_simcore::stats::HitMiss;
-use serde::{Deserialize, Serialize};
 
 /// One HOT entry (Fig. 5b): cached header + PA + list heads.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -31,7 +30,7 @@ pub struct HotEntry {
 }
 
 /// HOT statistics (drives Fig. 12).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HotStats {
     /// `obj-alloc` hit/miss.
     pub alloc: HitMiss,

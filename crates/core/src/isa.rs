@@ -19,7 +19,6 @@ use memento_cache::MemSystem;
 use memento_simcore::addr::VirtAddr;
 use memento_simcore::physmem::PhysMem;
 use memento_vm::tlb::Tlb;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Two-byte opcode prefix chosen from x86's unused 0F 38 escape space.
@@ -28,7 +27,7 @@ pub const OPCODE_OBJ_ALLOC: u16 = 0x0FA0;
 pub const OPCODE_OBJ_FREE: u16 = 0x0FA1;
 
 /// A decoded Memento instruction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MementoInstr {
     /// `obj-alloc rd, rs`: allocate `size` bytes (the value in rs).
     ObjAlloc {
@@ -48,9 +47,7 @@ impl MementoInstr {
     /// use the canonical 48-bit space).
     pub fn encode(self) -> u64 {
         match self {
-            MementoInstr::ObjAlloc { size } => {
-                ((OPCODE_OBJ_ALLOC as u64) << 48) | size as u64
-            }
+            MementoInstr::ObjAlloc { size } => ((OPCODE_OBJ_ALLOC as u64) << 48) | size as u64,
             MementoInstr::ObjFree { addr } => {
                 ((OPCODE_OBJ_FREE as u64) << 48) | (addr.raw() & 0xFFFF_FFFF_FFFF)
             }
@@ -196,7 +193,13 @@ mod tests {
         let word = MementoInstr::ObjAlloc { size: 64 }.encode();
         let out = execute(
             MementoInstr::decode(word).unwrap(),
-            &mut dev, &mut mem, &mut sys, &mut os, &mut tlbs, 0, &mut proc,
+            &mut dev,
+            &mut mem,
+            &mut sys,
+            &mut os,
+            &mut tlbs,
+            0,
+            &mut proc,
         )
         .unwrap();
         let addr = match out {
@@ -208,7 +211,13 @@ mod tests {
         let word = MementoInstr::ObjFree { addr }.encode();
         let out = execute(
             MementoInstr::decode(word).unwrap(),
-            &mut dev, &mut mem, &mut sys, &mut os, &mut tlbs, 0, &mut proc,
+            &mut dev,
+            &mut mem,
+            &mut sys,
+            &mut os,
+            &mut tlbs,
+            0,
+            &mut proc,
         )
         .unwrap();
         assert!(matches!(out, ExecOutcome::Freed(f) if f.hot_hit));
@@ -225,7 +234,13 @@ mod tests {
         let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
         let err = execute(
             MementoInstr::ObjAlloc { size: 4096 },
-            &mut dev, &mut mem, &mut sys, &mut os, &mut tlbs, 0, &mut proc,
+            &mut dev,
+            &mut mem,
+            &mut sys,
+            &mut os,
+            &mut tlbs,
+            0,
+            &mut proc,
         )
         .unwrap_err();
         assert_eq!(err, MementoError::SizeTooLarge(4096));

@@ -69,8 +69,7 @@ pub mod size_class;
 
 pub use costs::MementoCosts;
 pub use device::{
-    AllocOutcome, FreeOutcome, MementoConfig, MementoDevice, MementoError, MementoProcess,
-    ObjStats,
+    AllocOutcome, FreeOutcome, MementoConfig, MementoDevice, MementoError, MementoProcess, ObjStats,
 };
 pub use hot::HotStats;
 pub use isa::{ExecOutcome, MementoInstr};

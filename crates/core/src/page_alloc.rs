@@ -23,7 +23,6 @@ use memento_simcore::cycles::Cycles;
 use memento_simcore::physmem::{Frame, PhysMem};
 use memento_simcore::stats::HitMiss;
 use memento_vm::pagetable::{PageTable, Pte, PtePerms};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Source of physical frames for the pool — implemented by the OS adapter
@@ -38,7 +37,7 @@ pub trait PoolBackend {
 }
 
 /// Configuration of the hardware page allocator.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PageAllocatorConfig {
     /// Pool refill batch size (frames requested per OS grant).
     pub refill_batch: u64,
@@ -71,7 +70,7 @@ impl Default for PageAllocatorConfig {
 }
 
 /// Page-allocator statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PageAllocStats {
     /// AAC lookups.
     pub aac: HitMiss,
@@ -239,11 +238,7 @@ impl HardwarePageAllocator {
         backend: &mut dyn PoolBackend,
         proc: ProcessPaging,
     ) {
-        let frames: Vec<Frame> = proc
-            .in_use
-            .iter()
-            .map(|n| Frame::from_number(*n))
-            .collect();
+        let frames: Vec<Frame> = proc.in_use.iter().map(|n| Frame::from_number(*n)).collect();
         for f in &frames {
             mem.release_frame(*f);
         }
@@ -265,12 +260,7 @@ impl HardwarePageAllocator {
 
     /// AAC lookup for (core, class); charges 1 cycle on a hit, a memory
     /// access to the pointer block on a miss.
-    fn aac_access(
-        &mut self,
-        mem_sys: &mut MemSystem,
-        core: usize,
-        class: SizeClass,
-    ) -> Cycles {
+    fn aac_access(&mut self, mem_sys: &mut MemSystem, core: usize, class: SizeClass) -> Cycles {
         let entry = &mut self.aac[core % self.cfg.aac_entries];
         let class_id = class.index() as u8;
         if let Some(pos) = entry.classes.iter().position(|c| *c == class_id) {
@@ -289,8 +279,7 @@ impl HardwarePageAllocator {
         // Fetch the pointer line from the reserved block.
         let offset = ((core * 64 + class.index()) * 8) as u64 % PAGE_SIZE as u64;
         let addr = self.pointer_block.add(offset & !0x7);
-        Cycles::new(self.costs.aac_hit)
-            + mem_sys.access(core, AccessKind::Read, addr).cycles
+        Cycles::new(self.costs.aac_hit) + mem_sys.access(core, AccessKind::Read, addr).cycles
     }
 
     /// Backs `va` with a pool frame in the Memento page table, creating
@@ -489,7 +478,9 @@ mod tests {
     impl PoolBackend for TestBackend {
         fn grant_frames(&mut self, n: u64) -> Vec<Frame> {
             let take = n.min(self.limit.saturating_sub(self.next));
-            let out = (self.next..self.next + take).map(Frame::from_number).collect();
+            let out = (self.next..self.next + take)
+                .map(Frame::from_number)
+                .collect();
             self.next += take;
             out
         }
@@ -530,14 +521,9 @@ mod tests {
     fn arena_allocation_backs_header_only() {
         let mut r = rig();
         let sc = SizeClass::for_size(64).unwrap();
-        let a = r.alloc.alloc_arena(
-            &mut r.mem,
-            &mut r.sys,
-            &mut r.backend,
-            0,
-            &mut r.proc,
-            sc,
-        );
+        let a = r
+            .alloc
+            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc);
         assert_eq!(a.va, r.proc.region.arena_at(sc, 0));
         // Header page mapped.
         assert!(r.proc.page_table.translate(&r.mem, a.va).is_some());
@@ -575,7 +561,10 @@ mod tests {
         let w1 = r
             .alloc
             .demand_walk(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, body);
-        assert_eq!(w1.pages_allocated, 1, "leaf allocated, tables shared with header");
+        assert_eq!(
+            w1.pages_allocated, 1,
+            "leaf allocated, tables shared with header"
+        );
         let w2 = r
             .alloc
             .demand_walk(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, body);
@@ -617,7 +606,9 @@ mod tests {
             );
         }
         let pool_before = r.alloc.pool_len();
-        let freed = r.alloc.free_arena(&mut r.mem, &mut r.sys, 0, &mut r.proc, sc, a.va);
+        let freed = r
+            .alloc
+            .free_arena(&mut r.mem, &mut r.sys, 0, &mut r.proc, sc, a.va);
         assert_eq!(freed.unmapped_pages.len(), 3, "header + 2 body pages");
         assert!(r.alloc.pool_len() >= pool_before + 3);
         assert_eq!(freed.shootdown_cores, 1);
@@ -648,8 +639,14 @@ mod tests {
             let a = r
                 .alloc
                 .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc);
-            r.alloc
-                .demand_walk(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, a.va.add(PAGE_SIZE as u64));
+            r.alloc.demand_walk(
+                &mut r.mem,
+                &mut r.sys,
+                &mut r.backend,
+                0,
+                &mut r.proc,
+                a.va.add(PAGE_SIZE as u64),
+            );
         }
         assert!(r.alloc.stats().pool_refills > refills_initial);
     }

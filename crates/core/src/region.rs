@@ -9,7 +9,6 @@
 
 use crate::size_class::{SizeClass, NUM_SIZE_CLASSES, OBJECTS_PER_ARENA};
 use memento_simcore::addr::{VirtAddr, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Default base of the reserved region (well away from the mmap area).
@@ -31,7 +30,7 @@ pub struct ObjectLocation {
 }
 
 /// The per-process Memento region: the values of the MRS and MRE registers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MementoRegion {
     mrs: VirtAddr,
     mre: VirtAddr,
@@ -46,7 +45,11 @@ impl MementoRegion {
     /// slice fits at least one arena of its class.
     pub fn new(base: VirtAddr, slice_bytes: u64) -> Self {
         assert!(base.is_page_aligned(), "region base must be page-aligned");
-        assert_eq!(slice_bytes % PAGE_SIZE as u64, 0, "slice must be whole pages");
+        assert_eq!(
+            slice_bytes % PAGE_SIZE as u64,
+            0,
+            "slice must be whole pages"
+        );
         for sc in SizeClass::all() {
             assert!(
                 slice_bytes >= sc.arena_bytes() as u64,
@@ -61,7 +64,10 @@ impl MementoRegion {
 
     /// The default region used throughout the evaluation.
     pub fn standard() -> Self {
-        MementoRegion::new(VirtAddr::new(DEFAULT_REGION_BASE), DEFAULT_CLASS_SLICE_BYTES)
+        MementoRegion::new(
+            VirtAddr::new(DEFAULT_REGION_BASE),
+            DEFAULT_CLASS_SLICE_BYTES,
+        )
     }
 
     /// Memento Region Start register value.

@@ -6,7 +6,6 @@
 //! the body follows, rounded up to whole pages.
 
 use memento_simcore::addr::PAGE_SIZE;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of size classes (8..=512 bytes in 8-byte steps).
@@ -20,9 +19,7 @@ pub const MAX_OBJECT_SIZE: usize = 512;
 pub const OBJECTS_PER_ARENA: usize = 256;
 
 /// A size class index in `0..64`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SizeClass(u8);
 
 impl SizeClass {
@@ -32,7 +29,10 @@ impl SizeClass {
     ///
     /// Panics if `index >= 64`.
     pub fn from_index(index: usize) -> Self {
-        assert!(index < NUM_SIZE_CLASSES, "size class index {index} out of range");
+        assert!(
+            index < NUM_SIZE_CLASSES,
+            "size class index {index} out of range"
+        );
         SizeClass(index as u8)
     }
 

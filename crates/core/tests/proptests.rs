@@ -2,12 +2,12 @@
 //! bitmap, the region's address arithmetic, and the assembled device under
 //! arbitrary allocation/free interleavings.
 
+use memento_cache::{MemSystem, MemSystemConfig};
 use memento_core::arena::ArenaHeader;
 use memento_core::device::{MementoConfig, MementoDevice, MementoError};
 use memento_core::page_alloc::PoolBackend;
 use memento_core::region::MementoRegion;
 use memento_core::size_class::{SizeClass, OBJECTS_PER_ARENA};
-use memento_cache::{MemSystem, MemSystemConfig};
 use memento_simcore::addr::VirtAddr;
 use memento_simcore::physmem::{Frame, PhysMem};
 use memento_vm::tlb::Tlb;

@@ -2,10 +2,11 @@
 //! out): the optional eager-replenish optimization of §3.1, the hardware
 //! page-pool refill batch, and the AAC pointer-slot capacity.
 
+use crate::runner;
 use crate::table::{f3, Table};
 use memento_core::device::MementoConfig;
 use memento_core::page_alloc::PageAllocatorConfig;
-use memento_system::{stats, Machine, Mode, SystemConfig};
+use memento_system::{stats, Machine, Mode, RunStats, SystemConfig};
 use memento_workloads::spec::WorkloadSpec;
 use memento_workloads::suite;
 use std::fmt;
@@ -35,24 +36,80 @@ fn memento_with(mcfg: MementoConfig) -> SystemConfig {
     }
 }
 
-fn measure(cfg: SystemConfig, specs: &[WorkloadSpec]) -> (f64, f64) {
-    let mut speedups = Vec::new();
-    let mut miss_rates = Vec::new();
-    for spec in specs {
-        let base = Machine::new(SystemConfig::baseline()).run(spec);
-        let mem = Machine::new(cfg.clone()).run(spec);
-        speedups.push(stats::speedup(&base, &mem));
-        let hot = mem.hot.expect("memento run");
-        miss_rates.push(1.0 - hot.alloc.hit_rate());
-    }
+/// Aggregates one variant's per-spec runs against the shared baselines.
+fn summarize(baselines: &[RunStats], runs: &[RunStats]) -> (f64, f64) {
+    let speedups: Vec<f64> = baselines
+        .iter()
+        .zip(runs)
+        .map(|(base, mem)| stats::speedup(base, mem))
+        .collect();
+    let miss_rates: Vec<f64> = runs
+        .iter()
+        .map(|mem| 1.0 - mem.hot.expect("memento run").alloc.hit_rate())
+        .collect();
     (
         stats::geomean(&speedups),
         miss_rates.iter().sum::<f64>() / miss_rates.len().max(1) as f64,
     )
 }
 
-/// Runs the ablation suite over `names` (scaled by `scale_divisor`).
-pub fn run_for(names: &[&str], scale_divisor: u64) -> AblationResult {
+/// The ablation variants: label + Memento configuration.
+fn variants() -> Vec<(String, MementoConfig)> {
+    let default = MementoConfig::paper_default();
+    let mut v = vec![
+        ("paper default".to_owned(), default),
+        // §3.1's optional optimization: eagerly replenish the next arena
+        // so HOT-miss latency is hidden off the critical path.
+        (
+            "eager replenish".to_owned(),
+            MementoConfig {
+                eager_replenish: true,
+                ..default
+            },
+        ),
+        // No bypass (Fig. 9/10's ablation).
+        (
+            "no bypass".to_owned(),
+            MementoConfig {
+                bypass_enabled: false,
+                ..default
+            },
+        ),
+    ];
+    // Pool refill batch: tiny (4) and large (64) grants.
+    for batch in [4u64, 64] {
+        v.push((
+            format!("pool batch {batch}"),
+            MementoConfig {
+                page_alloc: PageAllocatorConfig {
+                    refill_batch: batch,
+                    low_water: (batch / 4).max(1) as usize,
+                    ..default.page_alloc
+                },
+                ..default
+            },
+        ));
+    }
+    // AAC slots per entry: 1 (near-no caching) vs the default 8.
+    v.push((
+        "aac 1 slot".to_owned(),
+        MementoConfig {
+            page_alloc: PageAllocatorConfig {
+                aac_slots: 1,
+                ..default.page_alloc
+            },
+            ..default
+        },
+    ));
+    v
+}
+
+/// Runs the ablation suite over `names` (scaled by `scale_divisor`) on
+/// `jobs` worker threads. Every (variant, workload) pair is one shard and
+/// each baseline runs once (shared across variants, which a serial
+/// per-variant sweep would re-run); aggregation is in fixed variant order,
+/// so output is identical at any jobs count.
+pub fn run_for_jobs(names: &[&str], scale_divisor: u64, jobs: usize) -> AblationResult {
     let specs: Vec<WorkloadSpec> = names
         .iter()
         .map(|n| {
@@ -61,84 +118,41 @@ pub fn run_for(names: &[&str], scale_divisor: u64) -> AblationResult {
             s
         })
         .collect();
+    let variants = variants();
 
-    let mut rows = Vec::new();
-    let default = MementoConfig::paper_default();
-
-    let (s, m) = measure(memento_with(default), &specs);
-    rows.push(AblationRow {
-        variant: "paper default".into(),
-        speedup: s,
-        alloc_miss_rate: m,
-    });
-
-    // §3.1's optional optimization: eagerly replenish the next arena so
-    // HOT-miss latency is hidden off the critical path.
-    let (s, m) = measure(
-        memento_with(MementoConfig {
-            eager_replenish: true,
-            ..default
-        }),
-        &specs,
-    );
-    rows.push(AblationRow {
-        variant: "eager replenish".into(),
-        speedup: s,
-        alloc_miss_rate: m,
-    });
-
-    // No bypass (Fig. 9/10's ablation).
-    let (s, m) = measure(
-        memento_with(MementoConfig {
-            bypass_enabled: false,
-            ..default
-        }),
-        &specs,
-    );
-    rows.push(AblationRow {
-        variant: "no bypass".into(),
-        speedup: s,
-        alloc_miss_rate: m,
-    });
-
-    // Pool refill batch: tiny (4) and large (64) grants.
-    for batch in [4u64, 64] {
-        let (s, m) = measure(
-            memento_with(MementoConfig {
-                page_alloc: PageAllocatorConfig {
-                    refill_batch: batch,
-                    low_water: (batch / 4).max(1) as usize,
-                    ..default.page_alloc
-                },
-                ..default
-            }),
-            &specs,
-        );
-        rows.push(AblationRow {
-            variant: format!("pool batch {batch}"),
-            speedup: s,
-            alloc_miss_rate: m,
-        });
+    // One work item per simulation: the shared baselines first, then every
+    // variant x spec cell.
+    let mut points: Vec<(SystemConfig, WorkloadSpec)> = specs
+        .iter()
+        .map(|s| (SystemConfig::baseline(), s.clone()))
+        .collect();
+    for (_, mcfg) in &variants {
+        points.extend(specs.iter().map(|s| (memento_with(*mcfg), s.clone())));
     }
-
-    // AAC slots per entry: 1 (near-no caching) vs the default 8.
-    let (s, m) = measure(
-        memento_with(MementoConfig {
-            page_alloc: PageAllocatorConfig {
-                aac_slots: 1,
-                ..default.page_alloc
-            },
-            ..default
-        }),
-        &specs,
-    );
-    rows.push(AblationRow {
-        variant: "aac 1 slot".into(),
-        speedup: s,
-        alloc_miss_rate: m,
+    let results = runner::map_ordered(jobs, &points, |(cfg, spec)| {
+        Machine::new(cfg.clone()).run(spec)
     });
 
+    let (baselines, variant_runs) = results.split_at(specs.len());
+    let rows = variants
+        .iter()
+        .zip(variant_runs.chunks(specs.len()))
+        .map(|((label, _), runs)| {
+            let (speedup, alloc_miss_rate) = summarize(baselines, runs);
+            AblationRow {
+                variant: label.clone(),
+                speedup,
+                alloc_miss_rate,
+            }
+        })
+        .collect();
     AblationResult { rows }
+}
+
+/// Runs the ablation suite over `names` (worker count from the
+/// environment).
+pub fn run_for(names: &[&str], scale_divisor: u64) -> AblationResult {
+    run_for_jobs(names, scale_divisor, runner::effective_jobs(None))
 }
 
 /// Default ablation set.
@@ -158,22 +172,44 @@ pub struct ProactiveGcResult {
 
 /// Runs the proactive-GC extension comparison over Go workloads.
 pub fn proactive_gc_for(names: &[&str], scale_divisor: u64) -> ProactiveGcResult {
-    let mut rows = Vec::new();
-    for name in names {
-        let mut spec = suite::by_name(name).expect("known workload");
-        spec.total_instructions /= scale_divisor;
-        let base = Machine::new(SystemConfig::baseline()).run(&spec);
-        let memento = Machine::new(SystemConfig::memento()).run(&spec);
-        let proactive = Machine::new(SystemConfig::memento_proactive_gc()).run(&spec);
-        let llc_ratio = (proactive.mem.llc.demand.misses.max(1)) as f64
-            / (memento.mem.llc.demand.misses.max(1)) as f64;
-        rows.push((
-            spec.name.clone(),
-            stats::speedup(&base, &memento),
-            stats::speedup(&base, &proactive),
-            llc_ratio,
-        ));
-    }
+    let specs: Vec<WorkloadSpec> = names
+        .iter()
+        .map(|name| {
+            let mut spec = suite::by_name(name).expect("known workload");
+            spec.total_instructions /= scale_divisor;
+            spec
+        })
+        .collect();
+    // Three independent systems per workload; each is one shard.
+    let points: Vec<(SystemConfig, WorkloadSpec)> = specs
+        .iter()
+        .flat_map(|spec| {
+            [
+                SystemConfig::baseline(),
+                SystemConfig::memento(),
+                SystemConfig::memento_proactive_gc(),
+            ]
+            .map(|cfg| (cfg, spec.clone()))
+        })
+        .collect();
+    let results = runner::map_ordered(runner::effective_jobs(None), &points, |(cfg, spec)| {
+        Machine::new(cfg.clone()).run(spec)
+    });
+    let rows = specs
+        .iter()
+        .zip(results.chunks(3))
+        .map(|(spec, runs)| {
+            let (base, memento, proactive) = (&runs[0], &runs[1], &runs[2]);
+            let llc_ratio = (proactive.mem.llc.demand.misses.max(1)) as f64
+                / (memento.mem.llc.demand.misses.max(1)) as f64;
+            (
+                spec.name.clone(),
+                stats::speedup(base, memento),
+                stats::speedup(base, proactive),
+                llc_ratio,
+            )
+        })
+        .collect();
     ProactiveGcResult { rows }
 }
 
@@ -188,12 +224,7 @@ impl fmt::Display for ProactiveGcResult {
             f,
             "§4 extension — GC with proactive ephemeral frees via obj-free (Golang)"
         )?;
-        let mut t = Table::new(vec![
-            "workload",
-            "Memento",
-            "+proactive",
-            "LLC-miss ratio",
-        ]);
+        let mut t = Table::new(vec!["workload", "Memento", "+proactive", "LLC-miss ratio"]);
         for (name, m, p, llc) in &self.rows {
             t.row(vec![name.clone(), f3(*m), f3(*p), f3(*llc)]);
         }
@@ -245,10 +276,7 @@ mod tests {
         };
         let default = get("paper default");
         assert!(default > 1.0);
-        assert!(
-            get("no bypass") <= default + 1e-9,
-            "bypass can only help"
-        );
+        assert!(get("no bypass") <= default + 1e-9, "bypass can only help");
         assert!(
             get("eager replenish") >= default - 1e-9,
             "hiding miss latency can only help"

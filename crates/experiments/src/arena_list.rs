@@ -60,7 +60,10 @@ pub fn run(ctx: &mut EvalContext) -> ArenaListResult {
 
 impl fmt::Display for ArenaListResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 13 — Arena list operation frequency (% of obj-alloc / obj-free)")?;
+        writeln!(
+            f,
+            "Fig. 13 — Arena list operation frequency (% of obj-alloc / obj-free)"
+        )?;
         let mut t = Table::new(vec!["workload", "alloc %", "free %"]);
         for r in &self.rows {
             t.row(vec![
@@ -90,7 +93,11 @@ mod tests {
         let result = run_for(&mut ctx, &specs);
         // Paper bound: <1% of allocations, <0.6% of frees... allow slack
         // for the shrunk quick workloads.
-        assert!(result.max_alloc_rate < 0.02, "alloc {}", result.max_alloc_rate);
+        assert!(
+            result.max_alloc_rate < 0.02,
+            "alloc {}",
+            result.max_alloc_rate
+        );
         assert!(result.max_free_rate < 0.02, "free {}", result.max_free_rate);
         assert!(result.to_string().contains("Fig. 13"));
     }

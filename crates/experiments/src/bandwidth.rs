@@ -94,9 +94,21 @@ impl fmt::Display for BandwidthResult {
                 format!("{:.3}", r.bypass_share),
             ]);
         }
-        t.row(vec!["func-avg".into(), format!("{:.3}", self.func_avg), String::new()]);
-        t.row(vec!["data-avg".into(), format!("{:.3}", self.data_avg), String::new()]);
-        t.row(vec!["pltf-avg".into(), format!("{:.3}", self.pltf_avg), String::new()]);
+        t.row(vec![
+            "func-avg".into(),
+            format!("{:.3}", self.func_avg),
+            String::new(),
+        ]);
+        t.row(vec![
+            "data-avg".into(),
+            format!("{:.3}", self.data_avg),
+            String::new(),
+        ]);
+        t.row(vec![
+            "pltf-avg".into(),
+            format!("{:.3}", self.pltf_avg),
+            String::new(),
+        ]);
         write!(f, "{t}")
     }
 }

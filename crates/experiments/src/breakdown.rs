@@ -133,7 +133,13 @@ pub fn run(ctx: &mut EvalContext) -> BreakdownResult {
 impl fmt::Display for BreakdownResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. 9 — Performance-gain breakdown (% of saved cycles)")?;
-        let mut t = Table::new(vec!["workload", "obj-alloc", "obj-free", "page-mgmt", "bypass"]);
+        let mut t = Table::new(vec![
+            "workload",
+            "obj-alloc",
+            "obj-free",
+            "page-mgmt",
+            "bypass",
+        ]);
         let fmt_row = |name: &str, s: &GainShares| {
             vec![
                 name.to_owned(),
@@ -143,7 +149,11 @@ impl fmt::Display for BreakdownResult {
                 format!("{:.0}", s.bypass),
             ]
         };
-        for r in self.rows.iter().filter(|r| r.category == Category::Function) {
+        for r in self
+            .rows
+            .iter()
+            .filter(|r| r.category == Category::Function)
+        {
             t.row(fmt_row(&r.name, &r.shares));
         }
         t.row(fmt_row("func-avg", &self.func_avg));

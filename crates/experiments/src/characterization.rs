@@ -37,13 +37,16 @@ fn group_of(spec: &WorkloadSpec) -> &'static str {
     }
 }
 
-/// Runs the characterization over `specs`.
-pub fn run_for(specs: &[WorkloadSpec]) -> CharacterizationResult {
+/// Runs the characterization over `specs` on `jobs` worker threads.
+/// Trace generation + characterization per spec is pure and deterministic,
+/// and results merge in input order, so output is jobs-independent.
+pub fn run_for_jobs(specs: &[WorkloadSpec], jobs: usize) -> CharacterizationResult {
     let order = ["Python", "C++", "Golang", "Data Proc", "Serverless Pltf"];
     let mut per_group: Vec<Vec<Characterization>> = vec![Vec::new(); order.len()];
     let mut function_chs = Vec::new();
-    for spec in specs {
-        let ch = analysis::characterize(&generate(spec));
+    let chs =
+        crate::runner::map_ordered(jobs, specs, |spec| analysis::characterize(&generate(spec)));
+    for (spec, ch) in specs.iter().zip(chs) {
         let gi = order
             .iter()
             .position(|g| *g == group_of(spec))
@@ -69,16 +72,30 @@ pub fn run_for(specs: &[WorkloadSpec]) -> CharacterizationResult {
     }
 }
 
+/// Runs the characterization over `specs` (worker count from the
+/// environment; see [`crate::runner::effective_jobs`]).
+pub fn run_for(specs: &[WorkloadSpec]) -> CharacterizationResult {
+    run_for_jobs(specs, crate::runner::effective_jobs(None))
+}
+
 /// Runs the characterization over the full suite.
 pub fn run(ctx: &EvalContext) -> CharacterizationResult {
-    run_for(&ctx.workloads())
+    run_for_jobs(&ctx.workloads(), ctx.jobs())
 }
 
 impl fmt::Display for CharacterizationResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 2 — Allocation size (bytes), % of total allocations")?;
+        writeln!(
+            f,
+            "Fig. 2 — Allocation size (bytes), % of total allocations"
+        )?;
         let mut t = Table::new(vec![
-            "group", "[1,512]", "[513,1024]", "[1025,1536]", "[1537,2048]", "[2049+]",
+            "group",
+            "[1,512]",
+            "[513,1024]",
+            "[1025,1536]",
+            "[1537,2048]",
+            "[2049+]",
         ]);
         for g in &self.groups {
             let h = &g.ch.size_hist;
@@ -96,8 +113,18 @@ impl fmt::Display for CharacterizationResult {
         }
         writeln!(f, "{t}")?;
 
-        writeln!(f, "Fig. 3 — Allocation lifetime (malloc-free distance), % of total")?;
-        let mut t = Table::new(vec!["group", "[1-16]", "[17-32]", "[33-64]", "[65-256]", "[257-Inf]"]);
+        writeln!(
+            f,
+            "Fig. 3 — Allocation lifetime (malloc-free distance), % of total"
+        )?;
+        let mut t = Table::new(vec![
+            "group",
+            "[1-16]",
+            "[17-32]",
+            "[33-64]",
+            "[65-256]",
+            "[257-Inf]",
+        ]);
         for g in &self.groups {
             let h = &g.ch.lifetime_hist;
             let b33_64: f64 = h.percent(2) + h.percent(3);
@@ -113,11 +140,22 @@ impl fmt::Display for CharacterizationResult {
         }
         writeln!(f, "{t}")?;
 
-        writeln!(f, "Table 1 — Combined size × lifetime distribution (functions)")?;
+        writeln!(
+            f,
+            "Table 1 — Combined size × lifetime distribution (functions)"
+        )?;
         let q = self.function_quadrants;
         writeln!(f, "              Small     Large")?;
-        writeln!(f, "Short-lived   {:>5.1}%   {:>5.2}%", q.small_short, q.large_short)?;
-        writeln!(f, "Long-lived    {:>5.1}%   {:>5.2}%", q.small_long, q.large_long)?;
+        writeln!(
+            f,
+            "Short-lived   {:>5.1}%   {:>5.2}%",
+            q.small_short, q.large_short
+        )?;
+        writeln!(
+            f,
+            "Long-lived    {:>5.1}%   {:>5.2}%",
+            q.small_long, q.large_long
+        )?;
         Ok(())
     }
 }
@@ -132,6 +170,7 @@ pub struct MmBreakdownResult {
 
 /// Runs Table 2 over `specs`.
 pub fn mm_breakdown_for(ctx: &mut EvalContext, specs: &[WorkloadSpec]) -> MmBreakdownResult {
+    ctx.prefetch_kinds(specs, &[ConfigKind::Baseline]);
     let order = ["Python", "C++", "Golang", "FaaS Platform", "Data Proc."];
     let mut user: Vec<Vec<f64>> = vec![Vec::new(); order.len()];
     let mut kernel: Vec<Vec<f64>> = vec![Vec::new(); order.len()];
@@ -171,7 +210,10 @@ pub fn mm_breakdown(ctx: &mut EvalContext) -> MmBreakdownResult {
 
 impl fmt::Display for MmBreakdownResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 2 — Memory-management cycles breakdown (user/kernel)")?;
+        writeln!(
+            f,
+            "Table 2 — Memory-management cycles breakdown (user/kernel)"
+        )?;
         let mut t = Table::new(vec!["group", "user", "kernel"]);
         for (label, u, k) in &self.rows {
             t.row(vec![label.clone(), pct(*u), pct(*k)]);

@@ -20,6 +20,14 @@ pub struct IsoStorageResult {
 
 /// Runs the iso-storage comparison over `specs`.
 pub fn iso_storage_for(ctx: &mut EvalContext, specs: &[WorkloadSpec]) -> IsoStorageResult {
+    ctx.prefetch_kinds(
+        specs,
+        &[
+            ConfigKind::Baseline,
+            ConfigKind::IsoStorage,
+            ConfigKind::Memento,
+        ],
+    );
     let rows: Vec<(String, f64, f64)> = specs
         .iter()
         .map(|spec| {
@@ -53,7 +61,10 @@ pub fn iso_storage(ctx: &mut EvalContext) -> IsoStorageResult {
 
 impl fmt::Display for IsoStorageResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "§6.1 — Iso-storage comparison (HOT SRAM donated to a 9-way L1D)")?;
+        writeln!(
+            f,
+            "§6.1 — Iso-storage comparison (HOT SRAM donated to a 9-way L1D)"
+        )?;
         let mut t = Table::new(vec!["workload", "iso-L1D", "Memento"]);
         for (name, iso, mem) in &self.rows {
             t.row(vec![name.clone(), f3(*iso), f3(*mem)]);
@@ -81,9 +92,21 @@ pub struct MallaccResult {
 
 /// Runs the Mallacc comparison over the C++ members of `specs`.
 pub fn mallacc_for(ctx: &mut EvalContext, specs: &[WorkloadSpec]) -> MallaccResult {
-    let rows: Vec<(String, f64, f64)> = specs
+    let cpp: Vec<WorkloadSpec> = specs
         .iter()
         .filter(|s| s.language == Language::Cpp)
+        .cloned()
+        .collect();
+    ctx.prefetch_kinds(
+        &cpp,
+        &[
+            ConfigKind::Baseline,
+            ConfigKind::IdealMallacc,
+            ConfigKind::Memento,
+        ],
+    );
+    let rows: Vec<(String, f64, f64)> = cpp
+        .iter()
         .map(|spec| {
             let base = ctx.run(spec, ConfigKind::Baseline).clone();
             let mallacc = ctx.run(spec, ConfigKind::IdealMallacc).clone();
@@ -114,7 +137,10 @@ pub fn mallacc(ctx: &mut EvalContext) -> MallaccResult {
 
 impl fmt::Display for MallaccResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "§6.7 — Idealized Mallacc vs. Memento (C++ DeathStarBench)")?;
+        writeln!(
+            f,
+            "§6.7 — Idealized Mallacc vs. Memento (C++ DeathStarBench)"
+        )?;
         let mut t = Table::new(vec!["workload", "Mallacc", "Memento"]);
         for (name, mal, mem) in &self.rows {
             t.row(vec![name.clone(), f3(*mal), f3(*mem)]);

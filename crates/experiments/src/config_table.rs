@@ -50,8 +50,7 @@ impl fmt::Display for ConfigTable {
         writeln!(
             f,
             "HOT    {} entries (3.4 KB), direct-mapped, {} cycles",
-            NUM_SIZE_CLASSES,
-            self.costs.hot_access
+            NUM_SIZE_CLASSES, self.costs.hot_access
         )?;
         writeln!(
             f,

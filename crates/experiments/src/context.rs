@@ -1,5 +1,7 @@
 //! Memoized evaluation context: one simulation per (workload, config).
 
+use crate::runner::{self, RunnerTiming};
+use crate::sharding::{self, SimPoint};
 use memento_system::{Machine, RunStats, SystemConfig};
 use memento_workloads::spec::{Category, WorkloadSpec};
 use memento_workloads::suite;
@@ -41,27 +43,55 @@ impl ConfigKind {
 }
 
 /// Memoizing evaluation context shared by all experiment runners.
+///
+/// The context owns the harness's parallelism: [`EvalContext::prefetch`]
+/// fans uncached simulation points across `jobs` worker threads and fills
+/// the memo cache, after which every aggregation path reads the cache
+/// serially — so result tables are byte-identical at any `jobs` setting.
 pub struct EvalContext {
     cache: HashMap<(String, ConfigKind), RunStats>,
     scale_divisor: u64,
+    jobs: usize,
+    timing: RunnerTiming,
 }
 
 impl EvalContext {
     /// Full-fidelity context (the workload sizes behind EXPERIMENTS.md).
+    /// Worker count comes from `MEMENTO_JOBS` or the machine; override with
+    /// [`EvalContext::with_jobs`].
     pub fn new() -> Self {
-        EvalContext {
-            cache: HashMap::new(),
-            scale_divisor: 1,
-        }
+        Self::at_scale(1)
     }
 
     /// Quick context for tests/CI: workloads shrunk 8× (shapes preserved,
     /// absolute numbers noisier).
     pub fn quick() -> Self {
+        Self::at_scale(8)
+    }
+
+    fn at_scale(scale_divisor: u64) -> Self {
         EvalContext {
             cache: HashMap::new(),
-            scale_divisor: 8,
+            scale_divisor,
+            jobs: runner::effective_jobs(None),
+            timing: RunnerTiming::default(),
         }
+    }
+
+    /// Sets the worker-thread count for parallel sweeps (1 = serial).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The worker-thread count parallel sweeps will use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Accumulated timing over every parallel sweep this context ran.
+    pub fn timing(&self) -> &RunnerTiming {
+        &self.timing
     }
 
     /// The workload suite at this context's scale.
@@ -86,18 +116,57 @@ impl EvalContext {
         s
     }
 
+    /// Simulates one point from scratch (no memoization) — the worker body
+    /// every shard executes, identical on the serial and parallel paths.
+    pub fn simulate(point: &SimPoint) -> RunStats {
+        let mut machine = Machine::new(point.kind.system_config());
+        if point.spec.category == Category::Function {
+            machine.run(&point.spec)
+        } else {
+            machine.run_steady(&point.spec, STEADY_WARMUP)
+        }
+    }
+
+    /// Fans the uncached members of `points` across the context's worker
+    /// pool and memoizes their results. Already-cached points cost nothing;
+    /// the plan (dedup + shard-id order) is independent of caller order and
+    /// thread scheduling, so any later cache read sees the same stats a
+    /// serial sweep would have produced.
+    pub fn prefetch(&mut self, points: Vec<SimPoint>) -> RunnerTiming {
+        let todo: Vec<SimPoint> = sharding::plan(points)
+            .into_iter()
+            .filter(|p| !self.cache.contains_key(&p.key()))
+            .collect();
+        let (stats, timing) = runner::map_timed(
+            self.jobs,
+            &todo,
+            Self::simulate,
+            |p| format!("{}/{:?}", p.spec.name, p.kind),
+            |r| r.total_cycles().raw(),
+        );
+        for (point, stat) in todo.iter().zip(stats) {
+            self.cache.insert(point.key(), stat);
+        }
+        self.timing.merge(&timing);
+        timing
+    }
+
+    /// Convenience: prefetches `specs` under every kind in `kinds`.
+    pub fn prefetch_kinds(&mut self, specs: &[WorkloadSpec], kinds: &[ConfigKind]) -> RunnerTiming {
+        let points = specs
+            .iter()
+            .flat_map(|s| kinds.iter().map(|k| SimPoint::new(s.clone(), *k)))
+            .collect();
+        self.prefetch(points)
+    }
+
     /// Runs (or returns the memoized run of) `spec` under `kind`.
     /// Long-running categories are measured at steady state.
     pub fn run(&mut self, spec: &WorkloadSpec, kind: ConfigKind) -> &RunStats {
         let key = (spec.name.clone(), kind);
-        self.cache.entry(key).or_insert_with(|| {
-            let mut machine = Machine::new(kind.system_config());
-            if spec.category == Category::Function {
-                machine.run(spec)
-            } else {
-                machine.run_steady(spec, STEADY_WARMUP)
-            }
-        })
+        self.cache
+            .entry(key)
+            .or_insert_with(|| EvalContext::simulate(&SimPoint::new(spec.clone(), kind)))
     }
 
     /// Convenience: the (baseline, memento) pair for `spec`.
@@ -146,6 +215,36 @@ mod tests {
         let b = ctx.run(&spec, ConfigKind::Baseline).total_cycles();
         assert_eq!(a, b);
         assert_eq!(ctx.cache.len(), 1);
+    }
+
+    #[test]
+    fn prefetch_matches_serial_run() {
+        let mut serial = EvalContext::quick().with_jobs(1);
+        let mut parallel = EvalContext::quick().with_jobs(4);
+        let mut spec = serial.workload("aes");
+        spec.total_instructions = 100_000;
+        let points: Vec<SimPoint> = [ConfigKind::Baseline, ConfigKind::Memento]
+            .into_iter()
+            .map(|k| SimPoint::new(spec.clone(), k))
+            .collect();
+        serial.prefetch(points.clone());
+        let timing = parallel.prefetch(points);
+        assert_eq!(timing.shards.len(), 2);
+        for kind in [ConfigKind::Baseline, ConfigKind::Memento] {
+            assert_eq!(
+                serial.run(&spec, kind).total_cycles(),
+                parallel.run(&spec, kind).total_cycles(),
+                "{kind:?} diverged between serial and parallel"
+            );
+        }
+        // A second prefetch of the same points is a cached no-op.
+        let again = parallel.prefetch(
+            [ConfigKind::Baseline, ConfigKind::Memento]
+                .into_iter()
+                .map(|k| SimPoint::new(spec.clone(), k))
+                .collect(),
+        );
+        assert!(again.shards.is_empty());
     }
 
     #[test]

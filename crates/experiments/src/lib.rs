@@ -23,6 +23,11 @@
 //!
 //! Runs are memoized in an [`EvalContext`] so one sweep feeds every figure.
 //!
+//! Independent simulation points fan out across a fixed worker pool
+//! ([`runner`]) following a deterministic shard plan ([`sharding`]):
+//! results are slotted by shard, never by completion order, so tables are
+//! byte-identical at any `--jobs` / `MEMENTO_JOBS` setting.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -50,9 +55,13 @@ pub mod memusage;
 pub mod multicore;
 pub mod pricing;
 pub mod report;
+pub mod runner;
 pub mod sensitivity;
+pub mod sharding;
 pub mod speedup;
 pub mod table;
 
 pub use context::{ConfigKind, EvalContext};
+pub use runner::{map_ordered, RunnerTiming};
+pub use sharding::SimPoint;
 pub use table::Table;

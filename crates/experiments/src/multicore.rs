@@ -7,6 +7,7 @@
 //! evaluation to true spatial co-location and checks that per-function
 //! speedups survive cache/bandwidth contention.
 
+use crate::runner;
 use crate::table::{f3, Table};
 use memento_system::{stats, Machine, SystemConfig};
 use memento_workloads::spec::WorkloadSpec;
@@ -25,8 +26,9 @@ pub struct MulticoreResult {
 }
 
 /// Runs `names` concurrently on as many cores, under baseline and Memento,
-/// and compares per-function speedups against their solo runs.
-pub fn run_for(names: &[&str], scale_divisor: u64) -> MulticoreResult {
+/// and compares per-function speedups against their solo runs; simulations
+/// fan out over `jobs` worker threads.
+pub fn run_for_jobs(names: &[&str], scale_divisor: u64, jobs: usize) -> MulticoreResult {
     let specs: Vec<WorkloadSpec> = names
         .iter()
         .map(|n| {
@@ -48,16 +50,32 @@ pub fn run_for(names: &[&str], scale_divisor: u64) -> MulticoreResult {
         ..SystemConfig::memento()
     };
 
-    let base_runs = Machine::new(cfg_base).run_concurrent(&specs);
-    let mem_runs = Machine::new(cfg_mem).run_concurrent(&specs);
+    // Each co-located trial simulates all cores on one machine, so the two
+    // trials are the two big shards; the per-spec solo runs fan out beside
+    // them.
+    let concurrent_cfgs = [cfg_base, cfg_mem];
+    let mut concurrent = runner::map_ordered(jobs, &concurrent_cfgs, |cfg| {
+        Machine::new(cfg.clone()).run_concurrent(&specs)
+    });
+    let mem_runs = concurrent.pop().expect("memento trial");
+    let base_runs = concurrent.pop().expect("baseline trial");
+
+    let solo_points: Vec<(SystemConfig, WorkloadSpec)> = specs
+        .iter()
+        .flat_map(|spec| {
+            [SystemConfig::baseline(), SystemConfig::memento()].map(|cfg| (cfg, spec.clone()))
+        })
+        .collect();
+    let solo = runner::map_ordered(jobs, &solo_points, |(cfg, spec)| {
+        Machine::new(cfg.clone()).run(spec)
+    });
 
     let mut rows = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
-        let solo_base = Machine::new(SystemConfig::baseline()).run(spec);
-        let solo_mem = Machine::new(SystemConfig::memento()).run(spec);
+        let (solo_base, solo_mem) = (&solo[2 * i], &solo[2 * i + 1]);
         rows.push((
             spec.name.clone(),
-            stats::speedup(&solo_base, &solo_mem),
+            stats::speedup(solo_base, solo_mem),
             // Per-function cycle ledgers are per-run even under sharing.
             base_runs[i].total_cycles().raw() as f64
                 / mem_runs[i].total_cycles().raw().max(1) as f64,
@@ -70,6 +88,11 @@ pub fn run_for(names: &[&str], scale_divisor: u64) -> MulticoreResult {
         colocated_avg: stats::geomean(&colo),
         rows,
     }
+}
+
+/// Runs the co-location study with the worker count from the environment.
+pub fn run_for(names: &[&str], scale_divisor: u64) -> MulticoreResult {
+    run_for_jobs(names, scale_divisor, runner::effective_jobs(None))
 }
 
 /// Default four-function co-location study.

@@ -123,7 +123,10 @@ pub fn run(ctx: &mut EvalContext) -> PricingResult {
 
 impl fmt::Display for PricingResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 14 — Normalized function runtime pricing (baseline = 1.0)")?;
+        writeln!(
+            f,
+            "Fig. 14 — Normalized function runtime pricing (baseline = 1.0)"
+        )?;
         let mut t = Table::new(vec!["workload", "runtime cost", "end-to-end"]);
         for r in &self.rows {
             t.row(vec![

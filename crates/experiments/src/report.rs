@@ -3,10 +3,10 @@
 
 use crate::context::EvalContext;
 use crate::{
-    arena_list, bandwidth, breakdown, characterization, comparisons, config_table, hot,
-    memusage, pricing, sensitivity, speedup,
+    arena_list, bandwidth, breakdown, characterization, comparisons, config_table, hot, memusage,
+    pricing, sensitivity, speedup,
 };
-use serde_json::json;
+use memento_simcore::json::Value;
 use std::fmt;
 
 /// The complete evaluation.
@@ -41,8 +41,48 @@ pub struct FullReport {
     pub fragmentation: sensitivity::FragmentationResult,
 }
 
+/// Prefetches every simulation point the full report needs, fanning them
+/// across the context's worker pool in one balanced sweep. Figures then
+/// read the memo cache, so the report is byte-identical at any job count.
+fn prefetch_all(ctx: &mut EvalContext) {
+    use crate::context::ConfigKind;
+    use memento_workloads::spec::{Category, Language};
+
+    let suite = ctx.workloads();
+    let mut points: Vec<crate::sharding::SimPoint> = Vec::new();
+    for spec in &suite {
+        for kind in [
+            ConfigKind::Baseline,
+            ConfigKind::Memento,
+            ConfigKind::MementoNoBypass,
+        ] {
+            points.push(crate::sharding::SimPoint::new(spec.clone(), kind));
+        }
+        if spec.category == Category::Function {
+            // §6.1 iso-storage and §6.6 populate cover the functions.
+            points.push(crate::sharding::SimPoint::new(
+                spec.clone(),
+                ConfigKind::IsoStorage,
+            ));
+            points.push(crate::sharding::SimPoint::new(
+                spec.clone(),
+                ConfigKind::BaselinePopulate,
+            ));
+            if spec.language == Language::Cpp {
+                // §6.7 Mallacc covers the C++ functions.
+                points.push(crate::sharding::SimPoint::new(
+                    spec.clone(),
+                    ConfigKind::IdealMallacc,
+                ));
+            }
+        }
+    }
+    ctx.prefetch(points);
+}
+
 /// Runs the complete evaluation (reusing memoized runs across figures).
 pub fn run(ctx: &mut EvalContext) -> FullReport {
+    prefetch_all(ctx);
     FullReport {
         config: config_table::run(),
         characterization: characterization::run(ctx),
@@ -63,25 +103,75 @@ pub fn run(ctx: &mut EvalContext) -> FullReport {
 
 impl FullReport {
     /// Key headline numbers as JSON (for archival/regression tracking).
-    pub fn summary_json(&self) -> serde_json::Value {
-        json!({
-            "func_avg_speedup": self.speedup.func_avg,
-            "data_avg_speedup": self.speedup.data_avg,
-            "pltf_avg_speedup": self.speedup.pltf_avg,
-            "func_bandwidth_reduction": self.bandwidth.func_avg,
-            "bypass_bandwidth_share": self.bandwidth.bypass_avg,
-            "hot_alloc_hit": self.hot.func_alloc_avg,
-            "hot_free_hit": self.hot.func_free_avg,
-            "max_arena_list_alloc_rate": self.arena_list.max_alloc_rate,
-            "runtime_pricing_saving": self.pricing.runtime_saving_avg,
-            "end_to_end_pricing_saving": self.pricing.end_to_end_saving_avg,
-            "iso_storage_avg": self.iso.iso_avg,
-            "mallacc_avg": self.mallacc.mallacc_avg,
-            "mallacc_memento_avg": self.mallacc.memento_avg,
-            "speedups": self.speedup.rows.iter()
-                .map(|r| json!({"name": r.name, "speedup": r.speedup}))
-                .collect::<Vec<_>>(),
-        })
+    pub fn summary_json(&self) -> Value {
+        let mut doc = Value::object();
+        doc.set("func_avg_speedup", self.speedup.func_avg)
+            .set("data_avg_speedup", self.speedup.data_avg)
+            .set("pltf_avg_speedup", self.speedup.pltf_avg)
+            .set("func_bandwidth_reduction", self.bandwidth.func_avg)
+            .set("bypass_bandwidth_share", self.bandwidth.bypass_avg)
+            .set("hot_alloc_hit", self.hot.func_alloc_avg)
+            .set("hot_free_hit", self.hot.func_free_avg)
+            .set("max_arena_list_alloc_rate", self.arena_list.max_alloc_rate)
+            .set("runtime_pricing_saving", self.pricing.runtime_saving_avg)
+            .set(
+                "end_to_end_pricing_saving",
+                self.pricing.end_to_end_saving_avg,
+            )
+            .set("iso_storage_avg", self.iso.iso_avg)
+            .set("mallacc_avg", self.mallacc.mallacc_avg)
+            .set("mallacc_memento_avg", self.mallacc.memento_avg)
+            .set(
+                "speedups",
+                Value::Array(
+                    self.speedup
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            let mut row = Value::object();
+                            row.set("name", r.name.as_str()).set("speedup", r.speedup);
+                            row
+                        })
+                        .collect(),
+                ),
+            );
+        doc
+    }
+}
+
+/// Harness timing summary for a finished evaluation: overall wall-clock,
+/// throughput (points/sec, simulated cycles/sec), and the slowest shards.
+/// Printed *after* the deterministic tables — wall-clock is the one output
+/// allowed to differ between runs and job counts.
+pub struct TimingSummary {
+    timing: crate::runner::RunnerTiming,
+}
+
+/// Builds the timing summary from everything `ctx` has executed so far.
+pub fn timing_summary(ctx: &EvalContext) -> TimingSummary {
+    TimingSummary {
+        timing: ctx.timing().clone(),
+    }
+}
+
+impl fmt::Display for TimingSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.timing)?;
+        let mut slowest: Vec<_> = self.timing.shards.iter().collect();
+        slowest.sort_by_key(|s| std::cmp::Reverse(s.wall));
+        if !slowest.is_empty() {
+            writeln!(f, "top shards by wall-clock:")?;
+        }
+        for s in slowest.iter().take(5) {
+            writeln!(
+                f,
+                "  {:<28} {:>8.3} s  {:>12} cycles",
+                s.key,
+                s.wall.as_secs_f64(),
+                s.sim_cycles
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -2,6 +2,7 @@
 //! fragmentation, cold starts, and software-allocator tuning.
 
 use crate::context::{ConfigKind, EvalContext};
+use crate::runner;
 use crate::table::{f3, Table};
 use memento_system::{stats, Machine, SystemConfig};
 use memento_workloads::spec::{AllocatorKind, Category, Language, WorkloadSpec};
@@ -17,6 +18,15 @@ pub struct PopulateResult {
 
 /// Runs the populate study over the function members of `specs`.
 pub fn populate_for(ctx: &mut EvalContext, specs: &[WorkloadSpec]) -> PopulateResult {
+    let functions: Vec<WorkloadSpec> = specs
+        .iter()
+        .filter(|s| s.category == Category::Function)
+        .cloned()
+        .collect();
+    ctx.prefetch_kinds(
+        &functions,
+        &[ConfigKind::Baseline, ConfigKind::BaselinePopulate],
+    );
     let mut rows = Vec::new();
     for lang in [Language::Python, Language::Cpp, Language::Golang] {
         let members: Vec<&WorkloadSpec> = specs
@@ -32,9 +42,7 @@ pub fn populate_for(ctx: &mut EvalContext, specs: &[WorkloadSpec]) -> PopulateRe
             let lazy = ctx.run(spec, ConfigKind::Baseline).clone();
             let eager = ctx.run(spec, ConfigKind::BaselinePopulate).clone();
             speedups.push(stats::speedup(&lazy, &eager));
-            footprints.push(
-                eager.user_pages_agg.max(1) as f64 / lazy.user_pages_agg.max(1) as f64,
-            );
+            footprints.push(eager.user_pages_agg.max(1) as f64 / lazy.user_pages_agg.max(1) as f64);
         }
         let n = speedups.len() as f64;
         rows.push((
@@ -85,8 +93,14 @@ pub fn multiprocess_for(
     quantum_events: usize,
 ) -> MultiprocessResult {
     let specs: Vec<WorkloadSpec> = names.iter().map(|n| ctx.workload(n)).collect();
-    let base_stats = Machine::new(SystemConfig::baseline()).run_timeshared(&specs, quantum_events);
-    let mem_stats = Machine::new(SystemConfig::memento()).run_timeshared(&specs, quantum_events);
+    // The time-shared trial is one machine per system; the two systems are
+    // independent, so they are the two shards of this sweep.
+    let configs = [SystemConfig::baseline(), SystemConfig::memento()];
+    let mut trials = runner::map_ordered(ctx.jobs(), &configs, |cfg| {
+        Machine::new(cfg.clone()).run_timeshared(&specs, quantum_events)
+    });
+    let mem_stats = trials.pop().expect("memento trial");
+    let base_stats = trials.pop().expect("baseline trial");
     let speedups: Vec<f64> = base_stats
         .iter()
         .zip(&mem_stats)
@@ -122,9 +136,17 @@ pub fn multiprocess(ctx: &EvalContext) -> MultiprocessResult {
 
 impl fmt::Display for MultiprocessResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "§6.6 — Multi-process environments ({} functions, 1 core)", self.functions)?;
+        writeln!(
+            f,
+            "§6.6 — Multi-process environments ({} functions, 1 core)",
+            self.functions
+        )?;
         writeln!(f, "HOT flushes:          {}", self.hot_flushes)?;
-        writeln!(f, "flush overhead bound: {:.4}% of cycles", self.flush_overhead * 100.0)?;
+        writeln!(
+            f,
+            "flush overhead bound: {:.4}% of cycles",
+            self.flush_overhead * 100.0
+        )?;
         write!(f, "time-shared speedup:  {:.3}", self.speedup)
     }
 }
@@ -141,20 +163,21 @@ pub struct FragmentationResult {
 
 /// Runs the fragmentation study over the function members of `specs`.
 pub fn fragmentation_for(ctx: &mut EvalContext, specs: &[WorkloadSpec]) -> FragmentationResult {
+    let functions: Vec<WorkloadSpec> = specs
+        .iter()
+        .filter(|s| s.category == Category::Function)
+        .cloned()
+        .collect();
+    ctx.prefetch_kinds(&functions, &[ConfigKind::Baseline, ConfigKind::Memento]);
     let mut rows = Vec::new();
-    for spec in specs.iter().filter(|s| s.category == Category::Function) {
+    for spec in &functions {
         let (base, mem) = ctx.pair(spec);
-        if let (Some(b), Some(m)) =
-            (base.arena_slot_idle_fraction, mem.arena_slot_idle_fraction)
-        {
+        if let (Some(b), Some(m)) = (base.arena_slot_idle_fraction, mem.arena_slot_idle_fraction) {
             rows.push((spec.name.clone(), m, b));
         }
     }
-    let mean_gap = rows
-        .iter()
-        .map(|(_, m, b)| (m - b).abs())
-        .sum::<f64>()
-        / rows.len().max(1) as f64;
+    let mean_gap =
+        rows.iter().map(|(_, m, b)| (m - b).abs()).sum::<f64>() / rows.len().max(1) as f64;
     FragmentationResult { rows, mean_gap }
 }
 
@@ -166,7 +189,10 @@ pub fn fragmentation(ctx: &mut EvalContext) -> FragmentationResult {
 
 impl fmt::Display for FragmentationResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "§6.6 — Fragmentation (idle fraction of backed small-object heap)")?;
+        writeln!(
+            f,
+            "§6.6 — Fragmentation (idle fraction of backed small-object heap)"
+        )?;
         let mut t = Table::new(vec!["workload", "Memento", "software"]);
         for (name, m, b) in &self.rows {
             t.row(vec![name.clone(), format!("{:.3}", m), format!("{:.3}", b)]);
@@ -187,19 +213,39 @@ pub struct ColdstartResult {
 /// runtime (SOCK/Firecracker-scale container set-up relative to scaled
 /// function bodies).
 pub fn coldstart_for(ctx: &mut EvalContext, specs: &[WorkloadSpec]) -> ColdstartResult {
-    let mut rows = Vec::new();
-    for spec in specs.iter().filter(|s| s.category == Category::Function) {
-        let (base, mem) = ctx.pair(spec);
-        let warm = stats::speedup(&base, &mem);
-        let setup = base.total_cycles().raw() / 2;
-        let mut cfg_b = SystemConfig::baseline();
-        cfg_b.coldstart_cycles = setup;
-        let mut cfg_m = SystemConfig::memento();
-        cfg_m.coldstart_cycles = setup;
-        let cold_b = Machine::new(cfg_b).run(spec);
-        let cold_m = Machine::new(cfg_m).run(spec);
-        rows.push((spec.name.clone(), warm, stats::speedup(&cold_b, &cold_m)));
-    }
+    let functions: Vec<WorkloadSpec> = specs
+        .iter()
+        .filter(|s| s.category == Category::Function)
+        .cloned()
+        .collect();
+    ctx.prefetch_kinds(&functions, &[ConfigKind::Baseline, ConfigKind::Memento]);
+    // Cold configs derive from the warm baseline totals, so they cannot be
+    // memoized under a ConfigKind; fan the custom runs over the pool
+    // directly. One work item per (spec, config) keeps shards balanced.
+    let cold_points: Vec<(WorkloadSpec, SystemConfig)> = functions
+        .iter()
+        .flat_map(|spec| {
+            let setup = ctx.run(spec, ConfigKind::Baseline).total_cycles().raw() / 2;
+            let mut cfg_b = SystemConfig::baseline();
+            cfg_b.coldstart_cycles = setup;
+            let mut cfg_m = SystemConfig::memento();
+            cfg_m.coldstart_cycles = setup;
+            [(spec.clone(), cfg_b), (spec.clone(), cfg_m)]
+        })
+        .collect();
+    let cold_stats = runner::map_ordered(ctx.jobs(), &cold_points, |(spec, cfg)| {
+        Machine::new(cfg.clone()).run(spec)
+    });
+    let rows = functions
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let (base, mem) = ctx.pair(spec);
+            let warm = stats::speedup(&base, &mem);
+            let (cold_b, cold_m) = (&cold_stats[2 * i], &cold_stats[2 * i + 1]);
+            (spec.name.clone(), warm, stats::speedup(cold_b, cold_m))
+        })
+        .collect();
     ColdstartResult { rows }
 }
 
@@ -224,28 +270,51 @@ pub struct TuningResult {
 /// Runs the tuning study on the Python members of `specs`: 256 KB vs 1 MB
 /// arenas.
 pub fn tuning_for(ctx: &mut EvalContext, specs: &[WorkloadSpec]) -> TuningResult {
-    let mut rows = Vec::new();
-    for spec in specs
+    let python: Vec<WorkloadSpec> = specs
         .iter()
         .filter(|s| s.allocator == AllocatorKind::PyMalloc && s.category == Category::Function)
-    {
-        let stock = ctx.run(spec, ConfigKind::Baseline).clone();
-        let memento = ctx.run(spec, ConfigKind::Memento).clone();
-        let mut tuned_spec = spec.clone();
-        tuned_spec.allocator = AllocatorKind::PyMallocTuned { arena_kb: 1024 };
-        let tuned = Machine::new(SystemConfig::baseline()).run(&tuned_spec);
-        let baseline_gain = stats::speedup(&stock, &tuned);
-        // Memento speedup measured against the tuned baseline.
-        let memento_vs_tuned = stats::speedup(&tuned, &memento);
-        rows.push((spec.name.clone(), baseline_gain, memento_vs_tuned));
-    }
+        .cloned()
+        .collect();
+    ctx.prefetch_kinds(&python, &[ConfigKind::Baseline, ConfigKind::Memento]);
+    // Tuned-allocator specs live outside the ConfigKind space; run them on
+    // the pool directly.
+    let tuned_specs: Vec<WorkloadSpec> = python
+        .iter()
+        .map(|spec| {
+            let mut tuned = spec.clone();
+            tuned.allocator = AllocatorKind::PyMallocTuned { arena_kb: 1024 };
+            tuned
+        })
+        .collect();
+    let tuned_stats = runner::map_ordered(ctx.jobs(), &tuned_specs, |spec| {
+        Machine::new(SystemConfig::baseline()).run(spec)
+    });
+    let rows = python
+        .iter()
+        .zip(&tuned_stats)
+        .map(|(spec, tuned)| {
+            let stock = ctx.run(spec, ConfigKind::Baseline).clone();
+            let memento = ctx.run(spec, ConfigKind::Memento).clone();
+            let baseline_gain = stats::speedup(&stock, tuned);
+            // Memento speedup measured against the tuned baseline.
+            let memento_vs_tuned = stats::speedup(tuned, &memento);
+            (spec.name.clone(), baseline_gain, memento_vs_tuned)
+        })
+        .collect();
     TuningResult { rows }
 }
 
 impl fmt::Display for TuningResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "§6.6 — Tuning software allocators (pymalloc 256 KB → 1 MB arenas)")?;
-        let mut t = Table::new(vec!["workload", "tuned-baseline speedup", "Memento vs tuned"]);
+        writeln!(
+            f,
+            "§6.6 — Tuning software allocators (pymalloc 256 KB → 1 MB arenas)"
+        )?;
+        let mut t = Table::new(vec![
+            "workload",
+            "tuned-baseline speedup",
+            "Memento vs tuned",
+        ]);
         for (name, b, m) in &self.rows {
             t.row(vec![name.clone(), f3(*b), f3(*m)]);
         }

@@ -50,6 +50,8 @@ impl SpeedupResult {
 
 /// Runs Fig. 8 over `specs`.
 pub fn run_for(ctx: &mut EvalContext, specs: &[WorkloadSpec]) -> SpeedupResult {
+    use crate::context::ConfigKind;
+    ctx.prefetch_kinds(specs, &[ConfigKind::Baseline, ConfigKind::Memento]);
     let rows: Vec<SpeedupRow> = specs
         .iter()
         .map(|spec| {

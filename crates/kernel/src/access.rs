@@ -74,8 +74,7 @@ pub fn demand_access(
                 }
                 WalkOutcome::NotPresent { .. } => {
                     faulted = true;
-                    let fault =
-                        kernel.handle_page_fault(mem, mem_sys, tlb, core, proc, va)?;
+                    let fault = kernel.handle_page_fault(mem, mem_sys, tlb, core, proc, va)?;
                     kernel_cycles += fault.cycles;
                     fault.frame
                 }
@@ -111,20 +110,42 @@ mod tests {
         let mut walker = PageWalker::new();
 
         let m = kernel
-            .mmap(&mut mem, &mut sys, &mut tlb, 0, &mut proc, 8192, MmapFlags::default())
+            .mmap(
+                &mut mem,
+                &mut sys,
+                &mut tlb,
+                0,
+                &mut proc,
+                8192,
+                MmapFlags::default(),
+            )
             .unwrap();
 
         let first = demand_access(
-            &mut kernel, &mut walker, &mut mem, &mut sys, &mut tlb, 0, &mut proc,
-            m.addr, AccessKind::Write,
+            &mut kernel,
+            &mut walker,
+            &mut mem,
+            &mut sys,
+            &mut tlb,
+            0,
+            &mut proc,
+            m.addr,
+            AccessKind::Write,
         )
         .unwrap();
         assert!(first.faulted);
         assert!(first.kernel_cycles > Cycles::new(2000));
 
         let second = demand_access(
-            &mut kernel, &mut walker, &mut mem, &mut sys, &mut tlb, 0, &mut proc,
-            m.addr.add(8), AccessKind::Read,
+            &mut kernel,
+            &mut walker,
+            &mut mem,
+            &mut sys,
+            &mut tlb,
+            0,
+            &mut proc,
+            m.addr.add(8),
+            AccessKind::Read,
         )
         .unwrap();
         assert!(!second.faulted);
@@ -142,8 +163,15 @@ mod tests {
         let mut walker = PageWalker::new();
 
         let err = demand_access(
-            &mut kernel, &mut walker, &mut mem, &mut sys, &mut tlb, 0, &mut proc,
-            VirtAddr::new(0x0dea_dbee_f000), AccessKind::Read,
+            &mut kernel,
+            &mut walker,
+            &mut mem,
+            &mut sys,
+            &mut tlb,
+            0,
+            &mut proc,
+            VirtAddr::new(0x0dea_dbee_f000),
+            AccessKind::Read,
         )
         .unwrap_err();
         assert!(matches!(err, KernelError::Segfault(_)));
@@ -158,15 +186,34 @@ mod tests {
         let mut tlb = Tlb::default();
         let mut walker = PageWalker::new();
         let m = kernel
-            .mmap(&mut mem, &mut sys, &mut tlb, 0, &mut proc, 4096, MmapFlags { populate: true })
+            .mmap(
+                &mut mem,
+                &mut sys,
+                &mut tlb,
+                0,
+                &mut proc,
+                4096,
+                MmapFlags { populate: true },
+            )
             .unwrap();
         let walks_before = walker.stats().walks.total();
         let acc = demand_access(
-            &mut kernel, &mut walker, &mut mem, &mut sys, &mut tlb, 0, &mut proc,
-            m.addr, AccessKind::Read,
+            &mut kernel,
+            &mut walker,
+            &mut mem,
+            &mut sys,
+            &mut tlb,
+            0,
+            &mut proc,
+            m.addr,
+            AccessKind::Read,
         )
         .unwrap();
         assert!(!acc.faulted);
-        assert_eq!(walker.stats().walks.total(), walks_before, "no walk on TLB hit");
+        assert_eq!(
+            walker.stats().walks.total(),
+            walks_before,
+            "no walk on TLB hit"
+        );
     }
 }

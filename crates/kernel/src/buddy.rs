@@ -8,7 +8,6 @@
 //! `aggregate` counts.
 
 use memento_simcore::physmem::Frame;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -16,7 +15,7 @@ use std::fmt;
 pub const MAX_ORDER: u8 = 10;
 
 /// What an allocated frame is used for; drives the Fig. 11 breakdown.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FrameUse {
     /// Userspace heap pages (anonymous mmap backing).
     UserHeap,
@@ -46,7 +45,7 @@ impl FrameUse {
 }
 
 /// Per-use frame statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UseStats {
     /// Frames currently allocated.
     pub current: u64,
@@ -57,7 +56,7 @@ pub struct UseStats {
 }
 
 /// Snapshot of the allocator's frame accounting.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FrameStats {
     user_heap: UseStats,
     page_table: UseStats,
@@ -396,6 +395,9 @@ mod tests {
         assert_eq!(d, a, "lowest free frame reused");
         b.free(c, FrameUse::UserHeap);
         b.free(d, FrameUse::UserHeap);
-        assert!(b.alloc_order(3, FrameUse::UserHeap).is_ok(), "full coalesce");
+        assert!(
+            b.alloc_order(3, FrameUse::UserHeap).is_ok(),
+            "full coalesce"
+        );
     }
 }

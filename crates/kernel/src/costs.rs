@@ -7,10 +7,8 @@
 //! user/kernel memory-management splits; each constant is in core cycles at
 //! 3 GHz.
 
-use serde::{Deserialize, Serialize};
-
 /// Cycle costs of kernel operations (excluding their memory accesses).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct KernelCosts {
     /// Mode switch in and out of the kernel (syscall instruction, register
     /// save/restore, return): charged once per syscall.

@@ -15,11 +15,10 @@ use memento_simcore::cycles::Cycles;
 use memento_simcore::physmem::{Frame, PhysMem};
 use memento_vm::pagetable::PtePerms;
 use memento_vm::tlb::Tlb;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A process identifier.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ProcessId(pub u32);
 
 impl fmt::Display for ProcessId {
@@ -38,14 +37,14 @@ pub struct Process {
 }
 
 /// `mmap` flags relevant to the model.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MmapFlags {
     /// `MAP_POPULATE`: eagerly back every page (§6.6 sensitivity study).
     pub populate: bool,
 }
 
 /// Kernel activity counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// mmap syscalls served.
     pub mmaps: u64,
@@ -216,9 +215,9 @@ impl Kernel {
         mem.zero_frame(root);
         Process {
             pid,
-            addr_space: AddressSpace::with_page_table(
-                memento_vm::pagetable::PageTable::with_root(root),
-            ),
+            addr_space: AddressSpace::with_page_table(memento_vm::pagetable::PageTable::with_root(
+                root,
+            )),
         }
     }
 
@@ -474,7 +473,12 @@ mod tests {
             .unwrap();
         assert!(out.cycles >= Cycles::new(2100), "syscall + mmap work");
         // No physical backing yet.
-        assert!(r.proc.addr_space.page_table.translate(&r.mem, out.addr).is_none());
+        assert!(r
+            .proc
+            .addr_space
+            .page_table
+            .translate(&r.mem, out.addr)
+            .is_none());
         assert_eq!(r.kernel.frame_stats().get(FrameUse::UserHeap).aggregate, 0);
     }
 
@@ -483,11 +487,26 @@ mod tests {
         let mut r = rig();
         let out = r
             .kernel
-            .mmap(&mut r.mem, &mut r.sys, &mut r.tlb, 0, &mut r.proc, 4096, MmapFlags::default())
+            .mmap(
+                &mut r.mem,
+                &mut r.sys,
+                &mut r.tlb,
+                0,
+                &mut r.proc,
+                4096,
+                MmapFlags::default(),
+            )
             .unwrap();
         let fault = r
             .kernel
-            .handle_page_fault(&mut r.mem, &mut r.sys, &mut r.tlb, 0, &mut r.proc, out.addr.add(100))
+            .handle_page_fault(
+                &mut r.mem,
+                &mut r.sys,
+                &mut r.tlb,
+                0,
+                &mut r.proc,
+                out.addr.add(100),
+            )
             .unwrap();
         assert!(fault.cycles >= Cycles::new(2000), "fault path is expensive");
         assert_eq!(
@@ -553,12 +572,28 @@ mod tests {
         let len = 4 * PAGE_SIZE as u64;
         let out = r
             .kernel
-            .mmap(&mut r.mem, &mut r.sys, &mut r.tlb, 0, &mut r.proc, len, MmapFlags { populate: true })
+            .mmap(
+                &mut r.mem,
+                &mut r.sys,
+                &mut r.tlb,
+                0,
+                &mut r.proc,
+                len,
+                MmapFlags { populate: true },
+            )
             .unwrap();
         let free_before = r.kernel.buddy.free_frames();
         let um = r
             .kernel
-            .munmap(&mut r.mem, &mut r.sys, &mut r.tlb, 0, &mut r.proc, out.addr, len)
+            .munmap(
+                &mut r.mem,
+                &mut r.sys,
+                &mut r.tlb,
+                0,
+                &mut r.proc,
+                out.addr,
+                len,
+            )
             .unwrap();
         assert_eq!(um.released_pages, 4);
         assert!(r.kernel.buddy.free_frames() > free_before);
@@ -576,18 +611,44 @@ mod tests {
         let len = 4 * PAGE_SIZE as u64;
         let out = r
             .kernel
-            .mmap(&mut r.mem, &mut r.sys, &mut r.tlb, 0, &mut r.proc, len, MmapFlags { populate: true })
+            .mmap(
+                &mut r.mem,
+                &mut r.sys,
+                &mut r.tlb,
+                0,
+                &mut r.proc,
+                len,
+                MmapFlags { populate: true },
+            )
             .unwrap();
         // Unmap the middle two pages only.
         let hole = out.addr.add(PAGE_SIZE as u64);
         let um = r
             .kernel
-            .munmap(&mut r.mem, &mut r.sys, &mut r.tlb, 0, &mut r.proc, hole, 2 * PAGE_SIZE as u64)
+            .munmap(
+                &mut r.mem,
+                &mut r.sys,
+                &mut r.tlb,
+                0,
+                &mut r.proc,
+                hole,
+                2 * PAGE_SIZE as u64,
+            )
             .unwrap();
         assert_eq!(um.released_pages, 2);
         // Edges still mapped, hole is gone.
-        assert!(r.proc.addr_space.page_table.translate(&r.mem, out.addr).is_some());
-        assert!(r.proc.addr_space.page_table.translate(&r.mem, hole).is_none());
+        assert!(r
+            .proc
+            .addr_space
+            .page_table
+            .translate(&r.mem, out.addr)
+            .is_some());
+        assert!(r
+            .proc
+            .addr_space
+            .page_table
+            .translate(&r.mem, hole)
+            .is_none());
         assert!(r
             .proc
             .addr_space
@@ -602,7 +663,15 @@ mod tests {
         let mut r = rig();
         let err = r
             .kernel
-            .munmap(&mut r.mem, &mut r.sys, &mut r.tlb, 0, &mut r.proc, VirtAddr::new(0x5000), 4096)
+            .munmap(
+                &mut r.mem,
+                &mut r.sys,
+                &mut r.tlb,
+                0,
+                &mut r.proc,
+                VirtAddr::new(0x5000),
+                4096,
+            )
             .unwrap_err();
         assert_eq!(err, KernelError::BadMunmap);
     }

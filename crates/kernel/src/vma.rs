@@ -3,7 +3,6 @@
 use memento_simcore::addr::{VirtAddr, PAGE_SIZE};
 use memento_simcore::physmem::PhysMem;
 use memento_vm::pagetable::PageTable;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -11,7 +10,7 @@ use std::fmt;
 pub const MMAP_BASE: u64 = 0x7f00_0000_0000;
 
 /// One virtual-memory area: a contiguous, page-aligned `[start, end)` range.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Vma {
     /// Inclusive start (page-aligned).
     pub start: VirtAddr,
@@ -105,7 +104,10 @@ impl AddressSpace {
     /// Reserves a fresh page-aligned region of `len` bytes (rounded up) and
     /// records the VMA. This is the VA-assignment half of `mmap`.
     pub fn reserve(&mut self, len: u64, populated: bool) -> Vma {
-        let len = VirtAddr::new(len).page_align_up().raw().max(PAGE_SIZE as u64);
+        let len = VirtAddr::new(len)
+            .page_align_up()
+            .raw()
+            .max(PAGE_SIZE as u64);
         let start = VirtAddr::new(self.mmap_cursor);
         let end = start.add(len);
         self.mmap_cursor = end.raw();
@@ -124,12 +126,14 @@ impl AddressSpace {
     ///
     /// [`VmaError::NoExactMatch`] when no such mapping exists.
     pub fn remove(&mut self, start: VirtAddr, len: u64) -> Result<Vma, VmaError> {
-        let len = VirtAddr::new(len).page_align_up().raw().max(PAGE_SIZE as u64);
+        let len = VirtAddr::new(len)
+            .page_align_up()
+            .raw()
+            .max(PAGE_SIZE as u64);
         match self.vmas.get(&start.raw()) {
-            Some(vma) if vma.len() == len => Ok(self
-                .vmas
-                .remove(&start.raw())
-                .expect("checked present")),
+            Some(vma) if vma.len() == len => {
+                Ok(self.vmas.remove(&start.raw()).expect("checked present"))
+            }
             _ => Err(VmaError::NoExactMatch),
         }
     }
@@ -143,7 +147,10 @@ impl AddressSpace {
     ///
     /// [`VmaError::NotMapped`] when no single VMA covers the whole range.
     pub fn remove_range(&mut self, start: VirtAddr, len: u64) -> Result<Vma, VmaError> {
-        let len = VirtAddr::new(len).page_align_up().raw().max(PAGE_SIZE as u64);
+        let len = VirtAddr::new(len)
+            .page_align_up()
+            .raw()
+            .max(PAGE_SIZE as u64);
         let start = start.page_base();
         let end = start.add(len);
         let vma = *self.find(start).ok_or(VmaError::NotMapped)?;
@@ -240,7 +247,10 @@ mod tests {
             asp.remove(vma.start, PAGE_SIZE as u64),
             Err(VmaError::NoExactMatch)
         );
-        assert_eq!(asp.remove(vma.start.add(64), vma.len()), Err(VmaError::NoExactMatch));
+        assert_eq!(
+            asp.remove(vma.start.add(64), vma.len()),
+            Err(VmaError::NoExactMatch)
+        );
         assert_eq!(asp.remove(vma.start, vma.len()), Ok(vma));
         assert_eq!(asp.vma_count(), 0);
     }
@@ -263,9 +273,7 @@ mod tests {
         let vma = asp.reserve(8 * PAGE_SIZE as u64, false);
         // Punch out pages 2..4.
         let hole_start = vma.start.add(2 * PAGE_SIZE as u64);
-        let removed = asp
-            .remove_range(hole_start, 2 * PAGE_SIZE as u64)
-            .unwrap();
+        let removed = asp.remove_range(hole_start, 2 * PAGE_SIZE as u64).unwrap();
         assert_eq!(removed.start, hole_start);
         assert_eq!(removed.pages(), 2);
         assert_eq!(asp.vma_count(), 2, "split into left and right remainders");
@@ -280,11 +288,15 @@ mod tests {
         let vma = asp.reserve(4 * PAGE_SIZE as u64, false);
         asp.remove_range(vma.start, PAGE_SIZE as u64).unwrap();
         assert!(asp.find(vma.start).is_none());
-        let rest = *asp.find(vma.start.add(PAGE_SIZE as u64)).expect("suffix kept");
+        let rest = *asp
+            .find(vma.start.add(PAGE_SIZE as u64))
+            .expect("suffix kept");
         assert_eq!(rest.pages(), 3);
         let last_page = vma.start.add(3 * PAGE_SIZE as u64);
         asp.remove_range(last_page, PAGE_SIZE as u64).unwrap();
-        let mid = *asp.find(vma.start.add(PAGE_SIZE as u64)).expect("middle kept");
+        let mid = *asp
+            .find(vma.start.add(PAGE_SIZE as u64))
+            .expect("middle kept");
         assert_eq!(mid.pages(), 2);
     }
 

@@ -5,7 +5,6 @@
 //! skipped by accident — the compiler refuses to hand a virtual address to a
 //! cache, which is physically indexed in this model.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Size of a base page in bytes (x86-64 4 KiB pages).
@@ -25,7 +24,7 @@ macro_rules! addr_type {
         $(#[$doc])*
         #[derive(
             Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
+
         )]
         pub struct $name(u64);
 

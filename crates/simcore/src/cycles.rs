@@ -6,15 +6,12 @@
 //! therefore attributes every simulated cycle to a [`CycleBucket`] in a
 //! [`CycleAccount`] ledger.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A quantity of CPU clock cycles (3 GHz core in the reference config).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
 pub struct Cycles(pub u64);
 
 impl Cycles {
@@ -79,7 +76,7 @@ impl fmt::Display for Cycles {
 /// The buckets mirror the paper's reporting axes:
 /// user/kernel memory-management split (Table 2) and the Memento
 /// obj-alloc / obj-free / page-mgmt components (Fig. 9).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CycleBucket {
     /// Application compute and ordinary (non-allocator) memory accesses.
     Compute,
@@ -151,7 +148,7 @@ impl fmt::Display for CycleBucket {
 /// assert_eq!(acct.total(), Cycles::new(200));
 /// assert_eq!(acct.memory_management_total(), Cycles::new(100));
 /// ```
-#[derive(Clone, Default, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
 pub struct CycleAccount {
     buckets: [u64; CycleBucket::ALL.len()],
 }
@@ -216,9 +213,7 @@ impl CycleAccount {
 
     /// Iterates over `(bucket, cycles)` pairs in reporting order.
     pub fn iter(&self) -> impl Iterator<Item = (CycleBucket, Cycles)> + '_ {
-        CycleBucket::ALL
-            .iter()
-            .map(move |b| (*b, self.get(*b)))
+        CycleBucket::ALL.iter().map(move |b| (*b, self.get(*b)))
     }
 }
 

@@ -14,6 +14,8 @@
 //!   bytes, so page tables and allocator metadata are genuine data structures
 //!   rather than abstract counters.
 //! - [`stats`] — small counter utilities.
+//! - [`json`] — a dependency-free JSON document model used for trace
+//!   record/replay and report export (the build environment is offline).
 //!
 //! # Examples
 //!
@@ -33,6 +35,7 @@
 
 pub mod addr;
 pub mod cycles;
+pub mod json;
 pub mod physmem;
 pub mod stats;
 

@@ -8,14 +8,11 @@
 //! latency; this crate only provides storage and capacity accounting.
 
 use crate::addr::{PhysAddr, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// A physical page frame, identified by frame number.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Frame(u64);
 
 impl Frame {
@@ -91,7 +88,10 @@ impl PhysMem {
     /// Panics if `bytes` is smaller than one page.
     pub fn new(bytes: u64) -> Self {
         let total_frames = bytes / PAGE_SIZE as u64;
-        assert!(total_frames >= 1, "physical memory must hold at least one page");
+        assert!(
+            total_frames >= 1,
+            "physical memory must hold at least one page"
+        );
         PhysMem {
             pages: HashMap::new(),
             total_frames,
@@ -276,7 +276,10 @@ mod tests {
     fn frame_geometry() {
         let f = Frame::from_number(5);
         assert_eq!(f.base_addr(), PhysAddr::new(5 * PAGE_SIZE as u64));
-        assert_eq!(Frame::containing(PhysAddr::new(5 * PAGE_SIZE as u64 + 77)), f);
+        assert_eq!(
+            Frame::containing(PhysAddr::new(5 * PAGE_SIZE as u64 + 77)),
+            f
+        );
         assert_eq!(format!("{f}"), "frame#5");
     }
 

@@ -1,6 +1,5 @@
 //! Small statistics helpers used across the simulator.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A hit/miss counter pair with derived hit rate.
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert_eq!(hm.total(), 3);
 /// assert!((hm.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct HitMiss {
     /// Number of hits recorded.
     pub hits: u64,
@@ -92,7 +91,7 @@ impl fmt::Display for HitMiss {
 ///
 /// Bin `i` covers `[i * width, (i + 1) * width)`; samples at or beyond
 /// `bins * width` land in the overflow bin.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     width: u64,
     counts: Vec<u64>,
@@ -187,7 +186,11 @@ impl Histogram {
     /// Panics if geometries differ.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.width, other.width, "histogram width mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "histogram bins mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram bins mismatch"
+        );
         for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
             *dst += *src;
         }

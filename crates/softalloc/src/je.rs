@@ -170,7 +170,11 @@ impl JeMalloc {
         let line = VirtAddr::new(self.tls_base + class as u64 * 64);
         ctx.touch(
             line,
-            if write { AccessKind::Write } else { AccessKind::Read },
+            if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
         )
     }
 
@@ -317,7 +321,8 @@ impl SoftwareAllocator for JeMalloc {
     }
 
     fn take_setup_cycles(&mut self) -> (Cycles, Cycles) {
-        self.take_init_cycles().unwrap_or((Cycles::ZERO, Cycles::ZERO))
+        self.take_init_cycles()
+            .unwrap_or((Cycles::ZERO, Cycles::ZERO))
     }
 
     fn stats(&self) -> SoftAllocStats {
@@ -339,7 +344,10 @@ mod tests {
         je.alloc(&mut owner.ctx(), 64);
         let (u, k) = je.take_init_cycles().expect("init ran on first alloc");
         assert!(u > Cycles::ZERO);
-        assert!(k > Cycles::ZERO, "pre-mapping and pre-faulting hit the kernel");
+        assert!(
+            k > Cycles::ZERO,
+            "pre-mapping and pre-faulting hit the kernel"
+        );
         assert!(je.take_init_cycles().is_none(), "taken once");
     }
 
@@ -394,7 +402,9 @@ mod tests {
     fn tcache_flush_on_many_frees() {
         let mut owner = CtxOwner::new();
         let mut je = JeMalloc::new();
-        let addrs: Vec<VirtAddr> = (0..64).map(|_| je.alloc(&mut owner.ctx(), 32).addr).collect();
+        let addrs: Vec<VirtAddr> = (0..64)
+            .map(|_| je.alloc(&mut owner.ctx(), 32).addr)
+            .collect();
         for a in addrs {
             je.free(&mut owner.ctx(), a, 32);
         }

@@ -132,7 +132,12 @@ impl PyMalloc {
     }
 
     /// Reads a header field with a timed access.
-    fn hdr_read(ctx: &mut AllocCtx<'_>, pool: u64, field: u64, cycles: &mut (Cycles, Cycles)) -> u64 {
+    fn hdr_read(
+        ctx: &mut AllocCtx<'_>,
+        pool: u64,
+        field: u64,
+        cycles: &mut (Cycles, Cycles),
+    ) -> u64 {
         let (u, k) = ctx.touch(VirtAddr::new(pool + field), AccessKind::Read);
         cycles.0 += u;
         cycles.1 += k;
@@ -143,7 +148,8 @@ impl PyMalloc {
             .page_table
             .translate(ctx.mem, VirtAddr::new(pool + field))
             .expect("pool page mapped after touch");
-        ctx.mem.read_u64(t.frame.base_addr().add((pool + field) % 4096))
+        ctx.mem
+            .read_u64(t.frame.base_addr().add((pool + field) % 4096))
     }
 
     /// Writes a header field with a timed access.
@@ -344,9 +350,9 @@ impl SoftwareAllocator for PyMalloc {
                 self.arenas.remove(&arena);
                 self.usable_arenas.retain(|a| *a != arena);
                 for pools in self.usedpools.iter() {
-                    debug_assert!(pools.iter().all(|p| {
-                        *p < arena || *p >= arena + self.arena_bytes
-                    }));
+                    debug_assert!(pools
+                        .iter()
+                        .all(|p| { *p < arena || *p >= arena + self.arena_bytes }));
                 }
                 cycles.1 += ctx.munmap(VirtAddr::new(arena), self.arena_bytes);
                 self.stats.munmaps += 1;
@@ -387,7 +393,10 @@ mod tests {
         let mut owner = CtxOwner::new();
         let mut py = PyMalloc::new();
         let first = py.alloc(&mut owner.ctx(), 32);
-        assert!(first.kernel_cycles > Cycles::new(1000), "arena mmap + faults");
+        assert!(
+            first.kernel_cycles > Cycles::new(1000),
+            "arena mmap + faults"
+        );
         let later = py.alloc(&mut owner.ctx(), 32);
         assert_eq!(later.kernel_cycles, Cycles::ZERO);
         assert!(later.user_cycles < first.user_cycles + first.kernel_cycles);

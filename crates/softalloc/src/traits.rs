@@ -9,7 +9,6 @@ use memento_simcore::cycles::Cycles;
 use memento_simcore::physmem::PhysMem;
 use memento_vm::tlb::Tlb;
 use memento_vm::walker::PageWalker;
-use serde::{Deserialize, Serialize};
 
 /// Everything a software allocator needs to run one operation: the machine
 /// state it touches (memory hierarchy, TLB, kernel, process).
@@ -59,7 +58,15 @@ impl AllocCtx<'_> {
     pub fn mmap(&mut self, len: u64, flags: MmapFlags) -> (VirtAddr, Cycles) {
         let out = self
             .kernel
-            .mmap(self.mem, self.mem_sys, self.tlb, self.core, self.proc, len, flags)
+            .mmap(
+                self.mem,
+                self.mem_sys,
+                self.tlb,
+                self.core,
+                self.proc,
+                len,
+                flags,
+            )
             .expect("mmap failed");
         (out.addr, out.cycles)
     }
@@ -67,7 +74,15 @@ impl AllocCtx<'_> {
     /// Calls `munmap`; returns kernel cycles.
     pub fn munmap(&mut self, addr: VirtAddr, len: u64) -> Cycles {
         self.kernel
-            .munmap(self.mem, self.mem_sys, self.tlb, self.core, self.proc, addr, len)
+            .munmap(
+                self.mem,
+                self.mem_sys,
+                self.tlb,
+                self.core,
+                self.proc,
+                addr,
+                len,
+            )
             .expect("munmap of unknown range")
             .cycles
     }
@@ -94,7 +109,7 @@ pub struct FreeOutcome {
 }
 
 /// Activity counters common to the allocator models.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SoftAllocStats {
     /// Allocations served from the fast path (cached free object).
     pub fast_allocs: u64,
@@ -125,7 +140,10 @@ impl SoftAllocStats {
 }
 
 /// A modeled software allocator (the baseline Memento replaces).
-pub trait SoftwareAllocator {
+///
+/// `Send` is a supertrait so a `FunctionRun` (which boxes its allocator)
+/// can move across worker threads in the parallel experiment harness.
+pub trait SoftwareAllocator: Send {
     /// Human-readable model name ("pymalloc", "jemalloc", "go").
     fn name(&self) -> &'static str;
 

@@ -72,11 +72,7 @@ fn exercise(make: fn() -> Box<dyn SoftwareAllocator>, ops: Vec<Op>) -> Result<()
                     let start = order.remove(idx % order.len());
                     let span = live.remove(&start).expect("tracked");
                     // The model frees with the original requested size.
-                    alloc.free(
-                        &mut ctx,
-                        memento_simcore::VirtAddr::new(start),
-                        span,
-                    );
+                    alloc.free(&mut ctx, memento_simcore::VirtAddr::new(start), span);
                 }
             }
         }

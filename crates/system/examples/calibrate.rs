@@ -5,12 +5,29 @@ use memento_workloads::spec::Category;
 use memento_workloads::suite;
 
 const TARGETS: &[(&str, f64)] = &[
-    ("html", 1.28), ("ir", 1.10), ("bfs", 1.17), ("dna", 1.12),
-    ("aes", 1.15), ("fr", 1.13), ("jl", 1.14), ("jd", 1.12), ("mk", 1.18),
-    ("US", 1.16), ("UM", 1.17), ("CM", 1.14), ("MI", 1.12),
-    ("html-go", 1.20), ("bfs-go", 1.15), ("aes-go", 1.10),
-    ("Redis", 1.11), ("Memcached", 1.065), ("Silo", 1.075), ("SQLite3", 1.05),
-    ("up", 1.05), ("deploy", 1.06), ("invoke", 1.07),
+    ("html", 1.28),
+    ("ir", 1.10),
+    ("bfs", 1.17),
+    ("dna", 1.12),
+    ("aes", 1.15),
+    ("fr", 1.13),
+    ("jl", 1.14),
+    ("jd", 1.12),
+    ("mk", 1.18),
+    ("US", 1.16),
+    ("UM", 1.17),
+    ("CM", 1.14),
+    ("MI", 1.12),
+    ("html-go", 1.20),
+    ("bfs-go", 1.15),
+    ("aes-go", 1.10),
+    ("Redis", 1.11),
+    ("Memcached", 1.065),
+    ("Silo", 1.075),
+    ("SQLite3", 1.05),
+    ("up", 1.05),
+    ("deploy", 1.06),
+    ("invoke", 1.07),
 ];
 
 fn measure(spec: &memento_workloads::spec::WorkloadSpec) -> f64 {

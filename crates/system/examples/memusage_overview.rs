@@ -4,15 +4,25 @@ fn main() {
     for spec in suite::all_workloads() {
         let steady = spec.category != Category::Function;
         let (b, m) = if steady {
-            (Machine::new(SystemConfig::baseline()).run_steady(&spec, 0.4),
-             Machine::new(SystemConfig::memento()).run_steady(&spec, 0.4))
+            (
+                Machine::new(SystemConfig::baseline()).run_steady(&spec, 0.4),
+                Machine::new(SystemConfig::memento()).run_steady(&spec, 0.4),
+            )
         } else {
-            (Machine::new(SystemConfig::baseline()).run(&spec),
-             Machine::new(SystemConfig::memento()).run(&spec))
+            (
+                Machine::new(SystemConfig::baseline()).run(&spec),
+                Machine::new(SystemConfig::memento()).run(&spec),
+            )
         };
-        println!("{:<12} user {:>5}/{:<5} kernel {:>4}/{:<4} mmaps {:>4}/{:<4}",
-            spec.name, m.user_pages_agg, b.user_pages_agg,
-            m.kernel_pages_agg, b.kernel_pages_agg,
-            m.kernel.mmaps, b.kernel.mmaps);
+        println!(
+            "{:<12} user {:>5}/{:<5} kernel {:>4}/{:<4} mmaps {:>4}/{:<4}",
+            spec.name,
+            m.user_pages_agg,
+            b.user_pages_agg,
+            m.kernel_pages_agg,
+            b.kernel_pages_agg,
+            m.kernel.mmaps,
+            b.kernel.mmaps
+        );
     }
 }

@@ -2,8 +2,10 @@ use memento_system::{stats, Machine, SystemConfig};
 use memento_workloads::suite;
 
 fn main() {
-    println!("{:<12} {:>7} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}",
-        "name", "speedup", "mm%", "u/k", "bwred", "hotA", "hotF", "memuse", "faults");
+    println!(
+        "{:<12} {:>7} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}",
+        "name", "speedup", "mm%", "u/k", "bwred", "hotA", "hotF", "memuse", "faults"
+    );
     let mut speedups = Vec::new();
     for spec in suite::all_workloads() {
         let steady = spec.category != memento_workloads::spec::Category::Function;
@@ -23,11 +25,19 @@ fn main() {
         let hot = mem.hot.unwrap();
         let usage = (mem.user_pages_agg + mem.kernel_pages_agg) as f64
             / (base.user_pages_agg + base.kernel_pages_agg).max(1) as f64;
-        println!("{:<12} {:>7.3} {:>6.1} {:>3.0}/{:<3.0} {:>7.3} {:>7.4} {:>7.4} {:>7.3} {:>6}",
-            spec.name, s, base.mm_fraction()*100.0,
-            base.user_mm_share()*100.0, base.kernel_mm_share()*100.0,
-            bw, hot.alloc.hit_rate(), hot.free.hit_rate(), usage,
-            base.kernel.page_faults);
+        println!(
+            "{:<12} {:>7.3} {:>6.1} {:>3.0}/{:<3.0} {:>7.3} {:>7.4} {:>7.4} {:>7.3} {:>6}",
+            spec.name,
+            s,
+            base.mm_fraction() * 100.0,
+            base.user_mm_share() * 100.0,
+            base.kernel_mm_share() * 100.0,
+            bw,
+            hot.alloc.hit_rate(),
+            hot.free.hit_rate(),
+            usage,
+            base.kernel.page_faults
+        );
         if spec.category == memento_workloads::spec::Category::Function {
             speedups.push(s);
         }

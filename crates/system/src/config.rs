@@ -3,10 +3,9 @@
 use memento_cache::MemSystemConfig;
 use memento_core::device::MementoConfig;
 use memento_kernel::costs::KernelCosts;
-use serde::{Deserialize, Serialize};
 
 /// Which memory-management design the machine runs.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Mode {
     /// The software stack: language allocator + kernel (the paper's
     /// baseline).
@@ -20,7 +19,7 @@ pub enum Mode {
 }
 
 /// A complete system configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemConfig {
     /// Memory-management design point.
     pub mode: Mode,
@@ -141,10 +140,7 @@ mod tests {
         assert!(!SystemConfig::baseline().is_memento());
         assert!(SystemConfig::memento().is_memento());
         assert!(SystemConfig::baseline_populate().populate);
-        assert_eq!(
-            SystemConfig::iso_storage().mem.l1d.size_bytes,
-            36 * 1024
-        );
+        assert_eq!(SystemConfig::iso_storage().mem.l1d.size_bytes, 36 * 1024);
         match SystemConfig::memento_no_bypass().mode {
             Mode::Memento(cfg) => assert!(!cfg.bypass_enabled),
             _ => panic!("expected memento mode"),

@@ -9,10 +9,9 @@
 
 use memento_simcore::addr::VirtAddr;
 use memento_workloads::spec::Category;
-use serde::{Deserialize, Serialize};
 
 /// GC policy knobs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GcPolicy {
     /// Minimum heap bytes before the first collection.
     pub min_heap: u64,

@@ -276,7 +276,14 @@ impl Machine {
             kernel: &mut self.kernel,
         };
         let out = dev
-            .obj_alloc(&mut self.mem, &mut self.mem_sys, &mut backend, core, mproc, size)
+            .obj_alloc(
+                &mut self.mem,
+                &mut self.mem_sys,
+                &mut backend,
+                core,
+                mproc,
+                size,
+            )
             .expect("hardware alloc within 512B");
         run.account.charge(CycleBucket::HwAlloc, out.obj_cycles);
         run.account.charge(CycleBucket::HwPage, out.page_cycles);
@@ -374,7 +381,8 @@ impl Machine {
         } else {
             self.mem_sys.access(core, kind, pa)
         };
-        run.account.charge(CycleBucket::Compute, discount(out.cycles));
+        run.account
+            .charge(CycleBucket::Compute, discount(out.cycles));
     }
 
     /// Samples heap utilization for the Â§6.6 fragmentation study: live
@@ -671,29 +679,30 @@ impl Machine {
         let hot_now = self.device.as_ref().map(|d| d.hot_stats_total());
         let page_now = self.device.as_ref().map(|d| d.page_stats());
         let obj_now = self.device.as_ref().map(|d| d.obj_stats());
-        let (mem_stats, kernel_stats, frames, soft_stats, hot, page, obj) =
-            match &run.snapshot {
-                Some(snap) => (
-                    mem_now.delta(&snap.mem),
-                    kernel_now.delta(snap.kernel),
-                    frames_now.delta(&snap.frames),
-                    soft_now.delta(snap.soft),
-                    hot_now.map(|h| h.delta(snap.hot.unwrap_or_default())),
-                    page_now.map(|p| p.delta(snap.page.unwrap_or_default())),
-                    obj_now.map(|o| o.delta(snap.obj.unwrap_or_default())),
-                ),
-                None => (mem_now, kernel_now, frames_now, soft_now, hot_now, page_now, obj_now),
-            };
+        let (mem_stats, kernel_stats, frames, soft_stats, hot, page, obj) = match &run.snapshot {
+            Some(snap) => (
+                mem_now.delta(&snap.mem),
+                kernel_now.delta(snap.kernel),
+                frames_now.delta(&snap.frames),
+                soft_now.delta(snap.soft),
+                hot_now.map(|h| h.delta(snap.hot.unwrap_or_default())),
+                page_now.map(|p| p.delta(snap.page.unwrap_or_default())),
+                obj_now.map(|o| o.delta(snap.obj.unwrap_or_default())),
+            ),
+            None => (
+                mem_now, kernel_now, frames_now, soft_now, hot_now, page_now, obj_now,
+            ),
+        };
         // Fig. 11's metric is OS-level: "total number of physical pages
         // allocated during simulated execution". The entire Memento pool
         // (including the hardware-built Memento page table) is user-
         // attributed memory the process acquired for its heap; kernel
         // memory is what the OS itself allocates (process page tables,
         // metadata) — which Memento mostly eliminates.
-        let user_pages = frames.get(FrameUse::UserHeap).aggregate
-            + frames.get(FrameUse::MementoPool).aggregate;
-        let kernel_pages = frames.get(FrameUse::PageTable).aggregate
-            + frames.get(FrameUse::KernelMeta).aggregate;
+        let user_pages =
+            frames.get(FrameUse::UserHeap).aggregate + frames.get(FrameUse::MementoPool).aggregate;
+        let kernel_pages =
+            frames.get(FrameUse::PageTable).aggregate + frames.get(FrameUse::KernelMeta).aggregate;
         RunStats {
             name: run.spec.name.clone(),
             cycles: run.account.clone(),
@@ -795,6 +804,18 @@ impl std::fmt::Debug for Machine {
     }
 }
 
+// The parallel experiment harness moves machines, in-flight runs, configs,
+// and their statistics across worker threads; keep them Send-clean by
+// construction so a trait-object regression surfaces here, not in a
+// distant `thread::scope` error.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+    assert_send::<FunctionRun>();
+    assert_send::<SystemConfig>();
+    assert_send::<RunStats>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,7 +852,11 @@ mod tests {
         let s = speedup(&base, &mem);
         assert!(s > 1.0, "memento must be faster, got {s}");
         let hot = mem.hot.expect("hot stats present");
-        assert!(hot.alloc.hit_rate() > 0.95, "alloc hit rate {:?}", hot.alloc);
+        assert!(
+            hot.alloc.hit_rate() > 0.95,
+            "alloc hit rate {:?}",
+            hot.alloc
+        );
     }
 
     #[test]
@@ -940,8 +965,10 @@ mod tests {
 
     #[test]
     fn timeshared_runs_complete() {
-        let specs: Vec<WorkloadSpec> =
-            ["aes", "jl"].iter().map(|n| small_spec_n(n, 1_000_000)).collect();
+        let specs: Vec<WorkloadSpec> = ["aes", "jl"]
+            .iter()
+            .map(|n| small_spec_n(n, 1_000_000))
+            .collect();
         let mut machine = Machine::new(SystemConfig::memento());
         let stats = machine.run_timeshared(&specs, 2000);
         assert_eq!(stats.len(), 2);

@@ -8,13 +8,12 @@ use memento_core::page_alloc::PageAllocStats;
 use memento_kernel::kernel::KernelStats;
 use memento_simcore::cycles::{CycleAccount, CycleBucket, Cycles};
 use memento_softalloc::traits::SoftAllocStats;
-use serde::{Deserialize, Serialize};
 
 /// Core frequency used to convert cycles to seconds (Table 3: 3 GHz).
 pub const CORE_FREQ_HZ: f64 = 3.0e9;
 
 /// Statistics from one workload run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Workload name.
     pub name: String,
@@ -134,7 +133,8 @@ mod tests {
             name: "t".into(),
             ..Default::default()
         };
-        s.cycles.charge(CycleBucket::Compute, Cycles::new(total_compute));
+        s.cycles
+            .charge(CycleBucket::Compute, Cycles::new(total_compute));
         s.cycles.charge(CycleBucket::UserAlloc, Cycles::new(user));
         s.cycles.charge(CycleBucket::KernelMm, Cycles::new(kernel));
         s

@@ -3,9 +3,7 @@
 //! Memento never loses to the baseline by more than measurement noise.
 
 use memento_system::{Machine, SystemConfig};
-use memento_workloads::spec::{
-    Category, Language, LifetimeProfile, SizeProfile, WorkloadSpec,
-};
+use memento_workloads::spec::{Category, Language, LifetimeProfile, SizeProfile, WorkloadSpec};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {

@@ -7,14 +7,13 @@
 
 use memento_simcore::addr::{PhysAddr, VirtAddr};
 use memento_simcore::physmem::{Frame, PhysMem};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of entries per table page (4096 / 8).
 pub const ENTRIES_PER_TABLE: usize = 512;
 
 /// Leaf permissions (read access is implied by presence).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PtePerms {
     /// Page may be written.
     pub writable: bool,
@@ -50,7 +49,7 @@ impl PtePerms {
 }
 
 /// A page-table entry.
-#[derive(Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
 pub struct Pte(u64);
 
 impl Pte {
@@ -167,7 +166,7 @@ pub struct UnmapResult {
 }
 
 /// A 4-level page table rooted at a physical frame.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PageTable {
     root: Frame,
     /// Table pages currently allocated (including the root).
@@ -255,8 +254,7 @@ impl PageTable {
             table = if pte.present() {
                 pte.frame()
             } else {
-                let new_table =
-                    table_source(mem).ok_or(MapError::OutOfTableFrames)?;
+                let new_table = table_source(mem).ok_or(MapError::OutOfTableFrames)?;
                 mem.zero_frame(new_table);
                 mem.write_u64(addr, Pte::table(new_table).raw());
                 self.table_pages += 1;
@@ -304,8 +302,7 @@ impl PageTable {
     }
 
     fn table_is_empty(mem: &PhysMem, table: Frame) -> bool {
-        (0..ENTRIES_PER_TABLE as u64)
-            .all(|i| mem.read_u64(table.base_addr().add(i * 8)) == 0)
+        (0..ENTRIES_PER_TABLE as u64).all(|i| mem.read_u64(table.base_addr().add(i * 8)) == 0)
     }
 
     /// Unmaps `va`, returning the data frame and any table pages freed

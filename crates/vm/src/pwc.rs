@@ -9,10 +9,9 @@
 use memento_simcore::addr::VirtAddr;
 use memento_simcore::physmem::Frame;
 use memento_simcore::stats::HitMiss;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one PWC level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PwcConfig {
     /// Entries per cached level (levels 1..=3; the leaf is never cached —
     /// that is the TLB's job).
@@ -129,16 +128,13 @@ impl PagingStructureCache {
             e.lru = stamp;
             return;
         }
-        let victim = set
-            .iter()
-            .position(|e| !e.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.lru)
-                    .map(|(i, _)| i)
-                    .expect("non-empty set")
-            });
+        let victim = set.iter().position(|e| !e.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set")
+        });
         set[victim] = PwcEntry {
             root: root.number(),
             tag,

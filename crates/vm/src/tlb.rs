@@ -10,10 +10,9 @@ use memento_simcore::addr::VirtAddr;
 use memento_simcore::cycles::Cycles;
 use memento_simcore::physmem::Frame;
 use memento_simcore::stats::HitMiss;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one TLB level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TlbLevelConfig {
     /// Total entries.
     pub entries: usize,
@@ -24,7 +23,7 @@ pub struct TlbLevelConfig {
 }
 
 /// Geometry of the two-level TLB.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TlbConfig {
     /// First level.
     pub l1: TlbLevelConfig,
@@ -161,7 +160,7 @@ impl TlbArray {
 }
 
 /// TLB statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TlbStats {
     /// First-level lookups.
     pub l1: HitMiss,

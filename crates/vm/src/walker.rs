@@ -15,7 +15,6 @@ use memento_simcore::addr::{PhysAddr, VirtAddr};
 use memento_simcore::cycles::Cycles;
 use memento_simcore::physmem::{Frame, PhysMem};
 use memento_simcore::stats::HitMiss;
-use serde::{Deserialize, Serialize};
 
 /// Why a walk ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,7 +41,7 @@ pub struct WalkResult {
 }
 
 /// Walker statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WalkerStats {
     /// Completed walks ending in a translation (hit) vs. a fault (miss).
     pub walks: HitMiss,
@@ -103,9 +102,18 @@ impl PageWalker {
             Some((table_level, table)) => (table_level, table),
             None => (3, root),
         };
-        self.walk_from(mem_sys, mem, core, root, va, start_level, Some((start_table, pwc)))
+        self.walk_from(
+            mem_sys,
+            mem,
+            core,
+            root,
+            va,
+            start_level,
+            Some((start_table, pwc)),
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn walk_from(
         &mut self,
         mem_sys: &mut MemSystem,
@@ -219,7 +227,11 @@ mod tests {
         let reads_before = walker.stats().pte_reads;
         let first = walker.walk_with_pwc(&mut sys, &mem, 0, pt.root(), va, &mut pwc);
         assert_eq!(first.outcome, WalkOutcome::Mapped(frame));
-        assert_eq!(walker.stats().pte_reads - reads_before, 4, "cold: full walk");
+        assert_eq!(
+            walker.stats().pte_reads - reads_before,
+            4,
+            "cold: full walk"
+        );
         // Map a neighbour sharing the leaf table: the PWC jumps straight
         // to the leaf level (one PTE read).
         let f2 = mem.alloc_frame().unwrap();

@@ -3,7 +3,6 @@
 
 use crate::event::{Event, Trace};
 use memento_simcore::stats::Histogram;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Fig. 2 geometry: 512-byte bins up to 4 KB, then overflow.
@@ -18,7 +17,7 @@ pub const LIFETIME_BIN_WIDTH: u64 = 16;
 pub const LIFETIME_BINS: usize = 16;
 
 /// Table 1's quadrants, as percentages of all allocations.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct JointQuadrants {
     /// ≤512 B, freed within 16 same-class allocations... (short-lived).
     pub small_short: f64,
@@ -31,7 +30,7 @@ pub struct JointQuadrants {
 }
 
 /// The full characterization of one trace.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Characterization {
     /// Allocation-size histogram (Fig. 2).
     pub size_hist: Histogram,

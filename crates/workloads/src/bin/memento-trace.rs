@@ -26,10 +26,7 @@ fn print_summary(trace: &Trace) {
     println!("  frees:         {}", trace.free_count());
     println!("  instructions:  {}", trace.total_instructions());
     println!("  MallocPKI:     {:.2}", trace.malloc_pki());
-    println!(
-        "  <=512B:        {:.1}%",
-        ch.small_fraction() * 100.0
-    );
+    println!("  <=512B:        {:.1}%", ch.small_fraction() * 100.0);
     println!(
         "  short-lived:   {:.1}% freed within 16 same-class allocations",
         ch.short16_fraction() * 100.0

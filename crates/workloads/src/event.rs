@@ -1,13 +1,11 @@
 //! The trace event model executed by the machine.
 
-use serde::{Deserialize, Serialize};
+use memento_simcore::json::{self, Value};
 use std::fmt;
 
 /// A workload-level object identifier (the machine maps ids to addresses at
 /// execution time, since baseline and Memento place objects differently).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ObjectId(pub u64);
 
 impl fmt::Display for ObjectId {
@@ -17,7 +15,7 @@ impl fmt::Display for ObjectId {
 }
 
 /// One trace event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
     /// Allocate `size` bytes as object `id`.
     Alloc {
@@ -52,8 +50,97 @@ pub enum Event {
     Exit,
 }
 
+impl Event {
+    /// Serializes to a JSON value: `{"Alloc":{"id":7,"size":24}}` for data
+    /// variants, `"Exit"` for the unit variant, with object ids as bare
+    /// numbers (the format serde's externally-tagged enums used, so traces
+    /// saved by earlier builds still load).
+    pub fn to_json(&self) -> Value {
+        let tagged = |tag: &str, fields: &[(&str, u64)]| {
+            let mut inner = Value::object();
+            for (k, v) in fields {
+                inner.set(k, *v);
+            }
+            let mut outer = Value::object();
+            outer.set(tag, inner);
+            outer
+        };
+        match *self {
+            Event::Alloc { id, size } => tagged("Alloc", &[("id", id.0), ("size", size as u64)]),
+            Event::Free { id } => tagged("Free", &[("id", id.0)]),
+            Event::Touch {
+                id,
+                offset,
+                len,
+                write,
+            } => {
+                let mut inner = Value::object();
+                inner
+                    .set("id", id.0)
+                    .set("offset", offset as u64)
+                    .set("len", len as u64)
+                    .set("write", write);
+                let mut outer = Value::object();
+                outer.set("Touch", inner);
+                outer
+            }
+            Event::Compute { instructions } => {
+                tagged("Compute", &[("instructions", instructions as u64)])
+            }
+            Event::Exit => Value::Str("Exit".into()),
+        }
+    }
+
+    /// Parses a value produced by [`Event::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        if v.as_str() == Some("Exit") {
+            return Ok(Event::Exit);
+        }
+        let Value::Object(members) = v else {
+            return Err(format!("expected event object, got {v}"));
+        };
+        let [(tag, body)] = members.as_slice() else {
+            return Err("expected single-variant event object".into());
+        };
+        let field = |name: &str| -> Result<u64, String> {
+            body.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{tag}: missing or bad field '{name}'"))
+        };
+        let narrow = |name: &str| -> Result<u32, String> {
+            u32::try_from(field(name)?).map_err(|_| format!("{tag}: '{name}' out of range"))
+        };
+        match tag.as_str() {
+            "Alloc" => Ok(Event::Alloc {
+                id: ObjectId(field("id")?),
+                size: narrow("size")?,
+            }),
+            "Free" => Ok(Event::Free {
+                id: ObjectId(field("id")?),
+            }),
+            "Touch" => Ok(Event::Touch {
+                id: ObjectId(field("id")?),
+                offset: narrow("offset")?,
+                len: narrow("len")?,
+                write: body
+                    .get("write")
+                    .and_then(Value::as_bool)
+                    .ok_or("Touch: missing or bad field 'write'")?,
+            }),
+            "Compute" => Ok(Event::Compute {
+                instructions: narrow("instructions")?,
+            }),
+            other => Err(format!("unknown event variant '{other}'")),
+        }
+    }
+}
+
 /// A complete generated trace.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Trace {
     /// Workload name the trace was generated from.
     pub name: String,
@@ -62,26 +149,55 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Serializes the whole trace as one JSON value.
+    pub fn to_json(&self) -> Value {
+        let mut doc = Value::object();
+        doc.set("name", self.name.as_str()).set(
+            "events",
+            Value::Array(self.events.iter().map(Event::to_json).collect()),
+        );
+        doc
+    }
+
+    /// Parses a value produced by [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("trace: missing or bad field 'name'")?
+            .to_owned();
+        let events = v
+            .get("events")
+            .and_then(Value::as_array)
+            .ok_or("trace: missing or bad field 'events'")?
+            .iter()
+            .map(Event::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace { name, events })
+    }
+
     /// Serializes the trace to JSON for record/replay workflows.
     ///
     /// # Errors
     ///
-    /// Propagates I/O and serialization errors.
+    /// Propagates I/O errors.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self)
-            .map_err(std::io::Error::other)
+        std::fs::write(path, self.to_json().to_string())
     }
 
     /// Loads a trace previously written by [`Trace::save`].
     ///
     /// # Errors
     ///
-    /// Propagates I/O and deserialization errors.
+    /// Propagates I/O and parse errors.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
-        let file = std::fs::File::open(path)?;
-        serde_json::from_reader(std::io::BufReader::new(file))
-            .map_err(std::io::Error::other)
+        let text = std::fs::read_to_string(path)?;
+        let doc = json::parse(&text).map_err(std::io::Error::other)?;
+        Self::from_json(&doc).map_err(std::io::Error::other)
     }
 
     /// Number of `Alloc` events.
@@ -180,8 +296,24 @@ mod tests {
             id: ObjectId(7),
             size: 24,
         };
-        let json = serde_json::to_string(&e).unwrap();
-        let back: Event = serde_json::from_str(&json).unwrap();
+        let text = e.to_json().to_string();
+        assert_eq!(text, r#"{"Alloc":{"id":7,"size":24}}"#);
+        let back = Event::from_json(&json::parse(&text).unwrap()).unwrap();
         assert_eq!(e, back);
+        // Every variant shape survives the round trip.
+        for e in [
+            Event::Free { id: ObjectId(3) },
+            Event::Touch {
+                id: ObjectId(3),
+                offset: 16,
+                len: 8,
+                write: true,
+            },
+            Event::Compute { instructions: 512 },
+            Event::Exit,
+        ] {
+            let doc = json::parse(&e.to_json().to_string()).unwrap();
+            assert_eq!(Event::from_json(&doc).unwrap(), e);
+        }
     }
 }

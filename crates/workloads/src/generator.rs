@@ -77,7 +77,9 @@ pub fn generate(spec: &WorkloadSpec) -> Trace {
         // Application compute between allocations (±30% jitter).
         let jitter = rng.gen_range(0.7..1.3);
         let insts = ((compute_per_alloc as f64) * jitter).max(1.0) as u32;
-        events.push(Event::Compute { instructions: insts });
+        events.push(Event::Compute {
+            instructions: insts,
+        });
 
         // Re-touch hot objects (temporal locality of freshly built data).
         let touches = spec.touch_intensity * rng.gen_range(0.5..1.5);
@@ -119,8 +121,7 @@ pub fn generate(spec: &WorkloadSpec) -> Trace {
 
         // Lifetime decision.
         if rng.gen_range(0.0..1.0) < spec.lifetime.short_fraction {
-            let d = geometric(&mut rng, spec.lifetime.short_mean_distance)
-                .min(MAX_SHORT_DISTANCE);
+            let d = geometric(&mut rng, spec.lifetime.short_mean_distance).min(MAX_SHORT_DISTANCE);
             pending[class]
                 .entry(class_counts[class] + d)
                 .or_default()
@@ -158,8 +159,7 @@ pub fn generate(spec: &WorkloadSpec) -> Trace {
     }
 
     // Exit-time teardown frees (Python refcount teardown, C++ destructors).
-    let n_exit_frees =
-        (long_lived.len() as f64 * spec.lifetime.exit_free_fraction) as usize;
+    let n_exit_frees = (long_lived.len() as f64 * spec.lifetime.exit_free_fraction) as usize;
     for (fid, _) in long_lived.drain(..n_exit_frees.min(long_lived.len())) {
         events.push(Event::Free { id: fid });
     }
@@ -174,9 +174,7 @@ pub fn generate(spec: &WorkloadSpec) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{
-        AllocatorKind, Category, Language, LifetimeProfile, SizeProfile,
-    };
+    use crate::spec::{AllocatorKind, Category, Language, LifetimeProfile, SizeProfile};
     use std::collections::HashSet;
 
     fn spec() -> WorkloadSpec {
@@ -235,7 +233,9 @@ mod tests {
                 Event::Free { id } => {
                     assert!(live.remove(&id.0), "free of dead/unknown object");
                 }
-                Event::Touch { id, offset, len, .. } => {
+                Event::Touch {
+                    id, offset, len, ..
+                } => {
                     assert!(live.contains(&id.0), "touch of dead object");
                     assert!(*len >= 1);
                     assert!(offset % 8 == 0);
@@ -256,7 +256,9 @@ mod tests {
                 Event::Alloc { id, size } => {
                     sizes.insert(id.0, *size);
                 }
-                Event::Touch { id, offset, len, .. } => {
+                Event::Touch {
+                    id, offset, len, ..
+                } => {
                     let size = sizes[&id.0];
                     assert!(
                         offset + len <= size,

@@ -1,10 +1,9 @@
 //! Workload specifications: the calibrated knobs each named workload sets.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Language runtime of the original benchmark.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Language {
     /// CPython 3.8 (pymalloc).
     Python,
@@ -25,7 +24,7 @@ impl fmt::Display for Language {
 }
 
 /// Workload category in the paper's grouping.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Serverless function.
     Function,
@@ -46,7 +45,7 @@ impl fmt::Display for Category {
 }
 
 /// Which software allocator model the baseline uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AllocatorKind {
     /// CPython pymalloc.
     PyMalloc,
@@ -71,7 +70,7 @@ pub enum AllocatorKind {
 }
 
 /// Allocation-size distribution knobs.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SizeProfile {
     /// Fraction of allocations ≤ 512 B (Fig. 2: ≥0.93).
     pub small_fraction: f64,
@@ -96,7 +95,7 @@ impl SizeProfile {
 }
 
 /// Object-lifetime distribution knobs (Fig. 3's bimodal shape).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LifetimeProfile {
     /// Fraction of objects freed shortly after allocation.
     pub short_fraction: f64,
@@ -138,7 +137,7 @@ impl LifetimeProfile {
 }
 
 /// A complete workload specification.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadSpec {
     /// Paper name ("dh", "ir", "Redis", "deploy", ...).
     pub name: String,

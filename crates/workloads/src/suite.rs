@@ -5,9 +5,7 @@
 //! full sweep simulates in seconds; MallocPKI, size and lifetime shapes are
 //! preserved, which is what Memento's benefit depends on.
 
-use crate::spec::{
-    Category, Language, LifetimeProfile, SizeProfile, WorkloadSpec,
-};
+use crate::spec::{Category, Language, LifetimeProfile, SizeProfile, WorkloadSpec};
 
 /// Builder for one suite entry.
 #[allow(clippy::too_many_arguments)]
@@ -99,10 +97,16 @@ pub fn function_workloads() -> Vec<WorkloadSpec> {
         // DeathStarBench: MovieID.
         spec("MI", Cpp, F, 4_000_000, 1.09, 0.94, 48.0, 1.4, 32, 113),
         // Golang ports of dynamic-html / graph-bfs / pyaes.
-        spec("html-go", Golang, F, 4_000_000, 1.52, 0.95, 72.0, 2.2, 48, 114),
-        spec("bfs-go", Golang, F, 4_000_000, 1.14, 0.96, 48.0, 1.8, 64, 115),
+        spec(
+            "html-go", Golang, F, 4_000_000, 1.52, 0.95, 72.0, 2.2, 48, 114,
+        ),
+        spec(
+            "bfs-go", Golang, F, 4_000_000, 1.14, 0.96, 48.0, 1.8, 64, 115,
+        ),
         {
-            let mut s = spec("aes-go", Golang, F, 6_000_000, 0.62, 0.97, 40.0, 1.2, 16, 116);
+            let mut s = spec(
+                "aes-go", Golang, F, 6_000_000, 0.62, 0.97, 40.0, 1.2, 16, 116,
+            );
             s.lifetime.short_fraction = 0.40;
             s
         },
@@ -131,7 +135,18 @@ pub fn data_proc_workloads() -> Vec<WorkloadSpec> {
         },
         // Memcached: slab-friendly steady churn.
         {
-            let mut s = spec("Memcached", Cpp, D, 4_000_000, 0.87, 0.98, 56.0, 2.0, 64, 202);
+            let mut s = spec(
+                "Memcached",
+                Cpp,
+                D,
+                4_000_000,
+                0.87,
+                0.98,
+                56.0,
+                2.0,
+                64,
+                202,
+            );
             s.lifetime.short_fraction = 0.95;
             s
         },
@@ -143,7 +158,9 @@ pub fn data_proc_workloads() -> Vec<WorkloadSpec> {
         },
         // SQLite3: parser allocates many small short-lived objects.
         {
-            let mut s = spec("SQLite3", Cpp, D, 4_000_000, 0.50, 0.97, 56.0, 0.88, 48, 204);
+            let mut s = spec(
+                "SQLite3", Cpp, D, 4_000_000, 0.50, 0.97, 56.0, 0.88, 48, 204,
+            );
             s.lifetime.short_fraction = 0.96;
             s.lifetime.short_mean_distance = 4.0;
             s
@@ -159,8 +176,12 @@ pub fn platform_workloads() -> Vec<WorkloadSpec> {
     use Language::Golang;
     let mut v = vec![
         spec("up", Golang, P, 8_000_000, 0.50, 0.99, 56.0, 0.5, 64, 301),
-        spec("deploy", Golang, P, 8_000_000, 0.50, 0.99, 52.0, 1.0, 64, 302),
-        spec("invoke", Golang, P, 8_000_000, 0.83, 0.99, 48.0, 1.0, 64, 303),
+        spec(
+            "deploy", Golang, P, 8_000_000, 0.50, 0.99, 52.0, 1.0, 64, 302,
+        ),
+        spec(
+            "invoke", Golang, P, 8_000_000, 0.83, 0.99, 48.0, 1.0, 64, 303,
+        ),
     ];
     for s in &mut v {
         // Platform services are long-running: most allocations live until
@@ -205,8 +226,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_findable() {
         let all = all_workloads();
-        let names: std::collections::HashSet<&str> =
-            all.iter().map(|s| s.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> = all.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names.len(), 23);
         assert!(by_name("Redis").is_some());
         assert!(by_name("html").is_some());

@@ -2,33 +2,79 @@
 //! pass, with a JSON summary written next to the text report.
 //!
 //! ```sh
-//! cargo run --release --example full_evaluation
+//! cargo run --release --example full_evaluation -- --jobs 8
 //! ```
 //!
 //! Runs all 23 workloads under up to six system configurations (runs are
-//! memoized across figures); expect a few minutes.
+//! memoized across figures); expect a few minutes. `--jobs N` (or the
+//! `MEMENTO_JOBS` environment variable) fans independent simulation
+//! points across N worker threads — the tables are byte-identical at any
+//! job count; only the timing summary at the end differs.
 
 use memento_experiments::{ablation, multicore, report, sensitivity, EvalContext};
 
+/// Parses `--jobs N` / `--jobs=N` from argv; `None` defers to
+/// `MEMENTO_JOBS` and then the machine's available parallelism.
+fn jobs_from_args() -> Option<usize> {
+    let mut jobs = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" || arg == "-j" {
+            let value = args.next().unwrap_or_else(|| usage());
+            jobs = Some(parse_jobs(&value));
+        } else if let Some(value) = arg.strip_prefix("--jobs=") {
+            jobs = Some(parse_jobs(value));
+        } else {
+            usage();
+        }
+    }
+    jobs
+}
+
+fn parse_jobs(value: &str) -> usize {
+    match value.parse() {
+        Ok(n) if n >= 1 => n,
+        _ => usage(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: full_evaluation [--jobs N]");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut ctx = EvalContext::new();
+    if let Some(jobs) = jobs_from_args() {
+        ctx = ctx.with_jobs(jobs);
+    }
+    let jobs = ctx.jobs();
     let full = report::run(&mut ctx);
     println!("{full}");
 
     println!();
     println!("{}", sensitivity::multiprocess(&ctx));
     println!();
-    println!("{}", multicore::run());
+    println!(
+        "{}",
+        multicore::run_for_jobs(&["html", "US", "bfs-go", "jl"], 2, jobs)
+    );
     println!();
-    println!("{}", ablation::run());
+    println!(
+        "{}",
+        ablation::run_for_jobs(&["html", "US", "bfs-go"], 2, jobs)
+    );
     println!();
     println!("{}", ablation::proactive_gc());
 
-    let json = serde_json::to_string_pretty(&full.summary_json()).expect("serializable");
+    println!();
+    println!("{}", report::timing_summary(&ctx));
+
+    let json = full.summary_json().to_pretty();
     let path = "evaluation_summary.json";
     if std::fs::write(path, &json).is_ok() {
-        println!("\nheadline numbers written to {path}");
+        println!("headline numbers written to {path}");
     } else {
-        println!("\nheadline numbers:\n{json}");
+        println!("headline numbers:\n{json}");
     }
 }

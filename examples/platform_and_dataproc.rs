@@ -15,7 +15,10 @@ fn main() {
     let mut ctx = EvalContext::new();
 
     println!("Long-running data-processing applications (steady state):");
-    println!("{:<12} {:>8} {:>10} {:>10} {:>8}", "workload", "speedup", "user-mm", "kernel-mm", "bw-red");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>8}",
+        "workload", "speedup", "user-mm", "kernel-mm", "bw-red"
+    );
     for spec in suite::data_proc_workloads() {
         let base = ctx.run(&spec, ConfigKind::Baseline).clone();
         let mem = ctx.run(&spec, ConfigKind::Memento).clone();
@@ -30,7 +33,10 @@ fn main() {
     }
 
     println!("\nServerless platform operations (OpenFaaS up/deploy/invoke):");
-    println!("{:<12} {:>8} {:>10} {:>10} {:>8}", "operation", "speedup", "user-mm", "kernel-mm", "gc-runs");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>8}",
+        "operation", "speedup", "user-mm", "kernel-mm", "gc-runs"
+    );
     for spec in suite::platform_workloads() {
         let base = ctx.run(&spec, ConfigKind::Baseline).clone();
         let mem = ctx.run(&spec, ConfigKind::Memento).clone();

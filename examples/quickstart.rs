@@ -54,7 +54,11 @@ fn main() {
         );
     }
     println!("what Memento replaces it with:");
-    for bucket in [CycleBucket::HwAlloc, CycleBucket::HwFree, CycleBucket::HwPage] {
+    for bucket in [
+        CycleBucket::HwAlloc,
+        CycleBucket::HwFree,
+        CycleBucket::HwPage,
+    ] {
         println!("  {bucket:<12} {:>10} cycles", memento.bucket(bucket).raw());
     }
 

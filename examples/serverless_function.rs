@@ -13,7 +13,10 @@ fn main() {
     let mut ctx = EvalContext::new();
     let specs = suite::function_workloads();
 
-    println!("Simulating {} function workloads (baseline, Memento, Memento-no-bypass)...\n", specs.len());
+    println!(
+        "Simulating {} function workloads (baseline, Memento, Memento-no-bypass)...\n",
+        specs.len()
+    );
     let fig8 = speedup::run_for(&mut ctx, &specs);
     println!("{fig8}");
     println!();
@@ -29,5 +32,8 @@ fn main() {
         .iter()
         .filter(|r| (1.05..=1.35).contains(&r.speedup))
         .count();
-    println!("{in_band}/{} workloads inside the paper's band", fig8.rows.len());
+    println!(
+        "{in_band}/{} workloads inside the paper's band",
+        fig8.rows.len()
+    );
 }

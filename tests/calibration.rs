@@ -3,9 +3,7 @@
 //! the crossovers fall. These tests run the real (unscaled) workloads, so
 //! they are the slowest in the suite.
 
-use memento_experiments::{
-    arena_list, bandwidth, hot, pricing, speedup, ConfigKind, EvalContext,
-};
+use memento_experiments::{arena_list, bandwidth, hot, pricing, speedup, ConfigKind, EvalContext};
 use memento_workloads::spec::Category;
 
 /// Paper band: function speedups between 8% and 28%, 16% on average.
@@ -57,7 +55,10 @@ fn beyond_functions_matches_paper_ordering() {
     }
     let redis = fig8.get("Redis").expect("redis");
     let sqlite = fig8.get("SQLite3").expect("sqlite");
-    assert!(redis > sqlite, "Redis {redis:.3} must top SQLite3 {sqlite:.3}");
+    assert!(
+        redis > sqlite,
+        "Redis {redis:.3} must top SQLite3 {sqlite:.3}"
+    );
 }
 
 /// Paper Fig. 10: ~30% average DRAM-traffic reduction for functions.

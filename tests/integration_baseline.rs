@@ -36,7 +36,10 @@ fn python_baseline_exhibits_kernel_overheads() {
     let spec = shrunk("html", 600_000);
     let stats = Machine::new(SystemConfig::baseline()).run(&spec);
     assert!(stats.kernel.mmaps > 0, "pymalloc arenas come from mmap");
-    assert!(stats.kernel.page_faults > 0, "lazy mmap faults on first touch");
+    assert!(
+        stats.kernel.page_faults > 0,
+        "lazy mmap faults on first touch"
+    );
     assert!(
         stats.kernel_mm_share() > 0.10,
         "kernel share {:.2} too low for Python",
@@ -89,7 +92,10 @@ fn teardown_returns_all_heap_frames() {
     let _ = machine.run(&spec);
     // After Exit, every user-heap frame must have been released.
     let second = machine.run(&shrunk("mk", 100_000));
-    assert!(second.total_cycles().raw() > 0, "machine reusable after teardown");
+    assert!(
+        second.total_cycles().raw() > 0,
+        "machine reusable after teardown"
+    );
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! executes end-to-end on a reduced workload set and produces sane output.
 
 use memento_experiments::{
-    arena_list, bandwidth, breakdown, characterization, comparisons, config_table, hot,
-    memusage, pricing, sensitivity, speedup, EvalContext,
+    arena_list, bandwidth, breakdown, characterization, comparisons, config_table, hot, memusage,
+    pricing, sensitivity, speedup, EvalContext,
 };
 
 fn subset(ctx: &EvalContext) -> Vec<memento_workloads::spec::WorkloadSpec> {
@@ -56,7 +56,11 @@ fn fig8_through_fig14_runners() {
     let fig9 = breakdown::run_for(&mut ctx, &specs);
     for r in &fig9.rows {
         let total = r.shares.obj_alloc + r.shares.obj_free + r.shares.page_mgmt + r.shares.bypass;
-        assert!((total - 100.0).abs() < 1.0 || total == 0.0, "{}: {total}", r.name);
+        assert!(
+            (total - 100.0).abs() < 1.0 || total == 0.0,
+            "{}: {total}",
+            r.name
+        );
     }
 
     let fig10 = bandwidth::run_for(&mut ctx, &specs);
@@ -70,7 +74,11 @@ fn fig8_through_fig14_runners() {
     let fig12 = hot::run_for(&mut ctx, &specs);
     // Compulsory per-class misses weigh more at quick scale; the
     // full-scale calibration test enforces the paper's 99.8% band.
-    assert!(fig12.func_alloc_avg > 0.95, "alloc avg {}", fig12.func_alloc_avg);
+    assert!(
+        fig12.func_alloc_avg > 0.95,
+        "alloc avg {}",
+        fig12.func_alloc_avg
+    );
 
     let fig13 = arena_list::run_for(&mut ctx, &specs);
     assert!(fig13.max_alloc_rate < 0.05);
@@ -106,7 +114,10 @@ fn sensitivity_runners() {
 
     let cold = sensitivity::coldstart_for(&mut ctx, &specs);
     for (name, warm, coldv) in &cold.rows {
-        assert!(coldv > &1.0 && coldv < warm, "{name}: warm {warm} cold {coldv}");
+        assert!(
+            coldv > &1.0 && coldv < warm,
+            "{name}: warm {warm} cold {coldv}"
+        );
     }
 }
 

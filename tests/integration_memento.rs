@@ -19,11 +19,7 @@ fn every_workload_runs_and_wins_under_memento() {
         let base = Machine::new(SystemConfig::baseline()).run(&spec);
         let mem = Machine::new(SystemConfig::memento()).run(&spec);
         let s = stats::speedup(&base, &mem);
-        assert!(
-            s > 1.0,
-            "{}: memento must not lose ({s:.3})",
-            spec.name
-        );
+        assert!(s > 1.0, "{}: memento must not lose ({s:.3})", spec.name);
         assert!(s < 2.0, "{}: implausible speedup {s:.3}", spec.name);
     }
 }
