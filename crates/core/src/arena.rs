@@ -100,15 +100,28 @@ impl ArenaHeader {
         self.bitmap[index / 64] & (1u64 << (index % 64)) != 0
     }
 
-    /// Marks object `index` allocated.
+    /// Marks object `index` allocated. Debug builds reject allocating a
+    /// slot that is already live (the FSM only sets bits `find_clear`
+    /// returned).
     pub fn set(&mut self, index: usize) {
         debug_assert!(index < OBJECTS_PER_ARENA);
+        debug_assert!(
+            !self.is_set(index),
+            "arena {:?}: slot {index} allocated twice",
+            self.va
+        );
         self.bitmap[index / 64] |= 1u64 << (index % 64);
     }
 
-    /// Marks object `index` free.
+    /// Marks object `index` free. Debug builds reject freeing a slot that
+    /// is not live (the FSM checks the bit before clearing).
     pub fn clear(&mut self, index: usize) {
         debug_assert!(index < OBJECTS_PER_ARENA);
+        debug_assert!(
+            self.is_set(index),
+            "arena {:?}: slot {index} freed while free",
+            self.va
+        );
         self.bitmap[index / 64] &= !(1u64 << (index % 64));
     }
 
@@ -204,6 +217,23 @@ mod tests {
         h.clear(200);
         assert_eq!(h.find_clear(), Some(200));
         assert!(!h.is_full());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "allocated twice")]
+    fn double_set_panics_in_debug() {
+        let mut h = ArenaHeader::fresh(VirtAddr::new(0x1000));
+        h.set(42);
+        h.set(42);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "freed while free")]
+    fn clear_of_free_slot_panics_in_debug() {
+        let mut h = ArenaHeader::fresh(VirtAddr::new(0x1000));
+        h.clear(7);
     }
 
     #[test]

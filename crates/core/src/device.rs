@@ -86,6 +86,36 @@ impl fmt::Display for MementoError {
 
 impl std::error::Error for MementoError {}
 
+/// An arena-lifecycle event the device can log for external auditors (the
+/// sanitizer's shadow heap). Logging is off by default and enabled with
+/// [`MementoDevice::record_events`]; `obj-alloc`/`obj-free` themselves are
+/// observed at the call site, so only events internal to the device — arena
+/// handouts and reclamations — need a log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceEvent {
+    /// The page allocator handed out a fresh arena and the object
+    /// allocator installed it as `core`'s current arena for `class`.
+    ArenaInstalled {
+        /// Core whose HOT received the arena.
+        core: usize,
+        /// Size class served.
+        class: SizeClass,
+        /// Arena base VA.
+        va: VirtAddr,
+        /// Physical address of the (eagerly backed) header page.
+        header_pa: PhysAddr,
+    },
+    /// An empty arena was unlinked and its pages returned to the pool.
+    ArenaReclaimed {
+        /// Core that executed the reclaiming `obj-free`.
+        core: usize,
+        /// Size class of the arena.
+        class: SizeClass,
+        /// Arena base VA.
+        va: VirtAddr,
+    },
+}
+
 /// Saved per-(core, class) state spilled by a HOT flush.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct SavedClass {
@@ -172,6 +202,8 @@ pub struct MementoDevice {
     hots: Vec<Hot>,
     page_alloc: HardwarePageAllocator,
     obj_stats: ObjStats,
+    log_events: bool,
+    events: Vec<DeviceEvent>,
 }
 
 impl MementoDevice {
@@ -183,7 +215,35 @@ impl MementoDevice {
             page_alloc: HardwarePageAllocator::new(cfg.page_alloc, cfg.costs, pointer_block),
             cfg,
             obj_stats: ObjStats::default(),
+            log_events: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Turns arena-lifecycle event logging on or off (off by default; the
+    /// sanitizer enables it for audited runs). Untimed instrumentation.
+    pub fn record_events(&mut self, on: bool) {
+        self.log_events = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Drains the logged events since the last call.
+    pub fn take_events(&mut self) -> Vec<DeviceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Read access to `core`'s HOT (for auditors and tests).
+    pub fn hot(&self, core: usize) -> &Hot {
+        &self.hots[core]
+    }
+
+    /// Mutable access to `core`'s HOT — exists so corruption-injection
+    /// tests can verify the sanitizer catches HOT incoherence; simulation
+    /// code must go through `obj_alloc`/`obj_free`.
+    pub fn hot_mut(&mut self, core: usize) -> &mut Hot {
+        &mut self.hots[core]
     }
 
     /// The configuration in force.
@@ -248,9 +308,9 @@ impl MementoDevice {
         for core in cores {
             let hot = &mut self.hots[*core];
             for sc in SizeClass::all() {
-                let e = hot.entry_mut(sc);
+                let e = hot.entry(sc);
                 if e.valid && proc.paging.region.contains(e.header.va) {
-                    *e = HotEntry::default();
+                    hot.evict(sc);
                 }
             }
         }
@@ -365,14 +425,17 @@ impl MementoDevice {
                     let pa = PhysAddr::new(s.header_pa);
                     obj_cycles += mem_sys.access(core, AccessKind::Read, pa).cycles;
                     let header = ArenaHeader::load(mem, pa);
-                    *self.hots[core].entry_mut(class) = HotEntry {
-                        valid: true,
-                        header,
-                        pa,
-                        avail_head: s.avail_head,
-                        full_head: s.full_head,
-                        dirty: false,
-                    };
+                    self.hots[core].install(
+                        class,
+                        HotEntry {
+                            valid: true,
+                            header,
+                            pa,
+                            avail_head: s.avail_head,
+                            full_head: s.full_head,
+                            dirty: false,
+                        },
+                    );
                 }
                 other => {
                     // Initialization (steps 1–4): no current arena yet.
@@ -449,14 +512,17 @@ impl MementoDevice {
                 }
                 next_header.prev = CURRENT_SENTINEL;
                 next_header.next = 0;
-                *self.hots[core].entry_mut(class) = HotEntry {
-                    valid: true,
-                    header: next_header,
-                    pa,
-                    avail_head: new_avail_head,
-                    full_head: new_full_head,
-                    dirty: true,
-                };
+                self.hots[core].install(
+                    class,
+                    HotEntry {
+                        valid: true,
+                        header: next_header,
+                        pa,
+                        avail_head: new_avail_head,
+                        full_head: new_full_head,
+                        dirty: true,
+                    },
+                );
                 if !self.cfg.eager_replenish {
                     obj_cycles += slow_cycles;
                 }
@@ -506,15 +572,26 @@ impl MementoDevice {
         *obj_cycles += mem_sys
             .access(core, AccessKind::Write, arena.header_pa)
             .cycles;
-        *self.hots[core].entry_mut(class) = HotEntry {
-            valid: true,
-            header,
-            pa: arena.header_pa,
-            avail_head,
-            full_head,
-            dirty: true,
-        };
+        self.hots[core].install(
+            class,
+            HotEntry {
+                valid: true,
+                header,
+                pa: arena.header_pa,
+                avail_head,
+                full_head,
+                dirty: true,
+            },
+        );
         self.obj_stats.arena_inits += 1;
+        if self.log_events {
+            self.events.push(DeviceEvent::ArenaInstalled {
+                core,
+                class,
+                va: arena.va,
+                header_pa: arena.header_pa,
+            });
+        }
         arena.cycles
     }
 
@@ -555,7 +632,7 @@ impl MementoDevice {
                             full_head: entry.full_head,
                         },
                     );
-                    *self.hots[core].entry_mut(sc) = HotEntry::default();
+                    self.hots[core].evict(sc);
                 }
             }
         }
@@ -695,6 +772,13 @@ impl MementoDevice {
                         tlb.shootdown(*page);
                     }
                 }
+            }
+            if self.log_events {
+                self.events.push(DeviceEvent::ArenaReclaimed {
+                    core,
+                    class: loc.class,
+                    va: loc.arena_base,
+                });
             }
         } else {
             header.store(mem, header_pa);

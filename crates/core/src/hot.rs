@@ -80,6 +80,31 @@ impl Hot {
         &mut self.entries[class.index()]
     }
 
+    /// Installs `entry` as the cached arena for `class`, replacing whatever
+    /// the direct-mapped slot held. Debug builds check the invariants the
+    /// sanitizer audits: only valid entries with a header PA are installed,
+    /// and the bypass counter never exceeds the body's line count.
+    pub fn install(&mut self, class: SizeClass, entry: HotEntry) {
+        debug_assert!(entry.valid, "installing an invalid HOT entry for {class}");
+        debug_assert!(
+            entry.pa.raw() != 0,
+            "HOT entry for {class} lacks a header physical address"
+        );
+        debug_assert!(
+            entry.header.bypass_counter <= class.body_lines(),
+            "bypass counter {} beyond the {} body lines of {class}",
+            entry.header.bypass_counter,
+            class.body_lines()
+        );
+        self.entries[class.index()] = entry;
+    }
+
+    /// Evicts (invalidates) the entry for `class`, returning the previous
+    /// contents so the caller can write a dirty header back.
+    pub fn evict(&mut self, class: SizeClass) -> HotEntry {
+        std::mem::take(&mut self.entries[class.index()])
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> HotStats {
         self.stats
@@ -165,6 +190,35 @@ mod tests {
         assert_eq!(hot.stats().flushed_entries, 3);
         // Classes come back in index order.
         assert!(drained.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn install_and_evict_roundtrip() {
+        let mut hot = Hot::new();
+        let sc = SizeClass::for_size(32).unwrap();
+        let entry = HotEntry {
+            valid: true,
+            header: ArenaHeader::fresh(VirtAddr::new(0x6000_0000_0000)),
+            pa: PhysAddr::new(0x9000),
+            avail_head: 0,
+            full_head: 0,
+            dirty: true,
+        };
+        hot.install(sc, entry);
+        assert_eq!(hot.iter_valid().count(), 1);
+        let evicted = hot.evict(sc);
+        assert_eq!(evicted, entry);
+        assert!(!hot.entry(sc).valid, "evicted slot is invalid");
+        assert_eq!(hot.iter_valid().count(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid HOT entry")]
+    fn install_rejects_invalid_entries() {
+        let mut hot = Hot::new();
+        let sc = SizeClass::for_size(32).unwrap();
+        hot.install(sc, HotEntry::default());
     }
 
     #[test]

@@ -23,7 +23,7 @@ use memento_simcore::cycles::Cycles;
 use memento_simcore::physmem::{Frame, PhysMem};
 use memento_simcore::stats::HitMiss;
 use memento_vm::pagetable::{PageTable, Pte, PtePerms};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Source of physical frames for the pool — implemented by the OS adapter
 /// in `memento-system` (the kernel buddy allocator tagged `MementoPool`).
@@ -121,14 +121,21 @@ pub struct ProcessPaging {
     /// targets, paper §3.2).
     pub walker_cores: u64,
     /// Every pool frame currently backing this process (data + tables),
-    /// for O(1) teardown.
-    in_use: HashSet<u64>,
+    /// for batch teardown. Ordered so teardown releases frames in a
+    /// deterministic order regardless of allocation history.
+    in_use: BTreeSet<u64>,
 }
 
 impl ProcessPaging {
     /// Frames currently backing the process (data + Memento tables).
     pub fn frames_in_use(&self) -> usize {
         self.in_use.len()
+    }
+
+    /// Next arena index the AAC would hand out for `(core, class)` — the
+    /// bump-pointer value the sanitizer audits against its install count.
+    pub fn bump_for(&self, core: usize, class: SizeClass) -> u64 {
+        self.bump[core][class.index()]
     }
 }
 
@@ -218,7 +225,7 @@ impl HardwarePageAllocator {
     ) -> ProcessPaging {
         let root = self.take_frame(backend);
         mem.zero_frame(root);
-        let mut in_use = HashSet::new();
+        let mut in_use = BTreeSet::new();
         in_use.insert(root.number());
         ProcessPaging {
             region,

@@ -5,7 +5,7 @@
 //! [`OBJECTS_PER_ARENA`] objects of one class: its first page is the header,
 //! the body follows, rounded up to whole pages.
 
-use memento_simcore::addr::PAGE_SIZE;
+use memento_simcore::addr::{CACHE_LINE_SIZE, PAGE_SIZE};
 use std::fmt;
 
 /// Number of size classes (8..=512 bytes in 8-byte steps).
@@ -64,6 +64,12 @@ impl SizeClass {
     /// Pages of arena body (rounded up).
     pub const fn body_pages(self) -> usize {
         self.body_bytes().div_ceil(PAGE_SIZE)
+    }
+
+    /// Cache lines in the arena body — the ceiling the bypass counter may
+    /// reach, since it counts body lines known to have been written (§3.3).
+    pub const fn body_lines(self) -> u64 {
+        (self.body_bytes() / CACHE_LINE_SIZE) as u64
     }
 
     /// Total arena footprint in pages: one header page plus the body.
@@ -133,6 +139,15 @@ mod tests {
             assert_eq!(sc.index(), i);
             assert_eq!(sc.object_size(), (i + 1) * 8);
             assert!(sc.arena_pages() >= 2);
+        }
+    }
+
+    #[test]
+    fn body_lines_match_geometry() {
+        assert_eq!(SizeClass::for_size(8).unwrap().body_lines(), 32);
+        assert_eq!(SizeClass::for_size(512).unwrap().body_lines(), 2048);
+        for sc in SizeClass::all() {
+            assert_eq!(sc.body_lines() as usize * CACHE_LINE_SIZE, sc.body_bytes());
         }
     }
 

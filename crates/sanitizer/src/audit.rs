@@ -1,0 +1,301 @@
+//! Cross-structure audits: reconcile the HOTs, in-memory arena headers,
+//! the Memento page table, and the AAC bump pointers against the shadow
+//! heap.
+//!
+//! The audit is untimed, read-only instrumentation — it charges no cycles
+//! and mutates nothing, so enabling it cannot perturb simulated results.
+//! The truth-source rule: an arena currently cached in a HOT is judged by
+//! the HOT copy (memory may be stale while the entry is dirty); every
+//! other arena is judged by its in-memory header (flushes write dirty
+//! headers back before eviction).
+
+use crate::report::{Provenance, Violation, ViolationKind};
+use crate::shadow::ShadowHeap;
+use memento_core::arena::ArenaHeader;
+use memento_core::device::{MementoDevice, MementoProcess};
+use memento_core::hot::HotEntry;
+use memento_core::size_class::SizeClass;
+use memento_simcore::addr::{VirtAddr, PAGE_SIZE};
+use memento_simcore::physmem::PhysMem;
+use std::collections::BTreeMap;
+
+fn violation(
+    kind: ViolationKind,
+    core: usize,
+    event_index: u64,
+    class: Option<SizeClass>,
+    detail: String,
+) -> Violation {
+    Violation {
+        kind,
+        provenance: Provenance {
+            core,
+            event_index,
+            class,
+        },
+        detail,
+    }
+}
+
+fn check_bitmap(
+    out: &mut Vec<Violation>,
+    source: &str,
+    prov: Provenance,
+    va: VirtAddr,
+    hardware: &[u64; 4],
+    shadow: &[u64; 4],
+) {
+    if hardware != shadow {
+        let hw_live: u32 = hardware.iter().map(|w| w.count_ones()).sum();
+        let sh_live: u32 = shadow.iter().map(|w| w.count_ones()).sum();
+        out.push(Violation {
+            kind: ViolationKind::BitmapDivergence,
+            provenance: prov,
+            detail: format!(
+                "arena {va} {source} bitmap {hardware:x?} (live {hw_live}) \
+                 != shadow {shadow:x?} (live {sh_live})"
+            ),
+        });
+    }
+}
+
+/// Runs one full audit of `mproc` against `shadow`, restricted to the
+/// cores the shadow saw this process execute on (audits run synchronously
+/// while the process is current, so those HOT entries are its own).
+pub fn audit_process(
+    dev: &MementoDevice,
+    mproc: &MementoProcess,
+    mem: &PhysMem,
+    shadow: &ShadowHeap,
+    event_index: u64,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let region = shadow.region();
+
+    // Pass 1: every valid HOT entry in this process's region.
+    let mut cached: BTreeMap<u64, (usize, HotEntry)> = BTreeMap::new();
+    for core in shadow.cores() {
+        for (class, entry) in dev.hot(core).iter_valid() {
+            let va = entry.header.va;
+            if !region.contains(va) {
+                continue;
+            }
+            if let Some((other, _)) = cached.insert(va.raw(), (core, *entry)) {
+                out.push(violation(
+                    ViolationKind::HotIncoherence,
+                    core,
+                    event_index,
+                    Some(class),
+                    format!("arena {va} cached in two HOTs (cores {other} and {core})"),
+                ));
+            }
+            // The entry's slot must match the arena the header claims.
+            match region.locate(va.add(PAGE_SIZE as u64)) {
+                Some(loc) if loc.class == class && loc.arena_base == va => {}
+                _ => {
+                    out.push(violation(
+                        ViolationKind::HotIncoherence,
+                        core,
+                        event_index,
+                        Some(class),
+                        format!("HOT slot {class} caches {va}, not a {class} arena base"),
+                    ));
+                    continue;
+                }
+            }
+            if entry.header.bypass_counter > class.body_lines() {
+                out.push(violation(
+                    ViolationKind::BypassOverflow,
+                    core,
+                    event_index,
+                    Some(class),
+                    format!(
+                        "arena {va} bypass counter {} exceeds {} body lines",
+                        entry.header.bypass_counter,
+                        class.body_lines()
+                    ),
+                ));
+            }
+            match mproc.paging.page_table.translate(mem, va) {
+                Some(t) if t.frame.base_addr() == entry.pa => {}
+                Some(t) => out.push(violation(
+                    ViolationKind::PageTableDivergence,
+                    core,
+                    event_index,
+                    Some(class),
+                    format!(
+                        "arena {va} header cached at PA {} but mapped to {}",
+                        entry.pa,
+                        t.frame.base_addr()
+                    ),
+                )),
+                None => out.push(violation(
+                    ViolationKind::PageTableDivergence,
+                    core,
+                    event_index,
+                    Some(class),
+                    format!("arena {va} cached in HOT but its header page is unmapped"),
+                )),
+            }
+            if !entry.dirty {
+                let in_mem = ArenaHeader::load(mem, entry.pa);
+                if in_mem != entry.header {
+                    out.push(violation(
+                        ViolationKind::HotIncoherence,
+                        core,
+                        event_index,
+                        Some(class),
+                        format!("arena {va} cached clean but memory header differs"),
+                    ));
+                }
+            }
+            match shadow.arenas().get(&va.raw()) {
+                None => out.push(violation(
+                    ViolationKind::UnknownArena,
+                    core,
+                    event_index,
+                    Some(class),
+                    format!("HOT caches arena {va} the shadow never saw installed"),
+                )),
+                Some(rec) => {
+                    if rec.header_pa != entry.pa {
+                        out.push(violation(
+                            ViolationKind::HotIncoherence,
+                            core,
+                            event_index,
+                            Some(class),
+                            format!(
+                                "arena {va} installed at PA {} but cached with PA {}",
+                                rec.header_pa, entry.pa
+                            ),
+                        ));
+                    }
+                    check_bitmap(
+                        &mut out,
+                        "HOT",
+                        Provenance {
+                            core,
+                            event_index,
+                            class: Some(class),
+                        },
+                        va,
+                        &entry.header.bitmap,
+                        &rec.bitmap,
+                    );
+                }
+            }
+        }
+    }
+
+    // Pass 2: every shadow arena not cached in a HOT is judged by memory.
+    for (&va_raw, rec) in shadow.arenas() {
+        if cached.contains_key(&va_raw) {
+            continue;
+        }
+        let va = VirtAddr::new(va_raw);
+        match mproc.paging.page_table.translate(mem, va) {
+            Some(t) if t.frame.base_addr() == rec.header_pa => {}
+            Some(t) => out.push(violation(
+                ViolationKind::PageTableDivergence,
+                rec.core,
+                event_index,
+                Some(rec.class),
+                format!(
+                    "arena {va} installed at PA {} but mapped to {}",
+                    rec.header_pa,
+                    t.frame.base_addr()
+                ),
+            )),
+            None => {
+                out.push(violation(
+                    ViolationKind::PageTableDivergence,
+                    rec.core,
+                    event_index,
+                    Some(rec.class),
+                    format!("live arena {va} has an unmapped header page"),
+                ));
+                continue;
+            }
+        }
+        let header = ArenaHeader::load(mem, rec.header_pa);
+        if header.va != va {
+            out.push(violation(
+                ViolationKind::HotIncoherence,
+                rec.core,
+                event_index,
+                Some(rec.class),
+                format!(
+                    "header at PA {} claims VA {}, not {va}",
+                    rec.header_pa, header.va
+                ),
+            ));
+            continue;
+        }
+        if header.bypass_counter > rec.class.body_lines() {
+            out.push(violation(
+                ViolationKind::BypassOverflow,
+                rec.core,
+                event_index,
+                Some(rec.class),
+                format!(
+                    "arena {va} bypass counter {} exceeds {} body lines",
+                    header.bypass_counter,
+                    rec.class.body_lines()
+                ),
+            ));
+        }
+        check_bitmap(
+            &mut out,
+            "in-memory",
+            Provenance {
+                core: rec.core,
+                event_index,
+                class: Some(rec.class),
+            },
+            va,
+            &header.bitmap,
+            &rec.bitmap,
+        );
+    }
+
+    // Pass 3: AAC bump pointers must equal the shadow's install counts.
+    for core in shadow.cores() {
+        for class in SizeClass::all() {
+            let bump = mproc.paging.bump_for(core, class);
+            let installed = shadow
+                .installs()
+                .get(&(core, class.index()))
+                .copied()
+                .unwrap_or(0);
+            if bump != installed {
+                out.push(violation(
+                    ViolationKind::BumpDivergence,
+                    core,
+                    event_index,
+                    Some(class),
+                    format!("AAC bump pointer {bump} but shadow saw {installed} install(s)"),
+                ));
+            }
+        }
+    }
+
+    // Pass 4: reclaimed arenas must stay unmapped (their VAs are never
+    // reused, so this holds for the life of the process).
+    for &va_raw in shadow.reclaimed() {
+        let va = VirtAddr::new(va_raw);
+        if let Some(t) = mproc.paging.page_table.translate(mem, va) {
+            out.push(violation(
+                ViolationKind::PageTableDivergence,
+                0,
+                event_index,
+                region.locate(va.add(PAGE_SIZE as u64)).map(|l| l.class),
+                format!(
+                    "reclaimed arena {va} still mapped (to {})",
+                    t.frame.base_addr()
+                ),
+            ));
+        }
+    }
+
+    out
+}

@@ -1,0 +1,182 @@
+//! Violation records with provenance, and the run-level report.
+
+use memento_core::size_class::SizeClass;
+use std::fmt;
+
+/// What kind of invariant a violation breaks. Each variant maps to a rule
+/// in DESIGN.md §"Invariants & auditing".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// `obj-free` of an address with no live object (never allocated, or
+    /// already freed).
+    DoubleFree,
+    /// `obj-free` of an address that is not an object base (interior
+    /// pointer, header page, or outside the region).
+    InvalidFree,
+    /// An object's address decodes to a different size class than the one
+    /// its allocation size implies.
+    WrongSizeClass,
+    /// Two live objects' extents intersect.
+    OverlappingObjects,
+    /// An object or HOT entry references an arena the shadow never saw
+    /// installed (or saw reclaimed).
+    UnknownArena,
+    /// An arena's hardware bitmap (HOT copy or in-memory header) disagrees
+    /// with the shadow's record of live slots.
+    BitmapDivergence,
+    /// A HOT entry is internally incoherent: wrong class slot, missing
+    /// header PA, or a clean entry whose cached header differs from memory.
+    HotIncoherence,
+    /// An arena's bypass counter exceeds the body's cache-line count.
+    BypassOverflow,
+    /// The Memento page table disagrees with arena state: a live arena's
+    /// header is unmapped/moved, or a reclaimed arena is still mapped.
+    PageTableDivergence,
+    /// An AAC bump pointer disagrees with the number of arenas the shadow
+    /// saw installed for that (core, class).
+    BumpDivergence,
+    /// An arena lifecycle event is impossible: reinstall of a live or
+    /// reclaimed VA, or reclamation of an unknown/non-empty arena.
+    ArenaLifecycle,
+    /// The softalloc differential oracle disagrees with the hardware on
+    /// object liveness.
+    OracleDivergence,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::DoubleFree => "double-free",
+            ViolationKind::InvalidFree => "invalid-free",
+            ViolationKind::WrongSizeClass => "wrong-size-class",
+            ViolationKind::OverlappingObjects => "overlapping-objects",
+            ViolationKind::UnknownArena => "unknown-arena",
+            ViolationKind::BitmapDivergence => "bitmap-divergence",
+            ViolationKind::HotIncoherence => "hot-incoherence",
+            ViolationKind::BypassOverflow => "bypass-overflow",
+            ViolationKind::PageTableDivergence => "page-table-divergence",
+            ViolationKind::BumpDivergence => "bump-divergence",
+            ViolationKind::ArenaLifecycle => "arena-lifecycle",
+            ViolationKind::OracleDivergence => "oracle-divergence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where a violation was observed: the executing core, the index of the
+/// machine event being processed (the trace's instruction index), and the
+/// size class involved when one is known.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Provenance {
+    /// Core executing when the violation was detected.
+    pub core: usize,
+    /// Index of the machine event (0-based position in the event stream)
+    /// current when the violation was detected.
+    pub event_index: u64,
+    /// Size class involved, when the check concerns one.
+    pub class: Option<SizeClass>,
+}
+
+/// One detected invariant violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Rule broken.
+    pub kind: ViolationKind,
+    /// Where it was observed.
+    pub provenance: Provenance,
+    /// Human-readable specifics (addresses, expected/actual values).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] core {} event {}",
+            self.kind, self.provenance.core, self.provenance.event_index
+        )?;
+        if let Some(sc) = self.provenance.class {
+            write!(f, " {sc}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Accumulated sanitizer output for a machine run.
+#[derive(Clone, Debug, Default)]
+pub struct SanitizerReport {
+    /// Every violation detected, in detection order.
+    pub violations: Vec<Violation>,
+    /// Machine events observed (provenance index space).
+    pub events: u64,
+    /// Hardware alloc/free operations shadowed.
+    pub ops: u64,
+    /// Full cross-structure audits executed.
+    pub audits: u64,
+    /// Operations replayed through the softalloc oracle.
+    pub oracle_ops: u64,
+}
+
+impl SanitizerReport {
+    /// True when no violation was detected.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sanitizer: {} violation(s) over {} op(s), {} audit(s), {} oracle op(s)",
+            self.violations.len(),
+            self.ops,
+            self.audits,
+            self.oracle_ops
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_provenance() {
+        let v = Violation {
+            kind: ViolationKind::DoubleFree,
+            provenance: Provenance {
+                core: 2,
+                event_index: 40,
+                class: Some(SizeClass::from_index(3)),
+            },
+            detail: "0x6000_0000_1000 freed twice".into(),
+        };
+        let text = v.to_string();
+        assert!(text.contains("double-free"));
+        assert!(text.contains("core 2"));
+        assert!(text.contains("event 40"));
+        assert!(text.contains("sc3"));
+    }
+
+    #[test]
+    fn report_clean_and_display() {
+        let mut r = SanitizerReport::default();
+        assert!(r.is_clean());
+        r.violations.push(Violation {
+            kind: ViolationKind::BitmapDivergence,
+            provenance: Provenance {
+                core: 0,
+                event_index: 1,
+                class: None,
+            },
+            detail: "bit 5".into(),
+        });
+        assert!(!r.is_clean());
+        assert!(r.to_string().contains("bitmap-divergence"));
+    }
+}

@@ -1,0 +1,472 @@
+//! The reference shadow heap: an independent, software-only record of what
+//! the hardware allocator *should* believe.
+//!
+//! Every `obj-alloc`, `obj-free`, arena install, and arena reclamation is
+//! mirrored here. The shadow validates per-event rules (double-free,
+//! wrong-size-class, overlap, lifecycle) immediately, and serves as ground
+//! truth for the periodic cross-structure audits in [`crate::audit`].
+//! All containers are ordered (`BTreeMap`/`BTreeSet`) so diagnostics and
+//! audits are deterministic.
+
+use crate::report::{Provenance, Violation, ViolationKind};
+use memento_core::region::MementoRegion;
+use memento_core::size_class::SizeClass;
+use memento_simcore::addr::{PhysAddr, VirtAddr};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Shadow record of one live object.
+#[derive(Clone, Copy, Debug)]
+pub struct ObjRecord {
+    /// Requested size in bytes.
+    pub size: u32,
+    /// Size class the hardware served it from.
+    pub class: SizeClass,
+    /// Core that allocated it.
+    pub core: usize,
+    /// Event index of the allocation.
+    pub event_index: u64,
+}
+
+/// Shadow record of one installed (live) arena.
+#[derive(Clone, Debug)]
+pub struct ArenaRecord {
+    /// Size class of every object in the arena.
+    pub class: SizeClass,
+    /// Core whose HOT received the arena at install time.
+    pub core: usize,
+    /// Physical address of the header page.
+    pub header_pa: PhysAddr,
+    /// Reference allocation bitmap (bit i ⇒ slot i live).
+    pub bitmap: [u64; 4],
+    /// Live objects in the arena (always the bitmap's popcount).
+    pub live: u32,
+}
+
+/// Returns whether bit `idx` is set in a 256-bit bitmap.
+pub fn bit_set(bitmap: &[u64; 4], idx: usize) -> bool {
+    bitmap[idx / 64] & (1u64 << (idx % 64)) != 0
+}
+
+/// The shadow heap for one attached process.
+#[derive(Clone, Debug)]
+pub struct ShadowHeap {
+    region: MementoRegion,
+    /// Live objects keyed by base VA.
+    objects: BTreeMap<u64, ObjRecord>,
+    /// Live arenas keyed by base VA.
+    arenas: BTreeMap<u64, ArenaRecord>,
+    /// Arenas installed per (core, class index) — must track AAC bump
+    /// pointers exactly, since arena VAs are never reused.
+    installs: BTreeMap<(usize, usize), u64>,
+    /// Base VAs of reclaimed arenas (their pages must stay unmapped).
+    reclaimed: BTreeSet<u64>,
+    /// Cores this process has executed hardware operations on.
+    cores: BTreeSet<usize>,
+}
+
+impl ShadowHeap {
+    /// An empty shadow for a process whose reserved region is `region`.
+    pub fn new(region: MementoRegion) -> Self {
+        ShadowHeap {
+            region,
+            objects: BTreeMap::new(),
+            arenas: BTreeMap::new(),
+            installs: BTreeMap::new(),
+            reclaimed: BTreeSet::new(),
+            cores: BTreeSet::new(),
+        }
+    }
+
+    /// The region this shadow validates against.
+    pub fn region(&self) -> MementoRegion {
+        self.region
+    }
+
+    /// Live objects currently tracked.
+    pub fn live_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Live arenas currently tracked.
+    pub fn arenas(&self) -> &BTreeMap<u64, ArenaRecord> {
+        &self.arenas
+    }
+
+    /// Install counts per (core, class index).
+    pub fn installs(&self) -> &BTreeMap<(usize, usize), u64> {
+        &self.installs
+    }
+
+    /// Base VAs of reclaimed arenas.
+    pub fn reclaimed(&self) -> &BTreeSet<u64> {
+        &self.reclaimed
+    }
+
+    /// Cores that have executed shadowed operations.
+    pub fn cores(&self) -> impl Iterator<Item = usize> + '_ {
+        self.cores.iter().copied()
+    }
+
+    fn violation(
+        kind: ViolationKind,
+        core: usize,
+        event_index: u64,
+        class: Option<SizeClass>,
+        detail: String,
+    ) -> Violation {
+        Violation {
+            kind,
+            provenance: Provenance {
+                core,
+                event_index,
+                class,
+            },
+            detail,
+        }
+    }
+
+    /// Mirrors an arena install. Arena VAs are handed out by monotone bump
+    /// pointers, so a VA can be installed at most once, ever.
+    pub fn on_arena_installed(
+        &mut self,
+        core: usize,
+        event_index: u64,
+        class: SizeClass,
+        va: VirtAddr,
+        header_pa: PhysAddr,
+    ) -> Vec<Violation> {
+        self.cores.insert(core);
+        let mut out = Vec::new();
+        if self.reclaimed.contains(&va.raw()) || self.arenas.contains_key(&va.raw()) {
+            out.push(Self::violation(
+                ViolationKind::ArenaLifecycle,
+                core,
+                event_index,
+                Some(class),
+                format!("arena VA {va} installed twice (bump pointers never reuse VAs)"),
+            ));
+        }
+        match self
+            .region
+            .locate(va.add(memento_simcore::addr::PAGE_SIZE as u64))
+        {
+            Some(loc) if loc.class == class && loc.arena_base == va => {}
+            _ => out.push(Self::violation(
+                ViolationKind::UnknownArena,
+                core,
+                event_index,
+                Some(class),
+                format!("installed arena {va} does not decode as a {class} arena base"),
+            )),
+        }
+        self.arenas.insert(
+            va.raw(),
+            ArenaRecord {
+                class,
+                core,
+                header_pa,
+                bitmap: [0; 4],
+                live: 0,
+            },
+        );
+        *self.installs.entry((core, class.index())).or_insert(0) += 1;
+        out
+    }
+
+    /// Mirrors an arena reclamation: the arena must be known and empty.
+    pub fn on_arena_reclaimed(
+        &mut self,
+        core: usize,
+        event_index: u64,
+        class: SizeClass,
+        va: VirtAddr,
+    ) -> Vec<Violation> {
+        self.cores.insert(core);
+        let mut out = Vec::new();
+        match self.arenas.remove(&va.raw()) {
+            None => out.push(Self::violation(
+                ViolationKind::ArenaLifecycle,
+                core,
+                event_index,
+                Some(class),
+                format!("reclaim of arena {va} the shadow never saw installed"),
+            )),
+            Some(rec) if rec.live != 0 => out.push(Self::violation(
+                ViolationKind::ArenaLifecycle,
+                core,
+                event_index,
+                Some(class),
+                format!("arena {va} reclaimed with {} live object(s)", rec.live),
+            )),
+            Some(_) => {}
+        }
+        self.reclaimed.insert(va.raw());
+        out
+    }
+
+    /// Mirrors `obj-alloc` of `size` bytes that returned `va`.
+    pub fn on_alloc(
+        &mut self,
+        core: usize,
+        event_index: u64,
+        va: VirtAddr,
+        size: usize,
+    ) -> Vec<Violation> {
+        self.cores.insert(core);
+        let mut out = Vec::new();
+        let Some(loc) = self.region.locate(va) else {
+            out.push(Self::violation(
+                ViolationKind::UnknownArena,
+                core,
+                event_index,
+                SizeClass::for_size(size),
+                format!("obj-alloc returned {va}, outside the reserved region"),
+            ));
+            return out;
+        };
+        let class = loc.class;
+        if SizeClass::for_size(size) != Some(class) {
+            out.push(Self::violation(
+                ViolationKind::WrongSizeClass,
+                core,
+                event_index,
+                Some(class),
+                format!(
+                    "{size}-byte request served from {class} (expected {})",
+                    SizeClass::for_size(size)
+                        .map(|c| c.to_string())
+                        .unwrap_or_else(|| "software".into())
+                ),
+            ));
+        }
+        // Overlap against slot extents of the nearest live neighbours.
+        let extent = class.object_size() as u64;
+        if let Some((&prev_va, prev)) = self.objects.range(..va.raw()).next_back() {
+            if prev_va + prev.class.object_size() as u64 > va.raw() {
+                out.push(Self::violation(
+                    ViolationKind::OverlappingObjects,
+                    core,
+                    event_index,
+                    Some(class),
+                    format!(
+                        "new object {va} overlaps live object at {:#x} ({})",
+                        prev_va, prev.class
+                    ),
+                ));
+            }
+        }
+        if let Some((&next_va, next)) = self.objects.range(va.raw()..).next() {
+            if va.raw() + extent > next_va {
+                out.push(Self::violation(
+                    ViolationKind::OverlappingObjects,
+                    core,
+                    event_index,
+                    Some(class),
+                    format!(
+                        "new object {va} overlaps live object at {:#x} ({})",
+                        next_va, next.class
+                    ),
+                ));
+            }
+        }
+        match self.arenas.get_mut(&loc.arena_base.raw()) {
+            None => out.push(Self::violation(
+                ViolationKind::UnknownArena,
+                core,
+                event_index,
+                Some(class),
+                format!(
+                    "object {va} lives in arena {} the shadow never saw installed",
+                    loc.arena_base
+                ),
+            )),
+            Some(rec) => {
+                if bit_set(&rec.bitmap, loc.object_index) {
+                    out.push(Self::violation(
+                        ViolationKind::OverlappingObjects,
+                        core,
+                        event_index,
+                        Some(class),
+                        format!(
+                            "slot {} of arena {} handed out while live",
+                            loc.object_index, loc.arena_base
+                        ),
+                    ));
+                } else {
+                    rec.bitmap[loc.object_index / 64] |= 1u64 << (loc.object_index % 64);
+                    rec.live += 1;
+                }
+            }
+        }
+        self.objects.insert(
+            va.raw(),
+            ObjRecord {
+                size: size as u32,
+                class,
+                core,
+                event_index,
+            },
+        );
+        out
+    }
+
+    /// Mirrors `obj-free` of `va`.
+    pub fn on_free(&mut self, core: usize, event_index: u64, va: VirtAddr) -> Vec<Violation> {
+        self.cores.insert(core);
+        let mut out = Vec::new();
+        let loc = self.region.locate(va);
+        let class = loc.map(|l| l.class);
+        match self.objects.remove(&va.raw()) {
+            None => {
+                // Distinguish an interior pointer into a live object from a
+                // plain dead/unknown address.
+                let interior = self
+                    .objects
+                    .range(..va.raw())
+                    .next_back()
+                    .is_some_and(|(&base, rec)| base + rec.class.object_size() as u64 > va.raw());
+                let (kind, what) = if loc.is_none() {
+                    (ViolationKind::InvalidFree, "outside the reserved region")
+                } else if interior {
+                    (ViolationKind::InvalidFree, "an interior pointer")
+                } else {
+                    (ViolationKind::DoubleFree, "no live object")
+                };
+                out.push(Self::violation(
+                    kind,
+                    core,
+                    event_index,
+                    class,
+                    format!("obj-free of {va}: {what}"),
+                ));
+                return out;
+            }
+            Some(rec) => {
+                if class != Some(rec.class) {
+                    out.push(Self::violation(
+                        ViolationKind::WrongSizeClass,
+                        core,
+                        event_index,
+                        class,
+                        format!(
+                            "object {va} allocated as {} but freed as {:?}",
+                            rec.class, class
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(loc) = loc {
+            if let Some(rec) = self.arenas.get_mut(&loc.arena_base.raw()) {
+                if bit_set(&rec.bitmap, loc.object_index) {
+                    rec.bitmap[loc.object_index / 64] &= !(1u64 << (loc.object_index % 64));
+                    rec.live -= 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memento_simcore::addr::PAGE_SIZE;
+
+    fn shadow() -> ShadowHeap {
+        ShadowHeap::new(MementoRegion::standard())
+    }
+
+    /// Installs arena 0 of `class` and returns its base VA.
+    fn install(sh: &mut ShadowHeap, class: SizeClass) -> VirtAddr {
+        let va = sh.region().arena_at(class, 0);
+        let v = sh.on_arena_installed(0, 0, class, va, PhysAddr::new(0x8000));
+        assert!(v.is_empty(), "{v:?}");
+        va
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_is_clean() {
+        let mut sh = shadow();
+        let class = SizeClass::for_size(64).unwrap();
+        let base = install(&mut sh, class);
+        let obj = sh.region().object_addr(class, base, 0);
+        assert!(sh.on_alloc(0, 1, obj, 64).is_empty());
+        assert_eq!(sh.live_objects(), 1);
+        assert!(sh.on_free(0, 2, obj).is_empty());
+        assert_eq!(sh.live_objects(), 0);
+        assert!(sh.on_arena_reclaimed(0, 3, class, base).is_empty());
+    }
+
+    #[test]
+    fn double_free_detected_with_provenance() {
+        let mut sh = shadow();
+        let class = SizeClass::for_size(32).unwrap();
+        let base = install(&mut sh, class);
+        let obj = sh.region().object_addr(class, base, 5);
+        assert!(sh.on_alloc(1, 10, obj, 32).is_empty());
+        assert!(sh.on_free(1, 11, obj).is_empty());
+        let v = sh.on_free(2, 12, obj);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::DoubleFree);
+        assert_eq!(v[0].provenance.core, 2);
+        assert_eq!(v[0].provenance.event_index, 12);
+        assert_eq!(v[0].provenance.class, Some(class));
+    }
+
+    #[test]
+    fn interior_pointer_free_is_invalid() {
+        let mut sh = shadow();
+        let class = SizeClass::for_size(512).unwrap();
+        let base = install(&mut sh, class);
+        let obj = sh.region().object_addr(class, base, 0);
+        assert!(sh.on_alloc(0, 1, obj, 512).is_empty());
+        let v = sh.on_free(0, 2, obj.add(8));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::InvalidFree);
+        assert!(v[0].detail.contains("interior"));
+    }
+
+    #[test]
+    fn wrong_size_class_detected() {
+        let mut sh = shadow();
+        let class = SizeClass::for_size(64).unwrap();
+        let base = install(&mut sh, class);
+        let obj = sh.region().object_addr(class, base, 0);
+        // A 16-byte request must come from sc1, not a 64-byte slot.
+        let v = sh.on_alloc(0, 1, obj, 16);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::WrongSizeClass);
+    }
+
+    #[test]
+    fn slot_reuse_reports_overlap() {
+        let mut sh = shadow();
+        let class = SizeClass::for_size(8).unwrap();
+        let base = install(&mut sh, class);
+        let obj = sh.region().object_addr(class, base, 3);
+        assert!(sh.on_alloc(0, 1, obj, 8).is_empty());
+        let v = sh.on_alloc(0, 2, obj, 8);
+        assert!(v
+            .iter()
+            .any(|v| v.kind == ViolationKind::OverlappingObjects));
+    }
+
+    #[test]
+    fn arena_lifecycle_rules() {
+        let mut sh = shadow();
+        let class = SizeClass::for_size(8).unwrap();
+        let base = install(&mut sh, class);
+        // Reinstalling the same VA is impossible for bump pointers.
+        let v = sh.on_arena_installed(0, 5, class, base, PhysAddr::new(0x9000));
+        assert!(v.iter().any(|v| v.kind == ViolationKind::ArenaLifecycle));
+        // Reclaiming an unknown arena.
+        let other = sh.region().arena_at(class, 7);
+        let v = sh.on_arena_reclaimed(0, 6, class, other);
+        assert!(v.iter().any(|v| v.kind == ViolationKind::ArenaLifecycle));
+        // A header-page address is not an arena base for installs.
+        let bogus = VirtAddr::new(base.raw() + PAGE_SIZE as u64);
+        let v = sh.on_arena_installed(0, 7, class, bogus, PhysAddr::new(0xa000));
+        assert!(v.iter().any(|v| v.kind == ViolationKind::UnknownArena));
+    }
+}

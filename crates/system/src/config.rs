@@ -3,6 +3,7 @@
 use memento_cache::MemSystemConfig;
 use memento_core::device::MementoConfig;
 use memento_kernel::costs::KernelCosts;
+use memento_sanitizer::SanitizerConfig;
 
 /// Which memory-management design the machine runs.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -52,6 +53,11 @@ pub struct SystemConfig {
     /// cycle, trading a little obj-free work for lower cache pressure.
     /// Only meaningful for GC'd runtimes under Memento.
     pub proactive_gc_free: bool,
+    /// Shadow-heap sanitizer (Memento modes only). `None` is zero-cost:
+    /// the device logs no events and no shadow state exists. `Some` turns
+    /// on untimed auditing — simulated statistics are byte-identical
+    /// either way.
+    pub sanitizer: Option<SanitizerConfig>,
 }
 
 impl SystemConfig {
@@ -68,6 +74,7 @@ impl SystemConfig {
             cores: 1,
             coldstart_cycles: 0,
             proactive_gc_free: false,
+            sanitizer: None,
         }
     }
 
@@ -117,6 +124,23 @@ impl SystemConfig {
         }
     }
 
+    /// Memento with the shadow-heap sanitizer auditing every run.
+    pub fn memento_sanitized() -> Self {
+        SystemConfig {
+            sanitizer: Some(SanitizerConfig::default()),
+            ..Self::memento()
+        }
+    }
+
+    /// Sanitized Memento plus the softalloc differential oracle (slowest,
+    /// strongest checking — used by the differential test suite).
+    pub fn memento_sanitized_oracle() -> Self {
+        SystemConfig {
+            sanitizer: Some(SanitizerConfig::with_oracle()),
+            ..Self::memento()
+        }
+    }
+
     /// §6.6 `MAP_POPULATE` baseline.
     pub fn baseline_populate() -> Self {
         SystemConfig {
@@ -139,6 +163,15 @@ mod tests {
     fn presets_differ_where_expected() {
         assert!(!SystemConfig::baseline().is_memento());
         assert!(SystemConfig::memento().is_memento());
+        assert!(SystemConfig::memento().sanitizer.is_none());
+        assert!(SystemConfig::memento_sanitized().is_memento());
+        assert_eq!(
+            SystemConfig::memento_sanitized().sanitizer,
+            Some(SanitizerConfig::default())
+        );
+        assert!(SystemConfig::memento_sanitized_oracle()
+            .sanitizer
+            .is_some_and(|s| s.oracle));
         assert!(SystemConfig::baseline_populate().populate);
         assert_eq!(SystemConfig::iso_storage().mem.l1d.size_bytes, 36 * 1024);
         match SystemConfig::memento_no_bypass().mode {

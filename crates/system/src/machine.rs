@@ -11,6 +11,7 @@ use memento_core::region::MementoRegion;
 use memento_kernel::access::demand_access;
 use memento_kernel::buddy::FrameUse;
 use memento_kernel::kernel::{Kernel, Process};
+use memento_sanitizer::{HeapSanitizer, SanitizerReport, ShadowPid};
 use memento_simcore::addr::{VirtAddr, CACHE_LINE_SIZE, PAGE_SIZE};
 use memento_simcore::cycles::{CycleAccount, CycleBucket, Cycles};
 use memento_simcore::physmem::{Frame, PhysMem};
@@ -71,6 +72,7 @@ pub struct FunctionRun {
     spec: WorkloadSpec,
     proc: Process,
     mproc: Option<MementoProcess>,
+    shadow_pid: Option<ShadowPid>,
     soft: Box<dyn SoftwareAllocator>,
     objects: HashMap<u64, (VirtAddr, u32)>,
     gc: Option<GoGcState>,
@@ -122,6 +124,7 @@ pub struct Machine {
     walker: PageWalker,
     kernel: Kernel,
     device: Option<MementoDevice>,
+    san: Option<HeapSanitizer>,
 }
 
 impl Machine {
@@ -136,8 +139,17 @@ impl Machine {
         // rest of physical memory.
         let pointer_block = mem.alloc_frame().expect("boot frame").base_addr();
         let kernel = Kernel::boot(&mut mem, cfg.kernel_costs);
-        let device = match cfg.mode {
+        let mut device = match cfg.mode {
             Mode::Memento(mcfg) => Some(MementoDevice::new(mcfg, cfg.cores, pointer_block)),
+            _ => None,
+        };
+        // The sanitizer only has hardware to shadow in Memento modes; when
+        // off, the device logs no events and nothing below changes.
+        let san = match (device.as_mut(), cfg.sanitizer) {
+            (Some(dev), Some(scfg)) => {
+                dev.record_events(true);
+                Some(HeapSanitizer::new(scfg))
+            }
             _ => None,
         };
         Machine {
@@ -146,6 +158,7 @@ impl Machine {
             walker: PageWalker::new(),
             kernel,
             device,
+            san,
             mem,
             cfg,
         }
@@ -154,6 +167,12 @@ impl Machine {
     /// The configuration in force.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// The sanitizer report accumulated so far (`None` unless the config
+    /// enables the sanitizer on a Memento machine).
+    pub fn sanitizer_report(&self) -> Option<&SanitizerReport> {
+        self.san.as_ref().map(|s| s.report())
     }
 
     /// Starts a run of `spec`: creates the process and allocator state.
@@ -165,6 +184,10 @@ impl Machine {
             };
             dev.attach_process(&mut self.mem, &mut backend, MementoRegion::standard())
         });
+        let shadow_pid = match (self.san.as_mut(), mproc.as_ref()) {
+            (Some(san), Some(mp)) => Some(san.attach(mp.region())),
+            _ => None,
+        };
         let mut account = CycleAccount::new();
         if self.cfg.coldstart_cycles > 0 {
             account.charge(CycleBucket::Setup, Cycles::new(self.cfg.coldstart_cycles));
@@ -175,6 +198,7 @@ impl Machine {
             spec: spec.clone(),
             proc,
             mproc,
+            shadow_pid,
             soft: build_allocator(spec, self.cfg.populate),
             objects: HashMap::new(),
             gc,
@@ -287,6 +311,14 @@ impl Machine {
             .expect("hardware alloc within 512B");
         run.account.charge(CycleBucket::HwAlloc, out.obj_cycles);
         run.account.charge(CycleBucket::HwPage, out.page_cycles);
+        if let Some(pid) = run.shadow_pid {
+            let san = self.san.as_mut().expect("shadow pid implies sanitizer");
+            san.on_device_events(pid, dev.take_events());
+            san.on_obj_alloc(pid, core, out.addr, size);
+            if san.audit_due(pid) {
+                san.audit(pid, dev, mproc, &self.mem);
+            }
+        }
         out.addr
     }
 
@@ -309,6 +341,14 @@ impl Machine {
             .expect("hardware free of live object");
         run.account.charge(CycleBucket::HwFree, out.obj_cycles);
         run.account.charge(CycleBucket::HwPage, out.page_cycles);
+        if let Some(pid) = run.shadow_pid {
+            let san = self.san.as_mut().expect("shadow pid implies sanitizer");
+            san.on_device_events(pid, dev.take_events());
+            san.on_obj_free(pid, core, addr);
+            if san.audit_due(pid) {
+                san.audit(pid, dev, mproc, &self.mem);
+            }
+        }
     }
 
     /// One demand data access at `va` for a run, honouring the configured
@@ -401,6 +441,7 @@ impl Machine {
         // (large objects' page-rounded footprint excluded).
         let mut live_small = 0u64;
         let mut large_pages = 0u64;
+        // lint:allow(unordered-iter): commutative sums over sizes only.
         for (_, (_, size)) in run.objects.iter() {
             if *size as usize <= HW_MAX_SIZE {
                 live_small += *size as u64;
@@ -463,6 +504,9 @@ impl Machine {
     pub fn step_on(&mut self, run: &mut FunctionRun, event: &Event, core: usize) {
         debug_assert!(!run.finished, "step after Exit");
         debug_assert!(core < self.cfg.cores, "core {core} out of range");
+        if let Some(san) = self.san.as_mut() {
+            san.note_event();
+        }
         match event {
             Event::Compute { instructions } => {
                 let cycles = (*instructions as f64 * self.cfg.cpi).round() as u64;
@@ -618,6 +662,13 @@ impl Machine {
         // Memento teardown: the hardware page allocator returns the
         // function's entire small-object heap to the OS pool in one batch.
         if let (Some(dev), Some(mproc)) = (self.device.as_mut(), run.mproc.take()) {
+            // Final sanitizer audit while the process state is still
+            // intact (HOT entries, page table, bump pointers).
+            if let Some(pid) = run.shadow_pid.take() {
+                let san = self.san.as_mut().expect("shadow pid implies sanitizer");
+                san.on_device_events(pid, dev.take_events());
+                san.detach(pid, dev, &mproc, &self.mem);
+            }
             let mut backend = OsBackend {
                 kernel: &mut self.kernel,
             };

@@ -3,7 +3,7 @@
 
 use crate::event::{Event, Trace};
 use memento_simcore::stats::Histogram;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Fig. 2 geometry: 512-byte bins up to 4 KB, then overflow.
 pub const SIZE_BIN_WIDTH: u64 = 512;
@@ -90,7 +90,7 @@ pub fn characterize(trace: &Trace) -> Characterization {
 
     let mut class_counts = [0u64; 65];
     // id → (size, class, class count at allocation).
-    let mut live: HashMap<u64, (u32, usize, u64)> = HashMap::new();
+    let mut live: BTreeMap<u64, (u32, usize, u64)> = BTreeMap::new();
     let mut distances: Vec<(u32, Option<u64>)> = Vec::new();
 
     for (idx, event) in trace.events.iter().enumerate() {

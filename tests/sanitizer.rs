@@ -1,0 +1,67 @@
+//! End-to-end sanitizer runs: full workloads under `memento_sanitized()`
+//! must produce zero violations, and turning the sanitizer on must not
+//! change a single simulated cycle (it is untimed instrumentation).
+
+use memento_sanitizer::SanitizerConfig;
+use memento_system::{Machine, SystemConfig};
+use memento_workloads::spec::WorkloadSpec;
+use memento_workloads::suite;
+
+fn shrunk(name: &str, insts: u64) -> WorkloadSpec {
+    let mut s = suite::by_name(name).expect("known workload");
+    s.total_instructions = insts;
+    s
+}
+
+#[test]
+fn sanitized_workloads_report_zero_violations() {
+    // One workload per language family: pymalloc, jemalloc, and the GC'd
+    // Go path (which frees through the sweep and the §4 proactive path).
+    for name in ["html", "US", "html-go"] {
+        let spec = shrunk(name, 400_000);
+        let mut machine = Machine::new(SystemConfig::memento_sanitized());
+        let _ = machine.run(&spec);
+        let report = machine.sanitizer_report().expect("sanitizer enabled");
+        assert!(report.is_clean(), "{name}:\n{report}");
+        assert!(report.ops > 0, "{name}: no hardware ops shadowed");
+        assert!(report.audits > 0, "{name}: no audits ran");
+    }
+}
+
+#[test]
+fn oracle_agrees_on_a_full_run() {
+    let spec = shrunk("aes", 200_000);
+    let mut machine = Machine::new(SystemConfig::memento_sanitized_oracle());
+    let _ = machine.run(&spec);
+    let report = machine.sanitizer_report().expect("sanitizer enabled");
+    assert!(report.is_clean(), "{report}");
+    assert!(report.oracle_ops > 0, "oracle must have replayed the trace");
+}
+
+#[test]
+fn sanitizer_is_cycle_invisible() {
+    // Audits are read-only and untimed: statistics must be byte-identical
+    // with and without the sanitizer, for every cycle bucket.
+    for name in ["html", "html-go"] {
+        let spec = shrunk(name, 300_000);
+        let plain = Machine::new(SystemConfig::memento()).run(&spec);
+        let audited = Machine::new(SystemConfig::memento_sanitized()).run(&spec);
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{audited:?}"),
+            "{name}: sanitizer perturbed the simulated statistics"
+        );
+    }
+}
+
+#[test]
+fn sanitizer_needs_memento_hardware() {
+    // On a baseline machine there is no hardware to shadow: the config is
+    // accepted but no report exists and the run is unaffected.
+    let spec = shrunk("html", 100_000);
+    let mut cfg = SystemConfig::baseline();
+    cfg.sanitizer = Some(SanitizerConfig::default());
+    let mut machine = Machine::new(cfg);
+    let _ = machine.run(&spec);
+    assert!(machine.sanitizer_report().is_none());
+}

@@ -1,0 +1,30 @@
+// Fixture: deterministic, panic-free library code passes every rule.
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub fn histogram(samples: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for s in samples {
+        *counts.entry(*s).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn lookup_only(index: &HashMap<u32, u32>, key: u32) -> Option<u32> {
+    // Point lookups on a HashMap are fine; only iteration is banned.
+    index.get(&key).copied()
+}
+
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "example of a properly justified ignore"]
+    fn slow_sweep() {
+        let h = super::histogram(&[1, 1, 2]);
+        assert_eq!(h.first().copied().unwrap(), (1, 2));
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: an #[ignore] with no reason string must be flagged.
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore]
+    fn slow_sweep() {}
+}

@@ -1,0 +1,7 @@
+// Fixture: ad-hoc threads outside the runner must be flagged.
+use std::thread;
+
+pub fn fan_out() {
+    let handle = thread::spawn(|| 1 + 1);
+    let _ = handle.join();
+}

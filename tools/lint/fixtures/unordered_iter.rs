@@ -1,0 +1,14 @@
+// Fixture: iterating a HashMap declared in the same file must be flagged.
+use std::collections::HashMap;
+
+pub fn histogram(samples: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for s in samples {
+        *counts.entry(*s).or_insert(0) += 1;
+    }
+    let mut rows = Vec::new();
+    for (k, v) in counts.iter() {
+        rows.push((*k, *v));
+    }
+    rows
+}

@@ -1,0 +1,4 @@
+// Fixture: bare unwrap in library code must be flagged.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

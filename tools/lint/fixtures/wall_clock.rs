@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads in sim code must be flagged.
+use std::time::Instant;
+
+pub fn timed() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn stamped() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok()
+}

@@ -1,0 +1,593 @@
+//! Dependency-free determinism lint for the Memento workspace.
+//!
+//! Scans simulator crate sources (`crates/*/src/**`) for constructs that
+//! make results nondeterministic or failures silent, and every Rust file in
+//! the repo's test trees for `#[ignore]` hygiene. Rules:
+//!
+//! - `wall-clock` — `Instant::now` / `SystemTime` anywhere in sim crates
+//!   except `crates/experiments/src/runner.rs` (wall-clock is reported next
+//!   to, never inside, deterministic result tables).
+//! - `thread-spawn` — `thread::spawn` / `thread::scope` outside the runner
+//!   (all parallelism goes through the order-preserving pool).
+//! - `unordered-iter` — iterating a `HashMap`/`HashSet` declared in the
+//!   same file (std's iteration order is randomized per instance, so any
+//!   aggregation or table fed by it can differ run to run).
+//! - `unwrap-in-lib` — `.unwrap()` in library (non-test) code; use
+//!   `expect` with a message or propagate a `Result`.
+//! - `ignore-without-reason` — `#[ignore]` without `= "reason"`.
+//!
+//! A finding can be waived by putting `lint:allow(<rule-id>)` in a comment
+//! on the same line or the line above; use this only with a justification
+//! (e.g. an order-insensitive reduction over a `HashMap`).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// Wall-clock reads in sim code.
+    WallClock,
+    /// Thread spawning outside the experiment runner.
+    ThreadSpawn,
+    /// Iteration over a randomized-order container.
+    UnorderedIter,
+    /// `.unwrap()` in library code.
+    UnwrapInLib,
+    /// `#[ignore]` without a reason string.
+    IgnoreWithoutReason,
+}
+
+impl Rule {
+    /// Stable identifier, also the waiver token.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::UnwrapInLib => "unwrap-in-lib",
+            Rule::IgnoreWithoutReason => "ignore-without-reason",
+        }
+    }
+
+    /// What the rule protects.
+    pub fn explanation(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "wall-clock reads make sim results vary run to run; keep timing in the \
+                 experiments runner and report it outside result tables"
+            }
+            Rule::ThreadSpawn => {
+                "ad-hoc threads break the order-preserving parallelism contract; use \
+                 experiments::runner::map_ordered"
+            }
+            Rule::UnorderedIter => {
+                "HashMap/HashSet iteration order is randomized per instance; iterate a \
+                 BTree container or waive with a justification if the reduction is \
+                 order-insensitive"
+            }
+            Rule::UnwrapInLib => {
+                "library code must not panic without context; use expect(\"why\") or \
+                 propagate a Result"
+            }
+            Rule::IgnoreWithoutReason => "every #[ignore] must say why: #[ignore = \"reason\"]",
+        }
+    }
+
+    fn all() -> [Rule; 5] {
+        [
+            Rule::WallClock,
+            Rule::ThreadSpawn,
+            Rule::UnorderedIter,
+            Rule::UnwrapInLib,
+            Rule::IgnoreWithoutReason,
+        ]
+    }
+}
+
+/// One lint hit.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule violated.
+    pub rule: Rule,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.excerpt
+        )
+    }
+}
+
+/// The single file allowed to read the wall clock and spawn threads.
+const RUNNER: &str = "crates/experiments/src/runner.rs";
+
+/// Strips `//` comments and blanks string-literal interiors, so a URL
+/// inside a string does not truncate real code and banned patterns quoted
+/// in messages or comments are not flagged.
+fn strip_comments(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    let mut in_string = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_string {
+            if c == '\\' {
+                if i + 1 < bytes.len() {
+                    i += 2;
+                    continue;
+                }
+            } else if c == '"' {
+                in_string = false;
+                out.push(c);
+            }
+            i += 1;
+            continue;
+        }
+        // Raw strings (`r"…"`, `r#"…"#`, `br#"…"#`) have no escapes and may
+        // contain bare quotes; blank them whole so the quote-parity and
+        // brace tracking stay correct.
+        if (c == 'r' || c == 'b') && (i == 0 || !is_ident_char(bytes[i - 1] as char)) {
+            let start = if c == 'b' && i + 1 < bytes.len() && bytes[i + 1] as char == 'r' {
+                i + 1
+            } else {
+                i
+            };
+            if bytes[start] as char == 'r' {
+                let mut j = start + 1;
+                let mut hashes = 0;
+                while j < bytes.len() && bytes[j] as char == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] as char == '"' {
+                    let close: String = std::iter::once('"')
+                        .chain(std::iter::repeat_n('#', hashes))
+                        .collect();
+                    out.push_str("\"\"");
+                    i = match line[j + 1..].find(&close) {
+                        Some(pos) => j + 1 + pos + close.len(),
+                        None => bytes.len(),
+                    };
+                    continue;
+                }
+            }
+        }
+        if c == '"' {
+            in_string = true;
+            out.push(c);
+            i += 1;
+        } else if c == '\'' {
+            // Skip a char literal like 'x', '\n', or '"' so its quote
+            // cannot be mistaken for a string delimiter. Lifetimes ('a)
+            // fall through harmlessly: they contain no quote.
+            if i + 2 < bytes.len() && bytes[i + 1] as char == '\\' && i + 3 < bytes.len() {
+                out.push_str(&line[i..i + 4]);
+                i += 4;
+            } else if i + 2 < bytes.len() && bytes[i + 2] as char == '\'' {
+                out.push_str(&line[i..i + 3]);
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < bytes.len() && bytes[i + 1] as char == '/' {
+            break;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Marks lines inside `#[cfg(test)]` regions (brace-balanced from the
+/// attribute). An out-of-line `#[cfg(test)] mod x;` ends at the semicolon —
+/// the referenced file is excluded by its `tests` name instead.
+fn test_regions(lines: &[&str]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut active = false;
+    let mut depth: i64 = 0;
+    let mut seen_open = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let code = strip_comments(raw);
+        if !active && code.contains("#[cfg(test)]") {
+            active = true;
+            depth = 0;
+            seen_open = false;
+        }
+        if active {
+            in_test[i] = true;
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            let body_closed = seen_open && depth <= 0;
+            let out_of_line_mod =
+                !seen_open && code.trim_end().ends_with(';') && code.contains("mod ");
+            if body_closed || out_of_line_mod {
+                active = false;
+            }
+        }
+    }
+    in_test
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// If the `HashMap`/`HashSet` occurrence at `idx` is a binding's type or
+/// initializer (`name: HashMap<..>` / `name = HashMap::new()`), returns
+/// the bound name. Rejects paths (`::HashMap`), imports, and return types.
+fn binder_before(code: &str, idx: usize) -> Option<String> {
+    let before = code[..idx].trim_end();
+    // Reject `std::collections::HashMap` and `use ...::{HashMap, ...}`.
+    if before.ends_with(':') {
+        let t = before.strip_suffix(':')?;
+        if t.ends_with(':') {
+            return None; // `::HashMap` — a path, not a binding type.
+        }
+        let t = t.trim_end();
+        let name: String = t
+            .chars()
+            .rev()
+            .take_while(|c| is_ident_char(*c))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        return (!name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .then_some(name);
+    }
+    if before.ends_with('=') {
+        let t = before.strip_suffix('=')?;
+        // Reject `==`, `=>`, `+=`, `<=`, … — only plain assignment binds.
+        if t.ends_with(['=', '<', '>', '+', '-', '!', '&', '|', '*', '/']) {
+            return None;
+        }
+        let t = t.trim_end();
+        let name: String = t
+            .chars()
+            .rev()
+            .take_while(|c| is_ident_char(*c))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        return (!name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .then_some(name);
+    }
+    None
+}
+
+/// Collects names bound to `HashMap`/`HashSet` in non-test lines.
+fn unordered_names(lines: &[&str], in_test: &[bool]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let code = strip_comments(raw);
+        for ty in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(ty) {
+                let idx = from + pos;
+                if let Some(name) = binder_before(&code, idx) {
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+                from = idx + ty.len();
+            }
+        }
+    }
+    names
+}
+
+/// Whether `code` iterates `name` (method calls or a `for … in`).
+fn iterates(code: &str, name: &str) -> bool {
+    const SUFFIXES: [&str; 7] = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+    ];
+    for suffix in SUFFIXES {
+        let pat = format!("{name}{suffix}");
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(&pat) {
+            let idx = from + pos;
+            let boundary = idx == 0 || !is_ident_char(code[..idx].chars().next_back().unwrap());
+            if boundary {
+                return true;
+            }
+            from = idx + pat.len();
+        }
+    }
+    // `for x in name {` / `for x in &name {` / `in &mut name {`.
+    for prefix in ["in ", "in &", "in &mut "] {
+        let pat = format!("{prefix}{name}");
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(&pat) {
+            let idx = from + pos;
+            let pre_ok = idx == 0 || !is_ident_char(code[..idx].chars().next_back().unwrap());
+            let after = code[idx + pat.len()..].chars().next();
+            let post_ok = matches!(after, None | Some(' ') | Some('{'));
+            if pre_ok && post_ok {
+                return true;
+            }
+            from = idx + pat.len();
+        }
+    }
+    false
+}
+
+/// Whether a `lint:allow(<rule>)` waiver covers `line_idx`.
+fn waived(lines: &[&str], line_idx: usize, rule: Rule) -> bool {
+    let token = format!("lint:allow({})", rule.id());
+    if lines[line_idx].contains(&token) {
+        return true;
+    }
+    line_idx > 0 && lines[line_idx - 1].contains(&token)
+}
+
+/// Scans one file's source. `rel` is the repo-relative path (`/`-separated)
+/// and decides which rules apply.
+pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let in_test = test_regions(&lines);
+    let test_file = {
+        let file_name = rel.rsplit('/').next().unwrap_or(rel);
+        rel.contains("/tests/")
+            || rel.starts_with("tests/")
+            || rel.starts_with("examples/")
+            || rel.starts_with("benches/")
+            || file_name.contains("test")
+    };
+    let sim_lib = rel.starts_with("crates/") && rel.contains("/src/") && !test_file;
+    let is_runner = rel == RUNNER;
+    let names = if sim_lib {
+        unordered_names(&lines, &in_test)
+    } else {
+        Vec::new()
+    };
+
+    let mut findings = Vec::new();
+    let mut push = |rule: Rule, i: usize, raw: &str| {
+        if !waived(&lines, i, rule) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule,
+                excerpt: raw.trim().to_string(),
+            });
+        }
+    };
+
+    for (i, raw) in lines.iter().enumerate() {
+        // #[ignore] hygiene applies everywhere, including test code.
+        let code = strip_comments(raw);
+        if code.contains("#[ignore]") {
+            push(Rule::IgnoreWithoutReason, i, raw);
+        }
+        if !sim_lib || in_test[i] {
+            continue;
+        }
+        if !is_runner && (code.contains("Instant::now") || code.contains("SystemTime")) {
+            push(Rule::WallClock, i, raw);
+        }
+        if !is_runner && (code.contains("thread::spawn") || code.contains("thread::scope")) {
+            push(Rule::ThreadSpawn, i, raw);
+        }
+        if code.contains(".unwrap()") {
+            push(Rule::UnwrapInLib, i, raw);
+        }
+        for name in &names {
+            if iterates(&code, name) {
+                push(Rule::UnorderedIter, i, raw);
+                break;
+            }
+        }
+    }
+    findings
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole repository rooted at `root`: sim crate sources plus the
+/// top-level `tests/`, `examples/`, and `benches/` trees. `vendor/` and
+/// `tools/` are out of scope (vendored stubs and this lint's fixtures).
+pub fn scan_repo(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples", "benches"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&path)?;
+        findings.extend(scan_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+/// Summary line for a scan, listing the rules checked.
+pub fn summary(findings: &[Finding]) -> String {
+    let rules: Vec<&str> = Rule::all().iter().map(|r| r.id()).collect();
+    if findings.is_empty() {
+        format!("lint: clean ({} rules: {})", rules.len(), rules.join(", "))
+    } else {
+        format!("lint: {} finding(s)", findings.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXDIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures");
+
+    fn fixture(name: &str) -> String {
+        fs::read_to_string(format!("{FIXDIR}/{name}")).expect("fixture exists")
+    }
+
+    fn rules_hit(rel: &str, src: &str) -> Vec<Rule> {
+        scan_source(rel, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn fixtures_trip_every_rule() {
+        let cases = [
+            ("wall_clock.rs", Rule::WallClock),
+            ("thread_spawn.rs", Rule::ThreadSpawn),
+            ("unordered_iter.rs", Rule::UnorderedIter),
+            ("unwrap_in_lib.rs", Rule::UnwrapInLib),
+            ("ignore_without_reason.rs", Rule::IgnoreWithoutReason),
+        ];
+        for (file, rule) in cases {
+            let hits = rules_hit("crates/system/src/fixture.rs", &fixture(file));
+            assert!(
+                hits.contains(&rule),
+                "{file} should trip {:?}, got {hits:?}",
+                rule
+            );
+        }
+    }
+
+    #[test]
+    fn clean_fixture_passes() {
+        let hits = rules_hit("crates/system/src/fixture.rs", &fixture("clean.rs"));
+        assert!(hits.is_empty(), "clean fixture tripped {hits:?}");
+    }
+
+    #[test]
+    fn runner_is_exempt_from_timing_rules() {
+        let src = fixture("wall_clock.rs") + &fixture("thread_spawn.rs");
+        assert!(rules_hit(RUNNER, &src).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(rules_hit("crates/core/src/a.rs", src).is_empty());
+        // …but code after the region closes is linted again.
+        let src2 = format!("{src}fn lib2() {{ y.unwrap(); }}\n");
+        assert_eq!(
+            rules_hit("crates/core/src/a.rs", &src2),
+            vec![Rule::UnwrapInLib]
+        );
+    }
+
+    #[test]
+    fn out_of_line_test_mod_ends_region() {
+        let src = "#[cfg(test)]\nmod device_tests;\nfn lib() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_hit("crates/core/src/a.rs", src),
+            vec![Rule::UnwrapInLib]
+        );
+    }
+
+    #[test]
+    fn waiver_suppresses_on_same_or_previous_line() {
+        let same = "fn f() { x.unwrap(); } // lint:allow(unwrap-in-lib): test\n";
+        assert!(rules_hit("crates/core/src/a.rs", same).is_empty());
+        let prev = "// lint:allow(unwrap-in-lib): justified\nfn f() { x.unwrap(); }\n";
+        assert!(rules_hit("crates/core/src/a.rs", prev).is_empty());
+        let wrong = "// lint:allow(wall-clock)\nfn f() { x.unwrap(); }\n";
+        assert_eq!(rules_hit("crates/core/src/a.rs", wrong).len(), 1);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip() {
+        let src = "// Instant::now is banned\nfn f() { let s = \".unwrap()\"; let _ = s; }\n";
+        assert!(rules_hit("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn use_lines_do_not_register_unordered_names() {
+        let src = "use std::collections::HashMap;\nuse std::collections::{HashMap, HashSet};\n";
+        let lines: Vec<&str> = src.lines().collect();
+        let in_test = vec![false; lines.len()];
+        assert!(unordered_names(&lines, &in_test).is_empty());
+    }
+
+    #[test]
+    fn ignore_with_reason_is_fine() {
+        let src = "#[ignore = \"slow: full sweep\"]\nfn t() {}\n";
+        assert!(rules_hit("crates/core/src/a.rs", src).is_empty());
+        let bad = "#[ignore]\nfn t() {}\n";
+        assert_eq!(
+            rules_hit("tests/x.rs", bad),
+            vec![Rule::IgnoreWithoutReason]
+        );
+    }
+
+    #[test]
+    fn non_sim_paths_only_get_ignore_rule() {
+        let src = "fn f() { x.unwrap(); }\n#[ignore]\nfn t() {}\n";
+        assert_eq!(
+            rules_hit("tests/e2e.rs", src),
+            vec![Rule::IgnoreWithoutReason]
+        );
+    }
+
+    #[test]
+    fn repo_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = scan_repo(&root).expect("repo readable");
+        assert!(
+            findings.is_empty(),
+            "repo has lint findings:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Repo lint entry point: `cargo run -p lint` from anywhere in the
+//! workspace. Exits nonzero if any finding survives the waivers.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = match lint::scan_repo(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &findings {
+        eprintln!("{f}");
+        eprintln!("    note: {}", f.rule.explanation());
+    }
+    println!("{}", lint::summary(&findings));
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
