@@ -2,6 +2,7 @@
 
 use crate::cache::{CacheConfig, CacheStats, Eviction, SetAssocCache};
 use crate::dram::{Dram, DramConfig, DramStats};
+use memento_obs::Log2Hist;
 use memento_simcore::addr::PhysAddr;
 use memento_simcore::cycles::Cycles;
 
@@ -132,6 +133,7 @@ pub struct MemSystem {
     llc: SetAssocCache,
     dram: Dram,
     bypassed_fills: u64,
+    demand_lat: Log2Hist,
 }
 
 impl MemSystem {
@@ -154,8 +156,15 @@ impl MemSystem {
             llc: SetAssocCache::new(cfg.llc.clone()),
             dram: Dram::new(cfg.dram.clone()),
             bypassed_fills: 0,
+            demand_lat: Log2Hist::default(),
             cfg,
         }
+    }
+
+    /// Distribution of demand-access latencies (cycles per access, both
+    /// plain and bypass-eligible).
+    pub fn demand_latency(&self) -> &Log2Hist {
+        &self.demand_lat
     }
 
     /// The configuration in force.
@@ -294,7 +303,9 @@ impl MemSystem {
     ///
     /// Panics if `core_id` is out of range.
     pub fn access(&mut self, core_id: usize, kind: AccessKind, addr: PhysAddr) -> AccessOutcome {
-        self.access_inner(core_id, kind, addr, false)
+        let out = self.access_inner(core_id, kind, addr, false);
+        self.demand_lat.record(out.cycles.raw());
+        out
     }
 
     /// Performs a demand access that is *eligible for main-memory bypass*:
@@ -306,7 +317,9 @@ impl MemSystem {
         kind: AccessKind,
         addr: PhysAddr,
     ) -> AccessOutcome {
-        self.access_inner(core_id, kind, addr, true)
+        let out = self.access_inner(core_id, kind, addr, true);
+        self.demand_lat.record(out.cycles.raw());
+        out
     }
 
     /// Writes a full line back to DRAM directly (used for explicit flushes

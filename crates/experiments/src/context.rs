@@ -69,6 +69,12 @@ impl EvalContext {
         Self::at_scale(8)
     }
 
+    /// Context at an explicit scale divisor (golden-snapshot tests pin a
+    /// small fixed scale so the fixture stays cheap to regenerate).
+    pub fn scaled(scale_divisor: u64) -> Self {
+        Self::at_scale(scale_divisor.max(1))
+    }
+
     fn at_scale(scale_divisor: u64) -> Self {
         EvalContext {
             cache: HashMap::new(),

@@ -20,6 +20,7 @@
 //! | [`sensitivity`] | §6.6 studies: `MAP_POPULATE`, multi-process, fragmentation, cold starts, allocator tuning |
 //! | [`multicore`] | extension: spatial co-location, one function per core |
 //! | [`ablation`] | extension: eager replenish / bypass / pool batch / AAC ablations |
+//! | [`profile`] | extension: traced run → flame table, metrics appendix, heap samples |
 //!
 //! Runs are memoized in an [`EvalContext`] so one sweep feeds every figure.
 //!
@@ -54,6 +55,7 @@ pub mod hot;
 pub mod memusage;
 pub mod multicore;
 pub mod pricing;
+pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod sensitivity;
@@ -62,6 +64,7 @@ pub mod speedup;
 pub mod table;
 
 pub use context::{ConfigKind, EvalContext};
-pub use runner::{map_ordered, RunnerTiming};
+pub use profile::{profile_run, ProfileReport};
+pub use runner::{map_ordered, merge_metrics, RunnerTiming};
 pub use sharding::SimPoint;
 pub use table::Table;

@@ -10,6 +10,7 @@ use crate::buddy::{BuddyAllocator, FrameStats, FrameUse, OutOfFrames};
 use crate::costs::KernelCosts;
 use crate::vma::{AddressSpace, VmaError};
 use memento_cache::{AccessKind, MemSystem};
+use memento_obs::Log2Hist;
 use memento_simcore::addr::{PhysAddr, VirtAddr, CACHE_LINE_SIZE, PAGE_SIZE};
 use memento_simcore::cycles::Cycles;
 use memento_simcore::physmem::{Frame, PhysMem};
@@ -149,6 +150,7 @@ pub struct Kernel {
     /// VMA-metadata slab accounting: one KernelMeta frame per
     /// `VMAS_PER_SLAB` mappings (vm_area_structs, rmap, accounting).
     vma_slab_objects: u64,
+    fault_lat: Log2Hist,
 }
 
 impl Kernel {
@@ -177,7 +179,13 @@ impl Kernel {
             kmeta_lines: Self::KMETA_FRAMES * (PAGE_SIZE / CACHE_LINE_SIZE) as u64,
             kmeta_cursor: 0,
             vma_slab_objects: 0,
+            fault_lat: Log2Hist::default(),
         }
+    }
+
+    /// Distribution of page-fault handler latencies (cycles per fault).
+    pub fn fault_latency(&self) -> &Log2Hist {
+        &self.fault_lat
     }
 
     /// vm_area_structs (and companion rmap/accounting objects) per slab
@@ -384,6 +392,7 @@ impl Kernel {
         let page = va.page_base();
         cycles += self.map_page(mem, mem_sys, core, proc, page, frame)?;
         tlb.insert(page, frame);
+        self.fault_lat.record(cycles.raw());
         Ok(FaultOutcome { frame, cycles })
     }
 

@@ -5,6 +5,28 @@ use memento_core::device::MementoConfig;
 use memento_kernel::costs::KernelCosts;
 use memento_sanitizer::SanitizerConfig;
 
+/// Observability settings: where the Perfetto trace goes and how often the
+/// heap profiler samples. Enabling tracing is untimed and cycle-invisible —
+/// simulated statistics are byte-identical with or without it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceConfig {
+    /// Where to write the Chrome/Perfetto `trace_event` JSON at run end;
+    /// `None` keeps the trace in memory (inspect via `Machine::tracer`).
+    pub path: Option<std::path::PathBuf>,
+    /// Take one heap-profile sample per core every this many simulated
+    /// cycles.
+    pub sample_every: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            path: None,
+            sample_every: 100_000,
+        }
+    }
+}
+
 /// Which memory-management design the machine runs.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Mode {
@@ -58,6 +80,11 @@ pub struct SystemConfig {
     /// on untimed auditing — simulated statistics are byte-identical
     /// either way.
     pub sanitizer: Option<SanitizerConfig>,
+    /// Cycle-attributed tracing + metrics + heap profiling. `None` is
+    /// zero-cost (no spans recorded, no samples taken). `Some` records a
+    /// Perfetto trace and a metrics appendix — untimed, so simulated
+    /// statistics are byte-identical either way.
+    pub trace: Option<TraceConfig>,
 }
 
 impl SystemConfig {
@@ -75,6 +102,28 @@ impl SystemConfig {
             coldstart_cycles: 0,
             proactive_gc_free: false,
             sanitizer: None,
+            trace: None,
+        }
+    }
+
+    /// This configuration with tracing on, writing the Perfetto JSON to
+    /// `path` when the run finishes.
+    pub fn traced(self, path: impl Into<std::path::PathBuf>) -> Self {
+        SystemConfig {
+            trace: Some(TraceConfig {
+                path: Some(path.into()),
+                ..TraceConfig::default()
+            }),
+            ..self
+        }
+    }
+
+    /// This configuration with tracing on but no output file — the trace
+    /// and metrics stay readable on the machine (used by tests).
+    pub fn traced_in_memory(self) -> Self {
+        SystemConfig {
+            trace: Some(TraceConfig::default()),
+            ..self
         }
     }
 
@@ -173,6 +222,13 @@ mod tests {
             .sanitizer
             .is_some_and(|s| s.oracle));
         assert!(SystemConfig::baseline_populate().populate);
+        assert!(SystemConfig::memento().trace.is_none());
+        let traced = SystemConfig::memento().traced("/tmp/t.json");
+        assert_eq!(
+            traced.trace.as_ref().and_then(|t| t.path.clone()),
+            Some(std::path::PathBuf::from("/tmp/t.json"))
+        );
+        assert!(SystemConfig::baseline().traced_in_memory().trace.is_some());
         assert_eq!(SystemConfig::iso_storage().mem.l1d.size_bytes, 36 * 1024);
         match SystemConfig::memento_no_bypass().mode {
             Mode::Memento(cfg) => assert!(!cfg.bypass_enabled),

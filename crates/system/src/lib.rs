@@ -30,8 +30,9 @@
 pub mod config;
 pub mod gc;
 pub mod machine;
+pub mod observe;
 pub mod stats;
 
-pub use config::{Mode, SystemConfig};
+pub use config::{Mode, SystemConfig, TraceConfig};
 pub use machine::Machine;
 pub use stats::RunStats;

@@ -3,14 +3,16 @@
 
 use crate::config::{Mode, SystemConfig};
 use crate::gc::{GcPolicy, GoGcState};
+use crate::observe::MachineObs;
 use crate::stats::RunStats;
 use memento_cache::{AccessKind, MemSystem};
-use memento_core::device::{MementoDevice, MementoProcess};
+use memento_core::device::{DeviceEvent, MementoDevice, MementoProcess};
 use memento_core::page_alloc::PoolBackend;
 use memento_core::region::MementoRegion;
 use memento_kernel::access::demand_access;
 use memento_kernel::buddy::FrameUse;
 use memento_kernel::kernel::{Kernel, Process};
+use memento_obs::{Log2Hist, ProfileSample};
 use memento_sanitizer::{HeapSanitizer, SanitizerReport, ShadowPid};
 use memento_simcore::addr::{VirtAddr, CACHE_LINE_SIZE, PAGE_SIZE};
 use memento_simcore::cycles::{CycleAccount, CycleBucket, Cycles};
@@ -83,6 +85,10 @@ pub struct FunctionRun {
     frag_total: u64,
     snapshot: Option<StatSnapshot>,
     finished: bool,
+    live_bytes: u64,
+    // Malloc-free distance bookkeeping, maintained only when tracing is on.
+    alloc_seq: u64,
+    born: HashMap<u64, u64>,
 }
 
 /// Sample arena occupancy every this many allocations (fragmentation
@@ -125,6 +131,7 @@ pub struct Machine {
     kernel: Kernel,
     device: Option<MementoDevice>,
     san: Option<HeapSanitizer>,
+    obs: Option<MachineObs>,
 }
 
 impl Machine {
@@ -152,6 +159,12 @@ impl Machine {
             }
             _ => None,
         };
+        // Observability mirrors charges into a tracer/metrics registry; the
+        // device's arena-lifecycle events feed its counters (untimed).
+        let obs = cfg.trace.clone().map(|tc| MachineObs::new(tc, cfg.cores));
+        if let (Some(dev), true) = (device.as_mut(), obs.is_some()) {
+            dev.record_events(true);
+        }
         Machine {
             mem_sys: MemSystem::new(cfg.mem.clone()),
             tlbs: (0..cfg.cores).map(|_| Tlb::default()).collect(),
@@ -159,9 +172,20 @@ impl Machine {
             kernel,
             device,
             san,
+            obs,
             mem,
             cfg,
         }
+    }
+
+    /// The observability layer (`None` unless the config enables tracing).
+    pub fn observability(&self) -> Option<&MachineObs> {
+        self.obs.as_ref()
+    }
+
+    /// Mutable observability access (phase spans, fault-injection tests).
+    pub fn observability_mut(&mut self) -> Option<&mut MachineObs> {
+        self.obs.as_mut()
     }
 
     /// The configuration in force.
@@ -191,6 +215,16 @@ impl Machine {
         let mut account = CycleAccount::new();
         if self.cfg.coldstart_cycles > 0 {
             account.charge(CycleBucket::Setup, Cycles::new(self.cfg.coldstart_cycles));
+            if let Some(obs) = self.obs.as_mut() {
+                // The run is not yet pinned to a core; attribute bring-up
+                // to track 0 (totals are what reconciliation checks).
+                obs.charge(
+                    0,
+                    CycleBucket::Setup,
+                    "setup",
+                    Cycles::new(self.cfg.coldstart_cycles),
+                );
+            }
         }
         let gc = (spec.language == Language::Golang)
             .then(|| GoGcState::new(GcPolicy::for_category(spec.category)));
@@ -209,6 +243,9 @@ impl Machine {
             frag_total: 0,
             snapshot: None,
             finished: false,
+            live_bytes: 0,
+            alloc_seq: 0,
+            born: HashMap::new(),
         }
     }
 
@@ -271,6 +308,10 @@ impl Machine {
         }
         run.account.charge(CycleBucket::UserAlloc, user);
         run.account.charge(CycleBucket::KernelMm, out.kernel_cycles);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.charge(core, CycleBucket::UserAlloc, "mm", user);
+            obs.charge(core, CycleBucket::KernelMm, "kernel", out.kernel_cycles);
+        }
         out.addr
     }
 
@@ -291,6 +332,10 @@ impl Machine {
         }
         run.account.charge(CycleBucket::UserFree, user);
         run.account.charge(CycleBucket::KernelMm, out.kernel_cycles);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.charge(core, CycleBucket::UserFree, "mm", user);
+            obs.charge(core, CycleBucket::KernelMm, "kernel", out.kernel_cycles);
+        }
     }
 
     fn hw_alloc(&mut self, run: &mut FunctionRun, core: usize, size: usize) -> VirtAddr {
@@ -311,9 +356,27 @@ impl Machine {
             .expect("hardware alloc within 512B");
         run.account.charge(CycleBucket::HwAlloc, out.obj_cycles);
         run.account.charge(CycleBucket::HwPage, out.page_cycles);
+        // Drain device events once and fan them out to every consumer.
+        let events = if self.obs.is_some() || run.shadow_pid.is_some() {
+            dev.take_events()
+        } else {
+            Vec::new()
+        };
+        if let Some(obs) = self.obs.as_mut() {
+            let label = if out.hot_hit { "mm" } else { "hot_miss" };
+            obs.charge(core, CycleBucket::HwAlloc, label, out.obj_cycles);
+            let fill = events
+                .iter()
+                .any(|e| matches!(e, DeviceEvent::ArenaInstalled { .. }));
+            let page_label = if fill { "arena_fill" } else { "walk" };
+            obs.charge(core, CycleBucket::HwPage, page_label, out.page_cycles);
+            obs.on_device_events(&events);
+            obs.metrics_mut()
+                .observe("hot.alloc_cycles", out.obj_cycles.raw());
+        }
         if let Some(pid) = run.shadow_pid {
             let san = self.san.as_mut().expect("shadow pid implies sanitizer");
-            san.on_device_events(pid, dev.take_events());
+            san.on_device_events(pid, events);
             san.on_obj_alloc(pid, core, out.addr, size);
             if san.audit_due(pid) {
                 san.audit(pid, dev, mproc, &self.mem);
@@ -341,9 +404,26 @@ impl Machine {
             .expect("hardware free of live object");
         run.account.charge(CycleBucket::HwFree, out.obj_cycles);
         run.account.charge(CycleBucket::HwPage, out.page_cycles);
+        let events = if self.obs.is_some() || run.shadow_pid.is_some() {
+            dev.take_events()
+        } else {
+            Vec::new()
+        };
+        if let Some(obs) = self.obs.as_mut() {
+            let label = if out.hot_hit { "mm" } else { "hot_miss" };
+            obs.charge(core, CycleBucket::HwFree, label, out.obj_cycles);
+            let reclaim = events
+                .iter()
+                .any(|e| matches!(e, DeviceEvent::ArenaReclaimed { .. }));
+            let page_label = if reclaim { "arena_fill" } else { "walk" };
+            obs.charge(core, CycleBucket::HwPage, page_label, out.page_cycles);
+            obs.on_device_events(&events);
+            obs.metrics_mut()
+                .observe("hot.free_cycles", out.obj_cycles.raw());
+        }
         if let Some(pid) = run.shadow_pid {
             let san = self.san.as_mut().expect("shadow pid implies sanitizer");
-            san.on_device_events(pid, dev.take_events());
+            san.on_device_events(pid, events);
             san.on_obj_free(pid, core, addr);
             if san.audit_due(pid) {
                 san.audit(pid, dev, mproc, &self.mem);
@@ -387,6 +467,15 @@ impl Machine {
             run.account
                 .charge(CycleBucket::Compute, serial + discount(acc.access_cycles));
             run.account.charge(CycleBucket::KernelMm, acc.kernel_cycles);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.charge(
+                    core,
+                    CycleBucket::Compute,
+                    "user",
+                    serial + discount(acc.access_cycles),
+                );
+                obs.charge(core, CycleBucket::KernelMm, "kernel", acc.kernel_cycles);
+            }
             return;
         }
 
@@ -395,6 +484,9 @@ impl Machine {
         let mproc = run.mproc.as_mut().expect("memento process");
         let lookup = self.tlbs[core].lookup(va);
         run.account.charge(CycleBucket::Compute, lookup.cycles);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.charge(core, CycleBucket::Compute, "user", lookup.cycles);
+        }
         let frame = match lookup.frame {
             Some(f) => f,
             None => {
@@ -410,6 +502,9 @@ impl Machine {
                     va,
                 );
                 run.account.charge(CycleBucket::HwPage, cycles);
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.charge(core, CycleBucket::HwPage, "walk", cycles);
+                }
                 self.tlbs[core].insert(va, frame);
                 frame
             }
@@ -423,6 +518,9 @@ impl Machine {
         };
         run.account
             .charge(CycleBucket::Compute, discount(out.cycles));
+        if let Some(obs) = self.obs.as_mut() {
+            obs.charge(core, CycleBucket::Compute, "user", discount(out.cycles));
+        }
     }
 
     /// Samples heap utilization for the Â§6.6 fragmentation study: live
@@ -473,11 +571,15 @@ impl Machine {
             (gc.begin_collection(), live)
         };
         run.gc_runs += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.tracer_mut().begin(core, "gc");
+        }
         // Mark phase: proportional to the live set.
-        run.account.charge(
-            CycleBucket::UserFree,
-            Cycles::new(live_objects * GC_MARK_PER_OBJECT),
-        );
+        let mark = Cycles::new(live_objects * GC_MARK_PER_OBJECT);
+        run.account.charge(CycleBucket::UserFree, mark);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.charge(core, CycleBucket::UserFree, "gc", mark);
+        }
         // Sweep phase: free every dead object through the active design.
         for (addr, size) in swept {
             let in_region = run
@@ -490,6 +592,9 @@ impl Machine {
             } else {
                 self.soft_free(run, core, addr, size as usize);
             }
+        }
+        if let Some(obs) = self.obs.as_mut() {
+            obs.tracer_mut().end(core);
         }
     }
 
@@ -512,6 +617,9 @@ impl Machine {
                 let cycles = (*instructions as f64 * self.cfg.cpi).round() as u64;
                 run.account
                     .charge(CycleBucket::Compute, Cycles::new(cycles));
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.charge(core, CycleBucket::Compute, "user", Cycles::new(cycles));
+                }
             }
             Event::Alloc { id, size } => {
                 let size_us = *size as usize;
@@ -521,6 +629,11 @@ impl Machine {
                     self.soft_alloc(run, core, size_us)
                 };
                 run.objects.insert(id.0, (addr, *size));
+                run.live_bytes += *size as u64;
+                if self.obs.is_some() {
+                    run.alloc_seq += 1;
+                    run.born.insert(id.0, run.alloc_seq);
+                }
                 run.allocs_seen += 1;
                 if run.allocs_seen.is_multiple_of(FRAG_SAMPLE_EVERY) {
                     self.sample_fragmentation(run, core);
@@ -535,6 +648,13 @@ impl Machine {
                     Some(v) => v,
                     None => return, // tolerated: double-free in a trace
                 };
+                run.live_bytes = run.live_bytes.saturating_sub(size as u64);
+                if let Some(obs) = self.obs.as_mut() {
+                    if let Some(b) = run.born.remove(&id.0) {
+                        obs.metrics_mut()
+                            .observe("alloc.malloc_free_distance", run.alloc_seq - b);
+                    }
+                }
                 if run.gc.is_some() {
                     let in_region = run
                         .mproc
@@ -588,6 +708,32 @@ impl Machine {
                 self.finish_run(run, core);
             }
         }
+        if !run.finished && self.obs.is_some() {
+            self.maybe_sample(run, core);
+        }
+    }
+
+    /// Takes a heap-profile sample if `core`'s trace clock crossed its
+    /// sampling threshold (untimed; only runs when tracing is enabled).
+    fn maybe_sample(&mut self, run: &FunctionRun, core: usize) {
+        let Some(obs) = self.obs.as_mut() else { return };
+        if !obs.sample_due(core) {
+            return;
+        }
+        let pool_frames = self.kernel.frame_stats().get(FrameUse::MementoPool).current;
+        let hot_resident = self
+            .device
+            .as_ref()
+            .map(|d| d.hot(core).iter_valid().count() as u64)
+            .unwrap_or(0);
+        let cycles = obs.tracer().now(core);
+        obs.push_sample(ProfileSample {
+            core,
+            cycles,
+            live_bytes: run.live_bytes,
+            pool_frames,
+            hot_resident,
+        });
     }
 
     /// Runs several functions concurrently, one per core, interleaving
@@ -636,6 +782,9 @@ impl Machine {
         // Library-init cycles belong to container setup (warm starts).
         let (su, sk) = run.soft.take_setup_cycles();
         run.account.charge(CycleBucket::Setup, su + sk);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.charge(core, CycleBucket::Setup, "setup", su + sk);
+        }
 
         // Fragmentation: if the run was too short for a periodic sample,
         // take one now (before teardown empties the heap).
@@ -657,6 +806,10 @@ impl Machine {
             let (u, k) = run.soft.on_exit(&mut ctx);
             run.account.charge(CycleBucket::UserFree, u);
             run.account.charge(CycleBucket::KernelMm, k);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.charge(core, CycleBucket::UserFree, "mm", u);
+                obs.charge(core, CycleBucket::KernelMm, "kernel", k);
+            }
         }
 
         // Memento teardown: the hardware page allocator returns the
@@ -672,10 +825,11 @@ impl Machine {
             let mut backend = OsBackend {
                 kernel: &mut self.kernel,
             };
-            run.account.charge(
-                CycleBucket::HwPage,
-                Cycles::new(dev.config().costs.arena_free_base),
-            );
+            let teardown = Cycles::new(dev.config().costs.arena_free_base);
+            run.account.charge(CycleBucket::HwPage, teardown);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.charge(core, CycleBucket::HwPage, "arena_fill", teardown);
+            }
             dev.detach_process(&mut self.mem, &mut backend, mproc, &[core]);
         }
 
@@ -701,10 +855,89 @@ impl Machine {
                 )
                 .expect("teardown munmap");
             run.account.charge(CycleBucket::KernelMm, out.cycles);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.charge(core, CycleBucket::KernelMm, "kernel", out.cycles);
+            }
         }
         // Process switch-out at exit.
         let cs = self.kernel.context_switch(&mut self.tlbs[core]);
         run.account.charge(CycleBucket::KernelMm, cs);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.charge(core, CycleBucket::KernelMm, "kernel", cs);
+        }
+
+        // Observability epilogue: fold layer statistics into the registry,
+        // check span balance, and emit the Perfetto file if configured.
+        // All untimed; runs after the last cycle has been charged.
+        if self.obs.is_some() {
+            self.ingest_layer_metrics(run);
+            let obs = self.obs.as_mut().expect("checked above");
+            obs.tracer().assert_closed();
+            if let Some(path) = obs.config().path.clone() {
+                std::fs::write(&path, obs.tracer().to_json().to_pretty())
+                    .expect("write Perfetto trace file");
+            }
+        }
+    }
+
+    /// Copies the instrumented layers' counters/histograms into the
+    /// metrics registry. Uses absolute (idempotent) writes so repeated
+    /// run finishes on one machine never double-count.
+    fn ingest_layer_metrics(&mut self, run: &FunctionRun) {
+        let obs = self.obs.as_mut().expect("caller checked");
+        let m = obs.metrics_mut();
+
+        let mut tlb_lat = Log2Hist::default();
+        let mut ts = memento_vm::tlb::TlbStats::default();
+        for tlb in &self.tlbs {
+            tlb_lat.merge(tlb.hit_latency());
+            let s = tlb.stats();
+            ts.l1.hits += s.l1.hits;
+            ts.l1.misses += s.l1.misses;
+            ts.l2.hits += s.l2.hits;
+            ts.l2.misses += s.l2.misses;
+            ts.shootdowns += s.shootdowns;
+            ts.flushes += s.flushes;
+        }
+        m.set_hist("tlb.hit_latency", tlb_lat);
+        m.set("tlb.l1.hits", ts.l1.hits);
+        m.set("tlb.l1.misses", ts.l1.misses);
+        m.set("tlb.l2.hits", ts.l2.hits);
+        m.set("tlb.l2.misses", ts.l2.misses);
+        m.set("tlb.shootdowns", ts.shootdowns);
+        m.set("tlb.flushes", ts.flushes);
+
+        let ws = self.walker.stats();
+        m.set_hist("walk.depth", self.walker.depth_hist().clone());
+        m.set("walk.completed", ws.walks.hits);
+        m.set("walk.faulted", ws.walks.misses);
+        m.set("walk.pte_reads", ws.pte_reads);
+
+        let ms = self.mem_sys.stats();
+        m.set_hist("mem.demand_latency", self.mem_sys.demand_latency().clone());
+        m.set("mem.dram.row_hits", ms.dram.row_hits);
+        m.set("mem.dram.row_misses", ms.dram.row_misses);
+        m.set("mem.dram.read_lines", ms.dram.read_lines);
+        m.set("mem.dram.write_lines", ms.dram.write_lines);
+        m.set("mem.bypassed_fills", ms.bypassed_fills);
+
+        let ks = self.kernel.stats();
+        m.set_hist("kernel.fault_latency", self.kernel.fault_latency().clone());
+        m.set("kernel.page_faults", ks.page_faults);
+        m.set("kernel.mmaps", ks.mmaps);
+        m.set("kernel.munmaps", ks.munmaps);
+        m.set("kernel.context_switches", ks.context_switches);
+
+        if let Some(dev) = self.device.as_ref() {
+            let hs = dev.hot_stats_total();
+            m.set("hot.alloc.hits", hs.alloc.hits);
+            m.set("hot.alloc.misses", hs.alloc.misses);
+            m.set("hot.free.hits", hs.free.hits);
+            m.set("hot.free.misses", hs.free.misses);
+            m.set("hot.flushes", hs.flushes);
+        }
+        m.set("run.gc_runs", run.gc_runs);
+        m.set("run.allocs_seen", run.allocs_seen);
     }
 
     /// Performs a context switch between time-shared runs: kernel cost plus
@@ -712,9 +945,15 @@ impl Machine {
     pub fn context_switch(&mut self, from: &mut FunctionRun, core: usize) {
         let cs = self.kernel.context_switch(&mut self.tlbs[core]);
         from.account.charge(CycleBucket::KernelMm, cs);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.charge(core, CycleBucket::KernelMm, "kernel", cs);
+        }
         if let (Some(dev), Some(mproc)) = (self.device.as_mut(), from.mproc.as_mut()) {
             let flush = dev.flush_hot(&mut self.mem, &mut self.mem_sys, core, mproc);
             from.account.charge(CycleBucket::HwFree, flush);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.charge(core, CycleBucket::HwFree, "mm", flush);
+            }
         }
     }
 

@@ -6,6 +6,7 @@
 //! invalidate single pages; context switches flush everything (the simulated
 //! machine has no ASIDs, matching the paper's single-process-per-core focus).
 
+use memento_obs::Log2Hist;
 use memento_simcore::addr::VirtAddr;
 use memento_simcore::cycles::Cycles;
 use memento_simcore::physmem::Frame;
@@ -187,6 +188,7 @@ pub struct Tlb {
     l1: TlbArray,
     l2: TlbArray,
     stats: TlbStats,
+    lat: Log2Hist,
 }
 
 impl Tlb {
@@ -196,6 +198,7 @@ impl Tlb {
             l1: TlbArray::new(cfg.l1),
             l2: TlbArray::new(cfg.l2),
             stats: TlbStats::default(),
+            lat: Log2Hist::default(),
         }
     }
 
@@ -204,30 +207,38 @@ impl Tlb {
         self.stats
     }
 
+    /// Distribution of lookup latencies (cycles; bucket 0 = free L1 hits).
+    pub fn hit_latency(&self) -> &Log2Hist {
+        &self.lat
+    }
+
     /// Looks up the page containing `va` in both levels; promotes L2 hits
     /// into L1.
     pub fn lookup(&mut self, va: VirtAddr) -> TlbLookup {
         let vpn = va.page_number();
         if let Some(frame) = self.l1.lookup(vpn) {
             self.stats.l1.hit();
+            self.lat.record(self.l1.latency.raw());
             return TlbLookup {
                 frame: Some(frame),
                 cycles: self.l1.latency,
             };
         }
         self.stats.l1.miss();
+        let cycles = self.l1.latency + self.l2.latency;
+        self.lat.record(cycles.raw());
         if let Some(frame) = self.l2.lookup(vpn) {
             self.stats.l2.hit();
             self.l1.insert(vpn, frame);
             return TlbLookup {
                 frame: Some(frame),
-                cycles: self.l1.latency + self.l2.latency,
+                cycles,
             };
         }
         self.stats.l2.miss();
         TlbLookup {
             frame: None,
-            cycles: self.l1.latency + self.l2.latency,
+            cycles,
         }
     }
 

@@ -11,6 +11,7 @@
 use crate::pagetable::Pte;
 use crate::pwc::PagingStructureCache;
 use memento_cache::{AccessKind, MemSystem};
+use memento_obs::Log2Hist;
 use memento_simcore::addr::{PhysAddr, VirtAddr};
 use memento_simcore::cycles::Cycles;
 use memento_simcore::physmem::{Frame, PhysMem};
@@ -53,6 +54,7 @@ pub struct WalkerStats {
 #[derive(Clone, Debug, Default)]
 pub struct PageWalker {
     stats: WalkerStats,
+    depth: Log2Hist,
 }
 
 impl PageWalker {
@@ -64,6 +66,12 @@ impl PageWalker {
     /// Statistics snapshot.
     pub fn stats(&self) -> WalkerStats {
         self.stats
+    }
+
+    /// Distribution of PTE reads per walk (1 = PWC leaf hit, 4 = full
+    /// four-level walk).
+    pub fn depth_hist(&self) -> &Log2Hist {
+        &self.depth
     }
 
     /// Walks the table rooted at `root` for `va`, issuing one memory access
@@ -130,13 +138,16 @@ impl PageWalker {
         };
         let mut cycles = Cycles::ZERO;
         let mut table = start_table;
+        let mut reads = 0u64;
         for level in (0..=start_level).rev() {
             let entry_addr = table.base_addr().add(va.pt_index(level) as u64 * 8);
             cycles += mem_sys.access(core, AccessKind::Read, entry_addr).cycles;
             self.stats.pte_reads += 1;
+            reads += 1;
             let pte = Pte::from_raw(mem.read_u64(entry_addr));
             if !pte.present() {
                 self.stats.walks.miss();
+                self.depth.record(reads);
                 return WalkResult {
                     outcome: WalkOutcome::NotPresent { level, entry_addr },
                     cycles,
@@ -144,6 +155,7 @@ impl PageWalker {
             }
             if level == 0 {
                 self.stats.walks.hit();
+                self.depth.record(reads);
                 return WalkResult {
                     outcome: WalkOutcome::Mapped(pte.frame()),
                     cycles,

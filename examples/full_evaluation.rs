@@ -11,24 +11,40 @@
 //! points across N worker threads — the tables are byte-identical at any
 //! job count; only the timing summary at the end differs.
 
-use memento_experiments::{ablation, multicore, report, sensitivity, EvalContext};
+use memento_experiments::{
+    ablation, multicore, profile_run, report, sensitivity, ConfigKind, EvalContext,
+};
 
-/// Parses `--jobs N` / `--jobs=N` from argv; `None` defers to
-/// `MEMENTO_JOBS` and then the machine's available parallelism.
-fn jobs_from_args() -> Option<usize> {
-    let mut jobs = None;
+struct Args {
+    jobs: Option<usize>,
+    trace: Option<std::path::PathBuf>,
+}
+
+/// Parses `--jobs N` / `--jobs=N` and `--trace PATH` from argv; a missing
+/// `--jobs` defers to `MEMENTO_JOBS` and then the machine's available
+/// parallelism.
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        jobs: None,
+        trace: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--jobs" || arg == "-j" {
             let value = args.next().unwrap_or_else(|| usage());
-            jobs = Some(parse_jobs(&value));
+            parsed.jobs = Some(parse_jobs(&value));
         } else if let Some(value) = arg.strip_prefix("--jobs=") {
-            jobs = Some(parse_jobs(value));
+            parsed.jobs = Some(parse_jobs(value));
+        } else if arg == "--trace" {
+            let value = args.next().unwrap_or_else(|| usage());
+            parsed.trace = Some(value.into());
+        } else if let Some(value) = arg.strip_prefix("--trace=") {
+            parsed.trace = Some(value.into());
         } else {
             usage();
         }
     }
-    jobs
+    parsed
 }
 
 fn parse_jobs(value: &str) -> usize {
@@ -39,13 +55,14 @@ fn parse_jobs(value: &str) -> usize {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: full_evaluation [--jobs N]");
+    eprintln!("usage: full_evaluation [--jobs N] [--trace PATH]");
     std::process::exit(2);
 }
 
 fn main() {
+    let args = parse_args();
     let mut ctx = EvalContext::new();
-    if let Some(jobs) = jobs_from_args() {
+    if let Some(jobs) = args.jobs {
         ctx = ctx.with_jobs(jobs);
     }
     let jobs = ctx.jobs();
@@ -76,5 +93,15 @@ fn main() {
         println!("headline numbers written to {path}");
     } else {
         println!("headline numbers:\n{json}");
+    }
+
+    if let Some(trace_path) = &args.trace {
+        // One representative traced run on top of the evaluation: the
+        // Perfetto trace plus the per-run metrics appendix.
+        let spec = ctx.workload("html");
+        let profiled = profile_run(&spec, ConfigKind::Memento, Some(trace_path));
+        println!();
+        println!("{profiled}");
+        println!("Perfetto trace written to {}", trace_path.display());
     }
 }

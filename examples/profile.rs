@@ -1,0 +1,74 @@
+//! Profile one workload: a traced run rendered as a flame-style cycle
+//! breakdown, a metrics appendix, and heap-profile samples, plus a
+//! Chrome/Perfetto `trace_event` JSON file for `ui.perfetto.dev`.
+//!
+//! ```sh
+//! cargo run --release --example profile -- \
+//!     --workload html --config memento \
+//!     --trace profile_trace.json --out profile_metrics.txt
+//! ```
+//!
+//! Tracing is observation-only: the profiled run's statistics are
+//! byte-identical to an untraced run of the same workload.
+
+use memento_experiments::{profile_run, ConfigKind, EvalContext};
+use std::path::PathBuf;
+
+struct Args {
+    workload: String,
+    config: ConfigKind,
+    trace: PathBuf,
+    out: Option<PathBuf>,
+}
+
+fn parse_config(value: &str) -> ConfigKind {
+    match value {
+        "baseline" => ConfigKind::Baseline,
+        "memento" => ConfigKind::Memento,
+        "memento-no-bypass" => ConfigKind::MementoNoBypass,
+        _ => usage(),
+    }
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        workload: "html".to_owned(),
+        config: ConfigKind::Memento,
+        trace: PathBuf::from("profile_trace.json"),
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--workload" | "-w" => parsed.workload = value(),
+            "--config" | "-c" => parsed.config = parse_config(&value()),
+            "--trace" | "-t" => parsed.trace = PathBuf::from(value()),
+            "--out" | "-o" => parsed.out = Some(PathBuf::from(value())),
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: profile [--workload NAME] [--config baseline|memento|memento-no-bypass] \
+         [--trace PATH] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let ctx = EvalContext::new();
+    let spec = ctx.workload(&args.workload);
+    let report = profile_run(&spec, args.config, Some(&args.trace));
+    println!("{report}");
+    println!("Perfetto trace written to {}", args.trace.display());
+    println!("  (open in ui.perfetto.dev; 1 us displayed = 1 simulated cycle)");
+    if let Some(out) = &args.out {
+        std::fs::write(out, report.to_string()).expect("write metrics appendix");
+        println!("metrics appendix written to {}", out.display());
+    }
+}

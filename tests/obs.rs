@@ -1,0 +1,129 @@
+//! End-to-end observability runs: tracing must be cycle-invisible, the
+//! exported Perfetto trace must reconcile with the machine's cycle ledger,
+//! and a span left open at run end must fail loudly.
+
+use memento_simcore::cycles::CycleBucket;
+use memento_simcore::json;
+use memento_system::{Machine, SystemConfig};
+use memento_workloads::spec::WorkloadSpec;
+use memento_workloads::suite;
+
+fn shrunk(name: &str, insts: u64) -> WorkloadSpec {
+    let mut s = suite::by_name(name).expect("known workload");
+    s.total_instructions = insts;
+    s
+}
+
+#[test]
+fn tracing_is_cycle_invisible() {
+    // The tracer only observes: statistics must be byte-identical with and
+    // without it, for every cycle bucket, on both system designs and on
+    // the GC'd Go path (which adds gc phase spans).
+    for (name, cfg) in [
+        ("html", SystemConfig::baseline()),
+        ("html", SystemConfig::memento()),
+        ("html-go", SystemConfig::memento()),
+    ] {
+        let spec = shrunk(name, 300_000);
+        let plain = Machine::new(cfg.clone()).run(&spec);
+        let traced = Machine::new(cfg.traced_in_memory()).run(&spec);
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{traced:?}"),
+            "{name}: tracing perturbed the simulated statistics"
+        );
+    }
+}
+
+#[test]
+fn trace_reconciles_with_cycle_ledger() {
+    // Every ledger charge becomes exactly one span of the same length, so
+    // the mirrored account and the span totals agree with the run's own
+    // account *exactly* — far inside the 0.1% acceptance bound. (Plain
+    // `run()`: steady-state runs reset the run account at the measurement
+    // boundary while the trace keeps the warm-up.)
+    let spec = shrunk("html", 300_000);
+    let mut machine = Machine::new(SystemConfig::memento().traced_in_memory());
+    let stats = machine.run(&spec);
+    let obs = machine.observability().expect("tracing enabled");
+    for bucket in CycleBucket::ALL {
+        assert_eq!(
+            obs.account().get(bucket),
+            stats.bucket(bucket),
+            "{bucket:?} diverged between trace ledger and run account"
+        );
+    }
+    assert_eq!(
+        obs.tracer().total_charged(),
+        stats.total_cycles().raw(),
+        "span totals must reconcile with reported cycles"
+    );
+    assert!(obs.tracer().open_spans().is_empty(), "all spans closed");
+}
+
+#[test]
+fn perfetto_json_reconciles_with_reported_cycles() {
+    // `invoke` is a Go platform service: enough allocation volume to cross
+    // the GC heap minimum, so the trace carries gc phase spans too.
+    let spec = shrunk("invoke", 6_000_000);
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("obs_trace.json");
+    let mut machine = Machine::new(SystemConfig::memento().traced(&path));
+    let stats = machine.run(&spec);
+
+    let text = std::fs::read_to_string(&path).expect("trace file written at run end");
+    let doc = json::parse(&text).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("trace_event object form");
+    assert!(!events.is_empty());
+
+    // Track metadata: one process name plus one thread name per core.
+    let metas = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+        .count();
+    assert!(metas >= 2, "process + per-core thread metadata present");
+
+    // Per-phase cycle totals from the "charge" spans must reconcile with
+    // the machine's reported total within 0.1% (they are exact here).
+    let charged: u64 = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("charge"))
+        .map(|e| {
+            e.get("dur")
+                .and_then(|d| d.as_u64())
+                .expect("charge spans carry integer durations")
+        })
+        .sum();
+    let reported = stats.total_cycles().raw();
+    let rel = (charged as f64 - reported as f64).abs() / reported as f64;
+    assert!(
+        rel <= 1e-3,
+        "trace charges {charged} vs reported {reported} ({rel:.6} relative)"
+    );
+
+    // The GC'd Go path must have produced scoped gc phase spans.
+    assert!(
+        events.iter().any(|e| {
+            e.get("cat").and_then(|c| c.as_str()) == Some("phase")
+                && e.get("name").and_then(|n| n.as_str()) == Some("gc")
+        }),
+        "expected gc phase spans on the Go path"
+    );
+}
+
+#[test]
+#[should_panic(expected = "span(s) left open")]
+fn open_span_at_run_end_panics_with_stack() {
+    // Fault injection: instrumentation that opens a span and never closes
+    // it must be caught at run end, naming the dangling span.
+    let spec = shrunk("aes", 100_000);
+    let mut machine = Machine::new(SystemConfig::memento().traced_in_memory());
+    machine
+        .observability_mut()
+        .expect("tracing enabled")
+        .tracer_mut()
+        .begin(0, "experiment");
+    let _ = machine.run(&spec);
+}
