@@ -39,7 +39,9 @@ fn bench_micro(c: &mut Criterion) {
         let mut os = BumpOs(1024);
         let mut sys = MemSystem::new(MemSystemConfig::paper_default(1));
         let mut tlbs = vec![Tlb::default()];
-        let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+        let mut proc = dev
+            .attach_process(&mut mem, &mut os, MementoRegion::standard())
+            .expect("attach with live backend");
         group.bench_function("obj_alloc_obj_free_hit_pair", |b| {
             b.iter(|| {
                 let a = dev

@@ -10,7 +10,8 @@ use crate::arena::{raw, ArenaHeader};
 use crate::costs::MementoCosts;
 use crate::hot::{Hot, HotEntry, HotStats};
 use crate::page_alloc::{
-    HardwarePageAllocator, PageAllocStats, PageAllocatorConfig, PoolBackend, ProcessPaging,
+    HardwarePageAllocator, PageAllocStats, PageAllocatorConfig, PoolAudit, PoolBackend,
+    PoolExhausted, ProcessPaging,
 };
 use crate::region::MementoRegion;
 use crate::size_class::SizeClass;
@@ -70,6 +71,8 @@ pub enum MementoError {
     NotMementoAddress(VirtAddr),
     /// `obj-alloc` of a size above 512 bytes (software path).
     SizeTooLarge(usize),
+    /// The page pool ran dry and the OS backend granted no frames.
+    PoolExhausted,
 }
 
 impl fmt::Display for MementoError {
@@ -80,11 +83,18 @@ impl fmt::Display for MementoError {
                 write!(f, "{va} is outside the Memento region")
             }
             MementoError::SizeTooLarge(s) => write!(f, "size {s} exceeds 512 bytes"),
+            MementoError::PoolExhausted => fmt::Display::fmt(&PoolExhausted, f),
         }
     }
 }
 
 impl std::error::Error for MementoError {}
+
+impl From<PoolExhausted> for MementoError {
+    fn from(_: PoolExhausted) -> Self {
+        MementoError::PoolExhausted
+    }
+}
 
 /// An arena-lifecycle event the device can log for external auditors (the
 /// sanitizer's shadow heap). Logging is off by default and enabled with
@@ -274,23 +284,40 @@ impl MementoDevice {
         self.page_alloc.stats()
     }
 
+    /// Frames currently idle in the page allocator's pool.
+    pub fn pool_len(&self) -> usize {
+        self.page_alloc.pool_len()
+    }
+
+    /// Physical-page lifecycle audit snapshot (see [`PoolAudit`]).
+    pub fn pool_audit(&self) -> PoolAudit {
+        self.page_alloc.pool_audit()
+    }
+
     /// Object-allocator statistics.
     pub fn obj_stats(&self) -> ObjStats {
         self.obj_stats
     }
 
     /// Attaches a process: reserves its region state and Memento page table.
+    ///
+    /// # Errors
+    ///
+    /// [`MementoError::PoolExhausted`] when the page-table root cannot be
+    /// backed because the pool is dry and the OS grants nothing.
     pub fn attach_process(
         &mut self,
         mem: &mut PhysMem,
         backend: &mut dyn PoolBackend,
         region: MementoRegion,
-    ) -> MementoProcess {
+    ) -> Result<MementoProcess, MementoError> {
         let cores = self.hots.len();
-        MementoProcess {
-            paging: self.page_alloc.attach_process(mem, backend, cores, region),
+        Ok(MementoProcess {
+            paging: self
+                .page_alloc
+                .attach_process(mem, backend, cores, region)?,
             saved: HashMap::new(),
-        }
+        })
     }
 
     /// Detaches a process, returning every backing frame to the OS — the
@@ -453,7 +480,7 @@ impl MementoDevice {
                         avail,
                         full,
                         &mut obj_cycles,
-                    );
+                    )?;
                 }
             }
         }
@@ -541,7 +568,7 @@ impl MementoDevice {
                     0,
                     new_full_head,
                     &mut obj_cycles,
-                );
+                )?;
             }
         }
     }
@@ -561,10 +588,10 @@ impl MementoDevice {
         avail_head: u64,
         full_head: u64,
         obj_cycles: &mut Cycles,
-    ) -> Cycles {
+    ) -> Result<Cycles, MementoError> {
         let arena =
             self.page_alloc
-                .alloc_arena(mem, mem_sys, backend, core, &mut proc.paging, class);
+                .alloc_arena(mem, mem_sys, backend, core, &mut proc.paging, class)?;
         let mut header = ArenaHeader::fresh(arena.va);
         header.prev = CURRENT_SENTINEL;
         header.store(mem, arena.header_pa);
@@ -592,7 +619,7 @@ impl MementoDevice {
                 header_pa: arena.header_pa,
             });
         }
-        arena.cycles
+        Ok(arena.cycles)
     }
 
     /// Cache-coherence supply for an arena header (paper §4): before a
@@ -700,7 +727,7 @@ impl MementoDevice {
                     core,
                     &mut proc.paging,
                     loc.arena_base,
-                );
+                )?;
                 page_cycles += walk.cycles;
                 tlbs[core].insert(loc.arena_base, walk.frame);
                 walk.frame.base_addr()
@@ -760,6 +787,7 @@ impl MementoDevice {
             let freed = self.page_alloc.free_arena(
                 mem,
                 mem_sys,
+                backend,
                 core,
                 &mut proc.paging,
                 loc.class,
@@ -837,6 +865,11 @@ impl MementoDevice {
     /// Serves a TLB miss for a Memento-region address: the marked page walk
     /// that populates the Memento page table on demand. Returns the backing
     /// frame and charged cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`MementoError::PoolExhausted`] when a fresh page must be backed but
+    /// the pool is dry and the OS grants nothing.
     pub fn translate_miss(
         &mut self,
         mem: &mut PhysMem,
@@ -845,11 +878,11 @@ impl MementoDevice {
         core: usize,
         proc: &mut MementoProcess,
         va: VirtAddr,
-    ) -> (memento_simcore::physmem::Frame, Cycles) {
-        let walk = self
-            .page_alloc
-            .demand_walk(mem, mem_sys, backend, core, &mut proc.paging, va);
-        (walk.frame, walk.cycles)
+    ) -> Result<(memento_simcore::physmem::Frame, Cycles), MementoError> {
+        let walk =
+            self.page_alloc
+                .demand_walk(mem, mem_sys, backend, core, &mut proc.paging, va)?;
+        Ok((walk.frame, walk.cycles))
     }
 
     /// Scans every arena reachable from `core`'s HOT (current entries plus
@@ -950,6 +983,96 @@ impl MementoDevice {
                     full_head: entry.full_head,
                 },
             );
+        }
+        cycles
+    }
+
+    // ----- invocation boundaries ------------------------------------------
+
+    /// Invocation-boundary quiesce (§6.3 warm containers): reclaims every
+    /// *current* arena whose objects have all died. Non-current arenas are
+    /// reclaimed online by `obj-free` the moment they empty; the per-class
+    /// current arena is exempt (the AAC bump pointer targets it), so after
+    /// the runtime frees a request's remaining objects the currents are the
+    /// only empty arenas still pinning pages. Dropping them here returns
+    /// their frames to the pool, where the next warm invocation draws them
+    /// as recycled grants instead of fresh OS demand.
+    pub fn end_invocation_trim(
+        &mut self,
+        mem: &mut PhysMem,
+        mem_sys: &mut MemSystem,
+        backend: &mut dyn PoolBackend,
+        tlbs: &mut [Tlb],
+        core: usize,
+        proc: &mut MementoProcess,
+    ) -> Cycles {
+        let mut cycles = Cycles::ZERO;
+        for hot_core in 0..self.hots.len() {
+            for class in SizeClass::all() {
+                let entry = self.hots[hot_core].entry(class);
+                let in_hot = entry.valid && proc.paging.region.contains(entry.header.va);
+                let va = if in_hot {
+                    cycles += Cycles::new(self.cfg.costs.hot_access);
+                    if !entry.header.is_empty() {
+                        continue;
+                    }
+                    entry.header.va
+                } else if let Some(s) = proc.saved.get(&(hot_core, class.index() as u8)) {
+                    if s.header_pa == 0 {
+                        continue;
+                    }
+                    let pa = PhysAddr::new(s.header_pa);
+                    cycles += mem_sys.access(core, AccessKind::Read, pa).cycles;
+                    let header = ArenaHeader::load(mem, pa);
+                    if !header.is_empty() {
+                        continue;
+                    }
+                    header.va
+                } else {
+                    continue;
+                };
+                if in_hot {
+                    // The current arena sits in no list; preserve the list
+                    // heads before dropping the entry.
+                    let e = self.hots[hot_core].entry(class);
+                    let (avail, full) = (e.avail_head, e.full_head);
+                    self.hots[hot_core].evict(class);
+                    proc.saved.insert(
+                        (hot_core, class.index() as u8),
+                        SavedClass {
+                            header_pa: 0,
+                            avail_head: avail,
+                            full_head: full,
+                        },
+                    );
+                } else if let Some(s) = proc.saved.get_mut(&(hot_core, class.index() as u8)) {
+                    s.header_pa = 0;
+                }
+                let freed = self.page_alloc.free_arena(
+                    mem,
+                    mem_sys,
+                    backend,
+                    core,
+                    &mut proc.paging,
+                    class,
+                    va,
+                );
+                cycles += freed.cycles;
+                for (target, tlb) in tlbs.iter_mut().enumerate() {
+                    if freed.shootdown_cores & (1 << target) != 0 {
+                        for page in &freed.unmapped_pages {
+                            tlb.shootdown(*page);
+                        }
+                    }
+                }
+                if self.log_events {
+                    self.events.push(DeviceEvent::ArenaReclaimed {
+                        core: hot_core,
+                        class,
+                        va,
+                    });
+                }
+            }
         }
         cycles
     }

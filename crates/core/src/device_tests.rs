@@ -54,7 +54,9 @@ fn rig_with(cfg: MementoConfig) -> Rig {
     let scratch = mem.alloc_frame().unwrap().base_addr();
     let mut dev = MementoDevice::new(cfg, 1, scratch);
     let mut os = TestOs::new();
-    let proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+    let proc = dev
+        .attach_process(&mut mem, &mut os, MementoRegion::standard())
+        .expect("attach with live backend");
     Rig {
         mem,
         sys: MemSystem::new(MemSystemConfig::paper_default(1)),
@@ -315,9 +317,10 @@ fn demand_walk_backs_body_pages() {
     // Body pages are not backed until touched.
     let page = a.page_base();
     assert!(r.proc.paging.page_table.translate(&r.mem, page).is_none());
-    let (frame, cycles) =
-        r.dev
-            .translate_miss(&mut r.mem, &mut r.sys, &mut r.os, 0, &mut r.proc, page);
+    let (frame, cycles) = r
+        .dev
+        .translate_miss(&mut r.mem, &mut r.sys, &mut r.os, 0, &mut r.proc, page)
+        .expect("walk with live backend");
     assert!(cycles > Cycles::ZERO);
     assert_eq!(
         r.proc
@@ -421,7 +424,9 @@ fn remote_free_from_another_core() {
     let scratch = mem.alloc_frame().unwrap().base_addr();
     let mut dev = MementoDevice::new(MementoConfig::paper_default(), 2, scratch);
     let mut os = TestOs::new();
-    let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+    let mut proc = dev
+        .attach_process(&mut mem, &mut os, MementoRegion::standard())
+        .expect("attach with live backend");
     let mut sys = MemSystem::new(MemSystemConfig::paper_default(2));
     let mut tlbs = vec![Tlb::default(), Tlb::default()];
 
@@ -458,7 +463,9 @@ fn per_core_hots_are_isolated() {
     let scratch = mem.alloc_frame().unwrap().base_addr();
     let mut dev = MementoDevice::new(MementoConfig::paper_default(), 2, scratch);
     let mut os = TestOs::new();
-    let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+    let mut proc = dev
+        .attach_process(&mut mem, &mut os, MementoRegion::standard())
+        .expect("attach with live backend");
     let mut sys = MemSystem::new(MemSystemConfig::paper_default(2));
 
     // Each core allocates from its own arena of the same class (per-core

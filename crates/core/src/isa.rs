@@ -187,7 +187,9 @@ mod tests {
         let mut os = BumpOs(2048);
         let mut sys = MemSystem::new(MemSystemConfig::paper_default(1));
         let mut tlbs = vec![Tlb::default()];
-        let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+        let mut proc = dev
+            .attach_process(&mut mem, &mut os, MementoRegion::standard())
+            .expect("attach with live backend");
 
         // Fetch-decode-execute obj-alloc.
         let word = MementoInstr::ObjAlloc { size: 64 }.encode();
@@ -231,7 +233,9 @@ mod tests {
         let mut os = BumpOs(2048);
         let mut sys = MemSystem::new(MemSystemConfig::paper_default(1));
         let mut tlbs = vec![Tlb::default()];
-        let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+        let mut proc = dev
+            .attach_process(&mut mem, &mut os, MementoRegion::standard())
+            .expect("attach with live backend");
         let err = execute(
             MementoInstr::ObjAlloc { size: 4096 },
             &mut dev,

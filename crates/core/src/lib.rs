@@ -47,7 +47,9 @@
 //! let mut tlbs = vec![Tlb::default()];
 //! let mut os = Os(1024);
 //! let mut dev = MementoDevice::new(MementoConfig::paper_default(), 1, scratch);
-//! let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+//! let mut proc = dev
+//!     .attach_process(&mut mem, &mut os, MementoRegion::standard())
+//!     .expect("attach with live backend");
 //!
 //! let a = dev.obj_alloc(&mut mem, &mut sys, &mut os, 0, &mut proc, 48)?;
 //! dev.obj_free(&mut mem, &mut sys, &mut os, &mut tlbs, 0, &mut proc, a.addr)?;

@@ -24,6 +24,21 @@ use memento_simcore::physmem::{Frame, PhysMem};
 use memento_simcore::stats::HitMiss;
 use memento_vm::pagetable::{PageTable, Pte, PtePerms};
 use std::collections::BTreeSet;
+use std::fmt;
+
+/// The pool ran dry and the OS backend granted no frames (memory pressure
+/// or outright refusal). Typed so the system layer can surface the failure
+/// through device statistics instead of a hardware panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolExhausted;
+
+impl fmt::Display for PoolExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Memento page pool exhausted and the OS granted no frames")
+    }
+}
+
+impl std::error::Error for PoolExhausted {}
 
 /// Source of physical frames for the pool — implemented by the OS adapter
 /// in `memento-system` (the kernel buddy allocator tagged `MementoPool`).
@@ -43,6 +58,10 @@ pub struct PageAllocatorConfig {
     pub refill_batch: u64,
     /// Refill when the pool drops below this many frames.
     pub low_water: usize,
+    /// Return surplus frames to the OS when arena reclamation grows the
+    /// pool above this level (high-water overflow return). Keeps the pool
+    /// "small" (§3.2) even when a burst of arena frees reclaims many pages.
+    pub high_water: usize,
     /// AAC entries (paper Table 3: 32, direct-mapped by core ID).
     pub aac_entries: usize,
     /// Size-class pointer slots per AAC entry.
@@ -57,6 +76,7 @@ impl PageAllocatorConfig {
         PageAllocatorConfig {
             refill_batch: 16,
             low_water: 4,
+            high_water: 64,
             aac_entries: 32,
             aac_slots: 8,
         }
@@ -84,6 +104,17 @@ pub struct PageAllocStats {
     pub table_pages_allocated: u64,
     /// OS pool refills.
     pub pool_refills: u64,
+    /// Frames granted fresh by the OS backend.
+    pub frames_granted: u64,
+    /// Frames reclaimed from freed arenas back into the pool (warm reuse).
+    pub frames_recycled: u64,
+    /// Frames handed back to the OS (high-water overflow + detach).
+    pub frames_returned: u64,
+    /// High-water overflow returns performed.
+    pub pool_overflows: u64,
+    /// Frame requests that failed because the pool was dry and the OS
+    /// granted nothing.
+    pub pool_exhausted: u64,
     /// Demand walks served (with or without population).
     pub demand_walks: u64,
     /// TLB shootdowns delivered (core-deliveries).
@@ -100,6 +131,11 @@ impl PageAllocStats {
             data_pages_backed: self.data_pages_backed - earlier.data_pages_backed,
             table_pages_allocated: self.table_pages_allocated - earlier.table_pages_allocated,
             pool_refills: self.pool_refills - earlier.pool_refills,
+            frames_granted: self.frames_granted - earlier.frames_granted,
+            frames_recycled: self.frames_recycled - earlier.frames_recycled,
+            frames_returned: self.frames_returned - earlier.frames_returned,
+            pool_overflows: self.pool_overflows - earlier.pool_overflows,
+            pool_exhausted: self.pool_exhausted - earlier.pool_exhausted,
             demand_walks: self.demand_walks - earlier.demand_walks,
             shootdowns_sent: self.shootdowns_sent - earlier.shootdowns_sent,
         }
@@ -178,6 +214,32 @@ struct AacEntry {
     classes: Vec<u8>,
 }
 
+/// Physical-page lifecycle audit snapshot: cumulative flow counters plus
+/// the two current levels. At every quiescent point the flows and levels
+/// must balance: `granted - returned == pool_len + mapped` (every frame
+/// the OS ever granted is either idle in the pool, mapped into a process,
+/// or was handed back).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolAudit {
+    /// Frames ever granted fresh by the OS backend.
+    pub granted: u64,
+    /// Frames reclaimed from freed arenas back into the pool.
+    pub recycled: u64,
+    /// Frames handed back to the OS (overflow return + detach).
+    pub returned: u64,
+    /// Frames currently idle in the pool.
+    pub pool_len: u64,
+    /// Frames currently mapped into processes (data + Memento tables).
+    pub mapped: u64,
+}
+
+impl PoolAudit {
+    /// True when the lifecycle flows and levels balance.
+    pub fn conserved(&self) -> bool {
+        self.granted - self.returned == self.pool_len + self.mapped
+    }
+}
+
 /// The hardware page allocator.
 pub struct HardwarePageAllocator {
     cfg: PageAllocatorConfig,
@@ -187,6 +249,10 @@ pub struct HardwarePageAllocator {
     /// Reserved memory block holding the full pointer table (AAC backing
     /// store); misses touch it through the cache hierarchy.
     pointer_block: PhysAddr,
+    /// Frames currently mapped into processes (level, not a counter):
+    /// incremented per frame taken from the pool, decremented on
+    /// reclamation and detach.
+    frames_mapped: u64,
     stats: PageAllocStats,
 }
 
@@ -200,6 +266,7 @@ impl HardwarePageAllocator {
             costs,
             pool: Vec::new(),
             pointer_block,
+            frames_mapped: 0,
             stats: PageAllocStats::default(),
         }
     }
@@ -214,26 +281,41 @@ impl HardwarePageAllocator {
         self.pool.len()
     }
 
+    /// Lifecycle audit snapshot (see [`PoolAudit`]).
+    pub fn pool_audit(&self) -> PoolAudit {
+        PoolAudit {
+            granted: self.stats.frames_granted,
+            recycled: self.stats.frames_recycled,
+            returned: self.stats.frames_returned,
+            pool_len: self.pool.len() as u64,
+            mapped: self.frames_mapped,
+        }
+    }
+
     /// Initializes paging state for a process over `region`, taking the
     /// Memento page-table root from the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolExhausted`] when the pool is dry and the OS grants nothing.
     pub fn attach_process(
         &mut self,
         mem: &mut PhysMem,
         backend: &mut dyn PoolBackend,
         cores: usize,
         region: MementoRegion,
-    ) -> ProcessPaging {
-        let root = self.take_frame(backend);
+    ) -> Result<ProcessPaging, PoolExhausted> {
+        let root = self.take_frame(backend)?;
         mem.zero_frame(root);
         let mut in_use = BTreeSet::new();
         in_use.insert(root.number());
-        ProcessPaging {
+        Ok(ProcessPaging {
             region,
             page_table: PageTable::with_root(root),
             bump: vec![[0u64; 64]; cores],
             walker_cores: 0,
             in_use,
-        }
+        })
     }
 
     /// Tears down a process: returns every backing frame (and the pool's
@@ -249,20 +331,31 @@ impl HardwarePageAllocator {
         for f in &frames {
             mem.release_frame(*f);
         }
+        debug_assert!(self.frames_mapped >= frames.len() as u64);
+        self.frames_mapped -= frames.len() as u64;
+        self.stats.frames_returned += frames.len() as u64;
         backend.accept_frames(&frames);
     }
 
-    fn take_frame(&mut self, backend: &mut dyn PoolBackend) -> Frame {
+    fn take_frame(&mut self, backend: &mut dyn PoolBackend) -> Result<Frame, PoolExhausted> {
         if self.pool.len() <= self.cfg.low_water {
             let granted = backend.grant_frames(self.cfg.refill_batch);
             if !granted.is_empty() {
                 self.stats.pool_refills += 1;
+                self.stats.frames_granted += granted.len() as u64;
             }
             self.pool.extend(granted);
         }
-        self.pool
-            .pop()
-            .expect("OS failed to replenish the Memento page pool")
+        match self.pool.pop() {
+            Some(f) => {
+                self.frames_mapped += 1;
+                Ok(f)
+            }
+            None => {
+                self.stats.pool_exhausted += 1;
+                Err(PoolExhausted)
+            }
+        }
     }
 
     /// AAC lookup for (core, class); charges 1 cycle on a hit, a memory
@@ -300,7 +393,7 @@ impl HardwarePageAllocator {
         core: usize,
         proc: &mut ProcessPaging,
         va: VirtAddr,
-    ) -> (Frame, Cycles, u64) {
+    ) -> Result<(Frame, Cycles, u64), PoolExhausted> {
         let mut cycles = Cycles::ZERO;
         let mut allocated = 0u64;
         let mut table = proc.page_table.root();
@@ -310,9 +403,9 @@ impl HardwarePageAllocator {
             let pte = Pte::from_raw(mem.read_u64(entry_addr));
             if level == 0 {
                 if pte.present() {
-                    return (pte.frame(), cycles, allocated);
+                    return Ok((pte.frame(), cycles, allocated));
                 }
-                let frame = self.take_frame(backend);
+                let frame = self.take_frame(backend)?;
                 mem.zero_frame(frame);
                 proc.in_use.insert(frame.number());
                 mem.write_u64(entry_addr, Pte::leaf(frame, PtePerms::rw()).raw());
@@ -320,12 +413,12 @@ impl HardwarePageAllocator {
                 cycles += Cycles::new(self.costs.walk_populate_step);
                 self.stats.data_pages_backed += 1;
                 allocated += 1;
-                return (frame, cycles, allocated);
+                return Ok((frame, cycles, allocated));
             }
             table = if pte.present() {
                 pte.frame()
             } else {
-                let new_table = self.take_frame(backend);
+                let new_table = self.take_frame(backend)?;
                 mem.zero_frame(new_table);
                 proc.in_use.insert(new_table.number());
                 mem.write_u64(entry_addr, Pte::table(new_table).raw());
@@ -343,10 +436,13 @@ impl HardwarePageAllocator {
     /// Allocates a new arena of `class` for `core`: bumps the VA pointer
     /// (via the AAC) and eagerly backs the header page.
     ///
+    /// # Errors
+    ///
+    /// [`PoolExhausted`] when the pool is dry and the OS grants nothing.
+    ///
     /// # Panics
     ///
-    /// Panics if the class slice is exhausted (≫ any modeled workload) or
-    /// the OS cannot replenish the pool.
+    /// Panics if the class slice is exhausted (≫ any modeled workload).
     pub fn alloc_arena(
         &mut self,
         mem: &mut PhysMem,
@@ -355,7 +451,7 @@ impl HardwarePageAllocator {
         core: usize,
         proc: &mut ProcessPaging,
         class: SizeClass,
-    ) -> ArenaAllocation {
+    ) -> Result<ArenaAllocation, PoolExhausted> {
         let mut cycles = Cycles::new(self.costs.arena_alloc_base);
         cycles += self.aac_access(mem_sys, core, class);
 
@@ -372,18 +468,22 @@ impl HardwarePageAllocator {
         );
         let va = proc.region.arena_at(class, arena_index);
 
-        let (frame, c, _) = self.populate_page(mem, mem_sys, backend, core, proc, va);
+        let (frame, c, _) = self.populate_page(mem, mem_sys, backend, core, proc, va)?;
         cycles += c;
         self.stats.arenas_allocated += 1;
-        ArenaAllocation {
+        Ok(ArenaAllocation {
             va,
             header_pa: frame.base_addr(),
             cycles,
-        }
+        })
     }
 
     /// Serves a marked page-walk request for `va` (a TLB miss inside the
     /// Memento region): populates missing levels on demand. Never faults.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolExhausted`] when the pool is dry and the OS grants nothing.
     pub fn demand_walk(
         &mut self,
         mem: &mut PhysMem,
@@ -392,27 +492,30 @@ impl HardwarePageAllocator {
         core: usize,
         proc: &mut ProcessPaging,
         va: VirtAddr,
-    ) -> DemandWalk {
+    ) -> Result<DemandWalk, PoolExhausted> {
         debug_assert!(proc.region.contains(va), "walk outside Memento region");
         self.stats.demand_walks += 1;
         proc.walker_cores |= 1 << core;
         let page = va.page_base();
         let (frame, cycles, pages_allocated) =
-            self.populate_page(mem, mem_sys, backend, core, proc, page);
-        DemandWalk {
+            self.populate_page(mem, mem_sys, backend, core, proc, page)?;
+        Ok(DemandWalk {
             frame,
             cycles,
             pages_allocated,
-        }
+        })
     }
 
     /// Frees the arena at `arena_base`: walks the Memento table, reclaims
     /// frames into the pool, invalidates entries, and reports the pages and
-    /// cores needing shootdowns.
+    /// cores needing shootdowns. Surplus frames above the configured
+    /// high-water mark are returned to the OS backend.
+    #[allow(clippy::too_many_arguments)]
     pub fn free_arena(
         &mut self,
         mem: &mut PhysMem,
         mem_sys: &mut MemSystem,
+        backend: &mut dyn PoolBackend,
         core: usize,
         proc: &mut ProcessPaging,
         class: SizeClass,
@@ -420,6 +523,7 @@ impl HardwarePageAllocator {
     ) -> ArenaFree {
         let mut cycles = Cycles::new(self.costs.arena_free_base);
         let mut unmapped = Vec::new();
+        let mut reclaimed = 0u64;
         for i in 0..class.arena_pages() as u64 {
             let va = arena_base.add(i * PAGE_SIZE as u64);
             if let Some(t) = proc.page_table.translate(mem, va) {
@@ -429,14 +533,28 @@ impl HardwarePageAllocator {
                     mem.release_frame(frame);
                     proc.in_use.remove(&frame.number());
                     self.pool.push(frame);
+                    reclaimed += 1;
                     unmapped.push(va);
                 }
                 for table in res.freed_tables {
                     mem.release_frame(table);
                     proc.in_use.remove(&table.number());
                     self.pool.push(table);
+                    reclaimed += 1;
                 }
             }
+        }
+        debug_assert!(self.frames_mapped >= reclaimed);
+        self.frames_mapped -= reclaimed;
+        self.stats.frames_recycled += reclaimed;
+        // High-water overflow: arena reclamation can grow the pool well
+        // beyond what refills ever would; return the surplus so the pool
+        // stays small and the OS regains the memory mid-run.
+        if self.pool.len() > self.cfg.high_water {
+            let surplus = self.pool.split_off(self.cfg.high_water);
+            self.stats.frames_returned += surplus.len() as u64;
+            self.stats.pool_overflows += 1;
+            backend.accept_frames(&surplus);
         }
         let shootdown_cores = proc.walker_cores;
         let ncores = shootdown_cores.count_ones() as u64;
@@ -514,7 +632,9 @@ mod tests {
             ptr_block,
         );
         let mut backend = TestBackend::new();
-        let proc = alloc.attach_process(&mut mem, &mut backend, 1, MementoRegion::standard());
+        let proc = alloc
+            .attach_process(&mut mem, &mut backend, 1, MementoRegion::standard())
+            .expect("attach with granting backend");
         Rig {
             mem,
             sys: MemSystem::new(MemSystemConfig::paper_default(1)),
@@ -530,7 +650,8 @@ mod tests {
         let sc = SizeClass::for_size(64).unwrap();
         let a = r
             .alloc
-            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc);
+            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc)
+            .expect("arena");
         assert_eq!(a.va, r.proc.region.arena_at(sc, 0));
         // Header page mapped.
         assert!(r.proc.page_table.translate(&r.mem, a.va).is_some());
@@ -550,10 +671,12 @@ mod tests {
         let sc = SizeClass::for_size(8).unwrap();
         let a0 = r
             .alloc
-            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc);
+            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc)
+            .expect("arena");
         let a1 = r
             .alloc
-            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc);
+            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc)
+            .expect("arena");
         assert_eq!(a1.va.offset_from(a0.va), sc.arena_bytes() as u64);
     }
 
@@ -563,18 +686,21 @@ mod tests {
         let sc = SizeClass::for_size(256).unwrap();
         let a = r
             .alloc
-            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc);
+            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc)
+            .expect("arena");
         let body = a.va.add(PAGE_SIZE as u64);
         let w1 = r
             .alloc
-            .demand_walk(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, body);
+            .demand_walk(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, body)
+            .expect("walk");
         assert_eq!(
             w1.pages_allocated, 1,
             "leaf allocated, tables shared with header"
         );
         let w2 = r
             .alloc
-            .demand_walk(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, body);
+            .demand_walk(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, body)
+            .expect("walk");
         assert_eq!(w2.pages_allocated, 0);
         assert_eq!(w2.frame, w1.frame);
         assert!(w2.cycles <= w1.cycles);
@@ -587,7 +713,8 @@ mod tests {
         let sc = SizeClass::for_size(8).unwrap();
         for _ in 0..3 {
             r.alloc
-                .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc);
+                .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc)
+                .expect("arena");
         }
         let s = r.alloc.stats();
         assert_eq!(s.aac.misses, 1);
@@ -600,22 +727,31 @@ mod tests {
         let sc = SizeClass::for_size(128).unwrap();
         let a = r
             .alloc
-            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc);
+            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc)
+            .expect("arena");
         // Touch two body pages.
         for page in 1..3u64 {
-            r.alloc.demand_walk(
-                &mut r.mem,
-                &mut r.sys,
-                &mut r.backend,
-                0,
-                &mut r.proc,
-                a.va.add(page * PAGE_SIZE as u64),
-            );
+            r.alloc
+                .demand_walk(
+                    &mut r.mem,
+                    &mut r.sys,
+                    &mut r.backend,
+                    0,
+                    &mut r.proc,
+                    a.va.add(page * PAGE_SIZE as u64),
+                )
+                .expect("walk");
         }
         let pool_before = r.alloc.pool_len();
-        let freed = r
-            .alloc
-            .free_arena(&mut r.mem, &mut r.sys, 0, &mut r.proc, sc, a.va);
+        let freed = r.alloc.free_arena(
+            &mut r.mem,
+            &mut r.sys,
+            &mut r.backend,
+            0,
+            &mut r.proc,
+            sc,
+            a.va,
+        );
         assert_eq!(freed.unmapped_pages.len(), 3, "header + 2 body pages");
         assert!(r.alloc.pool_len() >= pool_before + 3);
         assert_eq!(freed.shootdown_cores, 1);
@@ -628,7 +764,8 @@ mod tests {
         let mut r = rig();
         let sc = SizeClass::for_size(64).unwrap();
         r.alloc
-            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc);
+            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc)
+            .expect("arena");
         let used = r.proc.frames_in_use();
         assert!(used >= 2, "root + tables + header");
         let proc = r.proc;
@@ -645,17 +782,122 @@ mod tests {
         for _ in 0..200 {
             let a = r
                 .alloc
-                .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc);
-            r.alloc.demand_walk(
-                &mut r.mem,
-                &mut r.sys,
-                &mut r.backend,
-                0,
-                &mut r.proc,
-                a.va.add(PAGE_SIZE as u64),
-            );
+                .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc)
+                .expect("arena");
+            r.alloc
+                .demand_walk(
+                    &mut r.mem,
+                    &mut r.sys,
+                    &mut r.backend,
+                    0,
+                    &mut r.proc,
+                    a.va.add(PAGE_SIZE as u64),
+                )
+                .expect("walk");
         }
         assert!(r.alloc.stats().pool_refills > refills_initial);
+    }
+
+    #[test]
+    fn zero_grant_backend_surfaces_typed_exhaustion() {
+        let mut r = rig();
+        r.backend.limit = r.backend.next; // OS refuses every further grant
+        let sc = SizeClass::for_size(8).unwrap();
+        // Drain the pool; each allocation consumes frames until the pool
+        // and the refusing backend both come up empty.
+        let err = loop {
+            match r
+                .alloc
+                .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc)
+            {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, PoolExhausted);
+        assert!(r.alloc.stats().pool_exhausted > 0);
+        assert_eq!(r.alloc.pool_len(), 0);
+    }
+
+    #[test]
+    fn overflow_returns_surplus_above_high_water() {
+        let mut mem = PhysMem::new(1 << 30);
+        let ptr_block = mem.alloc_frame().unwrap().base_addr();
+        let cfg = PageAllocatorConfig {
+            high_water: 4,
+            ..PageAllocatorConfig::paper_default()
+        };
+        let mut alloc = HardwarePageAllocator::new(cfg, MementoCosts::calibrated(), ptr_block);
+        let mut backend = TestBackend::new();
+        let mut proc = alloc
+            .attach_process(&mut mem, &mut backend, 1, MementoRegion::standard())
+            .expect("attach");
+        let mut sys = MemSystem::new(MemSystemConfig::paper_default(1));
+        // Back a multi-page arena fully, then free it: reclamation must
+        // push the pool above the tiny high-water mark and spill to the OS.
+        let sc = SizeClass::for_size(128).unwrap();
+        let a = alloc
+            .alloc_arena(&mut mem, &mut sys, &mut backend, 0, &mut proc, sc)
+            .expect("arena");
+        for page in 1..sc.arena_pages() as u64 {
+            alloc
+                .demand_walk(
+                    &mut mem,
+                    &mut sys,
+                    &mut backend,
+                    0,
+                    &mut proc,
+                    a.va.add(page * PAGE_SIZE as u64),
+                )
+                .expect("walk");
+        }
+        alloc.free_arena(&mut mem, &mut sys, &mut backend, 0, &mut proc, sc, a.va);
+        assert!(alloc.stats().pool_overflows > 0, "overflow must trigger");
+        assert!(!backend.returned.is_empty(), "surplus reached the OS");
+        assert!(alloc.pool_len() <= 4, "pool trimmed to high water");
+    }
+
+    #[test]
+    fn pool_audit_balances_across_lifecycle() {
+        let mut r = rig();
+        let sc = SizeClass::for_size(128).unwrap();
+        assert!(r.alloc.pool_audit().conserved(), "after attach");
+        let a = r
+            .alloc
+            .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc)
+            .expect("arena");
+        for page in 1..3u64 {
+            r.alloc
+                .demand_walk(
+                    &mut r.mem,
+                    &mut r.sys,
+                    &mut r.backend,
+                    0,
+                    &mut r.proc,
+                    a.va.add(page * PAGE_SIZE as u64),
+                )
+                .expect("walk");
+        }
+        assert!(r.alloc.pool_audit().conserved(), "after backing");
+        r.alloc.free_arena(
+            &mut r.mem,
+            &mut r.sys,
+            &mut r.backend,
+            0,
+            &mut r.proc,
+            sc,
+            a.va,
+        );
+        let audit = r.alloc.pool_audit();
+        assert!(audit.conserved(), "after reclamation: {audit:?}");
+        // Header + 2 body leaves, plus the page-table frames freed when the
+        // arena's subtree emptied.
+        assert!(audit.recycled >= 3, "leaves recycled: {audit:?}");
+        let proc = r.proc;
+        r.alloc.detach_process(&mut r.mem, &mut r.backend, proc);
+        let audit = r.alloc.pool_audit();
+        assert!(audit.conserved(), "after detach: {audit:?}");
+        assert_eq!(audit.mapped, 0, "nothing mapped after detach");
     }
 
     #[test]
@@ -668,13 +910,17 @@ mod tests {
             ptr_block,
         );
         let mut backend = TestBackend::new();
-        let mut proc = alloc.attach_process(&mut mem, &mut backend, 4, MementoRegion::standard());
+        let mut proc = alloc
+            .attach_process(&mut mem, &mut backend, 4, MementoRegion::standard())
+            .expect("attach");
         let mut sys = MemSystem::new(MemSystemConfig::paper_default(4));
         let sc = SizeClass::for_size(8).unwrap();
         let mut seen = std::collections::HashSet::new();
         for core in 0..4usize {
             for _ in 0..5 {
-                let a = alloc.alloc_arena(&mut mem, &mut sys, &mut backend, core, &mut proc, sc);
+                let a = alloc
+                    .alloc_arena(&mut mem, &mut sys, &mut backend, core, &mut proc, sc)
+                    .expect("arena");
                 assert!(seen.insert(a.va.raw()), "duplicate arena VA across cores");
             }
         }

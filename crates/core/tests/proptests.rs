@@ -110,7 +110,9 @@ proptest! {
         let mut os = BumpOs(4096);
         let mut sys = MemSystem::new(MemSystemConfig::paper_default(1));
         let mut tlbs = vec![Tlb::default()];
-        let mut proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+        let mut proc = dev
+            .attach_process(&mut mem, &mut os, MementoRegion::standard())
+            .expect("attach with live backend");
 
         // live: address -> rounded size.
         let mut live: HashMap<u64, usize> = HashMap::new();

@@ -11,6 +11,12 @@ use std::collections::HashMap;
 /// data-processing applications and platform services at steady state).
 pub const STEADY_WARMUP: f64 = 0.4;
 
+/// Invocations per warm container for the steady-state categories:
+/// invocation 0 is the cold start, the measured window covers the rest
+/// (see [`Machine::run_invocations`]). Three is the smallest count with a
+/// multi-invocation steady window.
+pub const STEADY_INVOCATIONS: usize = 3;
+
 /// System design points evaluated across the figures.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ConfigKind {
@@ -124,12 +130,17 @@ impl EvalContext {
 
     /// Simulates one point from scratch (no memoization) — the worker body
     /// every shard executes, identical on the serial and parallel paths.
+    /// Functions run cold once; the long-running categories run as a warm
+    /// container serving back-to-back invocations and report the
+    /// steady-state window (§6.3).
     pub fn simulate(point: &SimPoint) -> RunStats {
         let mut machine = Machine::new(point.kind.system_config());
         if point.spec.category == Category::Function {
             machine.run(&point.spec)
         } else {
-            machine.run_steady(&point.spec, STEADY_WARMUP)
+            machine
+                .run_invocations(&point.spec, STEADY_INVOCATIONS)
+                .steady
         }
     }
 

@@ -56,6 +56,7 @@ pub mod memusage;
 pub mod multicore;
 pub mod pricing;
 pub mod profile;
+pub mod ratio;
 pub mod report;
 pub mod runner;
 pub mod sensitivity;
@@ -65,6 +66,7 @@ pub mod table;
 
 pub use context::{ConfigKind, EvalContext};
 pub use profile::{profile_run, ProfileReport};
+pub use ratio::page_ratio;
 pub use runner::{map_ordered, merge_metrics, RunnerTiming};
 pub use sharding::SimPoint;
 pub use table::Table;

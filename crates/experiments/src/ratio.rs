@@ -1,0 +1,45 @@
+//! Shared normalized-ratio arithmetic for figure runners.
+//!
+//! Fig. 11 and the §6.6 footprint studies report Memento (or populate)
+//! page counts normalized to a baseline. A zero-page baseline has no
+//! meaningful normalization: the old `m / b.max(1)` fallback silently
+//! reported an *absolute* page count as a "ratio", skewing category
+//! averages. The helper makes the undefined case explicit so callers can
+//! skip the row (with a warning) instead of averaging garbage.
+
+/// Ratio of `m` (measured) to `b` (baseline) page counts.
+///
+/// - both zero → `Some(1.0)` (nothing allocated on either side: unchanged)
+/// - baseline zero, measured nonzero → `None` (no normalization exists)
+/// - otherwise → `Some(m / b)`
+pub fn page_ratio(m: u64, b: u64) -> Option<f64> {
+    match (m, b) {
+        (0, 0) => Some(1.0),
+        (_, 0) => None,
+        (m, b) => Some(m as f64 / b as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_zero_is_unchanged() {
+        assert_eq!(page_ratio(0, 0), Some(1.0));
+    }
+
+    #[test]
+    fn zero_baseline_with_pages_is_undefined() {
+        // The old `.max(1)` fallback would have returned 37.0 here —
+        // an absolute count masquerading as a ratio.
+        assert_eq!(page_ratio(37, 0), None);
+    }
+
+    #[test]
+    fn ordinary_division_otherwise() {
+        assert_eq!(page_ratio(0, 4), Some(0.0));
+        assert_eq!(page_ratio(3, 4), Some(0.75));
+        assert_eq!(page_ratio(8, 4), Some(2.0));
+    }
+}

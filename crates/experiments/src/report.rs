@@ -121,6 +121,23 @@ impl FullReport {
             .set("iso_storage_avg", self.iso.iso_avg)
             .set("mallacc_avg", self.mallacc.mallacc_avg)
             .set("mallacc_memento_avg", self.mallacc.memento_avg)
+            .set("memusage_func_total", self.memusage.func_avg.2)
+            .set("memusage_data_total", self.memusage.data_avg.2)
+            .set("memusage_pltf_total", self.memusage.pltf_avg.2)
+            .set("pool_refills", self.memusage.pool.refills as f64)
+            .set(
+                "pool_frames_granted",
+                self.memusage.pool.frames_granted as f64,
+            )
+            .set(
+                "pool_frames_recycled",
+                self.memusage.pool.frames_recycled as f64,
+            )
+            .set(
+                "pool_frames_returned",
+                self.memusage.pool.frames_returned as f64,
+            )
+            .set("pool_overflows", self.memusage.pool.overflows as f64)
             .set(
                 "speedups",
                 Value::Array(

@@ -42,13 +42,22 @@ pub fn populate_for(ctx: &mut EvalContext, specs: &[WorkloadSpec]) -> PopulateRe
             let lazy = ctx.run(spec, ConfigKind::Baseline).clone();
             let eager = ctx.run(spec, ConfigKind::BaselinePopulate).clone();
             speedups.push(stats::speedup(&lazy, &eager));
-            footprints.push(eager.user_pages_agg.max(1) as f64 / lazy.user_pages_agg.max(1) as f64);
+            match crate::ratio::page_ratio(eager.user_pages_agg, lazy.user_pages_agg) {
+                Some(fp) => footprints.push(fp),
+                None => eprintln!(
+                    "populate: skipping {} footprint: lazy baseline allocated \
+                     0 pages but populate allocated some; no ratio exists",
+                    spec.name
+                ),
+            }
         }
-        let n = speedups.len() as f64;
+        if footprints.is_empty() {
+            continue;
+        }
         rows.push((
             lang.to_string(),
-            speedups.iter().sum::<f64>() / n,
-            footprints.iter().sum::<f64>() / n,
+            speedups.iter().sum::<f64>() / speedups.len() as f64,
+            footprints.iter().sum::<f64>() / footprints.len() as f64,
         ));
     }
     PopulateResult { rows }

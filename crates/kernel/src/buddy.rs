@@ -51,8 +51,13 @@ pub struct UseStats {
     pub current: u64,
     /// Peak concurrently-allocated frames.
     pub peak: u64,
-    /// Total frames ever allocated (aggregate usage, Fig. 11's metric).
+    /// Total frames ever allocated fresh from the OS (aggregate usage,
+    /// Fig. 11's metric). Excludes recycled re-grants.
     pub aggregate: u64,
+    /// Frames re-granted after being returned by their consumer (warm pool
+    /// reuse). Counted separately so `aggregate` tracks only fresh OS
+    /// demand instead of double-counting every recycle round-trip.
+    pub recycled: u64,
 }
 
 /// Snapshot of the allocator's frame accounting.
@@ -120,6 +125,7 @@ impl UseStats {
             current: self.current,
             peak: self.peak,
             aggregate: self.aggregate - earlier.aggregate,
+            recycled: self.recycled - earlier.recycled,
         }
     }
 }
@@ -224,6 +230,15 @@ impl BuddyAllocator {
     ///
     /// Panics if `order > MAX_ORDER`.
     pub fn alloc_order(&mut self, order: u8, usage: FrameUse) -> Result<Frame, OutOfFrames> {
+        self.alloc_order_tagged(order, usage, false)
+    }
+
+    fn alloc_order_tagged(
+        &mut self,
+        order: u8,
+        usage: FrameUse,
+        recycled: bool,
+    ) -> Result<Frame, OutOfFrames> {
         assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
         // Find the smallest order with a free block.
         let mut found = None;
@@ -245,7 +260,11 @@ impl BuddyAllocator {
         let st = self.stats.get_mut(usage);
         st.current += pages;
         st.peak = st.peak.max(st.current);
-        st.aggregate += pages;
+        if recycled {
+            st.recycled += pages;
+        } else {
+            st.aggregate += pages;
+        }
         Ok(Frame::from_number(block))
     }
 
@@ -256,6 +275,19 @@ impl BuddyAllocator {
     /// Returns [`OutOfFrames`] when memory is exhausted.
     pub fn alloc(&mut self, usage: FrameUse) -> Result<Frame, OutOfFrames> {
         self.alloc_order(0, usage)
+    }
+
+    /// Allocates a single frame for `usage`, attributing it to warm reuse
+    /// of previously returned frames (`recycled`) instead of fresh
+    /// aggregate demand. Used when re-granting pool frames the consumer
+    /// already returned: the physical page was acquired once, so Fig. 11's
+    /// aggregate metric must not count it again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] when memory is exhausted.
+    pub fn alloc_recycled(&mut self, usage: FrameUse) -> Result<Frame, OutOfFrames> {
+        self.alloc_order_tagged(0, usage, true)
     }
 
     /// Frees a block of `2^order` frames previously allocated for `usage`.
@@ -363,6 +395,20 @@ mod tests {
         assert_eq!(s.aggregate_kernel(), 1, "page table");
         assert_eq!(s.aggregate_total(), 3);
         assert_eq!(s.current_total(), 2);
+    }
+
+    #[test]
+    fn recycled_allocations_do_not_inflate_aggregate() {
+        let mut b = buddy(64);
+        let f = b.alloc(FrameUse::MementoPool).unwrap();
+        b.free(f, FrameUse::MementoPool);
+        let r = b.alloc_recycled(FrameUse::MementoPool).unwrap();
+        b.free(r, FrameUse::MementoPool);
+        let s = b.stats().get(FrameUse::MementoPool);
+        assert_eq!(s.aggregate, 1, "fresh grant counted once");
+        assert_eq!(s.recycled, 1, "re-grant attributed to reuse");
+        assert_eq!(s.current, 0);
+        assert_eq!(s.peak, 1, "levels unaffected by attribution");
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct KernelCosts {
     pub munmap_work: u64,
     /// Extra `munmap` work per mapped page: PTE clear, frame return.
     pub munmap_per_page: u64,
+    /// `madvise` base work: VMA lookup, flag bookkeeping.
+    pub madvise_work: u64,
+    /// Per-resident-page `madvise(MADV_FREE)` marking cost.
+    pub madvise_per_page: u64,
     /// Page-fault handler work excluding the walk and PTE write: exception
     /// entry, VMA lookup, fault bookkeeping, return & retry.
     pub fault_work: u64,
@@ -40,6 +44,8 @@ impl KernelCosts {
             mmap_work: 1400,
             munmap_work: 1100,
             munmap_per_page: 90,
+            madvise_work: 500,
+            madvise_per_page: 15,
             fault_work: 1900,
             buddy_alloc: 260,
             buddy_free: 180,

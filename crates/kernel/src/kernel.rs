@@ -55,10 +55,16 @@ pub struct KernelStats {
     pub page_faults: u64,
     /// Pages eagerly populated by `MAP_POPULATE`.
     pub populated_pages: u64,
+    /// `madvise(MADV_FREE)` syscalls served.
+    pub madvises: u64,
+    /// Lazily-freed pages the host's background reclaim actually took.
+    pub lazy_reclaimed_pages: u64,
     /// Context switches performed.
     pub context_switches: u64,
     /// Frames handed to the Memento hardware page pool.
     pub pool_frames_granted: u64,
+    /// Frames the Memento pool handed back (overflow return / detach).
+    pub pool_frames_returned: u64,
 }
 
 impl KernelStats {
@@ -69,8 +75,11 @@ impl KernelStats {
             munmaps: self.munmaps - earlier.munmaps,
             page_faults: self.page_faults - earlier.page_faults,
             populated_pages: self.populated_pages - earlier.populated_pages,
+            madvises: self.madvises - earlier.madvises,
+            lazy_reclaimed_pages: self.lazy_reclaimed_pages - earlier.lazy_reclaimed_pages,
             context_switches: self.context_switches - earlier.context_switches,
             pool_frames_granted: self.pool_frames_granted - earlier.pool_frames_granted,
+            pool_frames_returned: self.pool_frames_returned - earlier.pool_frames_returned,
         }
     }
 }
@@ -128,6 +137,18 @@ pub struct MunmapOutcome {
     pub released_pages: u64,
 }
 
+/// Outcome of a `madvise(MADV_FREE)` call (with background reclaim).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MadviseOutcome {
+    /// Cycles spent in the kernel.
+    pub cycles: Cycles,
+    /// Resident pages marked lazily freeable.
+    pub marked_pages: u64,
+    /// Marked pages the host's reclaim actually took (these demand-fault
+    /// on the next touch).
+    pub reclaimed_pages: u64,
+}
+
 /// Outcome of a handled page fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultOutcome {
@@ -150,6 +171,9 @@ pub struct Kernel {
     /// VMA-metadata slab accounting: one KernelMeta frame per
     /// `VMAS_PER_SLAB` mappings (vm_area_structs, rmap, accounting).
     vma_slab_objects: u64,
+    /// Frames the Memento pool returned and the kernel may re-grant
+    /// without counting them as fresh aggregate demand (warm reuse).
+    pool_return_credit: u64,
     fault_lat: Log2Hist,
 }
 
@@ -179,6 +203,7 @@ impl Kernel {
             kmeta_lines: Self::KMETA_FRAMES * (PAGE_SIZE / CACHE_LINE_SIZE) as u64,
             kmeta_cursor: 0,
             vma_slab_objects: 0,
+            pool_return_credit: 0,
             fault_lat: Log2Hist::default(),
         }
     }
@@ -366,6 +391,70 @@ impl Kernel {
         })
     }
 
+    /// Fraction of lazily-freed pages the packed host's reclaim takes
+    /// between invocations: one page in this many. Serverless hosts run
+    /// memory-oversubscribed (the paper's premise), so a warm container's
+    /// `MADV_FREE` donations are partially harvested before the next
+    /// request arrives.
+    pub const LAZY_RECLAIM_STRIDE: u64 = 2;
+
+    /// Serves `madvise(addr, len, MADV_FREE)` plus the host's background
+    /// reclaim. Every resident page in the range is marked lazily freeable
+    /// (the cheap path: on the next write the mark clears and the frame is
+    /// reused for free); memory pressure on a packed serverless host then
+    /// immediately reclaims one in `reclaim_stride` of the marked pages —
+    /// those lose their frame and demand-fault on the next touch. The VMA
+    /// itself stays mapped throughout. `reclaim_stride == 0` marks without
+    /// reclaiming.
+    #[allow(clippy::too_many_arguments)]
+    pub fn madvise_free(
+        &mut self,
+        mem: &mut PhysMem,
+        mem_sys: &mut MemSystem,
+        tlb: &mut Tlb,
+        core: usize,
+        proc: &mut Process,
+        addr: VirtAddr,
+        len: u64,
+        reclaim_stride: u64,
+    ) -> MadviseOutcome {
+        self.stats.madvises += 1;
+        let mut cycles = Cycles::new(self.costs.syscall_overhead + self.costs.madvise_work);
+        cycles += self.touch_kmeta(mem_sys, core, 2);
+        let mut marked = 0u64;
+        let mut reclaimed = 0u64;
+        let mut va = addr.page_base();
+        let end = addr.add(len);
+        while va < end {
+            if let Some(t) = proc.addr_space.page_table.translate(mem, va) {
+                cycles += Cycles::new(self.costs.madvise_per_page);
+                marked += 1;
+                if reclaim_stride > 0 && marked.is_multiple_of(reclaim_stride) {
+                    cycles += Cycles::new(self.costs.munmap_per_page + self.costs.buddy_free);
+                    cycles += mem_sys.access(core, AccessKind::Write, t.pte_addr).cycles;
+                    let res = proc.addr_space.page_table.unmap(mem, va);
+                    if let Some(frame) = res.leaf_frame {
+                        mem.release_frame(frame);
+                        self.buddy.free(frame, FrameUse::UserHeap);
+                        reclaimed += 1;
+                    }
+                    for table in res.freed_tables {
+                        self.buddy.free(table, FrameUse::PageTable);
+                        cycles += Cycles::new(self.costs.buddy_free);
+                    }
+                    tlb.shootdown(va);
+                }
+            }
+            va = va.add(PAGE_SIZE as u64);
+        }
+        self.stats.lazy_reclaimed_pages += reclaimed;
+        MadviseOutcome {
+            cycles,
+            marked_pages: marked,
+            reclaimed_pages: reclaimed,
+        }
+    }
+
     /// Handles a page fault at `va`: looks up the covering VMA, allocates a
     /// frame, installs the PTE, and fills the TLB.
     ///
@@ -414,18 +503,31 @@ impl Kernel {
     pub fn grant_pool_frames(&mut self, n: u64) -> Result<(Vec<Frame>, Cycles), KernelError> {
         let mut frames = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            frames.push(self.buddy.alloc(FrameUse::MementoPool)?);
+            // Frames the pool previously returned count as warm reuse, not
+            // fresh aggregate demand: the process already paid for that
+            // physical page once (Fig. 11's metric must not double-count
+            // every recycle round-trip).
+            if self.pool_return_credit > 0 {
+                self.pool_return_credit -= 1;
+                frames.push(self.buddy.alloc_recycled(FrameUse::MementoPool)?);
+            } else {
+                frames.push(self.buddy.alloc(FrameUse::MementoPool)?);
+            }
         }
         self.stats.pool_frames_granted += n;
         Ok((frames, Cycles::new(self.costs.buddy_alloc * n / 4)))
     }
 
-    /// Accepts frames back from the Memento pool (arena reclamation).
-    pub fn return_pool_frames(&mut self, mem: &mut PhysMem, frames: &[Frame]) -> Cycles {
+    /// Accepts frames back from the Memento pool (high-water overflow
+    /// return or process detach). The device has already released the
+    /// frames' backing store; the kernel only restores buddy state and
+    /// records a re-grant credit so warm reuse is attributed correctly.
+    pub fn accept_pool_frames(&mut self, frames: &[Frame]) -> Cycles {
         for f in frames {
-            mem.release_frame(*f);
             self.buddy.free(*f, FrameUse::MementoPool);
         }
+        self.pool_return_credit += frames.len() as u64;
+        self.stats.pool_frames_returned += frames.len() as u64;
         Cycles::new(self.costs.buddy_free * frames.len() as u64 / 4)
     }
 }
@@ -704,11 +806,31 @@ mod tests {
             r.kernel.frame_stats().get(FrameUse::MementoPool).current,
             16
         );
-        r.kernel.return_pool_frames(&mut r.mem, &frames);
+        r.kernel.accept_pool_frames(&frames);
         assert_eq!(r.kernel.frame_stats().get(FrameUse::MementoPool).current, 0);
         assert_eq!(
             r.kernel.frame_stats().get(FrameUse::MementoPool).aggregate,
             16
+        );
+        assert_eq!(r.kernel.stats().pool_frames_returned, 16);
+    }
+
+    #[test]
+    fn regrant_of_returned_frames_counts_as_recycled() {
+        let mut r = rig();
+        let (frames, _c) = r.kernel.grant_pool_frames(16).unwrap();
+        r.kernel.accept_pool_frames(&frames);
+        // Warm re-grant: same physical demand, no new aggregate pages.
+        let (again, _c) = r.kernel.grant_pool_frames(16).unwrap();
+        assert_eq!(again.len(), 16);
+        let pool = r.kernel.frame_stats().get(FrameUse::MementoPool);
+        assert_eq!(pool.aggregate, 16, "aggregate counts fresh grants only");
+        assert_eq!(pool.recycled, 16, "re-grant attributed to warm reuse");
+        // A grant beyond the credit is fresh demand again.
+        let (_more, _c) = r.kernel.grant_pool_frames(4).unwrap();
+        assert_eq!(
+            r.kernel.frame_stats().get(FrameUse::MementoPool).aggregate,
+            20
         );
     }
 

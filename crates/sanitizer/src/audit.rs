@@ -279,7 +279,25 @@ pub fn audit_process(
         }
     }
 
-    // Pass 4: reclaimed arenas must stay unmapped (their VAs are never
+    // Pass 4: the device's physical-page lifecycle must conserve frames:
+    // everything the OS ever granted is idle in the pool, mapped into a
+    // process, or was handed back. The counters are device-global (the
+    // pool is shared hardware), so this catches leaks from any process.
+    let audit = dev.pool_audit();
+    if !audit.conserved() {
+        out.push(violation(
+            ViolationKind::PoolConservation,
+            0,
+            event_index,
+            None,
+            format!(
+                "granted {} - returned {} != pool {} + mapped {} (recycled {})",
+                audit.granted, audit.returned, audit.pool_len, audit.mapped, audit.recycled
+            ),
+        ));
+    }
+
+    // Pass 5: reclaimed arenas must stay unmapped (their VAs are never
     // reused, so this holds for the life of the process).
     for &va_raw in shadow.reclaimed() {
         let va = VirtAddr::new(va_raw);

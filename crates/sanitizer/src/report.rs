@@ -41,6 +41,11 @@ pub enum ViolationKind {
     /// The softalloc differential oracle disagrees with the hardware on
     /// object liveness.
     OracleDivergence,
+    /// The physical-page lifecycle flows stopped balancing: frames the OS
+    /// granted minus frames returned no longer equals pool level plus
+    /// mapped frames (a frame leaked or was double-counted somewhere in
+    /// grant → map → reclaim → recycle → overflow-return).
+    PoolConservation,
 }
 
 impl fmt::Display for ViolationKind {
@@ -58,6 +63,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::BumpDivergence => "bump-divergence",
             ViolationKind::ArenaLifecycle => "arena-lifecycle",
             ViolationKind::OracleDivergence => "oracle-divergence",
+            ViolationKind::PoolConservation => "pool-conservation",
         };
         f.write_str(s)
     }

@@ -52,7 +52,9 @@ impl Rig {
         let mut dev = MementoDevice::new(MementoConfig::paper_default(), 1, scratch);
         dev.record_events(true);
         let mut os = BumpOs(4096);
-        let proc = dev.attach_process(&mut mem, &mut os, MementoRegion::standard());
+        let proc = dev
+            .attach_process(&mut mem, &mut os, MementoRegion::standard())
+            .expect("attach with live backend");
         let mut san = HeapSanitizer::new(cfg);
         let pid = san.attach(proc.region());
         Rig {

@@ -39,6 +39,8 @@ pub struct GoCosts {
     pub sweep_free: u64,
     /// Large-object allocation.
     pub large: u64,
+    /// Scavenger pass bookkeeping (walking the free-span treap).
+    pub scavenge: u64,
 }
 
 impl GoCosts {
@@ -49,6 +51,7 @@ impl GoCosts {
             span_acquire: 80,
             sweep_free: 7,
             large: 60,
+            scavenge: 300,
         }
     }
 }
@@ -70,6 +73,9 @@ pub struct GoAlloc {
     spans: Vec<Span>,
     /// Swept-free objects per class.
     spare: Vec<Vec<u64>>,
+    /// Every heap chunk mmapped, `(base, len)` — the scavenger walks these
+    /// at invocation boundaries.
+    regions: Vec<(u64, u64)>,
     stats: SoftAllocStats,
 }
 
@@ -89,6 +95,7 @@ impl GoAlloc {
             tls_base: 0,
             spans: vec![Span::default(); NUM_CLASSES],
             spare: vec![Vec::new(); NUM_CLASSES],
+            regions: Vec::new(),
             stats: SoftAllocStats::default(),
         }
     }
@@ -103,6 +110,7 @@ impl GoAlloc {
             let (addr, k) = ctx.mmap(CHUNK_BYTES, self.flags);
             kernel += k;
             self.stats.mmaps += 1;
+            self.regions.push((addr.raw(), CHUNK_BYTES));
             self.chunk_cursor = addr.raw();
             self.chunk_end = addr.raw() + CHUNK_BYTES;
             if self.tls_base == 0 {
@@ -216,6 +224,24 @@ impl SoftwareAllocator for GoAlloc {
             user_cycles: Cycles::new(self.costs.sweep_free) + u,
             kernel_cycles: k,
         }
+    }
+
+    fn on_invocation_end(&mut self, ctx: &mut AllocCtx<'_>) -> (Cycles, Cycles) {
+        if self.regions.is_empty() {
+            return (Cycles::ZERO, Cycles::ZERO);
+        }
+        // Between requests the runtime's background scavenger returns the
+        // collected heap to the OS with `MADV_FREE` (runtime/mgcscavenge):
+        // mappings, spans, and free lists survive; the host's reclaim
+        // harvests part of the donation and those pages demand-fault when
+        // the next request touches them.
+        let user = Cycles::new(self.costs.scavenge);
+        let mut kernel = Cycles::ZERO;
+        for &(base, len) in &self.regions {
+            kernel += ctx.madvise_free(VirtAddr::new(base), len);
+            self.stats.madvises += 1;
+        }
+        (user, kernel)
     }
 
     fn stats(&self) -> SoftAllocStats {

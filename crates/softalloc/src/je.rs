@@ -99,6 +99,10 @@ pub struct JeMalloc {
     large_sizes: std::collections::HashMap<u64, u64>,
     /// Current slab run per class.
     slabs: Vec<Slab>,
+    /// Every region mmapped for the pool, `(base, len)`. Pool extensions
+    /// reset the bump state to the new region, so without this list the
+    /// older regions would be unreachable at invocation-end purge time.
+    regions: Vec<(u64, u64)>,
     /// Init cycles to be charged as container/library setup.
     init_cycles: Option<(Cycles, Cycles)>,
     stats: SoftAllocStats,
@@ -124,6 +128,7 @@ impl JeMalloc {
             spare_large: std::collections::BTreeMap::new(),
             large_sizes: std::collections::HashMap::new(),
             slabs: vec![Slab::default(); NUM_CLASSES],
+            regions: Vec::new(),
             init_cycles: None,
             stats: SoftAllocStats::default(),
         }
@@ -145,6 +150,7 @@ impl JeMalloc {
         let (addr, k) = ctx.mmap(self.cfg.pool_bytes, self.cfg.flags);
         kernel += k;
         self.stats.mmaps += 1;
+        self.regions.push((addr.raw(), self.cfg.pool_bytes));
         self.pool_base = addr.raw();
         self.pool_end = addr.raw() + self.cfg.pool_bytes;
         // TLS page first.
@@ -185,6 +191,7 @@ impl JeMalloc {
             let (addr, k) = ctx.mmap(self.cfg.pool_bytes / 2, self.cfg.flags);
             kernel += k;
             self.stats.mmaps += 1;
+            self.regions.push((addr.raw(), self.cfg.pool_bytes / 2));
             self.pool_base = addr.raw();
             self.pool_cursor = addr.raw();
             self.pool_end = addr.raw() + self.cfg.pool_bytes / 2;
@@ -325,6 +332,24 @@ impl SoftwareAllocator for JeMalloc {
             .unwrap_or((Cycles::ZERO, Cycles::ZERO))
     }
 
+    fn on_invocation_end(&mut self, ctx: &mut AllocCtx<'_>) -> (Cycles, Cycles) {
+        if self.regions.is_empty() {
+            return (Cycles::ZERO, Cycles::ZERO);
+        }
+        // End-of-request decay: the request's heap just died, so jemalloc
+        // `MADV_FREE`s its extents. The mappings, slab metadata, and
+        // caches survive (the thread and its tcache persist in a warm
+        // container); pages the host's reclaim leaves alone are reused
+        // for free, the harvested ones demand-fault on the next request.
+        let user = Cycles::new(self.costs.flush);
+        let mut kernel = Cycles::ZERO;
+        for &(base, len) in &self.regions {
+            kernel += ctx.madvise_free(VirtAddr::new(base), len);
+            self.stats.madvises += 1;
+        }
+        (user, kernel)
+    }
+
     fn stats(&self) -> SoftAllocStats {
         self.stats
     }
@@ -414,6 +439,59 @@ mod tests {
             seen.insert(je.alloc(&mut owner.ctx(), 32).addr.raw());
         }
         assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn invocation_end_decays_every_region() {
+        let mut owner = CtxOwner::new();
+        let mut je = JeMalloc::with_config(JeConfig {
+            pool_bytes: 64 * 1024,
+            prefault_pages: 4,
+            flags: MmapFlags::default(),
+        });
+        // Burn through the small pool so carve() extends it at least once;
+        // both regions must then be decayed at the boundary.
+        let mut addrs = Vec::new();
+        for _ in 0..40 {
+            addrs.push(je.alloc(&mut owner.ctx(), 4096).addr);
+        }
+        let mmaps = je.stats().mmaps;
+        assert!(mmaps >= 2, "pool must have been extended, mmaps {mmaps}");
+        for a in addrs {
+            je.free(&mut owner.ctx(), a, 4096);
+        }
+        let faults_before = owner.kernel.stats().page_faults;
+        je.take_init_cycles(); // drain the cold-start stash
+        let (_, kernel) = je.on_invocation_end(&mut owner.ctx());
+        assert!(kernel > Cycles::ZERO, "decay issues madvise calls");
+        assert_eq!(
+            je.stats().madvises,
+            mmaps,
+            "every mmapped region is MADV_FREEd at the boundary"
+        );
+        assert_eq!(je.stats().munmaps, 0, "decay keeps the mappings alive");
+        let reclaimed = owner.kernel.stats().lazy_reclaimed_pages;
+        assert!(
+            reclaimed > 0,
+            "the packed host harvests part of the donation"
+        );
+        // The next request reuses the surviving pool without re-init;
+        // touching a harvested page demand-faults instead of crashing.
+        let out = je.alloc(&mut owner.ctx(), 64);
+        assert!(out.addr.raw() != 0);
+        assert!(je.take_init_cycles().is_none(), "no re-init needed");
+        let (base, len) = (je.regions[0].0, je.regions[0].1);
+        let mut ctx = owner.ctx();
+        for page in 0..(len / PAGE_SIZE as u64) {
+            ctx.touch(
+                VirtAddr::new(base + page * PAGE_SIZE as u64),
+                AccessKind::Write,
+            );
+        }
+        assert!(
+            owner.kernel.stats().page_faults > faults_before,
+            "harvested pages refault on touch"
+        );
     }
 
     #[test]

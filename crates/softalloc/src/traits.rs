@@ -71,6 +71,25 @@ impl AllocCtx<'_> {
         (out.addr, out.cycles)
     }
 
+    /// Calls `madvise(MADV_FREE)` over the range (invocation-boundary
+    /// decay): resident pages are marked lazily freeable and the host's
+    /// background reclaim harvests a deterministic fraction of them (see
+    /// [`Kernel::LAZY_RECLAIM_STRIDE`]). Returns kernel cycles.
+    pub fn madvise_free(&mut self, addr: VirtAddr, len: u64) -> Cycles {
+        self.kernel
+            .madvise_free(
+                self.mem,
+                self.mem_sys,
+                self.tlb,
+                self.core,
+                self.proc,
+                addr,
+                len,
+                Kernel::LAZY_RECLAIM_STRIDE,
+            )
+            .cycles
+    }
+
     /// Calls `munmap`; returns kernel cycles.
     pub fn munmap(&mut self, addr: VirtAddr, len: u64) -> Cycles {
         self.kernel
@@ -121,6 +140,8 @@ pub struct SoftAllocStats {
     pub mmaps: u64,
     /// munmap calls issued.
     pub munmaps: u64,
+    /// madvise calls issued (invocation-boundary decay).
+    pub madvises: u64,
     /// Garbage-collection cycles run (Go only).
     pub gc_runs: u64,
 }
@@ -134,6 +155,7 @@ impl SoftAllocStats {
             frees: self.frees - earlier.frees,
             mmaps: self.mmaps - earlier.mmaps,
             munmaps: self.munmaps - earlier.munmaps,
+            madvises: self.madvises - earlier.madvises,
             gc_runs: self.gc_runs - earlier.gc_runs,
         }
     }
@@ -165,6 +187,17 @@ pub trait SoftwareAllocator: Send {
     /// functions find the runtime already initialized). Returns `(user,
     /// kernel)` cycles; default none.
     fn take_setup_cycles(&mut self) -> (Cycles, Cycles) {
+        (Cycles::ZERO, Cycles::ZERO)
+    }
+
+    /// Hook run at a warm invocation boundary: the function returned but
+    /// the container — and the allocator's state — survives to serve the
+    /// next request. Models the end-of-request decay real allocators
+    /// perform (e.g. jemalloc's dirty-page purging returning retained
+    /// extents to the OS) so warm steady-state footprints do not silently
+    /// keep every page the burstiest request ever touched. Returns `(user,
+    /// kernel)` cycles; default keeps everything cached.
+    fn on_invocation_end(&mut self, _ctx: &mut AllocCtx<'_>) -> (Cycles, Cycles) {
         (Cycles::ZERO, Cycles::ZERO)
     }
 

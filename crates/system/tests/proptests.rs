@@ -2,8 +2,10 @@
 //! the simulation terminates, is deterministic, conserves frames, and
 //! Memento never loses to the baseline by more than measurement noise.
 
+use memento_sanitizer::SanitizerConfig;
 use memento_system::{Machine, SystemConfig};
 use memento_workloads::spec::{Category, Language, LifetimeProfile, SizeProfile, WorkloadSpec};
+use memento_workloads::suite;
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
@@ -91,4 +93,57 @@ proptest! {
             "second-run cycle drift {ratio}"
         );
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Physical-page lifecycle conservation across a warm multi-invocation
+    /// run: at every sanitizer audit point (and after teardown) the frames
+    /// the OS granted minus the frames returned equal the frames idle in
+    /// the pool plus the frames mapped — recycling through the pool never
+    /// leaks or double-counts a frame.
+    #[test]
+    fn warm_run_conserves_pool_frames(spec in arb_spec()) {
+        let mut cfg = SystemConfig::memento();
+        cfg.sanitizer = Some(SanitizerConfig::default());
+        let mut machine = Machine::new(cfg);
+        let warm = machine.run_invocations(&spec, 3);
+        prop_assert_eq!(warm.invocations.len(), 3);
+        let report = machine.sanitizer_report().expect("sanitizer enabled");
+        prop_assert!(report.audits > 0, "audits must have run");
+        prop_assert!(report.is_clean(), "sanitizer (incl. pool audit): {report}");
+        let audit = machine.pool_audit().expect("memento device");
+        prop_assert!(audit.conserved(), "after teardown: {audit:?}");
+        prop_assert_eq!(audit.mapped, 0, "teardown returned every frame: {:?}", audit);
+    }
+}
+
+/// Warm steady state reaches a fixed point: replaying an identical trace,
+/// the per-invocation OS refill count stops changing from invocation 2 on
+/// (the pool recycles the previous invocation's frames instead of asking
+/// the OS again). This is the regression net for the Fig. 11 steady-state
+/// direction.
+#[test]
+fn steady_state_pool_refills_are_flat() {
+    let mut spec = suite::by_name("Redis").expect("suite workload");
+    spec.total_instructions = 400_000;
+    let mut machine = Machine::new(SystemConfig::memento());
+    let warm = machine.run_invocations(&spec, 5);
+    let refills: Vec<u64> = warm
+        .invocations
+        .iter()
+        .map(|inv| inv.page.expect("memento run").pool_refills)
+        .collect();
+    for (i, &r) in refills.iter().enumerate().skip(2) {
+        assert_eq!(
+            r, refills[2],
+            "invocation {i} refill delta drifted: {refills:?}"
+        );
+    }
+    let steady = warm.steady.page.expect("memento run");
+    assert!(
+        steady.frames_recycled > 0,
+        "steady state must recycle frames: {steady:?}"
+    );
 }

@@ -1,6 +1,9 @@
 //! Failure injection: malformed traces, resource exhaustion, and hardware
 //! exception paths must degrade predictably, never corrupt state.
 
+use memento_cache::{MemSystem, MemSystemConfig};
+use memento_core::{MementoConfig, MementoDevice, MementoError, MementoRegion, PoolBackend};
+use memento_simcore::physmem::{Frame, PhysMem};
 use memento_system::{Machine, SystemConfig};
 use memento_workloads::event::{Event, ObjectId, Trace};
 use memento_workloads::spec::{
@@ -130,6 +133,95 @@ fn giant_objects_exercise_mmap_threshold() {
     let soft = stats.soft.expect("soft stats");
     assert!(soft.frees >= 1);
     assert!(stats.kernel.munmaps >= 1, "giant free munmaps");
+}
+
+/// A [`PoolBackend`] that grants at most `budget` frames and then refuses
+/// everything — the OS under terminal memory pressure.
+struct StingyBackend {
+    mem_base: u64,
+    next: u64,
+    budget: u64,
+    returned: u64,
+}
+
+impl StingyBackend {
+    fn new(mem: &mut PhysMem, budget: u64) -> Self {
+        // Pre-reserve a contiguous run of frames to hand out.
+        let base = mem.alloc_frame().expect("reserve").number();
+        for _ in 1..budget {
+            mem.alloc_frame().expect("reserve");
+        }
+        StingyBackend {
+            mem_base: base,
+            next: 0,
+            budget,
+            returned: 0,
+        }
+    }
+}
+
+impl PoolBackend for StingyBackend {
+    fn grant_frames(&mut self, n: u64) -> Vec<Frame> {
+        let granted = n.min(self.budget - self.next);
+        let out = (0..granted)
+            .map(|i| Frame::from_number(self.mem_base + self.next + i))
+            .collect();
+        self.next += granted;
+        out
+    }
+
+    fn accept_frames(&mut self, frames: &[Frame]) {
+        self.returned += frames.len() as u64;
+    }
+}
+
+#[test]
+fn pool_exhaustion_surfaces_typed_error_not_panic() {
+    // The OS grants a small finite frame budget and then nothing: the
+    // device must surface `MementoError::PoolExhausted` (a typed hardware
+    // exception software can handle) instead of panicking, and count the
+    // refusals in its statistics.
+    let mut mem = PhysMem::new(64 << 20);
+    let ptr_block = mem.alloc_frame().expect("pointer block").base_addr();
+    let mut backend = StingyBackend::new(&mut mem, 32);
+    let mut dev = MementoDevice::new(MementoConfig::paper_default(), 1, ptr_block);
+    let mut mproc = dev
+        .attach_process(&mut mem, &mut backend, MementoRegion::standard())
+        .expect("attach fits in the budget");
+    let mut sys = MemSystem::new(MemSystemConfig::paper_default(1));
+    let err = loop {
+        match dev.obj_alloc(&mut mem, &mut sys, &mut backend, 0, &mut mproc, 64) {
+            Ok(out) => {
+                // Keep backing body pages so the budget actually drains.
+                let _ =
+                    dev.translate_miss(&mut mem, &mut sys, &mut backend, 0, &mut mproc, out.addr);
+            }
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, MementoError::PoolExhausted);
+    let stats = dev.page_stats();
+    assert!(stats.pool_exhausted > 0, "refusals counted: {stats:?}");
+    assert_eq!(dev.pool_audit().pool_len, 0, "pool fully drained");
+    // The device is still coherent: frames already granted stay mapped and
+    // conserved, and previously allocated objects remain usable.
+    assert!(dev.pool_audit().conserved(), "{:?}", dev.pool_audit());
+}
+
+#[test]
+fn attach_with_zero_grant_backend_fails_cleanly() {
+    // An OS that grants nothing at all: even attaching a process (which
+    // needs the Memento page-table root) fails with the typed error.
+    let mut mem = PhysMem::new(16 << 20);
+    let ptr_block = mem.alloc_frame().expect("pointer block").base_addr();
+    let mut backend = StingyBackend::new(&mut mem, 1);
+    backend.next = backend.budget; // refuse from the first request
+    let mut dev = MementoDevice::new(MementoConfig::paper_default(), 1, ptr_block);
+    let err = dev
+        .attach_process(&mut mem, &mut backend, MementoRegion::standard())
+        .expect_err("no frames, no page-table root");
+    assert_eq!(err, MementoError::PoolExhausted);
+    assert!(dev.page_stats().pool_exhausted > 0);
 }
 
 #[test]

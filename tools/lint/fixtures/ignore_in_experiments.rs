@@ -1,0 +1,5 @@
+// Trips ignore-in-experiments when scanned under crates/experiments/:
+// the reason string satisfies ignore-without-reason, but figure-guarding
+// tests cannot be disabled without an explicit waiver.
+#[ignore = "slow: full steady-state sweep"]
+fn memusage_steady_state() {}

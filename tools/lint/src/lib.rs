@@ -15,6 +15,10 @@
 //! - `unwrap-in-lib` — `.unwrap()` in library (non-test) code; use
 //!   `expect` with a message or propagate a `Result`.
 //! - `ignore-without-reason` — `#[ignore]` without `= "reason"`.
+//! - `ignore-in-experiments` — any `#[ignore …]` (reasoned or not) under
+//!   `crates/experiments/`: the figures those tests guard regress silently
+//!   when their tests stop running, so disabling one takes an explicit
+//!   waiver, not just a reason string.
 //!
 //! A finding can be waived by putting `lint:allow(<rule-id>)` in a comment
 //! on the same line or the line above; use this only with a justification
@@ -37,6 +41,8 @@ pub enum Rule {
     UnwrapInLib,
     /// `#[ignore]` without a reason string.
     IgnoreWithoutReason,
+    /// Any `#[ignore …]` inside the experiments crate.
+    IgnoreInExperiments,
 }
 
 impl Rule {
@@ -48,6 +54,7 @@ impl Rule {
             Rule::UnorderedIter => "unordered-iter",
             Rule::UnwrapInLib => "unwrap-in-lib",
             Rule::IgnoreWithoutReason => "ignore-without-reason",
+            Rule::IgnoreInExperiments => "ignore-in-experiments",
         }
     }
 
@@ -72,16 +79,22 @@ impl Rule {
                  propagate a Result"
             }
             Rule::IgnoreWithoutReason => "every #[ignore] must say why: #[ignore = \"reason\"]",
+            Rule::IgnoreInExperiments => {
+                "experiments tests guard the paper figures; an ignored one lets a figure \
+                 regress silently, so disabling it takes an explicit \
+                 lint:allow(ignore-in-experiments) waiver"
+            }
         }
     }
 
-    fn all() -> [Rule; 5] {
+    fn all() -> [Rule; 6] {
         [
             Rule::WallClock,
             Rule::ThreadSpawn,
             Rule::UnorderedIter,
             Rule::UnwrapInLib,
             Rule::IgnoreWithoutReason,
+            Rule::IgnoreInExperiments,
         ]
     }
 }
@@ -388,11 +401,17 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
         }
     };
 
+    let in_experiments = rel.starts_with("crates/experiments/");
     for (i, raw) in lines.iter().enumerate() {
         // #[ignore] hygiene applies everywhere, including test code.
         let code = strip_comments(raw);
         if code.contains("#[ignore]") {
             push(Rule::IgnoreWithoutReason, i, raw);
+        }
+        // Experiments tests guard figures: even a reasoned #[ignore …]
+        // needs an explicit waiver there.
+        if in_experiments && code.contains("#[ignore") {
+            push(Rule::IgnoreInExperiments, i, raw);
         }
         if !sim_lib || in_test[i] {
             continue;
@@ -554,6 +573,27 @@ mod tests {
         let lines: Vec<&str> = src.lines().collect();
         let in_test = vec![false; lines.len()];
         assert!(unordered_names(&lines, &in_test).is_empty());
+    }
+
+    #[test]
+    fn experiments_tests_cannot_be_ignored_even_with_reason() {
+        let src = fixture("ignore_in_experiments.rs");
+        // Outside the experiments crate, a reasoned ignore is fine.
+        assert!(rules_hit("crates/system/src/fixture.rs", &src).is_empty());
+        // Inside it, the same line needs an explicit waiver.
+        assert_eq!(
+            rules_hit("crates/experiments/src/memusage.rs", &src),
+            vec![Rule::IgnoreInExperiments]
+        );
+        let waived = "// lint:allow(ignore-in-experiments): flaky upstream\n\
+                      #[ignore = \"slow\"]\nfn t() {}\n";
+        assert!(rules_hit("crates/experiments/src/memusage.rs", waived).is_empty());
+        // A reasonless ignore in experiments trips both hygiene rules.
+        let bare = "#[ignore]\nfn t() {}\n";
+        assert_eq!(
+            rules_hit("crates/experiments/src/memusage.rs", bare),
+            vec![Rule::IgnoreWithoutReason, Rule::IgnoreInExperiments]
+        );
     }
 
     #[test]
