@@ -1,0 +1,226 @@
+//! Open-loop arrival process: seeded deterministic inter-arrival times and
+//! workload-mix sampling.
+//!
+//! The generator is *open-loop* — arrival times are drawn up front from a
+//! Poisson process (exponential inter-arrival gaps) and never react to how
+//! the cluster is coping, exactly how production traffic behaves. A slow
+//! fleet therefore builds queues and tail latency instead of politely
+//! slowing the offered load, which is the failure mode the tail-latency
+//! evaluation exists to measure.
+//!
+//! Everything is a pure function of the seed: the same
+//! [`ArrivalConfig`] produces byte-identical arrival sequences on every
+//! run, so baseline and Memento fleets can be offered the *same* traffic.
+
+use crate::error::ClusterError;
+use memento_workloads::spec::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A weighted set of workloads that arrivals sample from.
+#[derive(Clone, Debug)]
+pub struct WorkloadMix {
+    specs: Vec<WorkloadSpec>,
+    /// Cumulative weights, normalised to end at 1.0.
+    cumulative: Vec<f64>,
+}
+
+impl WorkloadMix {
+    /// A mix with explicit per-workload weights (relative shares; they
+    /// need not sum to one). Zero-weight entries are allowed and simply
+    /// never sampled.
+    pub fn weighted(entries: Vec<(WorkloadSpec, f64)>) -> Result<Self, ClusterError> {
+        let total: f64 = entries.iter().map(|(_, w)| w.max(0.0)).sum();
+        if entries.is_empty() || total <= 0.0 {
+            return Err(ClusterError::EmptyMix);
+        }
+        let mut specs = Vec::with_capacity(entries.len());
+        let mut cumulative = Vec::with_capacity(entries.len());
+        let mut acc = 0.0;
+        for (spec, w) in entries {
+            acc += w.max(0.0) / total;
+            specs.push(spec);
+            cumulative.push(acc);
+        }
+        // Guard against float drift so the last bucket always catches 1.0.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Ok(WorkloadMix { specs, cumulative })
+    }
+
+    /// An equal-share mix over `specs`.
+    pub fn uniform(specs: Vec<WorkloadSpec>) -> Result<Self, ClusterError> {
+        WorkloadMix::weighted(specs.into_iter().map(|s| (s, 1.0)).collect())
+    }
+
+    /// The workloads in the mix, in sampling-index order.
+    pub fn specs(&self) -> &[WorkloadSpec] {
+        &self.specs
+    }
+
+    /// The spec at mix index `idx`.
+    pub fn spec(&self, idx: usize) -> &WorkloadSpec {
+        &self.specs[idx]
+    }
+
+    /// Number of workloads in the mix.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the mix holds no workloads (unreachable via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u = rng.gen_range(0.0..1.0);
+        self.cumulative
+            .iter()
+            .position(|c| u < *c)
+            .unwrap_or(self.specs.len() - 1)
+    }
+}
+
+/// Parameters of the open-loop arrival process.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrivalConfig {
+    /// Seed for inter-arrival gaps and workload sampling.
+    pub seed: u64,
+    /// Number of invocations to offer.
+    pub count: u64,
+    /// Mean inter-arrival gap in simulated cycles (1 / arrival rate). At
+    /// 3 GHz, 3_000 cycles = 1 µs between arrivals fleet-wide.
+    pub mean_interarrival_cycles: f64,
+}
+
+/// One offered invocation: its id (submission order), arrival time in
+/// simulated cycles, and the mix index of the workload it runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Submission-order id, dense from 0.
+    pub id: u64,
+    /// Arrival time in simulated cycles.
+    pub time: u64,
+    /// Index into the [`WorkloadMix`].
+    pub workload: usize,
+}
+
+/// Draws the full arrival sequence: a pure function of
+/// `(cfg.seed, cfg.count, cfg.mean_interarrival_cycles, mix)`, strictly
+/// increasing in time (gaps are clamped to ≥ 1 cycle).
+pub fn generate_arrivals(
+    cfg: &ArrivalConfig,
+    mix: &WorkloadMix,
+) -> Result<Vec<Arrival>, ClusterError> {
+    // Rejects NaN, infinities, zero, and negatives in one test.
+    if !cfg.mean_interarrival_cycles.is_finite() || cfg.mean_interarrival_cycles <= 0.0 {
+        return Err(ClusterError::InvalidArrivalRate(
+            cfg.mean_interarrival_cycles,
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut arrivals = Vec::with_capacity(cfg.count as usize);
+    let mut t = 0u64;
+    for id in 0..cfg.count {
+        // Exponential gap via inverse transform; u ∈ [0, 1) keeps ln finite.
+        let u = rng.gen_range(0.0..1.0);
+        let gap = (-cfg.mean_interarrival_cycles * (1.0 - u).ln()).round() as u64;
+        t += gap.max(1);
+        let workload = mix.sample(&mut rng);
+        arrivals.push(Arrival {
+            id,
+            time: t,
+            workload,
+        });
+    }
+    Ok(arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memento_workloads::suite;
+
+    fn two_mix() -> WorkloadMix {
+        WorkloadMix::uniform(vec![
+            suite::by_name("aes").expect("known workload"),
+            suite::by_name("html").expect("known workload"),
+        ])
+        .expect("non-empty mix")
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_per_seed() {
+        let cfg = ArrivalConfig {
+            seed: 42,
+            count: 500,
+            mean_interarrival_cycles: 10_000.0,
+        };
+        let mix = two_mix();
+        let a = generate_arrivals(&cfg, &mix).expect("valid config");
+        let b = generate_arrivals(&cfg, &mix).expect("valid config");
+        assert_eq!(a, b);
+        let c = generate_arrivals(&ArrivalConfig { seed: 43, ..cfg }, &mix).expect("valid config");
+        assert_ne!(a, c, "different seeds must produce different traffic");
+    }
+
+    #[test]
+    fn times_strictly_increase_and_mean_gap_is_plausible() {
+        let cfg = ArrivalConfig {
+            seed: 7,
+            count: 20_000,
+            mean_interarrival_cycles: 5_000.0,
+        };
+        let arrivals = generate_arrivals(&cfg, &two_mix()).expect("valid config");
+        assert_eq!(arrivals.len(), 20_000);
+        for w in arrivals.windows(2) {
+            assert!(
+                w[0].time < w[1].time,
+                "open-loop times must strictly increase"
+            );
+        }
+        let mean = arrivals.last().expect("non-empty").time as f64 / arrivals.len() as f64;
+        assert!(
+            (4_500.0..5_500.0).contains(&mean),
+            "empirical mean gap {mean} should be near 5000"
+        );
+    }
+
+    #[test]
+    fn mix_sampling_respects_weights() {
+        let mix = WorkloadMix::weighted(vec![
+            (suite::by_name("aes").expect("known workload"), 3.0),
+            (suite::by_name("html").expect("known workload"), 1.0),
+        ])
+        .expect("non-empty mix");
+        let cfg = ArrivalConfig {
+            seed: 1,
+            count: 40_000,
+            mean_interarrival_cycles: 100.0,
+        };
+        let arrivals = generate_arrivals(&cfg, &mix).expect("valid config");
+        let first = arrivals.iter().filter(|a| a.workload == 0).count();
+        let share = first as f64 / arrivals.len() as f64;
+        assert!((0.72..0.78).contains(&share), "3:1 mix share was {share}");
+    }
+
+    #[test]
+    fn invalid_inputs_are_typed() {
+        assert_eq!(
+            WorkloadMix::uniform(vec![]).err(),
+            Some(ClusterError::EmptyMix)
+        );
+        let mix = two_mix();
+        let bad = ArrivalConfig {
+            seed: 0,
+            count: 1,
+            mean_interarrival_cycles: 0.0,
+        };
+        assert!(matches!(
+            generate_arrivals(&bad, &mix),
+            Err(ClusterError::InvalidArrivalRate(_))
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+//! Typed errors for cluster construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a cluster simulation could not be set up or run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterError {
+    /// The workload mix is empty or has no positive weight.
+    EmptyMix,
+    /// The cluster has zero nodes.
+    NoNodes,
+    /// A Profiled-engine run references a workload with no calibrated
+    /// service profile.
+    MissingProfile(String),
+    /// The arrival process has a non-positive mean inter-arrival time.
+    InvalidArrivalRate(f64),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyMix => write!(f, "workload mix is empty or has zero total weight"),
+            ClusterError::NoNodes => write!(f, "cluster has zero nodes"),
+            ClusterError::MissingProfile(name) => {
+                write!(f, "no calibrated service profile for workload '{name}'")
+            }
+            ClusterError::InvalidArrivalRate(mean) => {
+                write!(f, "mean inter-arrival must be positive, got {mean}")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_workload() {
+        let e = ClusterError::MissingProfile("aes".into());
+        assert!(e.to_string().contains("'aes'"));
+        assert!(ClusterError::InvalidArrivalRate(0.0)
+            .to_string()
+            .contains("0"));
+    }
+}

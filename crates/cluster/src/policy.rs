@@ -1,0 +1,85 @@
+//! Scheduler policy surface: placement, keep-alive, and typed admission
+//! rejection.
+
+use std::fmt;
+
+/// How the scheduler picks a node for an accepted arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Strict rotation over nodes; an arrival landing on a saturated node
+    /// is rejected even if another node has room (cheap, cache-oblivious).
+    RoundRobin,
+    /// Among nodes with queue room, prefer one holding a warm container
+    /// for the arriving workload, then least queued work, then lowest node
+    /// id — deterministic warm-affinity load balancing.
+    LeastLoaded,
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Placement::RoundRobin => f.write_str("round-robin"),
+            Placement::LeastLoaded => f.write_str("least-loaded"),
+        }
+    }
+}
+
+/// What happens to a container after its invocation completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeepAlive {
+    /// Tear down immediately: every invocation cold-starts. The
+    /// no-warm-pool baseline.
+    None,
+    /// Keep the container idle-warm for this many simulated cycles; reuse
+    /// cancels the pending expiry, expiry tears it down and returns its
+    /// frames to the fleet.
+    Fixed(u64),
+    /// Never expire: maximal warm-start rate, maximal idle footprint.
+    Infinite,
+}
+
+impl fmt::Display for KeepAlive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeepAlive::None => f.write_str("none"),
+            KeepAlive::Fixed(cycles) => write!(f, "fixed({cycles})"),
+            KeepAlive::Infinite => f.write_str("infinite"),
+        }
+    }
+}
+
+/// Why an arrival was turned away at admission. Every rejection is typed
+/// and counted — the simulator never silently drops traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RejectReason {
+    /// The placed node's bounded queue was full (round-robin does not
+    /// retry elsewhere).
+    QueueFull,
+    /// Every node's queue was full — the whole cluster is saturated.
+    ClusterSaturated,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull => f.write_str("queue-full"),
+            RejectReason::ClusterSaturated => f.write_str("cluster-saturated"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_stable_report_tokens() {
+        assert_eq!(Placement::LeastLoaded.to_string(), "least-loaded");
+        assert_eq!(KeepAlive::Fixed(1000).to_string(), "fixed(1000)");
+        assert_eq!(KeepAlive::Infinite.to_string(), "infinite");
+        assert_eq!(
+            RejectReason::ClusterSaturated.to_string(),
+            "cluster-saturated"
+        );
+    }
+}

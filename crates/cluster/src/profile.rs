@@ -1,0 +1,144 @@
+//! Service profiles: calibrated per-(workload, config) cost tables that
+//! let the simulator scale to millions of invocations.
+//!
+//! The Measured engine runs a real [`WarmContainer`] machine for every
+//! container in the fleet — exact, but each invocation simulates the full
+//! memory hierarchy. The Profiled engine instead *calibrates once* per
+//! (workload, system config): one cold start plus a handful of warm
+//! invocations of a real machine yield a [`ServiceProfile`] with the
+//! cold/warm service times and the active/idle frame footprints, and the
+//! fleet simulation then replays those numbers. Because the underlying
+//! machine is deterministic, the profile is a pure function of
+//! (spec, config) and the profiled fleet remains byte-deterministic.
+
+use std::collections::BTreeMap;
+
+use memento_system::{SystemConfig, WarmContainer};
+use memento_workloads::spec::WorkloadSpec;
+
+/// Calibrated per-(workload, config) service costs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceProfile {
+    /// Workload name (suite name).
+    pub workload: String,
+    /// Cycles for a cold start: container bring-up + first invocation.
+    pub cold_cycles: u64,
+    /// Cycles for a steady warm invocation.
+    pub warm_cycles: u64,
+    /// Peak unreclaimable frames while the container actively serves a
+    /// request (mapped data + tables; free pool staging excluded).
+    pub active_frames: u64,
+    /// Unreclaimable frames while the container idles warm and *parked*
+    /// (pool reserve shed): page tables + whatever heap the allocator
+    /// cannot give back. This is the keep-alive footprint a fleet pays
+    /// per warm container.
+    pub idle_frames: u64,
+}
+
+/// Calibrates a profile by running a real machine through the cluster's
+/// warm lifecycle: one cold start, then `warm_samples` park → invoke
+/// rounds (the last invocation is taken as steady state, so its cycles
+/// include the post-park pool refill a scheduled warm start pays).
+/// `warm_samples` is clamped to ≥ 1.
+pub fn calibrate(cfg: &SystemConfig, spec: &WorkloadSpec, warm_samples: usize) -> ServiceProfile {
+    let (mut container, cold) = WarmContainer::cold_start(cfg.clone(), spec);
+    let mut warm = cold.clone();
+    for _ in 0..warm_samples.max(1) {
+        container.park();
+        warm = container.invoke();
+    }
+    let active_frames = container.serving_peak_pages();
+    container.park();
+    ServiceProfile {
+        workload: spec.name.clone(),
+        cold_cycles: cold.total_cycles().raw().max(1),
+        warm_cycles: warm.total_cycles().raw().max(1),
+        active_frames,
+        idle_frames: container.unreclaimable_pages(),
+    }
+}
+
+/// A lookup table of profiles keyed by workload name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileTable {
+    profiles: BTreeMap<String, ServiceProfile>,
+}
+
+impl ProfileTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ProfileTable::default()
+    }
+
+    /// Builds a table from calibrated profiles (last one wins per name).
+    pub fn from_profiles(profiles: Vec<ServiceProfile>) -> Self {
+        let mut t = ProfileTable::new();
+        for p in profiles {
+            t.insert(p);
+        }
+        t
+    }
+
+    /// Adds or replaces a profile.
+    pub fn insert(&mut self, profile: ServiceProfile) {
+        self.profiles.insert(profile.workload.clone(), profile);
+    }
+
+    /// The profile for `workload`, if calibrated.
+    pub fn get(&self, workload: &str) -> Option<&ServiceProfile> {
+        self.profiles.get(workload)
+    }
+
+    /// Number of calibrated workloads.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when nothing has been calibrated.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memento_workloads::suite;
+
+    fn small(name: &str) -> WorkloadSpec {
+        let mut s = suite::by_name(name).expect("known workload");
+        s.total_instructions = 300_000;
+        s
+    }
+
+    #[test]
+    fn calibration_captures_cold_warm_gap_and_footprints() {
+        let spec = small("aes");
+        let p = calibrate(&SystemConfig::memento(), &spec, 3);
+        assert_eq!(p.workload, "aes");
+        assert!(p.cold_cycles > p.warm_cycles, "cold start must cost more");
+        assert!(
+            p.active_frames >= p.idle_frames,
+            "serving needs at least idle frames"
+        );
+        assert!(p.idle_frames > 0, "a warm container keeps frames resident");
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let spec = small("html");
+        let a = calibrate(&SystemConfig::baseline(), &spec, 2);
+        let b = calibrate(&SystemConfig::baseline(), &spec, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_lookup_by_name() {
+        let spec = small("aes");
+        let p = calibrate(&SystemConfig::memento(), &spec, 1);
+        let t = ProfileTable::from_profiles(vec![p.clone()]);
+        assert_eq!(t.get("aes"), Some(&p));
+        assert!(t.get("html").is_none());
+        assert_eq!(t.len(), 1);
+    }
+}

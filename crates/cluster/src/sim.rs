@@ -1,0 +1,921 @@
+//! The event-driven fleet simulator: arrivals → scheduler → bounded node
+//! queues → containers → completions, on one simulated clock.
+//!
+//! # Determinism
+//!
+//! The simulation is byte-deterministic by construction:
+//!
+//! - The clock is simulated cycles; nothing reads wall time.
+//! - The event heap is keyed `(time, seq)` with a monotonically increasing
+//!   sequence number, so ties have one total order.
+//! - All keyed state lives in `BTreeMap`s; iteration order is defined.
+//! - The arrival sequence is a pure function of its seed and is shared by
+//!   every fleet configuration under comparison.
+//!
+//! # Accounting
+//!
+//! The scheduler tracks the fleet memory footprint *incrementally*: each
+//! container carries a `contrib` (frames currently charged to the fleet),
+//! bumped to its serving-window peak while active, dropped to its parked
+//! idle level when warm, and zeroed at retirement. Footprint means
+//! *unreclaimable* frames — mapped data plus page tables; the hardware
+//! pool's free reserve is shed back to the OS when a container parks
+//! ([`WarmContainer::park`]) and excluded while serving, because free
+//! staging is reclaimable at any instant exactly like the OS free list.
+//! The running total drives the footprint timeline and peak. At drain, a
+//! [`FleetAuditor`] recounts frames node by node from the engine's ground
+//! truth and re-checks invocation conservation — any drift surfaces as a
+//! sanitizer violation in [`ClusterResult::audit`].
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use memento_obs::metrics::{Log2Hist, MetricsRegistry};
+use memento_sanitizer::fleet::{FleetAuditor, InvocationCounts};
+use memento_sanitizer::SanitizerReport;
+use memento_system::{SystemConfig, WarmContainer};
+
+use crate::arrival::{Arrival, WorkloadMix};
+use crate::error::ClusterError;
+use crate::policy::{KeepAlive, Placement, RejectReason};
+use crate::profile::ProfileTable;
+
+/// How the simulator obtains service times and frame footprints.
+pub enum Engine {
+    /// Every container wraps a live [`WarmContainer`] machine: exact
+    /// per-invocation simulation of the full memory hierarchy. Use for
+    /// tests and small fleets (boxed: a `SystemConfig` is much larger
+    /// than a profile-table handle).
+    Measured(Box<SystemConfig>),
+    /// Containers replay calibrated [`crate::profile::ServiceProfile`]
+    /// costs. Use to scale the same scheduler/keep-alive dynamics to
+    /// millions of invocations.
+    Profiled(ProfileTable),
+}
+
+/// Fleet shape and policy knobs.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of single-container-at-a-time nodes.
+    pub nodes: usize,
+    /// Bounded per-node queue depth (0 = no queueing: a busy node
+    /// rejects).
+    pub queue_capacity: usize,
+    /// Placement policy.
+    pub placement: Placement,
+    /// Keep-alive policy.
+    pub keep_alive: KeepAlive,
+    /// Record the full footprint timeline (disable for very large runs;
+    /// peak tracking is unaffected).
+    pub record_timeline: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 8,
+            queue_capacity: 16,
+            placement: Placement::LeastLoaded,
+            keep_alive: KeepAlive::Fixed(100_000_000),
+            record_timeline: true,
+        }
+    }
+}
+
+/// Everything a cluster run produced.
+pub struct ClusterResult {
+    /// Arrivals offered to the scheduler.
+    pub submitted: u64,
+    /// Invocations served to completion.
+    pub completed: u64,
+    /// Arrivals turned away at admission.
+    pub rejected: u64,
+    /// Rejections broken down by typed reason.
+    pub rejected_by: BTreeMap<RejectReason, u64>,
+    /// Invocations that paid a container cold start.
+    pub cold_starts: u64,
+    /// Invocations served by an idle-warm container.
+    pub warm_starts: u64,
+    /// Containers torn down by keep-alive expiry.
+    pub expired: u64,
+    /// Containers torn down for any reason (expiry included).
+    pub retired: u64,
+    /// Containers still idle-warm at drain.
+    pub live_containers: u64,
+    /// Simulated cycle of the last processed event.
+    pub makespan_cycles: u64,
+    /// Highest concurrent fleet footprint, in frames.
+    pub peak_fleet_frames: u64,
+    /// Fleet footprint at drain (idle-warm containers), in frames.
+    pub final_fleet_frames: u64,
+    /// Footprint timeline as (cycle, frames) change points (empty when
+    /// `record_timeline` is off).
+    pub timeline: Vec<(u64, u64)>,
+    /// End-to-end latencies (queue wait + service) of completed
+    /// invocations, in cycles, sorted ascending.
+    pub latencies: Vec<u64>,
+    /// Per-node counters plus latency/queue-wait histograms.
+    pub metrics: MetricsRegistry,
+    /// Fleet conservation audits (invocations and frames) run at drain.
+    pub audit: SanitizerReport,
+}
+
+impl ClusterResult {
+    /// Exact latency quantile (nearest-rank over the full sorted latency
+    /// vector; 0 when nothing completed).
+    pub fn latency_quantile(&self, q: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let n = self.latencies.len();
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+        self.latencies[rank - 1]
+    }
+
+    /// (p50, p95, p99) end-to-end latency in cycles.
+    pub fn latency_percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.latency_quantile(0.50),
+            self.latency_quantile(0.95),
+            self.latency_quantile(0.99),
+        )
+    }
+
+    /// Mean end-to-end latency in cycles (0 when nothing completed).
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
+    }
+
+    /// True when the drain-time conservation audits found no violation.
+    pub fn is_clean(&self) -> bool {
+        self.audit.is_clean()
+    }
+}
+
+/// Runs the fleet simulation over a pre-drawn arrival sequence and drains
+/// it to quiescence. The arrival slice must be time-sorted (as
+/// [`crate::arrival::generate_arrivals`] produces).
+pub fn simulate(
+    engine: Engine,
+    cfg: &ClusterConfig,
+    mix: &WorkloadMix,
+    arrivals: &[Arrival],
+) -> Result<ClusterResult, ClusterError> {
+    if cfg.nodes == 0 {
+        return Err(ClusterError::NoNodes);
+    }
+    if mix.is_empty() {
+        return Err(ClusterError::EmptyMix);
+    }
+    if let Engine::Profiled(table) = &engine {
+        for spec in mix.specs() {
+            if table.get(&spec.name).is_none() {
+                return Err(ClusterError::MissingProfile(spec.name.clone()));
+            }
+        }
+    }
+    let mut sim = Sim::new(engine, cfg, mix);
+    sim.run(arrivals);
+    Ok(sim.finish())
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    Arrival { index: usize },
+    Completion { node: usize, cid: u64 },
+    Expiry { cid: u64, token: u64 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Queued {
+    time: u64,
+    workload: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    arrive_time: u64,
+    cid: u64,
+    workload: usize,
+}
+
+struct Node {
+    queue: VecDeque<Queued>,
+    serving: Option<InFlight>,
+    /// Idle-warm containers by mix index (at most one per workload).
+    warm: BTreeMap<usize, u64>,
+}
+
+struct Container {
+    workload: usize,
+    node: usize,
+    /// Bumped on every warm reuse; invalidates scheduled expiries.
+    token: u64,
+    /// Frames currently charged to the fleet footprint.
+    contrib: u64,
+    /// The live machine (Measured engine only).
+    measured: Option<WarmContainer>,
+}
+
+struct Sim<'a> {
+    engine: Engine,
+    cfg: &'a ClusterConfig,
+    mix: &'a WorkloadMix,
+    heap: BinaryHeap<Reverse<(u64, u64, Event)>>,
+    seq: u64,
+    now: u64,
+    nodes: Vec<Node>,
+    node_invocations: Vec<u64>,
+    containers: BTreeMap<u64, Container>,
+    next_cid: u64,
+    rr: usize,
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    rejected_by: BTreeMap<RejectReason, u64>,
+    in_flight: u64,
+    cold_starts: u64,
+    warm_starts: u64,
+    expired: u64,
+    retired: u64,
+    fleet_now: u64,
+    fleet_peak: u64,
+    timeline: Vec<(u64, u64)>,
+    latencies: Vec<u64>,
+    latency_hist: Log2Hist,
+    queue_wait_hist: Log2Hist,
+}
+
+impl<'a> Sim<'a> {
+    fn new(engine: Engine, cfg: &'a ClusterConfig, mix: &'a WorkloadMix) -> Self {
+        let nodes = (0..cfg.nodes)
+            .map(|_| Node {
+                queue: VecDeque::new(),
+                serving: None,
+                warm: BTreeMap::new(),
+            })
+            .collect();
+        Sim {
+            engine,
+            cfg,
+            mix,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            nodes,
+            node_invocations: vec![0; cfg.nodes],
+            containers: BTreeMap::new(),
+            next_cid: 0,
+            rr: 0,
+            submitted: 0,
+            completed: 0,
+            rejected: 0,
+            rejected_by: BTreeMap::new(),
+            in_flight: 0,
+            cold_starts: 0,
+            warm_starts: 0,
+            expired: 0,
+            retired: 0,
+            fleet_now: 0,
+            fleet_peak: 0,
+            timeline: Vec::new(),
+            latencies: Vec::new(),
+            latency_hist: Log2Hist::new(),
+            queue_wait_hist: Log2Hist::new(),
+        }
+    }
+
+    fn push(&mut self, time: u64, ev: Event) {
+        self.heap.push(Reverse((time, self.seq, ev)));
+        self.seq += 1;
+    }
+
+    fn run(&mut self, arrivals: &[Arrival]) {
+        if let Some(first) = arrivals.first() {
+            self.push(first.time, Event::Arrival { index: 0 });
+        }
+        while let Some(Reverse((time, _seq, ev))) = self.heap.pop() {
+            debug_assert!(time >= self.now, "simulated time must not run backwards");
+            self.now = time;
+            match ev {
+                Event::Arrival { index } => {
+                    if index + 1 < arrivals.len() {
+                        self.push(
+                            arrivals[index + 1].time,
+                            Event::Arrival { index: index + 1 },
+                        );
+                    }
+                    self.on_arrival(&arrivals[index]);
+                }
+                Event::Completion { node, cid } => self.on_completion(node, cid),
+                Event::Expiry { cid, token } => self.on_expiry(cid, token),
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, a: &Arrival) {
+        self.submitted += 1;
+        match self.place(a.workload) {
+            Ok(node) => {
+                self.in_flight += 1;
+                if self.nodes[node].serving.is_none() {
+                    self.start_service(node, a.time, a.workload);
+                } else {
+                    self.nodes[node].queue.push_back(Queued {
+                        time: a.time,
+                        workload: a.workload,
+                    });
+                }
+            }
+            Err(reason) => {
+                self.rejected += 1;
+                *self.rejected_by.entry(reason).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn has_space(&self, node: usize) -> bool {
+        let n = &self.nodes[node];
+        n.serving.is_none() || n.queue.len() < self.cfg.queue_capacity
+    }
+
+    fn place(&mut self, workload: usize) -> Result<usize, RejectReason> {
+        match self.cfg.placement {
+            Placement::RoundRobin => {
+                let node = self.rr % self.nodes.len();
+                self.rr += 1;
+                if self.has_space(node) {
+                    Ok(node)
+                } else {
+                    Err(RejectReason::QueueFull)
+                }
+            }
+            Placement::LeastLoaded => {
+                let mut best: Option<(usize, usize, usize)> = None;
+                for i in 0..self.nodes.len() {
+                    if !self.has_space(i) {
+                        continue;
+                    }
+                    let n = &self.nodes[i];
+                    let cold = usize::from(!n.warm.contains_key(&workload));
+                    let load = n.queue.len() + usize::from(n.serving.is_some());
+                    let key = (cold, load, i);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                best.map(|(_, _, i)| i)
+                    .ok_or(RejectReason::ClusterSaturated)
+            }
+        }
+    }
+
+    fn start_service(&mut self, node: usize, arrive_time: u64, workload: usize) {
+        let (cid, service) = match self.nodes[node].warm.remove(&workload) {
+            Some(cid) => {
+                self.warm_starts += 1;
+                let (cycles, active) = self.invoke_warm(cid);
+                self.set_contrib(cid, active);
+                (cid, cycles)
+            }
+            None => {
+                self.cold_starts += 1;
+                let (cid, cycles, active) = self.cold_start(node, workload);
+                self.set_contrib(cid, active);
+                (cid, cycles)
+            }
+        };
+        self.nodes[node].serving = Some(InFlight {
+            arrive_time,
+            cid,
+            workload,
+        });
+        self.node_invocations[node] += 1;
+        let done = self.now + service.max(1);
+        self.push(done, Event::Completion { node, cid });
+    }
+
+    fn cold_start(&mut self, node: usize, workload: usize) -> (u64, u64, u64) {
+        let cid = self.next_cid;
+        self.next_cid += 1;
+        let spec = self.mix.spec(workload);
+        let (measured, cycles, active) = match &self.engine {
+            Engine::Measured(cfg) => {
+                let (c, stats) = WarmContainer::cold_start(cfg.as_ref().clone(), spec);
+                let active = c.serving_peak_pages();
+                (Some(c), stats.total_cycles().raw(), active)
+            }
+            Engine::Profiled(table) => {
+                let p = table
+                    .get(&spec.name)
+                    .expect("profiles validated before simulate");
+                (None, p.cold_cycles, p.active_frames)
+            }
+        };
+        self.containers.insert(
+            cid,
+            Container {
+                workload,
+                node,
+                token: 0,
+                contrib: 0,
+                measured,
+            },
+        );
+        (cid, cycles, active)
+    }
+
+    fn invoke_warm(&mut self, cid: u64) -> (u64, u64) {
+        let workload = {
+            let c = self.containers.get_mut(&cid).expect("warm cid is live");
+            c.token += 1; // cancels any scheduled keep-alive expiry
+            c.workload
+        };
+        match &self.engine {
+            Engine::Measured(_) => {
+                let c = self.containers.get_mut(&cid).expect("warm cid is live");
+                let m = c
+                    .measured
+                    .as_mut()
+                    .expect("measured containers carry machines");
+                let stats = m.invoke();
+                (stats.total_cycles().raw(), m.serving_peak_pages())
+            }
+            Engine::Profiled(table) => {
+                let name = &self.mix.spec(workload).name;
+                let p = table.get(name).expect("profiles validated before simulate");
+                (p.warm_cycles, p.active_frames)
+            }
+        }
+    }
+
+    /// Parks the container (sheds the pool's free reserve on Measured
+    /// machines) and returns its idle-warm unreclaimable footprint.
+    fn park_idle(&mut self, cid: u64) -> u64 {
+        let c = self.containers.get_mut(&cid).expect("live container");
+        match &self.engine {
+            Engine::Measured(_) => {
+                let m = c
+                    .measured
+                    .as_mut()
+                    .expect("measured containers carry machines");
+                m.park();
+                m.unreclaimable_pages()
+            }
+            Engine::Profiled(table) => {
+                let name = &self.mix.spec(c.workload).name;
+                table
+                    .get(name)
+                    .expect("profiles validated before simulate")
+                    .idle_frames
+            }
+        }
+    }
+
+    /// Non-mutating ground-truth recount for the drain audit. Idle
+    /// containers were parked when they went warm, so on Measured machines
+    /// this reads the same unreclaimable count `park_idle` charged.
+    fn idle_frames(&self, cid: u64) -> u64 {
+        let c = self.containers.get(&cid).expect("live container");
+        match &self.engine {
+            Engine::Measured(_) => c
+                .measured
+                .as_ref()
+                .expect("measured containers carry machines")
+                .unreclaimable_pages(),
+            Engine::Profiled(table) => {
+                let name = &self.mix.spec(c.workload).name;
+                table
+                    .get(name)
+                    .expect("profiles validated before simulate")
+                    .idle_frames
+            }
+        }
+    }
+
+    fn set_contrib(&mut self, cid: u64, new: u64) {
+        let c = self.containers.get_mut(&cid).expect("live container");
+        if new == c.contrib {
+            return;
+        }
+        self.fleet_now = self.fleet_now - c.contrib + new;
+        c.contrib = new;
+        if self.fleet_now > self.fleet_peak {
+            self.fleet_peak = self.fleet_now;
+        }
+        if self.cfg.record_timeline {
+            match self.timeline.last_mut() {
+                Some((t, v)) if *t == self.now => *v = self.fleet_now,
+                _ => self.timeline.push((self.now, self.fleet_now)),
+            }
+        }
+    }
+
+    fn on_completion(&mut self, node: usize, cid: u64) {
+        let inflight = self.nodes[node]
+            .serving
+            .take()
+            .expect("completion fired on an idle node");
+        debug_assert_eq!(inflight.cid, cid, "completion for a different container");
+        self.completed += 1;
+        self.in_flight -= 1;
+        let latency = self.now - inflight.arrive_time;
+        self.latencies.push(latency);
+        self.latency_hist.record(latency);
+
+        // The container goes idle-warm: park it (shed the pool's free
+        // reserve back to the OS) and charge only what stays
+        // unreclaimable, then let the keep-alive policy decide its fate.
+        let idle = self.park_idle(cid);
+        self.set_contrib(cid, idle);
+        match self.cfg.keep_alive {
+            KeepAlive::None => self.retire(cid),
+            KeepAlive::Fixed(d) => {
+                let token = self.containers.get(&cid).expect("live container").token;
+                if let Some(old) = self.nodes[node].warm.insert(inflight.workload, cid) {
+                    self.retire(old);
+                }
+                self.push(self.now + d, Event::Expiry { cid, token });
+            }
+            KeepAlive::Infinite => {
+                if let Some(old) = self.nodes[node].warm.insert(inflight.workload, cid) {
+                    self.retire(old);
+                }
+            }
+        }
+
+        // Pull the next queued request, warm-starting on the container we
+        // just parked if the workload matches.
+        if let Some(q) = self.nodes[node].queue.pop_front() {
+            self.queue_wait_hist.record(self.now - q.time);
+            self.start_service(node, q.time, q.workload);
+        }
+    }
+
+    fn on_expiry(&mut self, cid: u64, token: u64) {
+        let Some(c) = self.containers.get(&cid) else {
+            return; // already retired
+        };
+        if c.token != token {
+            return; // reused since this expiry was scheduled
+        }
+        let node = c.node;
+        let workload = c.workload;
+        debug_assert_eq!(
+            self.nodes[node].warm.get(&workload),
+            Some(&cid),
+            "token-valid expiry must find the container idle-warm"
+        );
+        self.nodes[node].warm.remove(&workload);
+        self.expired += 1;
+        self.retire(cid);
+    }
+
+    fn retire(&mut self, cid: u64) {
+        self.set_contrib(cid, 0);
+        let c = self.containers.remove(&cid).expect("live container");
+        if let Some(m) = c.measured {
+            let _ = m.finish();
+        }
+        self.retired += 1;
+    }
+
+    fn finish(mut self) -> ClusterResult {
+        debug_assert!(
+            self.nodes
+                .iter()
+                .all(|n| n.serving.is_none() && n.queue.is_empty()),
+            "drained fleet must be quiescent"
+        );
+        let mut auditor = FleetAuditor::new();
+        auditor.audit_invocations(
+            self.seq,
+            InvocationCounts {
+                submitted: self.submitted,
+                completed: self.completed,
+                rejected: self.rejected,
+                in_flight: self.in_flight,
+            },
+            true,
+        );
+        // Recount from the engine's ground truth, not from `contrib` —
+        // this is what catches incremental-accounting drift.
+        let cids: Vec<u64> = self.containers.keys().copied().collect();
+        let per_node: Vec<(usize, u64)> = cids
+            .into_iter()
+            .map(|cid| {
+                let node = self.containers.get(&cid).expect("live container").node;
+                (node, self.idle_frames(cid))
+            })
+            .collect();
+        auditor.audit_fleet_frames(self.seq, self.fleet_now, per_node);
+
+        let mut metrics = MetricsRegistry::new();
+        metrics.add("cluster.submitted", self.submitted);
+        metrics.add("cluster.completed", self.completed);
+        metrics.add("cluster.rejected", self.rejected);
+        metrics.add("cluster.cold_starts", self.cold_starts);
+        metrics.add("cluster.warm_starts", self.warm_starts);
+        metrics.add("cluster.expired", self.expired);
+        metrics.set("cluster.peak_fleet_frames", self.fleet_peak);
+        metrics.set("cluster.final_fleet_frames", self.fleet_now);
+        metrics.set("cluster.makespan_cycles", self.now);
+        for (i, count) in self.node_invocations.iter().enumerate() {
+            metrics.set(&format!("cluster.node{i:03}.invocations"), *count);
+        }
+        metrics.set_hist("cluster.latency_cycles", self.latency_hist.clone());
+        metrics.set_hist("cluster.queue_wait_cycles", self.queue_wait_hist.clone());
+
+        self.latencies.sort_unstable();
+        ClusterResult {
+            submitted: self.submitted,
+            completed: self.completed,
+            rejected: self.rejected,
+            rejected_by: self.rejected_by,
+            cold_starts: self.cold_starts,
+            warm_starts: self.warm_starts,
+            expired: self.expired,
+            retired: self.retired,
+            live_containers: self.containers.len() as u64,
+            makespan_cycles: self.now,
+            peak_fleet_frames: self.fleet_peak,
+            final_fleet_frames: self.fleet_now,
+            timeline: self.timeline,
+            latencies: self.latencies,
+            metrics,
+            audit: auditor.into_report(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{generate_arrivals, ArrivalConfig};
+    use crate::profile::ServiceProfile;
+    use memento_workloads::suite;
+
+    fn small_spec(name: &str) -> memento_workloads::spec::WorkloadSpec {
+        let mut s = suite::by_name(name).expect("known workload");
+        s.total_instructions = 200_000;
+        s
+    }
+
+    fn synthetic_table(mix: &WorkloadMix) -> ProfileTable {
+        // Hand-built profiles keep unit tests fast and make the expected
+        // dynamics easy to reason about.
+        let mut t = ProfileTable::new();
+        for (i, spec) in mix.specs().iter().enumerate() {
+            t.insert(ServiceProfile {
+                workload: spec.name.clone(),
+                cold_cycles: 100_000 + 10_000 * i as u64,
+                warm_cycles: 10_000 + 1_000 * i as u64,
+                active_frames: 200 + 10 * i as u64,
+                idle_frames: 40 + 2 * i as u64,
+            });
+        }
+        t
+    }
+
+    fn two_mix() -> WorkloadMix {
+        WorkloadMix::uniform(vec![small_spec("aes"), small_spec("html")]).expect("non-empty")
+    }
+
+    fn run_profiled(
+        cfg: &ClusterConfig,
+        arrival: &ArrivalConfig,
+        mix: &WorkloadMix,
+    ) -> ClusterResult {
+        let arrivals = generate_arrivals(arrival, mix).expect("valid arrivals");
+        simulate(Engine::Profiled(synthetic_table(mix)), cfg, mix, &arrivals)
+            .expect("valid cluster run")
+    }
+
+    #[test]
+    fn drains_conserves_and_audits_clean() {
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            nodes: 4,
+            queue_capacity: 8,
+            ..ClusterConfig::default()
+        };
+        let arrival = ArrivalConfig {
+            seed: 11,
+            count: 2_000,
+            mean_interarrival_cycles: 4_000.0,
+        };
+        let r = run_profiled(&cfg, &arrival, &mix);
+        assert_eq!(r.submitted, 2_000);
+        assert_eq!(r.submitted, r.completed + r.rejected);
+        assert!(r.is_clean(), "fleet audits must pass: {}", r.audit);
+        assert_eq!(r.latencies.len() as u64, r.completed);
+        assert_eq!(r.cold_starts + r.warm_starts, r.completed);
+        assert!(r.peak_fleet_frames >= r.final_fleet_frames);
+        assert!(r.metrics.counter("cluster.completed") == r.completed);
+    }
+
+    #[test]
+    fn repeated_runs_are_byte_identical() {
+        let mix = two_mix();
+        let cfg = ClusterConfig::default();
+        let arrival = ArrivalConfig {
+            seed: 5,
+            count: 1_500,
+            mean_interarrival_cycles: 3_000.0,
+        };
+        let a = run_profiled(&cfg, &arrival, &mix);
+        let b = run_profiled(&cfg, &arrival, &mix);
+        assert_eq!(a.latencies, b.latencies);
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.peak_fleet_frames, b.peak_fleet_frames);
+        assert_eq!(a.cold_starts, b.cold_starts);
+        assert_eq!(a.metrics.render(), b.metrics.render());
+    }
+
+    #[test]
+    fn keep_alive_none_always_cold_starts() {
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            keep_alive: KeepAlive::None,
+            ..ClusterConfig::default()
+        };
+        let arrival = ArrivalConfig {
+            seed: 9,
+            count: 400,
+            mean_interarrival_cycles: 50_000.0,
+        };
+        let r = run_profiled(&cfg, &arrival, &mix);
+        assert_eq!(r.warm_starts, 0, "no warm pool, no warm starts");
+        assert_eq!(r.cold_starts, r.completed);
+        assert_eq!(r.final_fleet_frames, 0, "every container torn down");
+        assert_eq!(r.live_containers, 0);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn infinite_keep_alive_maximises_warm_starts_and_footprint() {
+        let mix = two_mix();
+        let sparse = ArrivalConfig {
+            seed: 9,
+            count: 400,
+            mean_interarrival_cycles: 50_000.0,
+        };
+        let infinite = run_profiled(
+            &ClusterConfig {
+                keep_alive: KeepAlive::Infinite,
+                ..ClusterConfig::default()
+            },
+            &sparse,
+            &mix,
+        );
+        let short = run_profiled(
+            &ClusterConfig {
+                keep_alive: KeepAlive::Fixed(10_000),
+                ..ClusterConfig::default()
+            },
+            &sparse,
+            &mix,
+        );
+        assert!(
+            infinite.warm_starts > short.warm_starts,
+            "infinite keep-alive must reuse more: {} vs {}",
+            infinite.warm_starts,
+            short.warm_starts
+        );
+        assert!(infinite.final_fleet_frames >= short.final_fleet_frames);
+        assert_eq!(
+            short.expired, short.retired,
+            "short keep-alive retires only via expiry"
+        );
+        assert!(infinite.is_clean() && short.is_clean());
+    }
+
+    #[test]
+    fn bounded_queues_reject_under_overload() {
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            nodes: 2,
+            queue_capacity: 2,
+            ..ClusterConfig::default()
+        };
+        // Offered load far beyond 2 nodes' service capacity.
+        let arrival = ArrivalConfig {
+            seed: 3,
+            count: 3_000,
+            mean_interarrival_cycles: 100.0,
+        };
+        let r = run_profiled(&cfg, &arrival, &mix);
+        assert!(r.rejected > 0, "overload must produce rejections");
+        assert_eq!(
+            r.rejected,
+            r.rejected_by.values().sum::<u64>(),
+            "every rejection carries a typed reason"
+        );
+        assert!(r.rejected_by.contains_key(&RejectReason::ClusterSaturated));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn round_robin_rejects_locally_and_spreads_load() {
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            nodes: 3,
+            queue_capacity: 1,
+            placement: Placement::RoundRobin,
+            ..ClusterConfig::default()
+        };
+        let arrival = ArrivalConfig {
+            seed: 21,
+            count: 2_000,
+            mean_interarrival_cycles: 200.0,
+        };
+        let r = run_profiled(&cfg, &arrival, &mix);
+        if r.rejected > 0 {
+            assert!(r.rejected_by.contains_key(&RejectReason::QueueFull));
+        }
+        let counts: Vec<u64> = (0..3)
+            .map(|i| {
+                r.metrics
+                    .counter(&format!("cluster.node{i:03}.invocations"))
+            })
+            .collect();
+        assert!(counts.iter().all(|c| *c > 0), "round robin uses every node");
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn measured_engine_small_fleet_is_exact_and_clean() {
+        let mix = WorkloadMix::uniform(vec![small_spec("aes")]).expect("non-empty");
+        let cfg = ClusterConfig {
+            nodes: 2,
+            queue_capacity: 4,
+            keep_alive: KeepAlive::Infinite,
+            ..ClusterConfig::default()
+        };
+        let arrival = ArrivalConfig {
+            seed: 17,
+            count: 12,
+            mean_interarrival_cycles: 200_000.0,
+        };
+        let arrivals = generate_arrivals(&arrival, &mix).expect("valid arrivals");
+        let r = simulate(
+            Engine::Measured(Box::new(SystemConfig::memento())),
+            &cfg,
+            &mix,
+            &arrivals,
+        )
+        .expect("valid cluster run");
+        assert_eq!(r.completed, 12);
+        assert!(
+            r.warm_starts > 0,
+            "infinite keep-alive on a tiny fleet must reuse"
+        );
+        assert!(
+            r.final_fleet_frames > 0,
+            "warm containers keep frames resident"
+        );
+        assert!(
+            r.is_clean(),
+            "measured-engine audits must pass: {}",
+            r.audit
+        );
+    }
+
+    #[test]
+    fn missing_profile_is_a_typed_error() {
+        let mix = two_mix();
+        let arrivals = generate_arrivals(
+            &ArrivalConfig {
+                seed: 1,
+                count: 10,
+                mean_interarrival_cycles: 1_000.0,
+            },
+            &mix,
+        )
+        .expect("valid arrivals");
+        let err = simulate(
+            Engine::Profiled(ProfileTable::new()),
+            &ClusterConfig::default(),
+            &mix,
+            &arrivals,
+        )
+        .err()
+        .expect("must fail");
+        assert!(matches!(err, ClusterError::MissingProfile(_)));
+        let err = simulate(
+            Engine::Profiled(ProfileTable::new()),
+            &ClusterConfig {
+                nodes: 0,
+                ..ClusterConfig::default()
+            },
+            &mix,
+            &arrivals,
+        )
+        .err()
+        .expect("must fail");
+        assert_eq!(err, ClusterError::NoNodes);
+    }
+}

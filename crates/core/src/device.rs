@@ -294,6 +294,23 @@ impl MementoDevice {
         self.page_alloc.pool_audit()
     }
 
+    /// Keep-alive park: sheds the pool's idle reserve above `keep` frames
+    /// back to the OS (see
+    /// [`HardwarePageAllocator::shed_pool`]). Returns frames shed.
+    pub fn shed_pool(&mut self, backend: &mut dyn PoolBackend, keep: usize) -> u64 {
+        self.page_alloc.shed_pool(backend, keep)
+    }
+
+    /// Restarts the mapped-frames peak window at the current level.
+    pub fn reset_window(&mut self) {
+        self.page_alloc.reset_window();
+    }
+
+    /// Peak frames mapped into processes since the last window reset.
+    pub fn window_peak_mapped(&self) -> u64 {
+        self.page_alloc.window_peak_mapped()
+    }
+
     /// Object-allocator statistics.
     pub fn obj_stats(&self) -> ObjStats {
         self.obj_stats

@@ -253,6 +253,9 @@ pub struct HardwarePageAllocator {
     /// incremented per frame taken from the pool, decremented on
     /// reclamation and detach.
     frames_mapped: u64,
+    /// Peak of `frames_mapped` since the last window reset (one
+    /// invocation's data footprint, free pool staging excluded).
+    window_peak_mapped: u64,
     stats: PageAllocStats,
 }
 
@@ -267,8 +270,19 @@ impl HardwarePageAllocator {
             pool: Vec::new(),
             pointer_block,
             frames_mapped: 0,
+            window_peak_mapped: 0,
             stats: PageAllocStats::default(),
         }
+    }
+
+    /// Restarts the mapped-frames peak window at the current level.
+    pub fn reset_window(&mut self) {
+        self.window_peak_mapped = self.frames_mapped;
+    }
+
+    /// Peak frames mapped into processes since the last window reset.
+    pub fn window_peak_mapped(&self) -> u64 {
+        self.window_peak_mapped
     }
 
     /// Statistics snapshot.
@@ -337,6 +351,22 @@ impl HardwarePageAllocator {
         backend.accept_frames(&frames);
     }
 
+    /// Hands the pool's idle reserve above `keep` frames back to the OS —
+    /// the keep-alive "park" path. Pool frames back no mapping (they are
+    /// recycled free pages staged for the next invocation), so the return
+    /// is pure bookkeeping: no page-table walk, no TLB shootdown. The next
+    /// invocation re-grants lazily through the normal low-water refill.
+    /// Returns the number of frames shed.
+    pub fn shed_pool(&mut self, backend: &mut dyn PoolBackend, keep: usize) -> u64 {
+        if self.pool.len() <= keep {
+            return 0;
+        }
+        let surplus = self.pool.split_off(keep);
+        self.stats.frames_returned += surplus.len() as u64;
+        backend.accept_frames(&surplus);
+        surplus.len() as u64
+    }
+
     fn take_frame(&mut self, backend: &mut dyn PoolBackend) -> Result<Frame, PoolExhausted> {
         if self.pool.len() <= self.cfg.low_water {
             let granted = backend.grant_frames(self.cfg.refill_batch);
@@ -349,6 +379,7 @@ impl HardwarePageAllocator {
         match self.pool.pop() {
             Some(f) => {
                 self.frames_mapped += 1;
+                self.window_peak_mapped = self.window_peak_mapped.max(self.frames_mapped);
                 Ok(f)
             }
             None => {

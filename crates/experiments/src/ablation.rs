@@ -2,13 +2,13 @@
 //! out): the optional eager-replenish optimization of §3.1, the hardware
 //! page-pool refill batch, and the AAC pointer-slot capacity.
 
+use crate::error::{scaled_specs, ExperimentError};
 use crate::runner;
 use crate::table::{f3, Table};
 use memento_core::device::MementoConfig;
 use memento_core::page_alloc::PageAllocatorConfig;
 use memento_system::{stats, Machine, Mode, RunStats, SystemConfig};
 use memento_workloads::spec::WorkloadSpec;
-use memento_workloads::suite;
 use std::fmt;
 
 /// One ablation row.
@@ -109,15 +109,12 @@ fn variants() -> Vec<(String, MementoConfig)> {
 /// each baseline runs once (shared across variants, which a serial
 /// per-variant sweep would re-run); aggregation is in fixed variant order,
 /// so output is identical at any jobs count.
-pub fn run_for_jobs(names: &[&str], scale_divisor: u64, jobs: usize) -> AblationResult {
-    let specs: Vec<WorkloadSpec> = names
-        .iter()
-        .map(|n| {
-            let mut s = suite::by_name(n).expect("known workload");
-            s.total_instructions /= scale_divisor;
-            s
-        })
-        .collect();
+pub fn run_for_jobs(
+    names: &[&str],
+    scale_divisor: u64,
+    jobs: usize,
+) -> Result<AblationResult, ExperimentError> {
+    let specs: Vec<WorkloadSpec> = scaled_specs(names, scale_divisor)?;
     let variants = variants();
 
     // One work item per simulation: the shared baselines first, then every
@@ -146,17 +143,17 @@ pub fn run_for_jobs(names: &[&str], scale_divisor: u64, jobs: usize) -> Ablation
             }
         })
         .collect();
-    AblationResult { rows }
+    Ok(AblationResult { rows })
 }
 
 /// Runs the ablation suite over `names` (worker count from the
 /// environment).
-pub fn run_for(names: &[&str], scale_divisor: u64) -> AblationResult {
+pub fn run_for(names: &[&str], scale_divisor: u64) -> Result<AblationResult, ExperimentError> {
     run_for_jobs(names, scale_divisor, runner::effective_jobs(None))
 }
 
 /// Default ablation set.
-pub fn run() -> AblationResult {
+pub fn run() -> Result<AblationResult, ExperimentError> {
     run_for(&["html", "US", "bfs-go"], 2)
 }
 
@@ -171,15 +168,11 @@ pub struct ProactiveGcResult {
 }
 
 /// Runs the proactive-GC extension comparison over Go workloads.
-pub fn proactive_gc_for(names: &[&str], scale_divisor: u64) -> ProactiveGcResult {
-    let specs: Vec<WorkloadSpec> = names
-        .iter()
-        .map(|name| {
-            let mut spec = suite::by_name(name).expect("known workload");
-            spec.total_instructions /= scale_divisor;
-            spec
-        })
-        .collect();
+pub fn proactive_gc_for(
+    names: &[&str],
+    scale_divisor: u64,
+) -> Result<ProactiveGcResult, ExperimentError> {
+    let specs: Vec<WorkloadSpec> = scaled_specs(names, scale_divisor)?;
     // Three independent systems per workload; each is one shard.
     let points: Vec<(SystemConfig, WorkloadSpec)> = specs
         .iter()
@@ -210,11 +203,11 @@ pub fn proactive_gc_for(names: &[&str], scale_divisor: u64) -> ProactiveGcResult
             )
         })
         .collect();
-    ProactiveGcResult { rows }
+    Ok(ProactiveGcResult { rows })
 }
 
 /// Default proactive-GC study over the Go functions.
-pub fn proactive_gc() -> ProactiveGcResult {
+pub fn proactive_gc() -> Result<ProactiveGcResult, ExperimentError> {
     proactive_gc_for(&["html-go", "bfs-go", "aes-go"], 2)
 }
 
@@ -252,8 +245,15 @@ mod tests {
     use super::*;
 
     #[test]
+    fn unknown_workload_is_a_typed_error() {
+        let err = run_for(&["nope"], 8).expect_err("must fail");
+        assert_eq!(err, ExperimentError::UnknownWorkload("nope".into()));
+        assert!(proactive_gc_for(&["also-nope"], 8).is_err());
+    }
+
+    #[test]
     fn proactive_gc_is_sane() {
-        let result = proactive_gc_for(&["aes-go"], 8);
+        let result = proactive_gc_for(&["aes-go"], 8).expect("known workloads");
         let (_, memento, proactive, llc_ratio) = result.rows[0].clone();
         assert!(memento > 1.0);
         assert!(proactive > 1.0);
@@ -265,7 +265,7 @@ mod tests {
 
     #[test]
     fn ablations_order_sanely() {
-        let result = run_for(&["html"], 8);
+        let result = run_for(&["html"], 8).expect("known workloads");
         let get = |label: &str| {
             result
                 .rows

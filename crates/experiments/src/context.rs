@@ -117,15 +117,28 @@ impl EvalContext {
             .collect()
     }
 
+    /// One workload by paper name, at this context's scale, with unknown
+    /// names reported as a typed error.
+    pub fn try_workload(&self, name: &str) -> Result<WorkloadSpec, crate::error::ExperimentError> {
+        match suite::by_name(name) {
+            Some(mut s) => {
+                s.total_instructions /= self.scale_divisor;
+                Ok(s)
+            }
+            None => Err(crate::error::ExperimentError::UnknownWorkload(
+                name.to_owned(),
+            )),
+        }
+    }
+
     /// One workload by paper name, at this context's scale.
     ///
     /// # Panics
     ///
-    /// Panics on an unknown name.
+    /// Panics on an unknown name; fallible callers use
+    /// [`EvalContext::try_workload`].
     pub fn workload(&self, name: &str) -> WorkloadSpec {
-        let mut s = suite::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
-        s.total_instructions /= self.scale_divisor;
-        s
+        self.try_workload(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Simulates one point from scratch (no memoization) — the worker body

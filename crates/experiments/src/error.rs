@@ -1,0 +1,89 @@
+//! Typed errors surfaced by experiment runners.
+//!
+//! Experiment entry points that take workload *names* (`multicore`,
+//! `ablation`, `cluster`) validate them up front and return
+//! [`ExperimentError::UnknownWorkload`] instead of panicking deep inside a
+//! worker thread, so callers (CLI examples, CI steps) can print the bad
+//! name and exit cleanly.
+
+use memento_cluster::ClusterError;
+use memento_workloads::spec::WorkloadSpec;
+use memento_workloads::suite;
+use std::error::Error;
+use std::fmt;
+
+/// Why an experiment could not run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExperimentError {
+    /// A requested workload name is not in the suite.
+    UnknownWorkload(String),
+    /// The cluster simulator rejected its configuration.
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::UnknownWorkload(name) => {
+                write!(
+                    f,
+                    "unknown workload '{name}' (see workloads::suite for valid names)"
+                )
+            }
+            ExperimentError::Cluster(e) => write!(f, "cluster setup failed: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {}
+
+impl From<ClusterError> for ExperimentError {
+    fn from(e: ClusterError) -> Self {
+        ExperimentError::Cluster(e)
+    }
+}
+
+/// Resolves workload names against the suite at `1/scale_divisor` compute
+/// scale, failing on the first unknown name.
+pub fn scaled_specs(
+    names: &[&str],
+    scale_divisor: u64,
+) -> Result<Vec<WorkloadSpec>, ExperimentError> {
+    names
+        .iter()
+        .map(|n| match suite::by_name(n) {
+            Some(mut s) => {
+                s.total_instructions /= scale_divisor.max(1);
+                Ok(s)
+            }
+            None => Err(ExperimentError::UnknownWorkload((*n).to_owned())),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_names_are_reported_not_panicked() {
+        let err = scaled_specs(&["aes", "no-such-fn"], 2).expect_err("must fail");
+        assert_eq!(err, ExperimentError::UnknownWorkload("no-such-fn".into()));
+        assert!(err.to_string().contains("no-such-fn"));
+    }
+
+    #[test]
+    fn valid_names_resolve_scaled() {
+        let full = suite::by_name("aes")
+            .expect("known workload")
+            .total_instructions;
+        let specs = scaled_specs(&["aes"], 4).expect("valid names");
+        assert_eq!(specs[0].total_instructions, full / 4);
+    }
+
+    #[test]
+    fn cluster_errors_convert() {
+        let e: ExperimentError = ClusterError::NoNodes.into();
+        assert!(e.to_string().contains("cluster setup failed"));
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`multicore`] | extension: spatial co-location, one function per core |
 //! | [`ablation`] | extension: eager replenish / bypass / pool batch / AAC ablations |
 //! | [`profile`] | extension: traced run → flame table, metrics appendix, heap samples |
+//! | [`cluster`] | extension: fleet-scale traffic, tail latency + fleet footprint |
 //!
 //! Runs are memoized in an [`EvalContext`] so one sweep feeds every figure.
 //!
@@ -48,9 +49,11 @@ pub mod arena_list;
 pub mod bandwidth;
 pub mod breakdown;
 pub mod characterization;
+pub mod cluster;
 pub mod comparisons;
 pub mod config_table;
 pub mod context;
+pub mod error;
 pub mod hot;
 pub mod memusage;
 pub mod multicore;
@@ -65,6 +68,7 @@ pub mod speedup;
 pub mod table;
 
 pub use context::{ConfigKind, EvalContext};
+pub use error::ExperimentError;
 pub use profile::{profile_run, ProfileReport};
 pub use ratio::page_ratio;
 pub use runner::{map_ordered, merge_metrics, RunnerTiming};

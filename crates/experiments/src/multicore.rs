@@ -7,11 +7,11 @@
 //! evaluation to true spatial co-location and checks that per-function
 //! speedups survive cache/bandwidth contention.
 
+use crate::error::{scaled_specs, ExperimentError};
 use crate::runner;
 use crate::table::{f3, Table};
 use memento_system::{stats, Machine, SystemConfig};
 use memento_workloads::spec::WorkloadSpec;
-use memento_workloads::suite;
 use std::fmt;
 
 /// Result of the co-location experiment.
@@ -27,16 +27,14 @@ pub struct MulticoreResult {
 
 /// Runs `names` concurrently on as many cores, under baseline and Memento,
 /// and compares per-function speedups against their solo runs; simulations
-/// fan out over `jobs` worker threads.
-pub fn run_for_jobs(names: &[&str], scale_divisor: u64, jobs: usize) -> MulticoreResult {
-    let specs: Vec<WorkloadSpec> = names
-        .iter()
-        .map(|n| {
-            let mut s = suite::by_name(n).expect("known workload");
-            s.total_instructions /= scale_divisor;
-            s
-        })
-        .collect();
+/// fan out over `jobs` worker threads. Unknown names fail with
+/// [`ExperimentError::UnknownWorkload`] before any simulation starts.
+pub fn run_for_jobs(
+    names: &[&str],
+    scale_divisor: u64,
+    jobs: usize,
+) -> Result<MulticoreResult, ExperimentError> {
+    let specs: Vec<WorkloadSpec> = scaled_specs(names, scale_divisor)?;
     let cores = specs.len();
 
     let cfg_base = SystemConfig {
@@ -83,20 +81,20 @@ pub fn run_for_jobs(names: &[&str], scale_divisor: u64, jobs: usize) -> Multicor
     }
     let solo: Vec<f64> = rows.iter().map(|r| r.1).collect();
     let colo: Vec<f64> = rows.iter().map(|r| r.2).collect();
-    MulticoreResult {
+    Ok(MulticoreResult {
         solo_avg: stats::geomean(&solo),
         colocated_avg: stats::geomean(&colo),
         rows,
-    }
+    })
 }
 
 /// Runs the co-location study with the worker count from the environment.
-pub fn run_for(names: &[&str], scale_divisor: u64) -> MulticoreResult {
+pub fn run_for(names: &[&str], scale_divisor: u64) -> Result<MulticoreResult, ExperimentError> {
     run_for_jobs(names, scale_divisor, runner::effective_jobs(None))
 }
 
 /// Default four-function co-location study.
-pub fn run() -> MulticoreResult {
+pub fn run() -> Result<MulticoreResult, ExperimentError> {
     run_for(&["html", "US", "bfs-go", "jl"], 2)
 }
 
@@ -125,8 +123,17 @@ mod tests {
     use super::*;
 
     #[test]
+    fn unknown_workload_is_a_typed_error() {
+        let err = run_for(&["aes", "definitely-not-real"], 8).expect_err("must fail");
+        assert_eq!(
+            err,
+            ExperimentError::UnknownWorkload("definitely-not-real".into())
+        );
+    }
+
+    #[test]
     fn colocation_preserves_wins() {
-        let result = run_for(&["aes", "jl"], 8);
+        let result = run_for(&["aes", "jl"], 8).expect("known workloads");
         assert_eq!(result.rows.len(), 2);
         for (name, solo, colo) in &result.rows {
             assert!(*solo > 1.0, "{name} solo {solo}");

@@ -3,8 +3,8 @@
 
 use crate::context::EvalContext;
 use crate::{
-    arena_list, bandwidth, breakdown, characterization, comparisons, config_table, hot, memusage,
-    pricing, sensitivity, speedup,
+    arena_list, bandwidth, breakdown, characterization, cluster, comparisons, config_table, hot,
+    memusage, pricing, sensitivity, speedup,
 };
 use memento_simcore::json::Value;
 use std::fmt;
@@ -39,6 +39,8 @@ pub struct FullReport {
     pub populate: sensitivity::PopulateResult,
     /// §6.6 fragmentation.
     pub fragmentation: sensitivity::FragmentationResult,
+    /// Extension: cluster-scale traffic (tail latency + fleet footprint).
+    pub cluster: cluster::ClusterReport,
 }
 
 /// Prefetches every simulation point the full report needs, fanning them
@@ -98,6 +100,7 @@ pub fn run(ctx: &mut EvalContext) -> FullReport {
         mallacc: comparisons::mallacc(ctx),
         populate: sensitivity::populate(ctx),
         fragmentation: sensitivity::fragmentation(ctx),
+        cluster: cluster::run(ctx).expect("default cluster mix is drawn from the suite"),
     }
 }
 
@@ -152,6 +155,14 @@ impl FullReport {
                         .collect(),
                 ),
             );
+        let peak = self.cluster.peak_load();
+        doc.set("cluster_peak_load", peak.utilization)
+            .set("cluster_baseline_p99_us", peak.baseline.p99_us)
+            .set("cluster_memento_p99_us", peak.memento.p99_us)
+            .set("cluster_baseline_peak_mb", peak.baseline.peak_mb)
+            .set("cluster_memento_peak_mb", peak.memento.peak_mb)
+            .set("cluster_baseline_rejected", peak.baseline.rejected as f64)
+            .set("cluster_memento_rejected", peak.memento.rejected as f64);
         doc
     }
 }
@@ -220,6 +231,8 @@ impl fmt::Display for FullReport {
         writeln!(f)?;
         writeln!(f, "{}", self.populate)?;
         writeln!(f)?;
-        write!(f, "{}", self.fragmentation)
+        writeln!(f, "{}", self.fragmentation)?;
+        writeln!(f)?;
+        write!(f, "{}", self.cluster)
     }
 }

@@ -67,6 +67,16 @@ pub struct FrameStats {
     page_table: UseStats,
     kernel_meta: UseStats,
     memento_pool: UseStats,
+    /// True concurrently-resident peak (all uses summed at each
+    /// allocation) since the last window reset — unlike [`Self::peak_total`]
+    /// this is not a per-use upper bound, so it can attribute one
+    /// invocation's footprint.
+    window_peak: u64,
+    /// Same window, excluding Memento-pool frames: from the kernel's side
+    /// a device pool grant is one opaque bucket covering both mapped data
+    /// and the pool's free staging, so fleet accounting takes the mapped
+    /// part from the device and only the non-pool uses from here.
+    window_peak_nonpool: u64,
 }
 
 impl FrameStats {
@@ -115,6 +125,31 @@ impl FrameStats {
     pub fn peak_total(&self) -> u64 {
         FrameUse::ALL.iter().map(|u| self.get(*u).peak).sum()
     }
+
+    /// Restarts the resident-peak window at the current level (start of a
+    /// warm invocation's measurement window).
+    pub fn reset_window_peak(&mut self) {
+        self.window_peak = self.current_total();
+        self.window_peak_nonpool = self.current_total() - self.memento_pool.current;
+    }
+
+    /// Peak concurrently-resident frames since the last window reset.
+    pub fn window_peak(&self) -> u64 {
+        self.window_peak
+    }
+
+    /// Peak concurrently-resident non-pool frames (user heap, page
+    /// tables, kernel metadata) since the last window reset.
+    pub fn window_peak_nonpool(&self) -> u64 {
+        self.window_peak_nonpool
+    }
+
+    fn note_window(&mut self) {
+        self.window_peak = self.window_peak.max(self.current_total());
+        self.window_peak_nonpool = self
+            .window_peak_nonpool
+            .max(self.current_total() - self.memento_pool.current);
+    }
 }
 
 impl UseStats {
@@ -138,6 +173,8 @@ impl FrameStats {
             page_table: self.page_table.delta(earlier.page_table),
             kernel_meta: self.kernel_meta.delta(earlier.kernel_meta),
             memento_pool: self.memento_pool.delta(earlier.memento_pool),
+            window_peak: self.window_peak,
+            window_peak_nonpool: self.window_peak_nonpool,
         }
     }
 }
@@ -210,7 +247,12 @@ impl BuddyAllocator {
             .sum()
     }
 
-    /// Frame statistics snapshot.
+    /// Mutable frame statistics (window-peak reset).
+    pub(crate) fn stats_mut(&mut self) -> &mut FrameStats {
+        &mut self.stats
+    }
+
+    /// Frame accounting snapshot.
     pub fn stats(&self) -> &FrameStats {
         &self.stats
     }
@@ -265,6 +307,7 @@ impl BuddyAllocator {
         } else {
             st.aggregate += pages;
         }
+        self.stats.note_window();
         Ok(Frame::from_number(block))
     }
 

@@ -232,6 +232,12 @@ impl Kernel {
         self.buddy.stats()
     }
 
+    /// Restarts the resident-peak window at the current level (see
+    /// [`FrameStats::window_peak`]).
+    pub fn reset_frame_window(&mut self) {
+        self.buddy.stats_mut().reset_window_peak();
+    }
+
     /// Creates a process with an empty address space; the page-table root
     /// comes from the buddy allocator (boot memory is already owned by it).
     ///

@@ -88,6 +88,50 @@ impl Log2Hist {
         }
     }
 
+    /// Estimates the `q`-quantile of the recorded distribution.
+    ///
+    /// Uses the nearest-rank sample (rank `ceil(q * count)`, clamped to
+    /// `[1, count]`), located in its bucket and linearly interpolated
+    /// across the bucket's value range — so distributions whose mass falls
+    /// on bucket boundaries (0, 1, powers of two minus one) come back
+    /// exact, and wide buckets degrade gracefully instead of snapping to a
+    /// power-of-two edge. Deterministic, integer-only. Returns 0 on an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, n) in self.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = Self::bucket_range(b);
+                // Position of the rank within this bucket, 1..=n, mapped
+                // linearly over the bucket's span of `hi - lo + 1` values.
+                let within = rank - seen; // 1..=n
+                let span = hi - lo; // 0 for the 0- and 1-buckets
+                return lo + (span * within) / *n;
+            }
+            seen += n;
+        }
+        // Unreachable while count equals the bucket sum; be safe anyway.
+        Self::bucket_range(self.buckets.len().saturating_sub(1)).1
+    }
+
+    /// The (p50, p95, p99) triple — the tail-latency summary the cluster
+    /// report tabulates.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+
     /// Adds `other` into `self`, preserving every bucket of both sides.
     ///
     /// Shards of uneven size produce bucket vectors of *different lengths*
@@ -312,6 +356,77 @@ mod tests {
         let mut other_way = main.clone();
         other_way.merge(&tail);
         assert_eq!(merged, other_way);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_bucket_boundary_distributions() {
+        // Each value sits alone at its bucket's upper edge (2^k - 1), so
+        // interpolation has no slack: quantiles are exact order statistics.
+        let mut h = Log2Hist::new();
+        for v in [0u64, 1, 3, 7, 15, 31, 63, 127, 255, 511] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0, "q=0 clamps to the first sample");
+        assert_eq!(h.quantile(0.10), 0);
+        assert_eq!(h.quantile(0.20), 1);
+        assert_eq!(h.quantile(0.50), 15);
+        assert_eq!(h.quantile(0.90), 255);
+        assert_eq!(h.quantile(1.0), 511);
+        let (p50, p95, p99) = h.percentiles();
+        assert_eq!((p50, p95, p99), (15, 511, 511));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_wide_buckets() {
+        // 100 samples of value 600 land in bucket [512, 1023]; every
+        // quantile must stay inside that bucket and grow monotonically.
+        let mut h = Log2Hist::new();
+        h.record_n(600, 100);
+        let (lo, hi) = Log2Hist::bucket_range(bucket_of(600));
+        let mut prev = 0;
+        for q in [0.01, 0.25, 0.50, 0.75, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((lo..=hi).contains(&v), "q={q}: {v} outside [{lo},{hi}]");
+            assert!(v >= prev, "quantiles must be monotone in q");
+            prev = v;
+        }
+        assert_eq!(h.quantile(1.0), hi, "last rank maps to the bucket top");
+    }
+
+    #[test]
+    fn quantile_tail_dominates_p99() {
+        // A bimodal latency shape: 990 fast requests, 10 slow ones. p50
+        // stays in the fast bucket; p99 must land in the slow mode.
+        let mut h = Log2Hist::new();
+        h.record_n(100, 990);
+        h.record_n(100_000, 10);
+        assert!(h.quantile(0.50) <= 127, "p50 in the fast mode");
+        assert!(h.quantile(0.99) <= 127, "rank 990 is still fast");
+        assert!(h.quantile(0.995) >= 65_536, "tail rank reaches slow mode");
+        assert_eq!(h.quantile(1.0), h.quantile(0.9999));
+    }
+
+    #[test]
+    fn quantile_empty_and_merge_consistency() {
+        let empty = Log2Hist::new();
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.percentiles(), (0, 0, 0));
+        // Quantiles of a merged histogram match recording the union.
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        let mut union = Log2Hist::new();
+        for v in [1u64, 3, 3, 7] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [15u64, 31, 31, 63] {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), union.quantile(q), "q={q}");
+        }
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Fleet-level audits for the cluster simulator.
+//!
+//! The per-process [`crate::ShadowHeap`] validates one machine's heap; a
+//! cluster run needs two conservation laws *across* machines:
+//!
+//! 1. **Invocation conservation** — every arrival the load generator
+//!    submitted is accounted for exactly once: completed, rejected by an
+//!    admission queue, or still in flight when the books are audited.
+//!    After drain, in-flight must be zero. A miss means the scheduler
+//!    dropped or double-counted a request.
+//! 2. **Fleet frame reconciliation** — the scheduler maintains the fleet
+//!    memory-footprint timeline *incrementally* (cold start adds frames,
+//!    completion trims to the idle-warm level, keep-alive expiry returns
+//!    the rest). The audit recounts resident frames node by node from the
+//!    live containers and compares against the incremental figure; any
+//!    divergence means the timeline — and therefore the reported peak
+//!    footprint — drifted from reality.
+//!
+//! Both audits are untimed bookkeeping over numbers the simulator already
+//! has, so they run at drain (and optionally mid-run) without perturbing
+//! determinism.
+
+use crate::report::{Provenance, SanitizerReport, Violation, ViolationKind};
+
+/// Where the fleet's invocations stand at audit time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InvocationCounts {
+    /// Arrivals the load generator submitted to the scheduler.
+    pub submitted: u64,
+    /// Invocations that ran to completion on some node.
+    pub completed: u64,
+    /// Arrivals rejected by a full admission queue.
+    pub rejected: u64,
+    /// Arrivals accepted but not yet completed (queued or executing).
+    pub in_flight: u64,
+}
+
+/// Fleet-level auditor: feeds violations into a [`SanitizerReport`] with
+/// the simulator's event sequence number as provenance.
+#[derive(Debug, Default)]
+pub struct FleetAuditor {
+    report: SanitizerReport,
+}
+
+impl FleetAuditor {
+    /// An auditor with an empty report.
+    pub fn new() -> Self {
+        FleetAuditor::default()
+    }
+
+    /// Checks `submitted == completed + rejected + in_flight`. Pass
+    /// `drained = true` once the simulator has run to quiescence, which
+    /// additionally requires `in_flight == 0`.
+    pub fn audit_invocations(&mut self, event_index: u64, counts: InvocationCounts, drained: bool) {
+        self.report.audits += 1;
+        let accounted = counts.completed + counts.rejected + counts.in_flight;
+        if accounted != counts.submitted {
+            self.report.violations.push(Violation {
+                kind: ViolationKind::InvocationConservation,
+                provenance: fleet_provenance(event_index),
+                detail: format!(
+                    "submitted {} != completed {} + rejected {} + in-flight {}",
+                    counts.submitted, counts.completed, counts.rejected, counts.in_flight
+                ),
+            });
+        }
+        if drained && counts.in_flight != 0 {
+            self.report.violations.push(Violation {
+                kind: ViolationKind::InvocationConservation,
+                provenance: fleet_provenance(event_index),
+                detail: format!(
+                    "{} invocation(s) still in flight after drain",
+                    counts.in_flight
+                ),
+            });
+        }
+    }
+
+    /// Reconciles the incrementally-tracked fleet footprint against a full
+    /// recount: `per_node` is `(node id, resident frames)` for every live
+    /// container, and `tracked` is the scheduler's running total.
+    pub fn audit_fleet_frames<I>(&mut self, event_index: u64, tracked: u64, per_node: I)
+    where
+        I: IntoIterator<Item = (usize, u64)>,
+    {
+        self.report.audits += 1;
+        let mut recount = 0u64;
+        let mut nodes = 0usize;
+        for (_node, frames) in per_node {
+            recount += frames;
+            nodes += 1;
+        }
+        if recount != tracked {
+            self.report.violations.push(Violation {
+                kind: ViolationKind::FleetFrameDivergence,
+                provenance: fleet_provenance(event_index),
+                detail: format!(
+                    "tracked fleet footprint {tracked} frames, recount over {nodes} node(s) says {recount}"
+                ),
+            });
+        }
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> &SanitizerReport {
+        &self.report
+    }
+
+    /// Consumes the auditor, yielding its report.
+    pub fn into_report(self) -> SanitizerReport {
+        self.report
+    }
+}
+
+/// Fleet audits are cluster-wide, not tied to a core; provenance carries
+/// the simulator's event sequence number in the event-index slot.
+fn fleet_provenance(event_index: u64) -> Provenance {
+    Provenance {
+        core: 0,
+        event_index,
+        class: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conserving_counts_pass() {
+        let mut a = FleetAuditor::new();
+        a.audit_invocations(
+            10,
+            InvocationCounts {
+                submitted: 100,
+                completed: 80,
+                rejected: 15,
+                in_flight: 5,
+            },
+            false,
+        );
+        assert!(a.report().is_clean());
+        assert_eq!(a.report().audits, 1);
+    }
+
+    #[test]
+    fn lost_invocation_is_flagged() {
+        let mut a = FleetAuditor::new();
+        a.audit_invocations(
+            7,
+            InvocationCounts {
+                submitted: 100,
+                completed: 80,
+                rejected: 15,
+                in_flight: 4,
+            },
+            false,
+        );
+        let r = a.into_report();
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].kind, ViolationKind::InvocationConservation);
+        assert_eq!(r.violations[0].provenance.event_index, 7);
+        assert!(r.violations[0].detail.contains("submitted 100"));
+    }
+
+    #[test]
+    fn drain_requires_zero_in_flight() {
+        let mut a = FleetAuditor::new();
+        a.audit_invocations(
+            99,
+            InvocationCounts {
+                submitted: 10,
+                completed: 7,
+                rejected: 1,
+                in_flight: 2,
+            },
+            true,
+        );
+        let r = a.into_report();
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0]
+            .detail
+            .contains("still in flight after drain"));
+    }
+
+    #[test]
+    fn frame_recount_matches_tracked() {
+        let mut a = FleetAuditor::new();
+        a.audit_fleet_frames(3, 120, [(0usize, 50u64), (1, 40), (2, 30)]);
+        assert!(a.report().is_clean());
+    }
+
+    #[test]
+    fn frame_divergence_is_flagged_with_totals() {
+        let mut a = FleetAuditor::new();
+        a.audit_fleet_frames(3, 125, [(0usize, 50u64), (1, 40), (2, 30)]);
+        let r = a.into_report();
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].kind, ViolationKind::FleetFrameDivergence);
+        assert!(r.violations[0].detail.contains("125"));
+        assert!(r.violations[0].detail.contains("120"));
+        assert!(r.violations[0].detail.contains("3 node(s)"));
+    }
+
+    #[test]
+    fn empty_fleet_reconciles_to_zero() {
+        let mut a = FleetAuditor::new();
+        a.audit_fleet_frames(0, 0, std::iter::empty());
+        assert!(a.report().is_clean());
+        a.audit_fleet_frames(1, 1, std::iter::empty());
+        assert!(!a.report().is_clean());
+    }
+}

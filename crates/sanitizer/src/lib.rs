@@ -19,10 +19,12 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod fleet;
 pub mod oracle;
 pub mod report;
 pub mod shadow;
 
+pub use fleet::{FleetAuditor, InvocationCounts};
 pub use report::{Provenance, SanitizerReport, Violation, ViolationKind};
 pub use shadow::ShadowHeap;
 

@@ -46,6 +46,13 @@ pub enum ViolationKind {
     /// mapped frames (a frame leaked or was double-counted somewhere in
     /// grant → map → reclaim → recycle → overflow-return).
     PoolConservation,
+    /// A cluster run lost or double-counted a request: submitted no longer
+    /// equals completed + rejected + in-flight (or in-flight is nonzero
+    /// after drain).
+    InvocationConservation,
+    /// The scheduler's incrementally-tracked fleet memory footprint
+    /// disagrees with a node-by-node recount of resident frames.
+    FleetFrameDivergence,
 }
 
 impl fmt::Display for ViolationKind {
@@ -64,6 +71,8 @@ impl fmt::Display for ViolationKind {
             ViolationKind::ArenaLifecycle => "arena-lifecycle",
             ViolationKind::OracleDivergence => "oracle-divergence",
             ViolationKind::PoolConservation => "pool-conservation",
+            ViolationKind::InvocationConservation => "invocation-conservation",
+            ViolationKind::FleetFrameDivergence => "fleet-frame-divergence",
         };
         f.write_str(s)
     }

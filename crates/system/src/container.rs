@@ -1,0 +1,247 @@
+//! Warm-container lifecycle for the cluster layer: one process, one
+//! allocator, one Memento attachment serving request after request.
+//!
+//! [`crate::Machine::run_invocations`] drives a fixed number of
+//! back-to-back invocations for the §6.3 steady-state figures; a cluster
+//! node needs the same mechanics under *external* control — a scheduler
+//! decides when the next request lands on this container, whether the
+//! container stays warm in the keep-alive pool, and when it is evicted.
+//! [`WarmContainer`] exposes that lifecycle as three moves:
+//!
+//! 1. [`WarmContainer::cold_start`] — boot the machine, create the
+//!    process/allocator/device state, and serve the first (cold)
+//!    invocation. Its statistics include container bring-up.
+//! 2. [`WarmContainer::invoke`] — serve one warm invocation: replay the
+//!    request body, then quiesce at the boundary (object sweep, GC,
+//!    `end_invocation_trim` arena recycling, allocator decay) exactly as
+//!    the warm window of `run_invocations` does.
+//! 3. [`WarmContainer::finish`] — container teardown: batch-return the
+//!    small-object heap to the OS pool and unmap what remains.
+//!
+//! Between invocations the container idles warm: the pool and Memento
+//! page table keep their recycled frames, which is what
+//! [`WarmContainer::resident_pages`] reports to the fleet accountant.
+
+use crate::config::SystemConfig;
+use crate::machine::{FunctionRun, Machine};
+use crate::stats::RunStats;
+use memento_workloads::event::{Event, Trace};
+use memento_workloads::generator::generate;
+use memento_workloads::spec::WorkloadSpec;
+
+/// A warm serverless container: a booted [`Machine`] plus the live process
+/// state of one function, serving invocations on demand.
+pub struct WarmContainer {
+    machine: Machine,
+    run: FunctionRun,
+    spec: WorkloadSpec,
+    trace: Trace,
+    body_len: usize,
+    invocations: u64,
+    serving_peak_pages: u64,
+}
+
+impl WarmContainer {
+    /// Boots a container for `spec` under `cfg` and serves the first —
+    /// cold — invocation. The returned statistics cover everything from
+    /// machine bring-up through the first request's boundary quiesce, so
+    /// they are the cold-start service time a scheduler should charge.
+    pub fn cold_start(cfg: SystemConfig, spec: &WorkloadSpec) -> (Self, RunStats) {
+        let trace = generate(spec);
+        // The trace's trailing Exit is container teardown; while the
+        // container lives, only the body replays (same convention as
+        // `Machine::run_invocations`).
+        let body_len = match trace.events.last() {
+            Some(Event::Exit) => trace.events.len() - 1,
+            _ => trace.events.len(),
+        };
+        let mut machine = Machine::new(cfg);
+        let run = machine.start(spec);
+        let mut container = WarmContainer {
+            machine,
+            run,
+            spec: spec.clone(),
+            trace,
+            body_len,
+            invocations: 0,
+            serving_peak_pages: 0,
+        };
+        let cold = container.serve();
+        (container, cold)
+    }
+
+    /// Serves one warm invocation and returns its statistics (the warm
+    /// service time). The container stays alive: frames recycled at the
+    /// boundary serve the next request without fresh OS grants. After the
+    /// call, [`WarmContainer::window_peak_pages`] reports the footprint
+    /// this invocation pinned.
+    pub fn invoke(&mut self) -> RunStats {
+        self.machine.begin_measurement(&mut self.run);
+        self.machine.reset_frame_window();
+        self.serve()
+    }
+
+    fn serve(&mut self) -> RunStats {
+        for i in 0..self.body_len {
+            let event = self.trace.events[i];
+            self.machine.step(&mut self.run, &event);
+        }
+        // Peak unreclaimable footprint while the request body executed:
+        // mapped data + tables, with the pool's recycle staging (free
+        // frames in flight between arena frees and the next grant)
+        // excluded — staging is reclaimable at any instant, like the OS
+        // free list.
+        self.serving_peak_pages = self.machine.window_peak_unreclaimable();
+        self.machine.end_invocation(&mut self.run, 0);
+        self.invocations += 1;
+        self.machine.collect_inner(&self.run)
+    }
+
+    /// Tears the container down (keep-alive expiry or scheduler eviction):
+    /// Memento detach with batch pool return, then OS unmap of what
+    /// remains. Returns the teardown-window statistics.
+    pub fn finish(mut self) -> RunStats {
+        self.machine.begin_measurement(&mut self.run);
+        self.machine.finish_run(&mut self.run, 0);
+        self.machine.collect_inner(&self.run)
+    }
+
+    /// Invocations served so far (cold start included).
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// The workload this container serves.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Frames currently resident on this container's machine — its live
+    /// contribution to the fleet memory footprint (idle-warm containers
+    /// keep their recycled pool and page tables resident; that residency
+    /// is the price of keep-alive).
+    pub fn resident_pages(&self) -> u64 {
+        self.machine.resident_pages()
+    }
+
+    /// Peak concurrently-resident frames over the container's lifetime —
+    /// the footprint it pins while actively serving a request.
+    pub fn peak_resident_pages(&self) -> u64 {
+        self.machine.peak_resident_pages()
+    }
+
+    /// The machine this container runs on (frame accounting, pool audits).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Keep-alive park: sheds the hardware pool's idle reserve back to the
+    /// OS while the container waits warm (see [`Machine::park`]). Returns
+    /// frames shed; 0 on baseline containers.
+    pub fn park(&mut self) -> u64 {
+        self.machine.park()
+    }
+
+    /// Peak unreclaimable frames while the most recent request body
+    /// executed (cold start included for the first invocation) — what
+    /// this container pins while actively serving, free pool staging
+    /// excluded.
+    pub fn serving_peak_pages(&self) -> u64 {
+        self.serving_peak_pages
+    }
+
+    /// Currently-unreclaimable frames: resident minus the pool's free
+    /// staging — this container's idle-warm contribution to the fleet
+    /// footprint.
+    pub fn unreclaimable_pages(&self) -> u64 {
+        self.machine.unreclaimable_pages()
+    }
+}
+
+// The cluster layer moves containers across the experiment harness's
+// worker threads during profile calibration.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<WarmContainer>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memento_workloads::suite;
+
+    fn small_spec(name: &str) -> WorkloadSpec {
+        let mut s = suite::by_name(name).expect("workload exists");
+        s.total_instructions = 300_000;
+        s
+    }
+
+    #[test]
+    fn warm_invocations_cost_less_than_cold() {
+        let spec = small_spec("aes");
+        let (mut c, cold) = WarmContainer::cold_start(SystemConfig::memento(), &spec);
+        let warm = c.invoke();
+        assert!(cold.total_cycles() > warm.total_cycles(), "cold start paid");
+        assert_eq!(c.invocations(), 2);
+        let teardown = c.finish();
+        assert!(teardown.kernel.munmaps > 0 || teardown.kernel.context_switches > 0);
+    }
+
+    #[test]
+    fn matches_run_invocations_warm_window() {
+        // The externally-driven container must reproduce the monolithic
+        // warm driver invocation for invocation: same machine, same
+        // boundary semantics, same cycle ledgers.
+        let spec = small_spec("html");
+        let n = 3;
+        let reference = Machine::new(SystemConfig::memento()).run_invocations(&spec, n);
+        let (mut c, cold) = WarmContainer::cold_start(SystemConfig::memento(), &spec);
+        let mut warm = Vec::new();
+        for _ in 1..n {
+            warm.push(c.invoke());
+        }
+        assert_eq!(
+            cold.total_cycles(),
+            reference.invocations[0].total_cycles(),
+            "cold invocation diverged from run_invocations"
+        );
+        for (i, w) in warm.iter().enumerate() {
+            assert_eq!(
+                w.total_cycles(),
+                reference.invocations[i + 1].total_cycles(),
+                "warm invocation {} diverged from run_invocations",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn idle_footprint_stays_flat_across_warm_invocations() {
+        // Keep-alive economics: after the boundary trim, an idle container
+        // must not grow its resident footprint request over request
+        // (otherwise the warm pool leaks the fleet's memory).
+        let spec = small_spec("US");
+        let (mut c, _) = WarmContainer::cold_start(SystemConfig::memento(), &spec);
+        c.invoke();
+        let after_second = c.resident_pages();
+        for _ in 0..3 {
+            c.invoke();
+        }
+        let after_fifth = c.resident_pages();
+        assert!(
+            after_fifth <= after_second + after_second / 8,
+            "idle footprint grew: {after_second} -> {after_fifth} frames"
+        );
+        assert!(c.peak_resident_pages() >= after_fifth);
+    }
+
+    #[test]
+    fn baseline_containers_also_serve_warm() {
+        let spec = small_spec("jl");
+        let (mut c, cold) = WarmContainer::cold_start(SystemConfig::baseline(), &spec);
+        let warm = c.invoke();
+        assert!(warm.total_cycles().raw() > 0);
+        assert!(cold.total_cycles() >= warm.total_cycles());
+        assert!(c.resident_pages() > 0);
+    }
+}

@@ -6,6 +6,9 @@
 //! - [`config`] — system configurations: baseline, Memento (with feature
 //!   toggles), the §6.1 iso-storage L1D, the §6.7 idealized Mallacc, and
 //!   the §6.6 `MAP_POPULATE` baseline.
+//! - [`container`] — [`container::WarmContainer`]: the externally-driven
+//!   cold-start/invoke/finish lifecycle the cluster scheduler places
+//!   requests onto.
 //! - [`machine`] — the machine itself: cores + TLBs + caches + kernel +
 //!   software allocators or the Memento device; executes [`memento_workloads::Event`]
 //!   streams, handles Go GC policy, context switches, and teardown.
@@ -28,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod container;
 pub mod gc;
 pub mod machine;
 pub mod observe;
 pub mod stats;
 
 pub use config::{Mode, SystemConfig, TraceConfig};
+pub use container::WarmContainer;
 pub use machine::Machine;
 pub use stats::RunStats;

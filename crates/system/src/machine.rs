@@ -798,7 +798,7 @@ impl Machine {
         runs.iter().map(|r| self.collect(r)).collect()
     }
 
-    fn finish_run(&mut self, run: &mut FunctionRun, core: usize) {
+    pub(crate) fn finish_run(&mut self, run: &mut FunctionRun, core: usize) {
         run.finished = true;
 
         // Library-init cycles belong to container setup (warm starts).
@@ -997,7 +997,7 @@ impl Machine {
 
     /// Statistics for `run`'s current measurement window, finished or not
     /// (the warm driver collects per-invocation windows mid-run).
-    fn collect_inner(&self, run: &FunctionRun) -> RunStats {
+    pub(crate) fn collect_inner(&self, run: &FunctionRun) -> RunStats {
         let frames_now = self.kernel.frame_stats().clone();
         let mem_now = self.mem_sys.stats();
         let kernel_now = self.kernel.stats();
@@ -1091,7 +1091,7 @@ impl Machine {
     /// own frees replayed at once, and allocator decay runs on background
     /// threads (jemalloc's decay purging), neither on the request's
     /// critical path. The tracing layer still observes every charge.
-    fn end_invocation(&mut self, run: &mut FunctionRun, core: usize) {
+    pub(crate) fn end_invocation(&mut self, run: &mut FunctionRun, core: usize) {
         let live_account = std::mem::replace(&mut run.account, CycleAccount::new());
         self.end_invocation_inner(run, core);
         run.account = live_account;
@@ -1307,6 +1307,89 @@ impl Machine {
     /// Total page-fault count so far (test/diagnostic accessor).
     pub fn page_faults(&self) -> u64 {
         self.kernel.stats().page_faults
+    }
+
+    /// Physical frames currently resident across every use (user heap,
+    /// Memento pool, page tables, kernel metadata) — a node's live memory
+    /// footprint as the cluster layer accounts it.
+    pub fn resident_pages(&self) -> u64 {
+        self.kernel.frame_stats().current_total()
+    }
+
+    /// Per-use snapshot of the machine's physical-frame accounting
+    /// (diagnostic accessor; the cluster layer splits pool reserve from
+    /// data-backing frames with it).
+    pub fn frame_breakdown(&self) -> memento_kernel::buddy::FrameStats {
+        self.kernel.frame_stats().clone()
+    }
+
+    /// Keep-alive park: hands the hardware pool's idle reserve back to the
+    /// OS. A warm container waiting for its next request pins recycled
+    /// frames in the device pool; they back no mapping, so the platform
+    /// can reclaim them without walks or shootdowns — the cheap idle
+    /// reclaim the pool architecture enables (software baselines have no
+    /// equivalent: their allocator caches hold mapped heap pages). The
+    /// next invocation re-grants through the normal low-water refill,
+    /// whose cost lands in that invocation's ledger. Returns frames shed;
+    /// no-op (0) on non-Memento machines.
+    pub fn park(&mut self) -> u64 {
+        let Some(dev) = self.device.as_mut() else {
+            return 0;
+        };
+        let mut backend = OsBackend {
+            kernel: &mut self.kernel,
+        };
+        dev.shed_pool(&mut backend, 0)
+    }
+
+    /// Restarts the resident-peak window (see
+    /// [`Machine::window_peak_pages`]).
+    pub fn reset_frame_window(&mut self) {
+        self.kernel.reset_frame_window();
+        if let Some(dev) = self.device.as_mut() {
+            dev.reset_window();
+        }
+    }
+
+    /// True peak of concurrently-resident frames since the last
+    /// [`Machine::reset_frame_window`] — the footprint one invocation
+    /// pins, free of `peak_resident_pages`'s whole-lifetime per-use
+    /// upper bound.
+    pub fn window_peak_pages(&self) -> u64 {
+        self.kernel.frame_stats().window_peak()
+    }
+
+    /// Peak *unreclaimable* frames since the last window reset: non-pool
+    /// kernel uses (user heap, page tables, kernel metadata) plus the
+    /// frames the device actually mapped into the process. The pool's free
+    /// staging is excluded — those frames back no mapping and
+    /// [`Machine::park`] returns them with pure bookkeeping, so a fleet
+    /// accountant treats them like the OS free list, not like used
+    /// memory. (Slight upper bound: the two peaks need not coincide.)
+    pub fn window_peak_unreclaimable(&self) -> u64 {
+        let mapped = self
+            .device
+            .as_ref()
+            .map(|d| d.window_peak_mapped())
+            .unwrap_or(0);
+        self.kernel.frame_stats().window_peak_nonpool() + mapped
+    }
+
+    /// Currently-unreclaimable frames: resident minus the device pool's
+    /// free staging (see [`Machine::window_peak_unreclaimable`]).
+    pub fn unreclaimable_pages(&self) -> u64 {
+        let pool_free = self
+            .device
+            .as_ref()
+            .map(|d| d.pool_len() as u64)
+            .unwrap_or(0);
+        self.kernel.frame_stats().current_total() - pool_free
+    }
+
+    /// Peak concurrently-resident frames so far (per-use peaks summed —
+    /// the same upper bound `RunStats::peak_pages` reports).
+    pub fn peak_resident_pages(&self) -> u64 {
+        self.kernel.frame_stats().peak_total()
     }
 
     /// Physical-page lifecycle audit of the device's pool, if the machine

@@ -74,15 +74,15 @@ fn main() {
     println!();
     println!(
         "{}",
-        multicore::run_for_jobs(&["html", "US", "bfs-go", "jl"], 2, jobs)
+        multicore::run_for_jobs(&["html", "US", "bfs-go", "jl"], 2, jobs).expect("suite workloads")
     );
     println!();
     println!(
         "{}",
-        ablation::run_for_jobs(&["html", "US", "bfs-go"], 2, jobs)
+        ablation::run_for_jobs(&["html", "US", "bfs-go"], 2, jobs).expect("suite workloads")
     );
     println!();
-    println!("{}", ablation::proactive_gc());
+    println!("{}", ablation::proactive_gc().expect("suite workloads"));
 
     println!();
     println!("{}", report::timing_summary(&ctx));

@@ -27,8 +27,12 @@ fn speedup_table_identical_serial_vs_parallel() {
 
 #[test]
 fn ablation_table_identical_serial_vs_parallel() {
-    let serial = ablation::run_for_jobs(&["html", "US"], 8, 1).to_string();
-    let parallel = ablation::run_for_jobs(&["html", "US"], 8, 4).to_string();
+    let serial = ablation::run_for_jobs(&["html", "US"], 8, 1)
+        .expect("known workloads")
+        .to_string();
+    let parallel = ablation::run_for_jobs(&["html", "US"], 8, 4)
+        .expect("known workloads")
+        .to_string();
     assert_eq!(serial, parallel, "ablation table diverged under --jobs 4");
 }
 
@@ -43,9 +47,32 @@ fn characterization_identical_serial_vs_parallel() {
 
 #[test]
 fn multicore_table_identical_serial_vs_parallel() {
-    let serial = multicore::run_for_jobs(&["aes", "jl"], 8, 1).to_string();
-    let parallel = multicore::run_for_jobs(&["aes", "jl"], 8, 4).to_string();
+    let serial = multicore::run_for_jobs(&["aes", "jl"], 8, 1)
+        .expect("known workloads")
+        .to_string();
+    let parallel = multicore::run_for_jobs(&["aes", "jl"], 8, 4)
+        .expect("known workloads")
+        .to_string();
     assert_eq!(serial, parallel, "multicore table diverged under --jobs 4");
+}
+
+#[test]
+fn cluster_table_identical_serial_vs_parallel() {
+    use memento_experiments::cluster::{self, ClusterParams};
+    let params = ClusterParams {
+        nodes: 4,
+        queue_capacity: 16,
+        invocations: 600,
+        seed: 7,
+    };
+    let render = |jobs: usize| {
+        cluster::run_for_jobs(&["aes", "html"], 8, jobs, params)
+            .expect("known workloads")
+            .to_string()
+    };
+    let serial = render(1);
+    let parallel = render(4);
+    assert_eq!(serial, parallel, "cluster table diverged under --jobs 4");
 }
 
 #[test]
