@@ -1,0 +1,161 @@
+//! The CI regression gate over two `BENCH_*.json` reports.
+//!
+//! The gate compares per-workload wall time: a workload regresses when
+//! its new wall time exceeds the baseline's by more than the threshold
+//! percentage. A workload present in the baseline but missing from the
+//! new report also fails (a silently dropped measurement would make
+//! every later comparison vacuous); workloads only in the new report
+//! are noted but allowed, so the pinned set can grow without
+//! re-blessing the baseline in the same change.
+
+use memento_simcore::json::Value;
+
+/// The outcome of comparing a fresh report against a baseline.
+#[derive(Debug)]
+pub struct GateReport {
+    /// One human-readable line per compared workload.
+    pub lines: Vec<String>,
+    /// Failures: regressions past the threshold, missing workloads, or
+    /// malformed reports. Empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the new report is within the regression budget.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Extracts `(name, wall_ms)` pairs from a report's `workloads` array.
+fn workload_walls(report: &Value) -> Option<Vec<(String, f64)>> {
+    let items = report.get("workloads")?.as_array()?;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let name = item.get("name")?.as_str()?.to_owned();
+        let wall = item.get("wall_ms")?.as_f64()?;
+        out.push((name, wall));
+    }
+    Some(out)
+}
+
+/// Compares `new` against `baseline`, failing any workload whose wall
+/// time grew by more than `threshold_pct` percent.
+pub fn compare(new: &Value, baseline: &Value, threshold_pct: f64) -> GateReport {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+
+    let (Some(new_walls), Some(base_walls)) = (workload_walls(new), workload_walls(baseline))
+    else {
+        failures.push(
+            "malformed bench report: expected a `workloads` array of \
+             {name, wall_ms} objects in both reports"
+                .to_owned(),
+        );
+        return GateReport { lines, failures };
+    };
+
+    for (name, base_ms) in &base_walls {
+        match new_walls.iter().find(|(n, _)| n == name) {
+            Some((_, new_ms)) => {
+                let delta_pct = if *base_ms > 0.0 {
+                    (new_ms - base_ms) / base_ms * 100.0
+                } else {
+                    0.0
+                };
+                let verdict = if delta_pct > threshold_pct {
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                lines.push(format!(
+                    "{name}: {base_ms:.1} ms -> {new_ms:.1} ms ({delta_pct:+.1}%) {verdict}"
+                ));
+                if delta_pct > threshold_pct {
+                    failures.push(format!(
+                        "{name} regressed {delta_pct:+.1}% (budget {threshold_pct:.0}%)"
+                    ));
+                }
+            }
+            None => {
+                failures.push(format!(
+                    "{name} present in baseline but missing from new report"
+                ));
+            }
+        }
+    }
+    for (name, _) in &new_walls {
+        if !base_walls.iter().any(|(n, _)| n == name) {
+            lines.push(format!("{name}: new workload, no baseline (not gated)"));
+        }
+    }
+
+    GateReport { lines, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memento_simcore::json;
+
+    /// Checked-in fixture reports exercising the CI gate end to end.
+    const BASELINE: &str = include_str!("../fixtures/gate_baseline.json");
+    const WITHIN_BUDGET: &str = include_str!("../fixtures/gate_within_budget.json");
+    const REGRESSED: &str = include_str!("../fixtures/gate_regressed.json");
+
+    fn parse(s: &str) -> Value {
+        json::parse(s).expect("fixture parses")
+    }
+
+    #[test]
+    fn fixture_within_budget_passes() {
+        let report = compare(&parse(WITHIN_BUDGET), &parse(BASELINE), 15.0);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        // Every baseline workload was compared, and the extra workload
+        // in the new report is noted but not gated.
+        assert_eq!(report.lines.len(), 3);
+        assert!(report.lines.iter().any(|l| l.contains("not gated")));
+    }
+
+    #[test]
+    fn fixture_regression_fails_only_the_slow_workload() {
+        let report = compare(&parse(REGRESSED), &parse(BASELINE), 15.0);
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("cluster_full_eval"));
+        assert!(report.failures[0].contains("+50.0%"));
+    }
+
+    #[test]
+    fn tighter_threshold_flags_the_borderline_workload() {
+        // cluster_smoke drifts +10% in the within-budget fixture:
+        // inside a 15% budget, outside a 5% one.
+        let report = compare(&parse(WITHIN_BUDGET), &parse(BASELINE), 5.0);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("cluster_smoke"));
+    }
+
+    #[test]
+    fn missing_workload_fails() {
+        let new = parse(r#"{"workloads": [{"name": "cluster_smoke", "wall_ms": 100.0}]}"#);
+        let report = compare(&new, &parse(BASELINE), 15.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("missing from new report")));
+    }
+
+    #[test]
+    fn malformed_report_fails_closed() {
+        let report = compare(&parse(r#"{"schema": "nope"}"#), &parse(BASELINE), 15.0);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("malformed"));
+    }
+
+    #[test]
+    fn zero_baseline_wall_never_divides_by_zero() {
+        let base = parse(r#"{"workloads": [{"name": "w", "wall_ms": 0.0}]}"#);
+        let new = parse(r#"{"workloads": [{"name": "w", "wall_ms": 3.0}]}"#);
+        assert!(compare(&new, &base, 15.0).passed());
+    }
+}

@@ -1,6 +1,16 @@
-//! Benchmark-only crate: the Criterion harness lives in `benches/`.
+//! Benchmark crate: the `memento-bench` harness binary plus the
+//! Criterion groups in `benches/`.
 //!
-//! One bench group per paper artifact:
+//! The binary (`cargo run --release -p memento-bench -- --out FILE`)
+//! runs a pinned workload set — cluster smoke, warm steady-state, and
+//! the full-evaluation-scale cluster throughput run — and writes a
+//! `BENCH_*.json` report with per-workload wall time, invocations per
+//! second, a self-profiling span breakdown, and peak RSS. Passing
+//! `--baseline FILE` additionally gates the run against a checked-in
+//! report (see [`gate`]); CI fails the job when any workload's wall
+//! time regresses past the threshold.
+//!
+//! The Criterion groups are unchanged, one per paper artifact:
 //!
 //! - `characterization` — Figs. 2–3, Tables 1–3
 //! - `evaluation` — Figs. 8–14 (prints every regenerated series)
@@ -12,3 +22,5 @@
 //! paper-shaped rows before timing begins.
 
 #![forbid(unsafe_code)]
+
+pub mod gate;

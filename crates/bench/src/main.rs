@@ -1,0 +1,362 @@
+//! `memento-bench` — the pinned performance harness.
+//!
+//! Runs a fixed workload set and writes a JSON report:
+//!
+//! ```text
+//! cargo run --release -p memento-bench -- --out BENCH_2026-08-08.json
+//! ```
+//!
+//! Workloads (all fixed-seed, so run-to-run variance is wall-clock
+//! noise, never simulated-work drift):
+//!
+//! - `cluster_smoke` — the default cluster evaluation at CI scale
+//!   (scale 8, 3 000 invocations per run, six fleet runs).
+//! - `warm_steady_state` — the Fig. 11 steady-state memory experiment
+//!   over four representative workloads (full machine simulation).
+//! - `cluster_full_eval` — the headline: the full-evaluation-scale
+//!   cluster sweep (scale 64, 500 000 invocations per run, three load
+//!   levels x two fleets). `wall_ms` covers only the six simulation
+//!   calls; calibration and arrival generation are reported separately
+//!   as `setup_ms` so the invocations/sec figure measures the event
+//!   engine itself.
+//!
+//! Each workload runs `--reps` times (default 3) and reports the
+//! fastest repetition: the simulated work is deterministic, so the
+//! minimum is the measurement least polluted by scheduler noise, and
+//! it is what keeps a 15 % gate meaningful on shared runners.
+//!
+//! With `--baseline FILE` the run is additionally gated: any workload
+//! whose wall time regresses more than `--threshold` percent (default
+//! 15) fails the process with exit code 1. A missing baseline file is
+//! a skip-with-notice, not a failure, so the gate can be enabled in CI
+//! before the first baseline is blessed.
+
+use memento_bench::gate;
+use memento_cluster::{
+    calibrate, generate_arrivals, simulate, ArrivalConfig, ClusterConfig, Engine, KeepAlive,
+    Placement, ProfileTable, WorkloadMix,
+};
+use memento_experiments::cluster::{run_for_jobs, ClusterParams};
+use memento_experiments::{memusage, EvalContext};
+use memento_simcore::json::{self, Value};
+use memento_system::SystemConfig;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One measured workload, ready to serialize.
+struct Measurement {
+    name: &'static str,
+    wall_ms: f64,
+    /// Setup cost excluded from `wall_ms` (0 when setup is part of the
+    /// measured work).
+    setup_ms: f64,
+    invocations: u64,
+    spans: Vec<(String, u64, f64)>,
+}
+
+impl Measurement {
+    fn to_json(&self) -> Value {
+        let mut w = Value::object();
+        w.set("name", self.name);
+        w.set("wall_ms", round1(self.wall_ms));
+        w.set("setup_ms", round1(self.setup_ms));
+        w.set("invocations", self.invocations as f64);
+        let secs = self.wall_ms / 1e3;
+        let inv_per_sec = if secs > 0.0 {
+            self.invocations as f64 / secs
+        } else {
+            0.0
+        };
+        w.set("inv_per_sec", inv_per_sec.round());
+        let mut spans = Value::object();
+        for (name, calls, total_ms) in &self.spans {
+            let mut s = Value::object();
+            s.set("calls", *calls as f64);
+            s.set("total_ms", round1(*total_ms));
+            spans.set(name, s);
+        }
+        w.set("spans", spans);
+        w
+    }
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+/// Drains the self-profiler into `(span, calls, total_ms)` rows.
+fn drain_spans() -> Vec<(String, u64, f64)> {
+    memento_obs::selfprof::take_report()
+        .into_iter()
+        .map(|(name, s)| (name, s.calls, s.total_ns as f64 / 1e6))
+        .collect()
+}
+
+/// The default cluster evaluation at CI scale: catches regressions on
+/// the exact path `examples/cluster.rs` and the CI smoke job exercise.
+fn bench_cluster_smoke() -> Measurement {
+    memento_obs::selfprof::enable();
+    let t = Instant::now();
+    let report = run_for_jobs(
+        &["aes", "html", "Redis", "US"],
+        8,
+        1,
+        ClusterParams::default(),
+    )
+    .expect("pinned workloads exist");
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    memento_obs::selfprof::disable();
+    let invocations = report
+        .rows
+        .iter()
+        .map(|r| r.baseline.completed + r.memento.completed)
+        .sum();
+    Measurement {
+        name: "cluster_smoke",
+        wall_ms,
+        setup_ms: 0.0,
+        invocations,
+        spans: drain_spans(),
+    }
+}
+
+/// The Fig. 11 warm steady-state experiment over four representative
+/// workloads: full per-machine simulation, so this guards the
+/// single-node pipeline rather than the fleet engine. `invocations`
+/// counts simulated machine runs (one baseline + one Memento per
+/// workload).
+fn bench_warm_steady_state() -> Measurement {
+    let mut ctx = EvalContext::scaled(8);
+    let specs: Vec<_> = ["Redis", "Silo", "SQLite3", "html"]
+        .iter()
+        .map(|n| ctx.try_workload(n).expect("pinned workloads exist"))
+        .collect();
+    memento_obs::selfprof::enable();
+    let t = Instant::now();
+    let result = memusage::run_for(&mut ctx, &specs);
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    memento_obs::selfprof::disable();
+    assert!(result.skipped.is_empty(), "pinned workloads must measure");
+    Measurement {
+        name: "warm_steady_state",
+        wall_ms,
+        setup_ms: 0.0,
+        invocations: 2 * specs.len() as u64,
+        spans: drain_spans(),
+    }
+}
+
+/// The headline run: the cluster experiment at full evaluation scale.
+/// Mirrors `experiments::cluster::run_specs` shapes (scale 64, eight
+/// workloads, LeastLoaded, fixed keep-alive at 20x mean warm service)
+/// but times only the six `simulate` calls.
+fn bench_cluster_full_eval() -> Measurement {
+    const NAMES: [&str; 8] = ["html", "US", "CM", "MI", "Redis", "Silo", "SQLite3", "up"];
+    const LOADS: [f64; 3] = [0.5, 0.9, 1.15];
+    const INVOCATIONS: u64 = 500_000;
+
+    let setup = Instant::now();
+    let ctx = EvalContext::scaled(64);
+    let specs: Vec<_> = NAMES
+        .iter()
+        .map(|n| ctx.try_workload(n).expect("pinned workloads exist"))
+        .collect();
+    let mix = WorkloadMix::uniform(specs.clone()).expect("non-empty mix");
+    let base: Vec<_> = specs
+        .iter()
+        .map(|s| calibrate(&SystemConfig::baseline(), s, 3))
+        .collect();
+    let mem: Vec<_> = specs
+        .iter()
+        .map(|s| calibrate(&SystemConfig::memento(), s, 3))
+        .collect();
+    let mean_service: f64 =
+        base.iter().map(|p| p.warm_cycles as f64).sum::<f64>() / base.len() as f64;
+    let keep_alive = KeepAlive::Fixed((mean_service * 20.0) as u64);
+    let base_table = ProfileTable::from_profiles(base);
+    let mem_table = ProfileTable::from_profiles(mem);
+    let cfg = ClusterConfig {
+        nodes: 8,
+        queue_capacity: 32,
+        placement: Placement::LeastLoaded,
+        keep_alive,
+        record_timeline: false,
+    };
+    let arrival_sets: Vec<_> = LOADS
+        .iter()
+        .map(|util| {
+            let arrival = ArrivalConfig {
+                seed: 7,
+                count: INVOCATIONS,
+                mean_interarrival_cycles: mean_service / (cfg.nodes as f64 * util),
+            };
+            generate_arrivals(&arrival, &mix).expect("positive arrival rate")
+        })
+        .collect();
+    let setup_ms = setup.elapsed().as_secs_f64() * 1e3;
+
+    memento_obs::selfprof::enable();
+    let mut invocations = 0u64;
+    let t = Instant::now();
+    for arrivals in &arrival_sets {
+        for table in [&base_table, &mem_table] {
+            let r = simulate(Engine::Profiled(table.clone()), &cfg, &mix, arrivals)
+                .expect("validated config");
+            invocations += r.completed;
+        }
+    }
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    memento_obs::selfprof::disable();
+    Measurement {
+        name: "cluster_full_eval",
+        wall_ms,
+        setup_ms,
+        invocations,
+        spans: drain_spans(),
+    }
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`),
+/// when the platform exposes it.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Runs a measurement `reps` times and keeps the fastest repetition.
+/// Every repetition simulates identical work (fixed seeds), so the
+/// minimum wall time is the least noise-polluted sample.
+fn best_of(reps: u32, f: impl Fn() -> Measurement) -> Measurement {
+    (0..reps.max(1))
+        .map(|_| f())
+        .min_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms))
+        .expect("at least one repetition")
+}
+
+struct Args {
+    out: Option<String>,
+    baseline: Option<String>,
+    threshold_pct: f64,
+    reps: u32,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: None,
+        baseline: None,
+        threshold_pct: 15.0,
+        reps: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--out" => args.out = Some(value("--out")?),
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--threshold" => {
+                args.threshold_pct = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+            }
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: memento-bench [--out FILE] [--baseline FILE] \
+                     [--threshold PCT] [--reps N]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let measurements = [
+        best_of(args.reps, bench_cluster_smoke),
+        best_of(args.reps, bench_warm_steady_state),
+        best_of(args.reps, bench_cluster_full_eval),
+    ];
+
+    let mut report = Value::object();
+    report.set("schema", "memento-bench/v1");
+    let workloads: Vec<Value> = measurements.iter().map(Measurement::to_json).collect();
+    report.set("workloads", Value::Array(workloads));
+    match peak_rss_kb() {
+        Some(kb) => report.set("peak_rss_kb", kb as f64),
+        None => report.set("peak_rss_kb", Value::Null),
+    };
+
+    for m in &measurements {
+        let secs = m.wall_ms / 1e3;
+        let rate = if secs > 0.0 {
+            m.invocations as f64 / secs
+        } else {
+            0.0
+        };
+        println!(
+            "{}: {:.1} ms wall (+{:.1} ms setup), {} invocations, {:.0} inv/s",
+            m.name, m.wall_ms, m.setup_ms, m.invocations, rate
+        );
+    }
+    if let Some(kb) = peak_rss_kb() {
+        println!("peak RSS: {} kB", kb);
+    }
+
+    let rendered = format!("{}\n", report.to_pretty());
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &args.baseline {
+        let baseline_text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(_) => {
+                // Skip-with-notice: the gate arms itself once a
+                // baseline is blessed into the tree.
+                println!("bench gate: no baseline at {path} — skipping regression gate");
+                return ExitCode::SUCCESS;
+            }
+        };
+        let baseline = match json::parse(&baseline_text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bench gate: baseline {path} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let outcome = gate::compare(&report, &baseline, args.threshold_pct);
+        println!(
+            "bench gate vs {path} (threshold {:.0}%):",
+            args.threshold_pct
+        );
+        for line in &outcome.lines {
+            println!("  {line}");
+        }
+        if !outcome.passed() {
+            for failure in &outcome.failures {
+                eprintln!("bench gate FAILED: {failure}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("bench gate: pass");
+    }
+
+    ExitCode::SUCCESS
+}

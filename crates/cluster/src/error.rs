@@ -10,6 +10,10 @@ pub enum ClusterError {
     EmptyMix,
     /// The cluster has zero nodes.
     NoNodes,
+    /// The cluster exceeds the engine's supported fleet shape (the
+    /// flat placement scan packs node index and load into one 64-bit
+    /// key: at most 2^16 nodes and queue capacity below 2^40).
+    FleetTooLarge,
     /// A Profiled-engine run references a workload with no calibrated
     /// service profile.
     MissingProfile(String),
@@ -22,6 +26,11 @@ impl fmt::Display for ClusterError {
         match self {
             ClusterError::EmptyMix => write!(f, "workload mix is empty or has zero total weight"),
             ClusterError::NoNodes => write!(f, "cluster has zero nodes"),
+            ClusterError::FleetTooLarge => write!(
+                f,
+                "cluster exceeds the supported fleet shape (max 65536 nodes, \
+                 queue capacity below 2^40)"
+            ),
             ClusterError::MissingProfile(name) => {
                 write!(f, "no calibrated service profile for workload '{name}'")
             }

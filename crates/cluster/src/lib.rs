@@ -22,10 +22,14 @@
 //! - [`profile`] — per-(workload, config) service profiles calibrated
 //!   from real [`memento_system::WarmContainer`] runs, letting the
 //!   simulator scale to millions of invocations.
+//! - [`event_heap`] — the flat `(time, seq)`-ordered binary heap the
+//!   engine schedules on; seq stamping makes tie order a total order.
 //! - [`sim`] — the deterministic event-driven simulator with incremental
 //!   fleet-footprint accounting, per-node metrics, exact tail-latency
 //!   quantiles, and drain-time conservation audits from
-//!   `memento_sanitizer::fleet`.
+//!   `memento_sanitizer::fleet`. [`sim::simulate_jobs`] fans node
+//!   execution across worker threads when the run decomposes per node,
+//!   with byte-identical output to the serial reference.
 //! - [`error`] — typed construction/validation errors.
 //!
 //! # Examples
@@ -63,12 +67,15 @@
 
 pub mod arrival;
 pub mod error;
+pub mod event_heap;
 pub mod policy;
 pub mod profile;
+mod shard;
 pub mod sim;
 
 pub use arrival::{generate_arrivals, Arrival, ArrivalConfig, WorkloadMix};
 pub use error::ClusterError;
+pub use event_heap::EventHeap;
 pub use policy::{KeepAlive, Placement, RejectReason};
 pub use profile::{calibrate, ProfileTable, ServiceProfile};
-pub use sim::{simulate, ClusterConfig, ClusterResult, Engine};
+pub use sim::{simulate, simulate_jobs, ClusterConfig, ClusterResult, Engine};

@@ -6,11 +6,36 @@
 //! The simulation is byte-deterministic by construction:
 //!
 //! - The clock is simulated cycles; nothing reads wall time.
-//! - The event heap is keyed `(time, seq)` with a monotonically increasing
-//!   sequence number, so ties have one total order.
-//! - All keyed state lives in `BTreeMap`s; iteration order is defined.
+//! - The event queue is a flat `(time, seq)`-ordered binary heap
+//!   ([`crate::event_heap::EventHeap`]) stamping every push with a
+//!   monotonically increasing sequence number, so ties have one total
+//!   order.
+//! - All keyed state is index-based: containers live in a slab (`Vec` +
+//!   free list, generation-tagged handles), per-node warm pools are dense
+//!   arrays over mix indices, and per-(workload, config) service costs
+//!   are resolved to a mix-indexed array before the first event fires.
+//!   Iteration order is array order — defined everywhere.
 //! - The arrival sequence is a pure function of its seed and is shared by
 //!   every fleet configuration under comparison.
+//!
+//! The flat layout replaced `BTreeMap`-keyed event/node/container state
+//! (see DESIGN.md §10): per event, the engine now does O(1) array
+//! indexing where it used to chase tree nodes and compare workload-name
+//! strings. `tools/lint` bans `BTreeMap` from this file's hot paths so
+//! the flattening cannot regress silently.
+//!
+//! # Parallel node execution
+//!
+//! [`simulate_jobs`] fans node execution across real worker threads when
+//! the run decomposes per node — Profiled engine (no shared machines) and
+//! round-robin placement (arrival *i* lands on node *i* mod N regardless
+//! of fleet state, so no cross-node scheduling coupling exists). Nodes
+//! are partitioned into contiguous shards, each shard runs the identical
+//! serial engine over its own arrivals, and results merge by `(time,
+//! seq)`-settled timestamps — the same slot-by-input-index pattern as the
+//! sharded experiment runner ([`memento_simcore::pool::map_ordered`]).
+//! The serial path is the reference; `serial_and_sharded_runs_agree`
+//! asserts byte-identical tables, timelines, and peaks.
 //!
 //! # Accounting
 //!
@@ -22,21 +47,27 @@
 //! pool's free reserve is shed back to the OS when a container parks
 //! ([`WarmContainer::park`]) and excluded while serving, because free
 //! staging is reclaimable at any instant exactly like the OS free list.
-//! The running total drives the footprint timeline and peak. At drain, a
+//! The running total drives the footprint timeline and peak; the peak is
+//! taken over *timestamp-settled* footprints (all events at one simulated
+//! instant apply before the maximum is sampled), so it is independent of
+//! how same-instant events across nodes interleave — the property that
+//! makes the sharded merge byte-identical to the serial run. At drain, a
 //! [`FleetAuditor`] recounts frames node by node from the engine's ground
 //! truth and re-checks invocation conservation — any drift surfaces as a
 //! sanitizer violation in [`ClusterResult::audit`].
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::BTreeMap; // lint:allow(btreemap-in-hot-path): result-surface type only — built once at drain, never touched per event
+use std::collections::VecDeque;
 
 use memento_obs::metrics::{Log2Hist, MetricsRegistry};
+use memento_obs::selfprof;
 use memento_sanitizer::fleet::{FleetAuditor, InvocationCounts};
 use memento_sanitizer::SanitizerReport;
 use memento_system::{SystemConfig, WarmContainer};
 
 use crate::arrival::{Arrival, WorkloadMix};
 use crate::error::ClusterError;
+use crate::event_heap::EventHeap;
 use crate::policy::{KeepAlive, Placement, RejectReason};
 use crate::profile::ProfileTable;
 
@@ -91,6 +122,7 @@ pub struct ClusterResult {
     /// Arrivals turned away at admission.
     pub rejected: u64,
     /// Rejections broken down by typed reason.
+    // lint:allow(btreemap-in-hot-path): result surface, written once at drain
     pub rejected_by: BTreeMap<RejectReason, u64>,
     /// Invocations that paid a container cold start.
     pub cold_starts: u64,
@@ -104,7 +136,7 @@ pub struct ClusterResult {
     pub live_containers: u64,
     /// Simulated cycle of the last processed event.
     pub makespan_cycles: u64,
-    /// Highest concurrent fleet footprint, in frames.
+    /// Highest timestamp-settled fleet footprint, in frames.
     pub peak_fleet_frames: u64,
     /// Fleet footprint at drain (idle-warm containers), in frames.
     pub final_fleet_frames: u64,
@@ -155,87 +187,277 @@ impl ClusterResult {
     }
 }
 
-/// Runs the fleet simulation over a pre-drawn arrival sequence and drains
-/// it to quiescence. The arrival slice must be time-sorted (as
-/// [`crate::arrival::generate_arrivals`] produces).
-pub fn simulate(
-    engine: Engine,
-    cfg: &ClusterConfig,
-    mix: &WorkloadMix,
-    arrivals: &[Arrival],
-) -> Result<ClusterResult, ClusterError> {
+/// Validates a run's inputs: a non-empty fleet and mix, and (for the
+/// Profiled engine) a calibrated profile for every workload in the mix.
+fn validate(engine: &Engine, cfg: &ClusterConfig, mix: &WorkloadMix) -> Result<(), ClusterError> {
     if cfg.nodes == 0 {
         return Err(ClusterError::NoNodes);
+    }
+    if cfg.nodes > 1 << 16 || cfg.queue_capacity >= 1 << 40 {
+        return Err(ClusterError::FleetTooLarge);
     }
     if mix.is_empty() {
         return Err(ClusterError::EmptyMix);
     }
-    if let Engine::Profiled(table) = &engine {
+    if let Engine::Profiled(table) = engine {
         for spec in mix.specs() {
             if table.get(&spec.name).is_none() {
                 return Err(ClusterError::MissingProfile(spec.name.clone()));
             }
         }
     }
-    let mut sim = Sim::new(engine, cfg, mix);
+    Ok(())
+}
+
+/// Runs the fleet simulation over a pre-drawn arrival sequence and drains
+/// it to quiescence, serially on the calling thread. The arrival slice
+/// must be time-sorted (as [`crate::arrival::generate_arrivals`]
+/// produces). This is the reference the sharded path must match
+/// byte-for-byte.
+pub fn simulate(
+    engine: Engine,
+    cfg: &ClusterConfig,
+    mix: &WorkloadMix,
+    arrivals: &[Arrival],
+) -> Result<ClusterResult, ClusterError> {
+    validate(&engine, cfg, mix)?;
+    let costs = Costs::resolve(engine, mix);
+    let mut sim = Sim::new(costs, cfg, mix, None, 0, cfg.record_timeline);
     sim.run(arrivals);
     Ok(sim.finish())
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-enum Event {
-    Arrival { index: usize },
-    Completion { node: usize, cid: u64 },
-    Expiry { cid: u64, token: u64 },
+/// Like [`simulate`], but fans node execution across up to `jobs` worker
+/// threads when the run decomposes per node: Profiled engine, round-robin
+/// placement, and more than one node. Output is byte-identical to the
+/// serial path (same tables, timeline, and settled peak); configurations
+/// that do not decompose (least-loaded placement couples nodes through
+/// the shared scheduler, Measured machines are not `Sync`) fall back to
+/// the serial engine.
+pub fn simulate_jobs(
+    engine: Engine,
+    cfg: &ClusterConfig,
+    mix: &WorkloadMix,
+    arrivals: &[Arrival],
+    jobs: usize,
+) -> Result<ClusterResult, ClusterError> {
+    validate(&engine, cfg, mix)?;
+    if jobs > 1 && cfg.nodes > 1 && cfg.placement == Placement::RoundRobin {
+        if let Engine::Profiled(table) = &engine {
+            let costs = resolve_profiles(table, mix);
+            return Ok(crate::shard::simulate_sharded(
+                &costs, cfg, mix, arrivals, jobs,
+            ));
+        }
+    }
+    let costs = Costs::resolve(engine, mix);
+    let mut sim = Sim::new(costs, cfg, mix, None, 0, cfg.record_timeline);
+    sim.run(arrivals);
+    Ok(sim.finish())
+}
+
+/// Mix-indexed service costs, resolved once before the first event so the
+/// per-invocation hot path never touches a string-keyed table.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ProfileCosts {
+    pub(crate) cold_cycles: u64,
+    pub(crate) warm_cycles: u64,
+    pub(crate) active_frames: u64,
+    pub(crate) idle_frames: u64,
+}
+
+/// Resolves a validated profile table into mix-index order.
+pub(crate) fn resolve_profiles(table: &ProfileTable, mix: &WorkloadMix) -> Vec<ProfileCosts> {
+    mix.specs()
+        .iter()
+        .map(|spec| {
+            let p = table
+                .get(&spec.name)
+                .expect("profiles validated before simulate");
+            ProfileCosts {
+                cold_cycles: p.cold_cycles,
+                warm_cycles: p.warm_cycles,
+                active_frames: p.active_frames,
+                idle_frames: p.idle_frames,
+            }
+        })
+        .collect()
+}
+
+/// The engine with lookups pre-resolved for the hot path.
+pub(crate) enum Costs {
+    Measured(Box<SystemConfig>),
+    Profiled(Vec<ProfileCosts>),
+}
+
+impl Costs {
+    fn resolve(engine: Engine, mix: &WorkloadMix) -> Costs {
+        match engine {
+            Engine::Measured(cfg) => Costs::Measured(cfg),
+            Engine::Profiled(table) => Costs::Profiled(resolve_profiles(&table, mix)),
+        }
+    }
+}
+
+/// Sentinel for "no warm container" in a node's dense warm array.
+const NO_WARM: u32 = u32::MAX;
+
+/// A scheduled keep-alive expiry — the only event kind that still needs
+/// its own queue. Arrivals are a cursor over the (sorted) arrival slice
+/// and completions live in per-node slots (at most one in flight per
+/// node).
+#[derive(Clone, Copy, Debug)]
+struct ExpiryEv {
+    slot: u32,
+    gen: u32,
+    token: u32,
+}
+
+/// The pending-expiry queue. `KeepAlive::Fixed(d)` schedules every expiry
+/// at `now + d` with constant `d`, so push times are monotone and a FIFO
+/// deque pops them in `(time, seq)` order for free. Any out-of-order push
+/// (no current policy produces one) spills to the flat
+/// [`EventHeap`], so the queue stays correct for arbitrary schedules and
+/// O(1) for the ones that exist.
+struct ExpiryQueue {
+    fifo: VecDeque<(u64, u64, ExpiryEv)>,
+    spill: EventHeap<ExpiryEv>,
+}
+
+impl ExpiryQueue {
+    fn new() -> Self {
+        ExpiryQueue {
+            fifo: VecDeque::new(),
+            spill: EventHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn push_at(&mut self, time: u64, seq: u64, ev: ExpiryEv) {
+        match self.fifo.back() {
+            Some(&(t, _, _)) if time < t => self.spill.push_at(time, seq, ev),
+            _ => self.fifo.push_back((time, seq, ev)),
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<(u64, u64, ExpiryEv)> {
+        match (self.fifo.front().copied(), self.spill.peek()) {
+            (Some(a), Some(b)) if (b.0, b.1) < (a.0, a.1) => Some(b),
+            (Some(a), _) => Some(a),
+            (None, b) => b,
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, u64, ExpiryEv)> {
+        let front = self.fifo.front().map(|&(t, s, _)| (t, s));
+        match (front, self.spill.peek_key()) {
+            (Some(a), Some(b)) if b < a => self.spill.pop(),
+            (Some(_), _) => self.fifo.pop_front(),
+            (None, Some(_)) => self.spill.pop(),
+            (None, None) => None,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
 struct Queued {
     time: u64,
-    workload: usize,
+    workload: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
 struct InFlight {
     arrive_time: u64,
-    cid: u64,
-    workload: usize,
+    slot: u32,
+    workload: u32,
 }
+
+/// Sentinel completion key for an idle node (never selected: real event
+/// times are finite).
+const IDLE: (u64, u64) = (u64::MAX, u64::MAX);
+
+/// Sentinel for an empty expiry queue (same never-selected reasoning).
+const NO_EXPIRY: (u64, u64) = (u64::MAX, u64::MAX);
 
 struct Node {
     queue: VecDeque<Queued>,
-    serving: Option<InFlight>,
-    /// Idle-warm containers by mix index (at most one per workload).
-    warm: BTreeMap<usize, u64>,
+    /// The in-flight request when `done[node] != IDLE`; stale garbage
+    /// otherwise (the `done` sentinel is the single source of truth for
+    /// whether the node is serving, so no `Option` tag is paid here).
+    serving: InFlight,
 }
 
-struct Container {
-    workload: usize,
-    node: usize,
+/// One container slab slot. Retirement bumps `gen`, so a stale expiry
+/// event whose slot was recycled can never act on the new tenant.
+struct Slot {
+    gen: u32,
+    live: bool,
+    workload: u32,
+    node: u32,
     /// Bumped on every warm reuse; invalidates scheduled expiries.
-    token: u64,
+    token: u32,
     /// Frames currently charged to the fleet footprint.
     contrib: u64,
     /// The live machine (Measured engine only).
     measured: Option<WarmContainer>,
 }
 
-struct Sim<'a> {
-    engine: Engine,
+pub(crate) struct Sim<'a> {
+    costs: Costs,
     cfg: &'a ClusterConfig,
     mix: &'a WorkloadMix,
-    heap: BinaryHeap<Reverse<(u64, u64, Event)>>,
-    seq: u64,
+    /// Pre-assigned local node per arrival index (shard mode); `None`
+    /// routes through the placement policy.
+    assign: Option<&'a [u32]>,
+    /// Global id of this sim's node 0 (shard mode offsets metric names
+    /// and audit node ids).
+    node_offset: usize,
+    record_timeline: bool,
+    expiries: ExpiryQueue,
+    /// One seq counter shared by all three event sources (arrival cursor,
+    /// completion slots, expiry queue), allocated in exactly the order a
+    /// single-heap engine would push events — the total `(time, seq)`
+    /// order is therefore identical.
+    next_seq: u64,
     now: u64,
     nodes: Vec<Node>,
+    /// Per-node completion key `(done_time, seq)`, [`IDLE`] when the node
+    /// is not serving. Kept as a compact parallel array so the event
+    /// loop's min-scan touches two cache lines, not every `Node` struct.
+    done: Vec<(u64, u64)>,
+    /// Cached minimum of `done` (the next completion), [`IDLE`] when no
+    /// node is serving. `start_service` can only lower it, and the event
+    /// loop always fires the completion holding the minimum, so one
+    /// rescan per completion keeps it exact — the loop itself never
+    /// scans.
+    done_min: (u64, u64),
+    /// Node holding `done_min` (meaningless while `done_min == IDLE`).
+    done_min_node: u32,
+    /// Cached key of the front of `expiries` ([`NO_EXPIRY`] when empty),
+    /// so the event loop compares three integers instead of peeking the
+    /// queue. Pushes can only lower it; pops re-derive it (skimming
+    /// entries that went stale while queued — see the dispatch arm).
+    next_expiry: (u64, u64),
+    /// `queue length + serving` per node; admission is `load <= capacity`
+    /// (a node with an empty system has load 0). Compact so the placement
+    /// scan reads one cache line.
+    load: Vec<u32>,
+    /// Idle-warm container slot per (workload, node), workload-major so a
+    /// placement scan for one workload reads contiguous memory. `NO_WARM`
+    /// when none. The flat replacement for the old per-node
+    /// `BTreeMap<usize, u64>`.
+    warm: Vec<u32>,
     node_invocations: Vec<u64>,
-    containers: BTreeMap<u64, Container>,
-    next_cid: u64,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live_count: u64,
     rr: usize,
     submitted: u64,
     completed: u64,
     rejected: u64,
-    rejected_by: BTreeMap<RejectReason, u64>,
+    rejected_by: [u64; 2],
     in_flight: u64,
     cold_starts: u64,
     warm_starts: u64,
@@ -243,37 +465,101 @@ struct Sim<'a> {
     retired: u64,
     fleet_now: u64,
     fleet_peak: u64,
+    peak_dirty: bool,
     timeline: Vec<(u64, u64)>,
     latencies: Vec<u64>,
     latency_hist: Log2Hist,
     queue_wait_hist: Log2Hist,
 }
 
+/// LSD radix sort (8-bit digits, skipping passes above the maximum
+/// value's top byte). The drain-time latency sort is ~15% of a large
+/// run's wall time under a comparison sort; latencies span ~4 meaningful
+/// bytes, so four counting passes beat `sort_unstable`'s ~19 comparison
+/// levels severalfold. Output is the canonical ascending order, identical
+/// to any correct sort.
+pub(crate) fn radix_sort_u64(v: &mut Vec<u64>) {
+    let Some(&max) = v.iter().max() else { return };
+    let mut buf = vec![0u64; v.len()];
+    let mut shift = 0u32;
+    loop {
+        let mut counts = [0usize; 256];
+        for &x in v.iter() {
+            counts[((x >> shift) & 0xff) as usize] += 1;
+        }
+        let mut offset = 0;
+        for c in counts.iter_mut() {
+            let n = *c;
+            *c = offset;
+            offset += n;
+        }
+        for &x in v.iter() {
+            let d = ((x >> shift) & 0xff) as usize;
+            buf[counts[d]] = x;
+            counts[d] += 1;
+        }
+        std::mem::swap(v, &mut buf);
+        shift += 8;
+        if shift >= 64 || (max >> shift) == 0 {
+            return;
+        }
+    }
+}
+
+const REJECT_REASONS: [RejectReason; 2] = [RejectReason::QueueFull, RejectReason::ClusterSaturated];
+
+fn reject_index(reason: RejectReason) -> usize {
+    match reason {
+        RejectReason::QueueFull => 0,
+        RejectReason::ClusterSaturated => 1,
+    }
+}
+
 impl<'a> Sim<'a> {
-    fn new(engine: Engine, cfg: &'a ClusterConfig, mix: &'a WorkloadMix) -> Self {
+    pub(crate) fn new(
+        costs: Costs,
+        cfg: &'a ClusterConfig,
+        mix: &'a WorkloadMix,
+        assign: Option<&'a [u32]>,
+        node_offset: usize,
+        record_timeline: bool,
+    ) -> Self {
         let nodes = (0..cfg.nodes)
             .map(|_| Node {
                 queue: VecDeque::new(),
-                serving: None,
-                warm: BTreeMap::new(),
+                serving: InFlight {
+                    arrive_time: 0,
+                    slot: 0,
+                    workload: 0,
+                },
             })
             .collect();
         Sim {
-            engine,
+            costs,
             cfg,
             mix,
-            heap: BinaryHeap::new(),
-            seq: 0,
+            assign,
+            node_offset,
+            record_timeline,
+            expiries: ExpiryQueue::new(),
+            next_seq: 0,
             now: 0,
             nodes,
+            done: vec![IDLE; cfg.nodes],
+            done_min: IDLE,
+            done_min_node: 0,
+            next_expiry: NO_EXPIRY,
+            load: vec![0; cfg.nodes],
+            warm: vec![NO_WARM; cfg.nodes * mix.len()],
             node_invocations: vec![0; cfg.nodes],
-            containers: BTreeMap::new(),
-            next_cid: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live_count: 0,
             rr: 0,
             submitted: 0,
             completed: 0,
             rejected: 0,
-            rejected_by: BTreeMap::new(),
+            rejected_by: [0; 2],
             in_flight: 0,
             cold_starts: 0,
             warm_starts: 0,
@@ -281,6 +567,7 @@ impl<'a> Sim<'a> {
             retired: 0,
             fleet_now: 0,
             fleet_peak: 0,
+            peak_dirty: false,
             timeline: Vec::new(),
             latencies: Vec::new(),
             latency_hist: Log2Hist::new(),
@@ -288,58 +575,118 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn push(&mut self, time: u64, ev: Event) {
-        self.heap.push(Reverse((time, self.seq, ev)));
-        self.seq += 1;
+    #[inline]
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
     }
 
-    fn run(&mut self, arrivals: &[Arrival]) {
+    pub(crate) fn run(&mut self, arrivals: &[Arrival]) {
+        let _prof = selfprof::span("cluster.sim.run");
+        self.latencies.reserve(arrivals.len());
+        // The pending arrival: `(time, seq, index)`. Stamped when its
+        // predecessor is processed — exactly when the single-heap engine
+        // pushed it — so the shared seq order is unchanged.
+        let mut next_arrival: Option<(u64, u64, usize)> = None;
         if let Some(first) = arrivals.first() {
-            self.push(first.time, Event::Arrival { index: 0 });
+            next_arrival = Some((first.time, self.alloc_seq(), 0));
         }
-        while let Some(Reverse((time, _seq, ev))) = self.heap.pop() {
+        #[derive(Clone, Copy)]
+        enum Src {
+            Arrival,
+            Completion(u32),
+            Expiry,
+        }
+        loop {
+            // Pick the earliest (time, seq) across the three sources: the
+            // arrival cursor, the per-node completion slots, the expiry
+            // queue. Seqs are unique, so the winner is unique.
+            let mut best: Option<((u64, u64), Src)> = None;
+            if let Some((t, s, _)) = next_arrival {
+                best = Some(((t, s), Src::Arrival));
+            }
+            if self.done_min != IDLE && best.is_none_or(|(bk, _)| self.done_min < bk) {
+                best = Some((self.done_min, Src::Completion(self.done_min_node)));
+            }
+            if self.next_expiry != NO_EXPIRY && best.is_none_or(|(bk, _)| self.next_expiry < bk) {
+                best = Some((self.next_expiry, Src::Expiry));
+            }
+            let Some(((time, _), src)) = best else { break };
             debug_assert!(time >= self.now, "simulated time must not run backwards");
-            self.now = time;
-            match ev {
-                Event::Arrival { index } => {
+            if time > self.now {
+                // All events at the previous instant have applied: sample
+                // the settled footprint into the peak before advancing.
+                self.settle_peak();
+                self.now = time;
+            }
+            match src {
+                Src::Arrival => {
+                    let (_, _, index) = next_arrival.take().expect("arrival source chosen");
                     if index + 1 < arrivals.len() {
-                        self.push(
-                            arrivals[index + 1].time,
-                            Event::Arrival { index: index + 1 },
-                        );
+                        next_arrival =
+                            Some((arrivals[index + 1].time, self.alloc_seq(), index + 1));
                     }
-                    self.on_arrival(&arrivals[index]);
+                    self.on_arrival(index, &arrivals[index]);
                 }
-                Event::Completion { node, cid } => self.on_completion(node, cid),
-                Event::Expiry { cid, token } => self.on_expiry(cid, token),
+                Src::Completion(node) => self.on_completion(node as usize),
+                Src::Expiry => {
+                    let (_, _, ev) = self.expiries.pop().expect("cached key exists");
+                    self.advance_next_expiry();
+                    self.on_expiry(ev.slot, ev.gen, ev.token);
+                }
             }
         }
     }
 
-    fn on_arrival(&mut self, a: &Arrival) {
+    fn on_arrival(&mut self, index: usize, a: &Arrival) {
         self.submitted += 1;
-        match self.place(a.workload) {
+        let workload = a.workload as u32;
+        let placed = match self.assign {
+            // Shard mode: the round-robin target was fixed fleet-wide at
+            // plan time; only the local admission check remains.
+            Some(assign) => {
+                let node = assign[index] as usize;
+                if self.has_space(node) {
+                    Ok(node)
+                } else {
+                    Err(RejectReason::QueueFull)
+                }
+            }
+            None => self.place(a.workload),
+        };
+        match placed {
             Ok(node) => {
                 self.in_flight += 1;
-                if self.nodes[node].serving.is_none() {
-                    self.start_service(node, a.time, a.workload);
+                self.load[node] += 1;
+                if self.done[node] == IDLE {
+                    self.start_service(node, a.time, workload);
                 } else {
                     self.nodes[node].queue.push_back(Queued {
                         time: a.time,
-                        workload: a.workload,
+                        workload,
                     });
                 }
             }
             Err(reason) => {
                 self.rejected += 1;
-                *self.rejected_by.entry(reason).or_insert(0) += 1;
+                self.rejected_by[reject_index(reason)] += 1;
             }
         }
     }
 
+    /// Admission check: the per-node system (queue + server) has room.
+    /// `load == 0` is an idle node; a serving node admits while its queue
+    /// (`load - 1`) is below capacity — together, `load <= capacity`.
+    #[inline]
     fn has_space(&self, node: usize) -> bool {
-        let n = &self.nodes[node];
-        n.serving.is_none() || n.queue.len() < self.cfg.queue_capacity
+        self.load[node] as usize <= self.cfg.queue_capacity
+    }
+
+    /// Index into the workload-major warm matrix.
+    #[inline]
+    fn warm_idx(&self, workload: u32, node: usize) -> usize {
+        workload as usize * self.cfg.nodes + node
     }
 
     fn place(&mut self, workload: usize) -> Result<usize, RejectReason> {
@@ -354,89 +701,114 @@ impl<'a> Sim<'a> {
                 }
             }
             Placement::LeastLoaded => {
-                let mut best: Option<(usize, usize, usize)> = None;
-                for i in 0..self.nodes.len() {
-                    if !self.has_space(i) {
-                        continue;
-                    }
-                    let n = &self.nodes[i];
-                    let cold = usize::from(!n.warm.contains_key(&workload));
-                    let load = n.queue.len() + usize::from(n.serving.is_some());
-                    let key = (cold, load, i);
-                    if best.is_none_or(|b| key < b) {
-                        best = Some(key);
-                    }
+                // Warm-affinity least-loaded over two compact arrays: the
+                // per-node load vector and this workload's row of the warm
+                // matrix (contiguous by construction). The scan data is
+                // unpredictable, so fold the whole preference order
+                // (admissible, then warm, then load, then index) into one
+                // u64 key and take a branchless argmin — eight data-
+                // dependent branch misses per arrival cost more than the
+                // scan itself.
+                let cap = self.cfg.queue_capacity as u32;
+                let warm_row = &self.warm[workload * self.cfg.nodes..][..self.cfg.nodes];
+                let mut best = u64::MAX;
+                for (i, (&load, &warm)) in self.load.iter().zip(warm_row).enumerate() {
+                    let key = ((load > cap) as u64) << 63
+                        | ((warm == NO_WARM) as u64) << 62
+                        | (load as u64) << 16
+                        | i as u64;
+                    best = best.min(key);
                 }
-                best.map(|(_, _, i)| i)
-                    .ok_or(RejectReason::ClusterSaturated)
+                if best >> 63 == 0 {
+                    Ok((best & 0xffff) as usize)
+                } else {
+                    Err(RejectReason::ClusterSaturated)
+                }
             }
         }
     }
 
-    fn start_service(&mut self, node: usize, arrive_time: u64, workload: usize) {
-        let (cid, service) = match self.nodes[node].warm.remove(&workload) {
-            Some(cid) => {
-                self.warm_starts += 1;
-                let (cycles, active) = self.invoke_warm(cid);
-                self.set_contrib(cid, active);
-                (cid, cycles)
-            }
-            None => {
-                self.cold_starts += 1;
-                let (cid, cycles, active) = self.cold_start(node, workload);
-                self.set_contrib(cid, active);
-                (cid, cycles)
-            }
+    fn start_service(&mut self, node: usize, arrive_time: u64, workload: u32) {
+        let widx = self.warm_idx(workload, node);
+        let warm_slot = self.warm[widx];
+        let (slot, service) = if warm_slot != NO_WARM {
+            self.warm[widx] = NO_WARM;
+            self.warm_starts += 1;
+            let (cycles, active) = self.invoke_warm(warm_slot);
+            self.set_contrib(warm_slot, active);
+            (warm_slot, cycles)
+        } else {
+            self.cold_starts += 1;
+            let (slot, cycles, active) = self.cold_start(node, workload);
+            self.set_contrib(slot, active);
+            (slot, cycles)
         };
-        self.nodes[node].serving = Some(InFlight {
-            arrive_time,
-            cid,
-            workload,
-        });
         self.node_invocations[node] += 1;
-        let done = self.now + service.max(1);
-        self.push(done, Event::Completion { node, cid });
+        let done_time = self.now + service.max(1);
+        let seq = self.alloc_seq();
+        self.done[node] = (done_time, seq);
+        if (done_time, seq) < self.done_min {
+            self.done_min = (done_time, seq);
+            self.done_min_node = node as u32;
+        }
+        self.nodes[node].serving = InFlight {
+            arrive_time,
+            slot,
+            workload,
+        };
     }
 
-    fn cold_start(&mut self, node: usize, workload: usize) -> (u64, u64, u64) {
-        let cid = self.next_cid;
-        self.next_cid += 1;
-        let spec = self.mix.spec(workload);
-        let (measured, cycles, active) = match &self.engine {
-            Engine::Measured(cfg) => {
+    /// Allocates a slab slot for a fresh container (recycling retired
+    /// slots; `gen` survives recycling so stale expiries miss).
+    fn alloc_slot(&mut self, workload: u32, node: usize, measured: Option<WarmContainer>) -> u32 {
+        self.live_count += 1;
+        if let Some(slot) = self.free.pop() {
+            let c = &mut self.slots[slot as usize];
+            debug_assert!(!c.live, "free list must only hold retired slots");
+            c.live = true;
+            c.workload = workload;
+            c.node = node as u32;
+            c.token = 0;
+            c.contrib = 0;
+            c.measured = measured;
+            slot
+        } else {
+            self.slots.push(Slot {
+                gen: 0,
+                live: true,
+                workload,
+                node: node as u32,
+                token: 0,
+                contrib: 0,
+                measured,
+            });
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn cold_start(&mut self, node: usize, workload: u32) -> (u32, u64, u64) {
+        let (measured, cycles, active) = match &self.costs {
+            Costs::Measured(cfg) => {
+                let spec = self.mix.spec(workload as usize);
                 let (c, stats) = WarmContainer::cold_start(cfg.as_ref().clone(), spec);
                 let active = c.serving_peak_pages();
                 (Some(c), stats.total_cycles().raw(), active)
             }
-            Engine::Profiled(table) => {
-                let p = table
-                    .get(&spec.name)
-                    .expect("profiles validated before simulate");
+            Costs::Profiled(costs) => {
+                let p = &costs[workload as usize];
                 (None, p.cold_cycles, p.active_frames)
             }
         };
-        self.containers.insert(
-            cid,
-            Container {
-                workload,
-                node,
-                token: 0,
-                contrib: 0,
-                measured,
-            },
-        );
-        (cid, cycles, active)
+        let slot = self.alloc_slot(workload, node, measured);
+        (slot, cycles, active)
     }
 
-    fn invoke_warm(&mut self, cid: u64) -> (u64, u64) {
-        let workload = {
-            let c = self.containers.get_mut(&cid).expect("warm cid is live");
-            c.token += 1; // cancels any scheduled keep-alive expiry
-            c.workload
-        };
-        match &self.engine {
-            Engine::Measured(_) => {
-                let c = self.containers.get_mut(&cid).expect("warm cid is live");
+    fn invoke_warm(&mut self, slot: u32) -> (u64, u64) {
+        let c = &mut self.slots[slot as usize];
+        debug_assert!(c.live, "warm slot is live");
+        c.token += 1; // cancels any scheduled keep-alive expiry
+        match &self.costs {
+            Costs::Measured(_) => {
                 let m = c
                     .measured
                     .as_mut()
@@ -444,9 +816,8 @@ impl<'a> Sim<'a> {
                 let stats = m.invoke();
                 (stats.total_cycles().raw(), m.serving_peak_pages())
             }
-            Engine::Profiled(table) => {
-                let name = &self.mix.spec(workload).name;
-                let p = table.get(name).expect("profiles validated before simulate");
+            Costs::Profiled(costs) => {
+                let p = &costs[c.workload as usize];
                 (p.warm_cycles, p.active_frames)
             }
         }
@@ -454,10 +825,10 @@ impl<'a> Sim<'a> {
 
     /// Parks the container (sheds the pool's free reserve on Measured
     /// machines) and returns its idle-warm unreclaimable footprint.
-    fn park_idle(&mut self, cid: u64) -> u64 {
-        let c = self.containers.get_mut(&cid).expect("live container");
-        match &self.engine {
-            Engine::Measured(_) => {
+    fn park_idle(&mut self, slot: u32) -> u64 {
+        let c = &mut self.slots[slot as usize];
+        match &self.costs {
+            Costs::Measured(_) => {
                 let m = c
                     .measured
                     .as_mut()
@@ -465,48 +836,34 @@ impl<'a> Sim<'a> {
                 m.park();
                 m.unreclaimable_pages()
             }
-            Engine::Profiled(table) => {
-                let name = &self.mix.spec(c.workload).name;
-                table
-                    .get(name)
-                    .expect("profiles validated before simulate")
-                    .idle_frames
-            }
+            Costs::Profiled(costs) => costs[c.workload as usize].idle_frames,
         }
     }
 
     /// Non-mutating ground-truth recount for the drain audit. Idle
     /// containers were parked when they went warm, so on Measured machines
     /// this reads the same unreclaimable count `park_idle` charged.
-    fn idle_frames(&self, cid: u64) -> u64 {
-        let c = self.containers.get(&cid).expect("live container");
-        match &self.engine {
-            Engine::Measured(_) => c
+    fn idle_frames(&self, slot: u32) -> u64 {
+        let c = &self.slots[slot as usize];
+        match &self.costs {
+            Costs::Measured(_) => c
                 .measured
                 .as_ref()
                 .expect("measured containers carry machines")
                 .unreclaimable_pages(),
-            Engine::Profiled(table) => {
-                let name = &self.mix.spec(c.workload).name;
-                table
-                    .get(name)
-                    .expect("profiles validated before simulate")
-                    .idle_frames
-            }
+            Costs::Profiled(costs) => costs[c.workload as usize].idle_frames,
         }
     }
 
-    fn set_contrib(&mut self, cid: u64, new: u64) {
-        let c = self.containers.get_mut(&cid).expect("live container");
+    fn set_contrib(&mut self, slot: u32, new: u64) {
+        let c = &mut self.slots[slot as usize];
         if new == c.contrib {
             return;
         }
         self.fleet_now = self.fleet_now - c.contrib + new;
         c.contrib = new;
-        if self.fleet_now > self.fleet_peak {
-            self.fleet_peak = self.fleet_now;
-        }
-        if self.cfg.record_timeline {
+        self.peak_dirty = true;
+        if self.record_timeline {
             match self.timeline.last_mut() {
                 Some((t, v)) if *t == self.now => *v = self.fleet_now,
                 _ => self.timeline.push((self.now, self.fleet_now)),
@@ -514,12 +871,87 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn on_completion(&mut self, node: usize, cid: u64) {
-        let inflight = self.nodes[node]
-            .serving
-            .take()
-            .expect("completion fired on an idle node");
-        debug_assert_eq!(inflight.cid, cid, "completion for a different container");
+    /// Folds the settled footprint at the just-finished instant into the
+    /// peak. Sampling at instant boundaries (instead of after every
+    /// individual contribution change) makes the peak independent of how
+    /// same-instant events interleave — the invariant the sharded merge
+    /// relies on.
+    fn settle_peak(&mut self) {
+        if self.peak_dirty {
+            if self.fleet_now > self.fleet_peak {
+                self.fleet_peak = self.fleet_now;
+            }
+            self.peak_dirty = false;
+        }
+    }
+
+    /// True when a scheduled expiry still refers to the container state it
+    /// was scheduled against (same tenancy, not reused since).
+    #[inline]
+    fn expiry_live(&self, ev: ExpiryEv) -> bool {
+        match self.slots.get(ev.slot as usize) {
+            Some(c) => c.live && c.gen == ev.gen && c.token == ev.token,
+            None => false,
+        }
+    }
+
+    /// Re-derives `next_expiry` after a pop, skimming entries that went
+    /// stale while queued instead of paying an event dispatch each. Safe
+    /// because staleness is permanent (`gen`/`token` only move forward)
+    /// and a stale expiry's handler observes nothing and mutates nothing
+    /// — not even the makespan, since expiry times are monotone in push
+    /// order, so the last-scheduled (and thus last-fired) expiry is
+    /// always a live one. Each entry is checked at most once here; one
+    /// that goes stale *after* being cached is dispatched normally and
+    /// no-ops in [`Self::on_expiry`].
+    fn advance_next_expiry(&mut self) {
+        loop {
+            match self.expiries.peek() {
+                Some((t, s, ev)) => {
+                    if self.expiry_live(ev) {
+                        self.next_expiry = (t, s);
+                        return;
+                    }
+                    self.expiries.pop();
+                }
+                None => {
+                    self.next_expiry = NO_EXPIRY;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Recomputes `done_min` by scanning the per-node completion keys.
+    /// Called once per completion (after clearing that node's slot); the
+    /// `IDLE` sentinel is `(u64::MAX, u64::MAX)`, so an all-idle fleet
+    /// settles back to `done_min == IDLE` with no special case.
+    fn rescan_done_min(&mut self) {
+        // Branchless select: completion times are unpredictable, so a
+        // conditional move beats a data-dependent branch per node.
+        let mut min = IDLE;
+        let mut min_node = 0u32;
+        for (i, &key) in self.done.iter().enumerate() {
+            let better = key < min;
+            min = if better { key } else { min };
+            min_node = if better { i as u32 } else { min_node };
+        }
+        self.done_min = min;
+        self.done_min_node = min_node;
+    }
+
+    fn on_completion(&mut self, node: usize) {
+        debug_assert_ne!(self.done[node], IDLE, "completion fired on an idle node");
+        let inflight = self.nodes[node].serving;
+        let slot = inflight.slot;
+        debug_assert_eq!(self.done[node].0, self.now, "completion fired off-time");
+        debug_assert_eq!(
+            self.done_min_node as usize, node,
+            "completions fire on the cached minimum"
+        );
+        self.done[node] = IDLE;
+        self.rescan_done_min();
+        self.load[node] -= 1;
         self.completed += 1;
         self.in_flight -= 1;
         let latency = self.now - inflight.arrive_time;
@@ -529,19 +961,29 @@ impl<'a> Sim<'a> {
         // The container goes idle-warm: park it (shed the pool's free
         // reserve back to the OS) and charge only what stays
         // unreclaimable, then let the keep-alive policy decide its fate.
-        let idle = self.park_idle(cid);
-        self.set_contrib(cid, idle);
+        let idle = self.park_idle(slot);
+        self.set_contrib(slot, idle);
+        let widx = self.warm_idx(inflight.workload, node);
         match self.cfg.keep_alive {
-            KeepAlive::None => self.retire(cid),
+            KeepAlive::None => self.retire(slot),
             KeepAlive::Fixed(d) => {
-                let token = self.containers.get(&cid).expect("live container").token;
-                if let Some(old) = self.nodes[node].warm.insert(inflight.workload, cid) {
+                let c = &self.slots[slot as usize];
+                let (gen, token) = (c.gen, c.token);
+                let old = std::mem::replace(&mut self.warm[widx], slot);
+                if old != NO_WARM {
                     self.retire(old);
                 }
-                self.push(self.now + d, Event::Expiry { cid, token });
+                let seq = self.alloc_seq();
+                let at = self.now + d;
+                self.expiries
+                    .push_at(at, seq, ExpiryEv { slot, gen, token });
+                if (at, seq) < self.next_expiry {
+                    self.next_expiry = (at, seq);
+                }
             }
             KeepAlive::Infinite => {
-                if let Some(old) = self.nodes[node].warm.insert(inflight.workload, cid) {
+                let old = std::mem::replace(&mut self.warm[widx], slot);
+                if old != NO_WARM {
                     self.retire(old);
                 }
             }
@@ -555,44 +997,50 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn on_expiry(&mut self, cid: u64, token: u64) {
-        let Some(c) = self.containers.get(&cid) else {
-            return; // already retired
+    fn on_expiry(&mut self, slot: u32, gen: u32, token: u32) {
+        let Some(c) = self.slots.get(slot as usize) else {
+            return;
         };
+        if !c.live || c.gen != gen {
+            return; // retired (and possibly recycled) since scheduling
+        }
         if c.token != token {
             return; // reused since this expiry was scheduled
         }
-        let node = c.node;
-        let workload = c.workload;
+        let widx = self.warm_idx(c.workload, c.node as usize);
         debug_assert_eq!(
-            self.nodes[node].warm.get(&workload),
-            Some(&cid),
+            self.warm[widx], slot,
             "token-valid expiry must find the container idle-warm"
         );
-        self.nodes[node].warm.remove(&workload);
+        self.warm[widx] = NO_WARM;
         self.expired += 1;
-        self.retire(cid);
+        self.retire(slot);
     }
 
-    fn retire(&mut self, cid: u64) {
-        self.set_contrib(cid, 0);
-        let c = self.containers.remove(&cid).expect("live container");
-        if let Some(m) = c.measured {
+    fn retire(&mut self, slot: u32) {
+        self.set_contrib(slot, 0);
+        let c = &mut self.slots[slot as usize];
+        debug_assert!(c.live, "retire targets a live container");
+        c.live = false;
+        c.gen = c.gen.wrapping_add(1);
+        if let Some(m) = c.measured.take() {
             let _ = m.finish();
         }
+        self.free.push(slot);
+        self.live_count -= 1;
         self.retired += 1;
     }
 
-    fn finish(mut self) -> ClusterResult {
+    pub(crate) fn finish(mut self) -> ClusterResult {
+        let _prof = selfprof::span("cluster.sim.finish");
+        self.settle_peak();
         debug_assert!(
-            self.nodes
-                .iter()
-                .all(|n| n.serving.is_none() && n.queue.is_empty()),
+            self.done.iter().all(|&d| d == IDLE) && self.nodes.iter().all(|n| n.queue.is_empty()),
             "drained fleet must be quiescent"
         );
         let mut auditor = FleetAuditor::new();
         auditor.audit_invocations(
-            self.seq,
+            self.next_seq,
             InvocationCounts {
                 submitted: self.submitted,
                 completed: self.completed,
@@ -603,15 +1051,17 @@ impl<'a> Sim<'a> {
         );
         // Recount from the engine's ground truth, not from `contrib` —
         // this is what catches incremental-accounting drift.
-        let cids: Vec<u64> = self.containers.keys().copied().collect();
-        let per_node: Vec<(usize, u64)> = cids
+        let live: Vec<u32> = (0..self.slots.len() as u32)
+            .filter(|s| self.slots[*s as usize].live)
+            .collect();
+        let per_node: Vec<(usize, u64)> = live
             .into_iter()
-            .map(|cid| {
-                let node = self.containers.get(&cid).expect("live container").node;
-                (node, self.idle_frames(cid))
+            .map(|slot| {
+                let node = self.node_offset + self.slots[slot as usize].node as usize;
+                (node, self.idle_frames(slot))
             })
             .collect();
-        auditor.audit_fleet_frames(self.seq, self.fleet_now, per_node);
+        auditor.audit_fleet_frames(self.next_seq, self.fleet_now, per_node);
 
         let mut metrics = MetricsRegistry::new();
         metrics.add("cluster.submitted", self.submitted);
@@ -624,22 +1074,30 @@ impl<'a> Sim<'a> {
         metrics.set("cluster.final_fleet_frames", self.fleet_now);
         metrics.set("cluster.makespan_cycles", self.now);
         for (i, count) in self.node_invocations.iter().enumerate() {
-            metrics.set(&format!("cluster.node{i:03}.invocations"), *count);
+            let node = self.node_offset + i;
+            metrics.set(&format!("cluster.node{node:03}.invocations"), *count);
         }
         metrics.set_hist("cluster.latency_cycles", self.latency_hist.clone());
         metrics.set_hist("cluster.queue_wait_cycles", self.queue_wait_hist.clone());
 
-        self.latencies.sort_unstable();
+        radix_sort_u64(&mut self.latencies);
+        // lint:allow(btreemap-in-hot-path): drain-time fold of a 2-entry array
+        let mut rejected_by = BTreeMap::new();
+        for (i, reason) in REJECT_REASONS.iter().enumerate() {
+            if self.rejected_by[i] > 0 {
+                rejected_by.insert(*reason, self.rejected_by[i]);
+            }
+        }
         ClusterResult {
             submitted: self.submitted,
             completed: self.completed,
             rejected: self.rejected,
-            rejected_by: self.rejected_by,
+            rejected_by,
             cold_starts: self.cold_starts,
             warm_starts: self.warm_starts,
             expired: self.expired,
             retired: self.retired,
-            live_containers: self.containers.len() as u64,
+            live_containers: self.live_count,
             makespan_cycles: self.now,
             peak_fleet_frames: self.fleet_peak,
             final_fleet_frames: self.fleet_now,
@@ -649,6 +1107,32 @@ impl<'a> Sim<'a> {
             audit: auditor.into_report(),
         }
     }
+}
+
+/// Runs one node shard of a round-robin Profiled fleet: `arrivals` are
+/// the shard's own (already filtered) arrivals, `assign[i]` the local
+/// node each must land on, and `node_offset` the global id of local node
+/// 0. The timeline is always recorded — the merge needs it to settle the
+/// fleet-wide peak.
+pub(crate) fn run_shard(
+    costs: &[ProfileCosts],
+    cfg: &ClusterConfig,
+    mix: &WorkloadMix,
+    arrivals: &[Arrival],
+    assign: &[u32],
+    node_offset: usize,
+) -> ClusterResult {
+    debug_assert_eq!(arrivals.len(), assign.len());
+    let mut sim = Sim::new(
+        Costs::Profiled(costs.to_vec()),
+        cfg,
+        mix,
+        Some(assign),
+        node_offset,
+        true,
+    );
+    sim.run(arrivals);
+    sim.finish()
 }
 
 #[cfg(test)]
@@ -692,6 +1176,26 @@ mod tests {
         let arrivals = generate_arrivals(arrival, mix).expect("valid arrivals");
         simulate(Engine::Profiled(synthetic_table(mix)), cfg, mix, &arrivals)
             .expect("valid cluster run")
+    }
+
+    #[test]
+    fn radix_sort_matches_comparison_sort() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![7],
+            vec![0, 0, 0],
+            vec![u64::MAX, 0, u64::MAX - 1, 1],
+            vec![256, 1, 65536, 255, 257, 65535, 1 << 40, (1 << 40) - 1],
+            (0..10_000u64)
+                .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17))
+                .collect(),
+        ];
+        for mut v in cases {
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            radix_sort_u64(&mut v);
+            assert_eq!(v, expect);
+        }
     }
 
     #[test]
@@ -917,5 +1421,130 @@ mod tests {
         .err()
         .expect("must fail");
         assert_eq!(err, ClusterError::NoNodes);
+    }
+
+    #[test]
+    fn serial_and_sharded_runs_agree_byte_for_byte() {
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            nodes: 5, // deliberately not divisible by the job counts below
+            queue_capacity: 2,
+            placement: Placement::RoundRobin,
+            keep_alive: KeepAlive::Fixed(30_000),
+            ..ClusterConfig::default()
+        };
+        let arrival = ArrivalConfig {
+            seed: 41,
+            count: 4_000,
+            mean_interarrival_cycles: 1_200.0,
+        };
+        let arrivals = generate_arrivals(&arrival, &mix).expect("valid arrivals");
+        let table = synthetic_table(&mix);
+        let serial =
+            simulate(Engine::Profiled(table.clone()), &cfg, &mix, &arrivals).expect("serial run");
+        for jobs in [2, 3, 8] {
+            let sharded =
+                simulate_jobs(Engine::Profiled(table.clone()), &cfg, &mix, &arrivals, jobs)
+                    .expect("sharded run");
+            assert_eq!(serial.submitted, sharded.submitted, "jobs={jobs}");
+            assert_eq!(serial.completed, sharded.completed, "jobs={jobs}");
+            assert_eq!(serial.rejected_by, sharded.rejected_by, "jobs={jobs}");
+            assert_eq!(serial.cold_starts, sharded.cold_starts, "jobs={jobs}");
+            assert_eq!(serial.warm_starts, sharded.warm_starts, "jobs={jobs}");
+            assert_eq!(serial.expired, sharded.expired, "jobs={jobs}");
+            assert_eq!(serial.retired, sharded.retired, "jobs={jobs}");
+            assert_eq!(serial.latencies, sharded.latencies, "jobs={jobs}");
+            assert_eq!(serial.timeline, sharded.timeline, "jobs={jobs}");
+            assert_eq!(
+                serial.peak_fleet_frames, sharded.peak_fleet_frames,
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                serial.final_fleet_frames, sharded.final_fleet_frames,
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                serial.makespan_cycles, sharded.makespan_cycles,
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                serial.metrics.render(),
+                sharded.metrics.render(),
+                "jobs={jobs}"
+            );
+            assert!(sharded.is_clean(), "jobs={jobs}: {}", sharded.audit);
+        }
+    }
+
+    #[test]
+    fn non_decomposable_configs_fall_back_to_serial() {
+        // LeastLoaded couples nodes through the shared scheduler, so
+        // simulate_jobs must run it serially — and still agree with
+        // simulate exactly.
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            nodes: 4,
+            placement: Placement::LeastLoaded,
+            ..ClusterConfig::default()
+        };
+        let arrival = ArrivalConfig {
+            seed: 23,
+            count: 1_000,
+            mean_interarrival_cycles: 3_000.0,
+        };
+        let arrivals = generate_arrivals(&arrival, &mix).expect("valid arrivals");
+        let table = synthetic_table(&mix);
+        let serial =
+            simulate(Engine::Profiled(table.clone()), &cfg, &mix, &arrivals).expect("serial");
+        let jobs =
+            simulate_jobs(Engine::Profiled(table), &cfg, &mix, &arrivals, 4).expect("fallback run");
+        assert_eq!(serial.latencies, jobs.latencies);
+        assert_eq!(serial.timeline, jobs.timeline);
+        assert_eq!(serial.metrics.render(), jobs.metrics.render());
+    }
+
+    #[test]
+    fn slab_recycles_slots_without_resurrecting_expiries() {
+        // KeepAlive::None churns containers hard: every completion
+        // retires its slot, so the free list recycles constantly. The
+        // drain audit plus conservation checks catch any slot aliasing.
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            nodes: 2,
+            keep_alive: KeepAlive::None,
+            ..ClusterConfig::default()
+        };
+        let arrival = ArrivalConfig {
+            seed: 13,
+            count: 1_000,
+            mean_interarrival_cycles: 2_000.0,
+        };
+        let r = run_profiled(&cfg, &arrival, &mix);
+        assert_eq!(r.retired, r.completed, "every served container retires");
+        assert_eq!(r.live_containers, 0);
+        assert!(r.is_clean(), "slab churn must stay conservation-clean");
+    }
+
+    #[test]
+    fn short_expiry_reuse_races_stay_clean() {
+        // A keep-alive barely longer than the warm service time maximises
+        // the token/generation races between scheduled expiries, warm
+        // reuse, and slot recycling.
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            nodes: 2,
+            keep_alive: KeepAlive::Fixed(15_000),
+            ..ClusterConfig::default()
+        };
+        let arrival = ArrivalConfig {
+            seed: 29,
+            count: 3_000,
+            mean_interarrival_cycles: 9_000.0,
+        };
+        let r = run_profiled(&cfg, &arrival, &mix);
+        assert!(r.warm_starts > 0, "some reuse must happen");
+        assert!(r.expired > 0, "some expiries must land");
+        assert_eq!(r.submitted, r.completed + r.rejected);
+        assert!(r.is_clean(), "expiry races must stay clean: {}", r.audit);
     }
 }

@@ -182,20 +182,27 @@ pub fn run_specs(
         / base_profiles.len().max(1) as f64;
     let keep_alive = KeepAlive::Fixed((mean_service * 20.0) as u64);
 
-    // One shard per (load, config) fleet run; both configs at a load see
-    // the same arrival sequence.
+    // Both configs at a load see the same arrival sequence, so generate
+    // it once per load here rather than once per (load, config) shard —
+    // arrival synthesis is a deterministic function of (seed, load) and
+    // re-deriving it inside each shard doubled that work.
+    let arrival_sets = LOAD_LEVELS
+        .iter()
+        .map(|&(_, utilization)| {
+            let arrival = ArrivalConfig {
+                seed: params.seed,
+                count: params.invocations,
+                mean_interarrival_cycles: mean_service / (params.nodes as f64 * utilization),
+            };
+            generate_arrivals(&arrival, &mix)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // One shard per (load, config) fleet run.
     let sim_points: Vec<(usize, bool)> = (0..LOAD_LEVELS.len())
         .flat_map(|li| [(li, false), (li, true)])
         .collect();
     let sim_results = runner::map_ordered(jobs, &sim_points, |&(li, memento)| {
-        let (_, utilization) = LOAD_LEVELS[li];
-        let mean_interarrival = mean_service / (params.nodes as f64 * utilization);
-        let arrival = ArrivalConfig {
-            seed: params.seed,
-            count: params.invocations,
-            mean_interarrival_cycles: mean_interarrival,
-        };
-        let arrivals = generate_arrivals(&arrival, &mix)?;
         let cluster = ClusterConfig {
             nodes: params.nodes,
             queue_capacity: params.queue_capacity,
@@ -204,7 +211,12 @@ pub fn run_specs(
             record_timeline: false,
         };
         let table = if memento { &mem_table } else { &base_table };
-        let result = simulate(Engine::Profiled(table.clone()), &cluster, &mix, &arrivals)?;
+        let result = simulate(
+            Engine::Profiled(table.clone()),
+            &cluster,
+            &mix,
+            &arrival_sets[li],
+        )?;
         Ok::<FleetSummary, ExperimentError>(summarize(&result))
     });
 
@@ -349,6 +361,26 @@ mod tests {
             p99s[0] <= p99s[2],
             "baseline p99 must not shrink as offered load grows: {p99s:?}"
         );
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_job_counts() {
+        // The hoisted arrival sets and slot-ordered shard results must
+        // make the rendered table independent of worker-thread count.
+        let params = ClusterParams {
+            invocations: 800,
+            ..ClusterParams::default()
+        };
+        let renders: Vec<String> = [1, 2, 5]
+            .iter()
+            .map(|&jobs| {
+                run_for_jobs(&["aes", "html"], 16, jobs, params)
+                    .expect("known workloads")
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(renders[0], renders[1], "jobs=1 vs jobs=2");
+        assert_eq!(renders[0], renders[2], "jobs=1 vs jobs=5");
     }
 
     #[test]

@@ -15,21 +15,28 @@
 //!   "metrics appendix".
 //! - [`profile`] — [`ProfileSample`] snapshots (live-heap bytes, pool
 //!   occupancy, HOT residency) taken every N simulated cycles.
+//! - [`selfprof`] — wall-clock spans over the *simulator's own* hot loops
+//!   (event engine, calibration, shard merge), harness-gated and off by
+//!   default; the bench harness reports them next to `BENCH_*.json`.
 //!
 //! # Invariants
 //!
-//! Like the sanitizer, the whole layer is **untimed and cycle-invisible**:
-//! nothing here reads a wall clock (every timestamp is a simulated cycle
+//! Like the sanitizer, the whole layer is **untimed and cycle-invisible**
+//! with one sanctioned exception: nothing here reads a wall clock on the
+//! simulation's behalf (every trace/metric timestamp is a simulated cycle
 //! count, so the determinism lint holds) and nothing feeds back into the
 //! simulation — a traced run produces byte-identical statistics to an
 //! untraced one. Every span must be closed by run end; a dangling span is
 //! a bug in the instrumentation and panics with the open-span stack.
+//! [`selfprof`] does read the wall clock, but only when a harness enables
+//! it, and its output is write-only from the simulator's point of view.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod metrics;
 pub mod profile;
+pub mod selfprof;
 pub mod trace;
 
 pub use metrics::{Log2Hist, MetricsRegistry};

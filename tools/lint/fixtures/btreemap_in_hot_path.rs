@@ -1,0 +1,13 @@
+// Fixture: BTreeMap reintroduced into a hot-path file. Only flagged when
+// scanned under a HOT_PATH_FILES path (e.g. crates/cluster/src/sim.rs).
+use std::collections::BTreeMap;
+
+pub struct Containers {
+    by_id: BTreeMap<u64, u64>,
+}
+
+impl Containers {
+    pub fn lookup(&self, id: u64) -> Option<u64> {
+        self.by_id.get(&id).copied()
+    }
+}

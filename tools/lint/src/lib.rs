@@ -5,10 +5,19 @@
 //! the repo's test trees for `#[ignore]` hygiene. Rules:
 //!
 //! - `wall-clock` — `Instant::now` / `SystemTime` anywhere in sim crates
-//!   except `crates/experiments/src/runner.rs` (wall-clock is reported next
-//!   to, never inside, deterministic result tables).
-//! - `thread-spawn` — `thread::spawn` / `thread::scope` outside the runner
-//!   (all parallelism goes through the order-preserving pool).
+//!   except the timing-sanctioned files (`crates/experiments/src/runner.rs`
+//!   and the `crates/bench` harness; `crates/obs/src/selfprof.rs` carries
+//!   per-site waivers instead): wall-clock is reported next to, never
+//!   inside, deterministic result tables.
+//! - `thread-spawn` — `thread::spawn` / `thread::scope` outside the
+//!   order-preserving pool itself (`crates/simcore/src/pool.rs`) and the
+//!   experiments runner (all parallelism goes through
+//!   `memento_simcore::pool::map_ordered`).
+//! - `btreemap-in-hot-path` — `BTreeMap` in the cluster engine's hot-path
+//!   files (`crates/cluster/src/sim.rs`, `event_heap.rs`): the engine is
+//!   flat arrays and an index heap by design (DESIGN.md), and a tree map
+//!   on the per-event path silently undoes the flattening. Result-surface
+//!   or drain-time uses take an explicit `lint:allow` waiver.
 //! - `unordered-iter` — iterating a `HashMap`/`HashSet` declared in the
 //!   same file (std's iteration order is randomized per instance, so any
 //!   aggregation or table fed by it can differ run to run).
@@ -43,6 +52,8 @@ pub enum Rule {
     IgnoreWithoutReason,
     /// Any `#[ignore …]` inside the experiments crate.
     IgnoreInExperiments,
+    /// `BTreeMap` in the cluster engine's hot-path files.
+    BTreeMapInHotPath,
 }
 
 impl Rule {
@@ -55,6 +66,7 @@ impl Rule {
             Rule::UnwrapInLib => "unwrap-in-lib",
             Rule::IgnoreWithoutReason => "ignore-without-reason",
             Rule::IgnoreInExperiments => "ignore-in-experiments",
+            Rule::BTreeMapInHotPath => "btreemap-in-hot-path",
         }
     }
 
@@ -67,7 +79,7 @@ impl Rule {
             }
             Rule::ThreadSpawn => {
                 "ad-hoc threads break the order-preserving parallelism contract; use \
-                 experiments::runner::map_ordered"
+                 memento_simcore::pool::map_ordered"
             }
             Rule::UnorderedIter => {
                 "HashMap/HashSet iteration order is randomized per instance; iterate a \
@@ -84,10 +96,16 @@ impl Rule {
                  regress silently, so disabling it takes an explicit \
                  lint:allow(ignore-in-experiments) waiver"
             }
+            Rule::BTreeMapInHotPath => {
+                "the cluster event engine is flat arrays and an index heap by design \
+                 (DESIGN.md); a BTreeMap on the per-event path silently undoes the \
+                 flattening the perf gate measures — use a Vec/slab, or waive with a \
+                 drain-time-only justification"
+            }
         }
     }
 
-    fn all() -> [Rule; 6] {
+    fn all() -> [Rule; 7] {
         [
             Rule::WallClock,
             Rule::ThreadSpawn,
@@ -95,6 +113,7 @@ impl Rule {
             Rule::UnwrapInLib,
             Rule::IgnoreWithoutReason,
             Rule::IgnoreInExperiments,
+            Rule::BTreeMapInHotPath,
         ]
     }
 }
@@ -125,8 +144,30 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// The single file allowed to read the wall clock and spawn threads.
+/// The experiments-facing front of the worker pool: allowed to time shard
+/// sweeps and (historically) to spawn threads.
 const RUNNER: &str = "crates/experiments/src/runner.rs";
+
+/// Files sanctioned to read the wall clock: the runner reports sweep
+/// timings next to result tables, and the bench harness *is* a wall-time
+/// measurement tool. (`crates/obs/src/selfprof.rs` is deliberately not
+/// listed — its two clock reads carry per-site waivers so any new one
+/// still needs a justification.)
+const TIMED_FILES: [&str; 1] = [RUNNER];
+
+/// Path prefixes sanctioned to read the wall clock (see [`TIMED_FILES`]).
+const TIMED_PREFIXES: [&str; 1] = ["crates/bench/src/"];
+
+/// Files allowed to spawn threads: the order-preserving pool itself and
+/// the runner that fronted it before the pool moved to `simcore`.
+const THREADED_FILES: [&str; 2] = [RUNNER, "crates/simcore/src/pool.rs"];
+
+/// Files whose per-event hot paths must stay flat: `BTreeMap` is banned
+/// here without a waiver.
+const HOT_PATH_FILES: [&str; 2] = [
+    "crates/cluster/src/sim.rs",
+    "crates/cluster/src/event_heap.rs",
+];
 
 /// Strips `//` comments and blanks string-literal interiors, so a URL
 /// inside a string does not truncate real code and banned patterns quoted
@@ -382,7 +423,9 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
             || file_name.contains("test")
     };
     let sim_lib = rel.starts_with("crates/") && rel.contains("/src/") && !test_file;
-    let is_runner = rel == RUNNER;
+    let timed_ok = TIMED_FILES.contains(&rel) || TIMED_PREFIXES.iter().any(|p| rel.starts_with(p));
+    let threads_ok = THREADED_FILES.contains(&rel);
+    let hot_path = HOT_PATH_FILES.contains(&rel);
     let names = if sim_lib {
         unordered_names(&lines, &in_test)
     } else {
@@ -416,11 +459,14 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
         if !sim_lib || in_test[i] {
             continue;
         }
-        if !is_runner && (code.contains("Instant::now") || code.contains("SystemTime")) {
+        if !timed_ok && (code.contains("Instant::now") || code.contains("SystemTime")) {
             push(Rule::WallClock, i, raw);
         }
-        if !is_runner && (code.contains("thread::spawn") || code.contains("thread::scope")) {
+        if !threads_ok && (code.contains("thread::spawn") || code.contains("thread::scope")) {
             push(Rule::ThreadSpawn, i, raw);
+        }
+        if hot_path && code.contains("BTreeMap") {
+            push(Rule::BTreeMapInHotPath, i, raw);
         }
         if code.contains(".unwrap()") {
             push(Rule::UnwrapInLib, i, raw);
@@ -527,6 +573,43 @@ mod tests {
     fn runner_is_exempt_from_timing_rules() {
         let src = fixture("wall_clock.rs") + &fixture("thread_spawn.rs");
         assert!(rules_hit(RUNNER, &src).is_empty());
+    }
+
+    #[test]
+    fn pool_may_thread_and_bench_may_time_but_not_vice_versa() {
+        let threads = fixture("thread_spawn.rs");
+        assert!(rules_hit("crates/simcore/src/pool.rs", &threads).is_empty());
+        let clock = fixture("wall_clock.rs");
+        assert!(rules_hit("crates/bench/src/main.rs", &clock).is_empty());
+        // The sanctions don't cross: the pool may not read the clock and
+        // the bench harness may not spawn ad-hoc threads.
+        assert_eq!(
+            rules_hit("crates/simcore/src/pool.rs", &clock),
+            vec![Rule::WallClock, Rule::WallClock]
+        );
+        assert_eq!(
+            rules_hit("crates/bench/src/main.rs", &threads),
+            vec![Rule::ThreadSpawn]
+        );
+    }
+
+    #[test]
+    fn btreemap_is_banned_only_in_hot_path_files() {
+        let src = fixture("btreemap_in_hot_path.rs");
+        for hot in HOT_PATH_FILES {
+            assert_eq!(
+                rules_hit(hot, &src),
+                vec![Rule::BTreeMapInHotPath, Rule::BTreeMapInHotPath],
+                "{hot} must flag the import and the field type"
+            );
+        }
+        // The same source is fine elsewhere: BTreeMap is the *preferred*
+        // deterministic container outside the event engine.
+        assert!(rules_hit("crates/obs/src/metrics.rs", &src).is_empty());
+        // A drain-time use with a justification is waivable.
+        let waived = "use std::collections::BTreeMap; \
+                      // lint:allow(btreemap-in-hot-path): result surface\n";
+        assert!(rules_hit("crates/cluster/src/sim.rs", waived).is_empty());
     }
 
     #[test]
