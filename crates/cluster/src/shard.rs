@@ -84,7 +84,8 @@ fn plan(cfg: &ClusterConfig, arrivals: &[Arrival], jobs: usize) -> Vec<ShardPlan
         let node = i % cfg.nodes;
         let p = &mut plans[owner[node]];
         p.arrivals.push(*a);
-        p.assign.push((node - p.node_offset) as u32);
+        p.assign
+            .push(u32::try_from(node - p.node_offset).expect("shard-local node index fits in u32"));
     }
     plans
 }

@@ -178,6 +178,7 @@ pub fn run_specs(
     let mean_service: f64 = base_profiles
         .iter()
         .map(|p| p.warm_cycles as f64)
+        // lint:allow(float-accumulation-order): fixed-order reduction over map_ordered output
         .sum::<f64>()
         / base_profiles.len().max(1) as f64;
     let keep_alive = KeepAlive::Fixed((mean_service * 20.0) as u64);

@@ -138,6 +138,7 @@ impl EvalContext {
     /// Panics on an unknown name; fallible callers use
     /// [`EvalContext::try_workload`].
     pub fn workload(&self, name: &str) -> WorkloadSpec {
+        // lint:allow(panic-in-lib): documented panicking variant; fallible callers use try_workload
         self.try_workload(name).unwrap_or_else(|e| panic!("{e}"))
     }
 

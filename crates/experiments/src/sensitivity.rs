@@ -56,7 +56,9 @@ pub fn populate_for(ctx: &mut EvalContext, specs: &[WorkloadSpec]) -> PopulateRe
         }
         rows.push((
             lang.to_string(),
+            // lint:allow(float-accumulation-order): fixed-order reduction over map_ordered output
             speedups.iter().sum::<f64>() / speedups.len() as f64,
+            // lint:allow(float-accumulation-order): fixed-order reduction over map_ordered output
             footprints.iter().sum::<f64>() / footprints.len() as f64,
         ));
     }
@@ -186,6 +188,7 @@ pub fn fragmentation_for(ctx: &mut EvalContext, specs: &[WorkloadSpec]) -> Fragm
         }
     }
     let mean_gap =
+        // lint:allow(float-accumulation-order): fixed-order reduction over map_ordered output
         rows.iter().map(|(_, m, b)| (m - b).abs()).sum::<f64>() / rows.len().max(1) as f64;
     FragmentationResult { rows, mean_gap }
 }

@@ -123,6 +123,7 @@ impl Tracer {
             .open
             .iter()
             .rposition(|s| s.core == core)
+            // lint:allow(panic-in-lib): unmatched end() is an instrumentation bug worth a loud stop
             .unwrap_or_else(|| panic!("tracer: end() on core {core} with no open span"));
         let span = self.open.remove(idx);
         self.phases.push(PhaseSpan {
@@ -157,6 +158,7 @@ impl Tracer {
     /// silently unattributed.
     pub fn assert_closed(&self) {
         if !self.open.is_empty() {
+            // lint:allow(panic-in-lib): documented contract check; a dangling span hides cycles
             panic!(
                 "tracer: span(s) left open at run end: [{}]",
                 self.open_spans().join(" > ")

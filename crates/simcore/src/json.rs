@@ -37,6 +37,7 @@ impl Value {
     /// Panics when `self` is not an object.
     pub fn set(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
         let Value::Object(members) = self else {
+            // lint:allow(panic-in-lib): documented builder contract; callers construct the object
             panic!("set on non-object JSON value");
         };
         let value = value.into();

@@ -229,6 +229,7 @@ impl PageTable {
             }
             table = pte.frame();
         }
+        // lint:allow(panic-in-lib): the range loop always reaches the target level and returns
         unreachable!("loop covers level..=3");
     }
 

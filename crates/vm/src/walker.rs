@@ -168,6 +168,7 @@ impl PageWalker {
                 p.insert(root, va, level - 1, table);
             }
         }
+        // lint:allow(panic-in-lib): the level loop runs 3..=0 and level 0 always returns
         unreachable!("walk terminates at level 0");
     }
 }

@@ -1,0 +1,9 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::Release);
+}
+
+pub fn peek(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Relaxed)
+}

@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // lint:allow(atomic-ordering-audit): fixture: pure counter, no data published
+    counter.fetch_add(1, Ordering::Relaxed)
+}

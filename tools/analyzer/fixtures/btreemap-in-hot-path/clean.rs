@@ -1,0 +1,3 @@
+pub struct Plan {
+    pub stages: Vec<(u32, u64)>,
+}

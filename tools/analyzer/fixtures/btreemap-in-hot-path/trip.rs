@@ -1,0 +1,3 @@
+pub struct Plan {
+    pub stages: std::collections::BTreeMap<u32, u64>,
+}

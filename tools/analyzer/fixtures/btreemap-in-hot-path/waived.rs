@@ -1,0 +1,4 @@
+pub struct Report {
+    // lint:allow(btreemap-in-hot-path): fixture: drain-time reporting only
+    pub stages: std::collections::BTreeMap<u32, u64>,
+}

@@ -1,0 +1,4 @@
+pub fn peak(rows: &[f64]) -> f64 {
+    let parts = map_ordered(4, rows, |r| *r);
+    parts.iter().fold(f64::MIN, |a, b| a.max(*b))
+}

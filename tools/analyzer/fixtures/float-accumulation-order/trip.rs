@@ -1,0 +1,4 @@
+pub fn mean(rows: &[f64]) -> f64 {
+    let parts = map_ordered(4, rows, |r| *r);
+    parts.iter().sum::<f64>() / parts.len() as f64
+}

@@ -1,0 +1,5 @@
+pub fn mean(rows: &[f64]) -> f64 {
+    let parts = map_ordered(4, rows, |r| *r);
+    // lint:allow(float-accumulation-order): fixture: map_ordered output order is fixed
+    parts.iter().sum::<f64>() / parts.len() as f64
+}

@@ -1,0 +1,3 @@
+#[test]
+#[ignore = "slow: replays the full trace"]
+fn replay() {}

@@ -1,0 +1,4 @@
+#[test]
+// lint:allow(ignore-in-experiments): fixture: figure regression tracked elsewhere
+#[ignore = "slow: replays the full trace"]
+fn replay() {}

@@ -1,0 +1,3 @@
+#[test]
+#[ignore = "slow: full parameter sweep"]
+fn slow_sweep() {}

@@ -1,0 +1,4 @@
+#[test]
+// lint:allow(ignore-without-reason): fixture: reason tracked in the roadmap
+#[ignore]
+fn slow_sweep() {}

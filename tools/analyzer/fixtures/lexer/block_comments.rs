@@ -1,0 +1,7 @@
+/* The legacy scanner treated this interior as code:
+let t = Instant::now();
+x.unwrap();
+*/
+pub fn after() -> u32 {
+    /* " */ 7
+}

@@ -1,0 +1,3 @@
+pub fn widen(idx: u32) -> u64 {
+    idx as u64
+}

@@ -1,0 +1,3 @@
+pub fn pack(idx: usize) -> u32 {
+    idx as u32
+}

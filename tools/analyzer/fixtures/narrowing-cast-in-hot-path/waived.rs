@@ -1,0 +1,4 @@
+pub fn pack(idx: usize) -> u32 {
+    // lint:allow(narrowing-cast-in-hot-path): fixture: idx < 2^32 by construction
+    idx as u32
+}

@@ -1,0 +1,6 @@
+pub fn decode(tag: u8) -> Option<u32> {
+    match tag {
+        0 => Some(10),
+        _ => None,
+    }
+}

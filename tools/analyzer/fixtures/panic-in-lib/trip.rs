@@ -1,0 +1,6 @@
+pub fn decode(tag: u8) -> u32 {
+    match tag {
+        0 => 10,
+        _ => unimplemented!(),
+    }
+}

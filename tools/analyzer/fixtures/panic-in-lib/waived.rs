@@ -1,0 +1,7 @@
+pub fn decode(tag: u8) -> u32 {
+    match tag {
+        0 => 10,
+        // lint:allow(panic-in-lib): fixture: tag is validated at the boundary
+        _ => unreachable!("tag validated by caller"),
+    }
+}

@@ -1,0 +1,6 @@
+use std::thread;
+
+pub fn run() {
+    let h = thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}

@@ -1,0 +1,5 @@
+pub fn run() {
+    // lint:allow(thread-spawn): fixture: joined before return, order preserved
+    let h = std::thread::spawn(|| ());
+    let _ = h.join();
+}

@@ -1,0 +1,4 @@
+pub fn head(xs: &[u32]) -> u32 {
+    // lint:allow(unwrap-in-lib): fixture: caller guarantees non-empty input
+    *xs.first().unwrap()
+}

@@ -1,0 +1,2 @@
+// lint:allow(unwrap-in-lib)
+pub fn noop() {}

@@ -1,0 +1,3 @@
+// lint:allow(unjustified-waiver): fixture: ledger coverage demonstration
+// lint:allow(unwrap-in-lib)
+pub fn noop() {}

@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+pub fn total(m: BTreeMap<u32, u64>) -> u64 {
+    let mut sum = 0;
+    for v in m.values() {
+        sum += v;
+    }
+    sum
+}

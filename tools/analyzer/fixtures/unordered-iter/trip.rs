@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn total(m: HashMap<u32, u64>) -> u64 {
+    let mut sum = 0;
+    for v in m.values() {
+        sum += v;
+    }
+    sum
+}

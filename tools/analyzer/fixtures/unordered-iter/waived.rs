@@ -1,0 +1,10 @@
+use std::collections::HashMap;
+
+pub fn total(m: HashMap<u32, u64>) -> u64 {
+    let mut sum = 0;
+    // lint:allow(unordered-iter): fixture: integer addition is order-insensitive
+    for v in m.values() {
+        sum += v;
+    }
+    sum
+}

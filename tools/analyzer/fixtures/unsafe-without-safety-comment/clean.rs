@@ -1,0 +1,4 @@
+pub fn read(ptr: *const u32) -> u32 {
+    // SAFETY: caller guarantees ptr is valid and aligned for u32.
+    unsafe { *ptr }
+}

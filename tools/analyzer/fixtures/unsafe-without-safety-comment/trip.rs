@@ -1,0 +1,3 @@
+pub fn read(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}

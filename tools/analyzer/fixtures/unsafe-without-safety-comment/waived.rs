@@ -1,0 +1,4 @@
+pub fn read(ptr: *const u32) -> u32 {
+    // lint:allow(unsafe-without-safety-comment): fixture: rationale on the trait docs
+    unsafe { *ptr }
+}

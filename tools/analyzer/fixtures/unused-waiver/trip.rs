@@ -1,0 +1,4 @@
+// lint:allow(wall-clock): fixture: this line no longer reads the clock
+pub fn tick(now_ns: u64) -> u64 {
+    now_ns + 1
+}

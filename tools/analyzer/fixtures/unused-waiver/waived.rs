@@ -1,0 +1,5 @@
+// lint:allow(unused-waiver): fixture: kept while the feature flag is off
+// lint:allow(wall-clock): fixture: guarded clock read lands next PR
+pub fn tick(now_ns: u64) -> u64 {
+    now_ns + 1
+}

@@ -1,4 +1,3 @@
-// Fixture: bare unwrap in library code must be flagged.
 pub fn head(xs: &[u32]) -> u32 {
     *xs.first().unwrap()
 }

@@ -1,0 +1,3 @@
+pub fn tick(now_ns: u64) -> u64 {
+    now_ns + 1
+}

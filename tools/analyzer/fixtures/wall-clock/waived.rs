@@ -1,0 +1,4 @@
+pub fn stamp() -> std::time::Instant {
+    // lint:allow(wall-clock): fixture: justified timing helper
+    std::time::Instant::now()
+}

@@ -1,0 +1,366 @@
+//! The pre-analyzer per-line regex-free scanner, frozen for differential
+//! testing.
+//!
+//! This is the old `tools/lint` scan logic, kept verbatim in behaviour so
+//! `tests/differential.rs` can prove the token-stream engine reproduces
+//! its verdicts on every checked-in source file. It has known blind
+//! spots the new engine fixes — `/* … */` block comments are not
+//! stripped (so banned patterns inside them false-positive and quote
+//! parity breaks), multi-line string interiors are scanned as code, and
+//! waivers are accepted without a justification — which is exactly why
+//! the comparison is interesting: on sources that avoid those
+//! constructs, verdicts must match line for line.
+//!
+//! Do not extend this module; new rules go in the token-based engine.
+
+/// The seven legacy rules (the new engine ports all of them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// Wall-clock reads in sim code.
+    WallClock,
+    /// Thread spawning outside the experiment runner.
+    ThreadSpawn,
+    /// Iteration over a randomized-order container.
+    UnorderedIter,
+    /// `.unwrap()` in library code.
+    UnwrapInLib,
+    /// `#[ignore]` without a reason string.
+    IgnoreWithoutReason,
+    /// Any `#[ignore …]` inside the experiments crate.
+    IgnoreInExperiments,
+    /// `BTreeMap` in the cluster engine's hot-path files.
+    BTreeMapInHotPath,
+}
+
+impl Rule {
+    /// Stable identifier, shared with the new engine's rules.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::UnwrapInLib => "unwrap-in-lib",
+            Rule::IgnoreWithoutReason => "ignore-without-reason",
+            Rule::IgnoreInExperiments => "ignore-in-experiments",
+            Rule::BTreeMapInHotPath => "btreemap-in-hot-path",
+        }
+    }
+}
+
+/// One legacy lint hit: 1-based line plus the rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule violated.
+    pub rule: Rule,
+}
+
+const RUNNER: &str = "crates/experiments/src/runner.rs";
+const TIMED_FILES: [&str; 1] = [RUNNER];
+const TIMED_PREFIXES: [&str; 1] = ["crates/bench/src/"];
+const THREADED_FILES: [&str; 2] = [RUNNER, "crates/simcore/src/pool.rs"];
+const HOT_PATH_FILES: [&str; 2] = [
+    "crates/cluster/src/sim.rs",
+    "crates/cluster/src/event_heap.rs",
+];
+
+/// The legacy per-line comment/string stripper. Handles `//` comments,
+/// single-line strings, raw strings and char literals; block comments
+/// and multi-line strings are its documented blind spots.
+fn strip_comments(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    let mut in_string = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_string {
+            if c == '\\' {
+                if i + 1 < bytes.len() {
+                    i += 2;
+                    continue;
+                }
+            } else if c == '"' {
+                in_string = false;
+                out.push(c);
+            }
+            i += 1;
+            continue;
+        }
+        if (c == 'r' || c == 'b') && (i == 0 || !is_ident_char(bytes[i - 1] as char)) {
+            let start = if c == 'b' && i + 1 < bytes.len() && bytes[i + 1] as char == 'r' {
+                i + 1
+            } else {
+                i
+            };
+            if bytes[start] as char == 'r' {
+                let mut j = start + 1;
+                let mut hashes = 0;
+                while j < bytes.len() && bytes[j] as char == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] as char == '"' {
+                    let close: String = std::iter::once('"')
+                        .chain(std::iter::repeat_n('#', hashes))
+                        .collect();
+                    out.push_str("\"\"");
+                    i = match line[j + 1..].find(&close) {
+                        Some(pos) => j + 1 + pos + close.len(),
+                        None => bytes.len(),
+                    };
+                    continue;
+                }
+            }
+        }
+        if c == '"' {
+            in_string = true;
+            out.push(c);
+            i += 1;
+        } else if c == '\'' {
+            if i + 2 < bytes.len() && bytes[i + 1] as char == '\\' && i + 3 < bytes.len() {
+                out.push_str(&line[i..i + 4]);
+                i += 4;
+            } else if i + 2 < bytes.len() && bytes[i + 2] as char == '\'' {
+                out.push_str(&line[i..i + 3]);
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < bytes.len() && bytes[i + 1] as char == '/' {
+            break;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn test_regions(lines: &[&str]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut active = false;
+    let mut depth: i64 = 0;
+    let mut seen_open = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let code = strip_comments(raw);
+        if !active && code.contains("#[cfg(test)]") {
+            active = true;
+            depth = 0;
+            seen_open = false;
+        }
+        if active {
+            in_test[i] = true;
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            let body_closed = seen_open && depth <= 0;
+            let out_of_line_mod =
+                !seen_open && code.trim_end().ends_with(';') && code.contains("mod ");
+            if body_closed || out_of_line_mod {
+                active = false;
+            }
+        }
+    }
+    in_test
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn binder_before(code: &str, idx: usize) -> Option<String> {
+    let before = code[..idx].trim_end();
+    if before.ends_with(':') {
+        let t = before.strip_suffix(':')?;
+        if t.ends_with(':') {
+            return None;
+        }
+        let t = t.trim_end();
+        let name: String = t
+            .chars()
+            .rev()
+            .take_while(|c| is_ident_char(*c))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        return (!name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .then_some(name);
+    }
+    if before.ends_with('=') {
+        let t = before.strip_suffix('=')?;
+        if t.ends_with(['=', '<', '>', '+', '-', '!', '&', '|', '*', '/']) {
+            return None;
+        }
+        let t = t.trim_end();
+        let name: String = t
+            .chars()
+            .rev()
+            .take_while(|c| is_ident_char(*c))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        return (!name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .then_some(name);
+    }
+    None
+}
+
+fn unordered_names(lines: &[&str], in_test: &[bool]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let code = strip_comments(raw);
+        for ty in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(ty) {
+                let idx = from + pos;
+                if let Some(name) = binder_before(&code, idx) {
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+                from = idx + ty.len();
+            }
+        }
+    }
+    names
+}
+
+fn iterates(code: &str, name: &str) -> bool {
+    const SUFFIXES: [&str; 7] = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+    ];
+    for suffix in SUFFIXES {
+        let pat = format!("{name}{suffix}");
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(&pat) {
+            let idx = from + pos;
+            let boundary = idx == 0
+                || !is_ident_char(
+                    code[..idx]
+                        .chars()
+                        .next_back()
+                        .expect("idx > 0 guarantees a preceding char"),
+                );
+            if boundary {
+                return true;
+            }
+            from = idx + pat.len();
+        }
+    }
+    for prefix in ["in ", "in &", "in &mut "] {
+        let pat = format!("{prefix}{name}");
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(&pat) {
+            let idx = from + pos;
+            let pre_ok = idx == 0
+                || !is_ident_char(
+                    code[..idx]
+                        .chars()
+                        .next_back()
+                        .expect("idx > 0 guarantees a preceding char"),
+                );
+            let after = code[idx + pat.len()..].chars().next();
+            let post_ok = matches!(after, None | Some(' ') | Some('{'));
+            if pre_ok && post_ok {
+                return true;
+            }
+            from = idx + pat.len();
+        }
+    }
+    false
+}
+
+/// Legacy waiver check: the token on the same or previous line, with no
+/// justification required (the new engine tightened this).
+fn waived(lines: &[&str], line_idx: usize, rule: Rule) -> bool {
+    let token = format!("lint:allow({})", rule.id());
+    if lines[line_idx].contains(&token) {
+        return true;
+    }
+    line_idx > 0 && lines[line_idx - 1].contains(&token)
+}
+
+/// Scans one file with the legacy rules. `rel` is the repo-relative
+/// `/`-separated path and decides which rules apply.
+pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let in_test = test_regions(&lines);
+    let test_file = {
+        let file_name = rel.rsplit('/').next().unwrap_or(rel);
+        rel.contains("/tests/")
+            || rel.starts_with("tests/")
+            || rel.starts_with("examples/")
+            || rel.starts_with("benches/")
+            || file_name.contains("test")
+    };
+    let sim_lib = rel.starts_with("crates/") && rel.contains("/src/") && !test_file;
+    let timed_ok = TIMED_FILES.contains(&rel) || TIMED_PREFIXES.iter().any(|p| rel.starts_with(p));
+    let threads_ok = THREADED_FILES.contains(&rel);
+    let hot_path = HOT_PATH_FILES.contains(&rel);
+    let names = if sim_lib {
+        unordered_names(&lines, &in_test)
+    } else {
+        Vec::new()
+    };
+
+    let mut findings = Vec::new();
+    let mut push = |rule: Rule, i: usize| {
+        if !waived(&lines, i, rule) {
+            findings.push(Finding { line: i + 1, rule });
+        }
+    };
+
+    let in_experiments = rel.starts_with("crates/experiments/");
+    for (i, raw) in lines.iter().enumerate() {
+        let code = strip_comments(raw);
+        if code.contains("#[ignore]") {
+            push(Rule::IgnoreWithoutReason, i);
+        }
+        if in_experiments && code.contains("#[ignore") {
+            push(Rule::IgnoreInExperiments, i);
+        }
+        if !sim_lib || in_test[i] {
+            continue;
+        }
+        if !timed_ok && (code.contains("Instant::now") || code.contains("SystemTime")) {
+            push(Rule::WallClock, i);
+        }
+        if !threads_ok && (code.contains("thread::spawn") || code.contains("thread::scope")) {
+            push(Rule::ThreadSpawn, i);
+        }
+        if hot_path && code.contains("BTreeMap") {
+            push(Rule::BTreeMapInHotPath, i);
+        }
+        if code.contains(".unwrap()") {
+            push(Rule::UnwrapInLib, i);
+        }
+        for name in &names {
+            if iterates(&code, name) {
+                push(Rule::UnorderedIter, i);
+                break;
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,455 @@
+//! Dependency-free token-stream lexer for Rust sources.
+//!
+//! The analyzer's passes must never be fooled by text that merely *looks*
+//! like code — a banned pattern quoted in an error message, a `BTreeMap`
+//! mentioned in a block comment, a `"` inside a raw string. The old
+//! per-line scanner handled `//` comments and single-line strings only;
+//! this lexer walks the whole file once and understands:
+//!
+//! - line comments (`//`, `///`, `//!`) and *nested, multi-line* block
+//!   comments (`/* .. /* .. */ .. */`),
+//! - string literals with escapes, including multi-line strings,
+//! - raw strings (`r"…"`, `r#"…"#`, arbitrarily many hashes) and the
+//!   byte/C-string prefixes (`b"…"`, `br#"…"#`, `c"…"`, `cr"…"`),
+//! - char and byte-char literals (`'x'`, `'\n'`, `'\u{7F}'`, `b'x'`)
+//!   vs. lifetimes (`'a`, `'static`),
+//! - identifiers and numbers.
+//!
+//! It produces a token stream plus two per-line *views* derived from it:
+//!
+//! - the **code view**: source text with comments removed and every
+//!   literal collapsed to an empty `""` / `''` (quotes kept so parity
+//!   stays visible); pattern-based passes match against this,
+//! - the **comment view**: only the comment text, used by the waiver
+//!   ledger and the `SAFETY:` pass.
+//!
+//! A pattern can therefore never match inside a literal or a comment,
+//! and a comment-only pass can never match code.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integers, floats, with suffixes).
+    Number,
+    /// Any other single non-whitespace code character.
+    Punct,
+    /// String literal of any form (plain, raw, byte, C), quotes included.
+    Str,
+    /// Char or byte-char literal, quotes included.
+    Char,
+    /// Lifetime (`'a`), leading quote included.
+    Lifetime,
+    /// `//` comment, marker included, newline excluded.
+    LineComment,
+    /// `/* … */` comment, markers included, possibly multi-line.
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// 0-based line the token *starts* on.
+    pub line: usize,
+    /// Raw source text of the token.
+    pub text: String,
+}
+
+/// Lexer output: the token stream and the two derived line views.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order (whitespace is not tokenized).
+    pub tokens: Vec<Token>,
+    /// Per-line code view (comments stripped, literals collapsed).
+    pub code: Vec<String>,
+    /// Per-line comment view (everything but comment text stripped).
+    pub comments: Vec<String>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        let lines = src.split('\n').count();
+        Lexer {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 0,
+            out: Lexed {
+                tokens: Vec::new(),
+                code: vec![String::new(); lines],
+                comments: vec![String::new(); lines],
+            },
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn push_code(&mut self, s: &str) {
+        self.out.code[self.line].push_str(s);
+    }
+
+    fn token(&mut self, kind: TokenKind, line: usize, text: String) {
+        self.out.tokens.push(Token { kind, line, text });
+    }
+
+    /// Consumes one char, tracking line breaks. Returns the char.
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.i];
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.i += 1;
+        }
+        self.out.comments[start].push_str(&text);
+        self.token(TokenKind::LineComment, start, text);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while self.i < self.chars.len() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.out.comments[self.line].push_str("/*");
+                self.i += 2;
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.out.comments[self.line].push_str("*/");
+                self.i += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                let c = self.bump();
+                text.push(c);
+                if c != '\n' {
+                    self.out.comments[self.line].push(c);
+                }
+            }
+        }
+        self.token(TokenKind::BlockComment, start, text);
+    }
+
+    /// A plain (escaped) string body after the opening `"` was consumed
+    /// into `text`. Multi-line strings are legal Rust; interior text is
+    /// omitted from the code view.
+    fn string_body(&mut self, mut text: String, start: usize) {
+        while self.i < self.chars.len() {
+            let c = self.bump();
+            text.push(c);
+            if c == '\\' && self.i < self.chars.len() {
+                text.push(self.bump());
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.out.code[start].push_str("\"\"");
+        self.token(TokenKind::Str, start, text);
+    }
+
+    /// Raw string after prefix: `self.i` points at the first `#` or the
+    /// opening `"`. Returns false (consuming nothing) if the shape is not
+    /// actually a raw string.
+    fn raw_string_body(&mut self, prefix: &str, start: usize) -> bool {
+        let mut hashes = 0;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some('"') {
+            return false;
+        }
+        let mut text = String::from(prefix);
+        for _ in 0..=hashes {
+            text.push(self.bump());
+        }
+        // Scan for `"` followed by `hashes` hashes.
+        while self.i < self.chars.len() {
+            let c = self.bump();
+            text.push(c);
+            if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                for _ in 0..hashes {
+                    text.push(self.bump());
+                }
+                break;
+            }
+        }
+        self.out.code[start].push_str("\"\"");
+        self.token(TokenKind::Str, start, text);
+        true
+    }
+
+    /// Char literal vs. lifetime, at the opening `'`.
+    fn quote(&mut self) {
+        let start = self.line;
+        match (self.peek(1), self.peek(2)) {
+            // Escaped char: '\n', '\'', '\u{7F}' — skip the escape head,
+            // then run to the closing quote.
+            (Some('\\'), _) => {
+                let mut text = String::new();
+                text.push(self.bump()); // '
+                text.push(self.bump()); // \
+                if self.i < self.chars.len() {
+                    text.push(self.bump()); // escape head ('n', ''', 'u', …)
+                }
+                while self.i < self.chars.len() {
+                    let c = self.bump();
+                    text.push(c);
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.out.code[start].push_str("''");
+                self.token(TokenKind::Char, start, text);
+            }
+            // Plain char: 'x'.
+            (Some(_), Some('\'')) => {
+                let mut text = String::new();
+                for _ in 0..3 {
+                    text.push(self.bump());
+                }
+                self.out.code[start].push_str("''");
+                self.token(TokenKind::Char, start, text);
+            }
+            // Lifetime: 'a, 'static, '_ — kept in the code view.
+            (Some(c), _) if is_ident_char(c) => {
+                let mut text = String::new();
+                text.push(self.bump()); // '
+                while self.peek(0).is_some_and(is_ident_char) {
+                    text.push(self.bump());
+                }
+                self.push_code(&text.clone());
+                self.token(TokenKind::Lifetime, start, text);
+            }
+            // Stray quote (invalid Rust): pass through as punct.
+            _ => {
+                self.push_code("'");
+                self.token(TokenKind::Punct, start, "'".to_string());
+                self.i += 1;
+            }
+        }
+    }
+
+    /// At an ident-start char: either a literal prefix (`r""`, `b''`,
+    /// `br#""#`, `c""`, `cr""`) or an ordinary identifier.
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.line;
+        // Collect the candidate identifier without consuming.
+        let mut len = 0;
+        while self.peek(len).is_some_and(is_ident_char) {
+            len += 1;
+        }
+        let word: String = self.chars[self.i..self.i + len].iter().collect();
+        let next = self.peek(len);
+        match (word.as_str(), next) {
+            ("r" | "br" | "cr", Some('"' | '#')) => {
+                self.i += len;
+                if self.raw_string_body(&word, start) {
+                    return;
+                }
+                // Not a raw string after all (e.g. `r#ident`): emit ident.
+                self.push_code(&word);
+                self.token(TokenKind::Ident, start, word);
+            }
+            ("b" | "c", Some('"')) => {
+                // b"…" / c"…" use ordinary escape rules.
+                self.i += len;
+                let mut text = word;
+                text.push(self.bump());
+                self.string_body(text, start);
+            }
+            ("b", Some('\'')) => {
+                self.i += len;
+                self.quote();
+            }
+            _ => {
+                self.i += len;
+                self.push_code(&word);
+                self.token(TokenKind::Ident, start, word);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // A `.` continues the number only when a digit follows, so
+            // range expressions like `0..10` stay two separate tokens.
+            let continues =
+                is_ident_char(c) || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if continues {
+                text.push(self.bump());
+            } else {
+                break;
+            }
+        }
+        self.push_code(&text.clone());
+        self.token(TokenKind::Number, start, text);
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                let start = self.line;
+                let mut text = String::new();
+                text.push(self.bump());
+                self.string_body(text, start);
+            } else if c == '\'' {
+                self.quote();
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else {
+                let line = self.line;
+                let c = self.bump();
+                if c != '\n' {
+                    self.out.code[line].push(c);
+                }
+                if !c.is_whitespace() {
+                    self.token(TokenKind::Punct, line, c.to_string());
+                }
+            }
+        }
+        self.out
+    }
+}
+
+/// Lexes `src` into tokens plus the code and comment line views.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_view(src: &str) -> Vec<String> {
+        lex(src).code
+    }
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let v = code_view("let x = 1; // Instant::now\n");
+        assert_eq!(v[0], "let x = 1; ");
+    }
+
+    #[test]
+    fn block_comments_are_stripped_including_multiline() {
+        let v = code_view("a /* BTreeMap */ b\nx /* one\ntwo \"quote\nthree */ y\n");
+        assert_eq!(v[0], "a  b");
+        assert_eq!(v[1], "x ");
+        assert_eq!(v[2], "");
+        assert_eq!(v[3], " y");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let v = code_view("a /* outer /* inner */ still */ b\n");
+        assert_eq!(v[0], "a  b");
+    }
+
+    #[test]
+    fn strings_collapse_but_keep_quote_parity() {
+        let v = code_view("let s = \"x.unwrap() // not code\"; f(s);\n");
+        assert_eq!(v[0], "let s = \"\"; f(s);");
+    }
+
+    #[test]
+    fn multiline_strings_do_not_leak_interior() {
+        let v = code_view("let s = \"line one\nInstant::now\";\nlet t = 2;\n");
+        assert_eq!(v[0], "let s = \"\"");
+        assert_eq!(v[1], ";");
+        assert_eq!(v[2], "let t = 2;");
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let v = code_view("r#\"raw \" quote\"# b\"bytes\" br\"raw bytes\" c\"cstr\"\n");
+        assert_eq!(v[0], "\"\" \"\" \"\" \"\"");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let v = code_view("let c = '\"'; let e = '\\n'; fn f<'a>(x: &'a str) {}\n");
+        assert_eq!(v[0], "let c = ''; let e = ''; fn f<'a>(x: &'a str) {}");
+    }
+
+    #[test]
+    fn comment_view_holds_comment_text_only() {
+        let l = lex("let x = 1; // note: SAFETY here\n/* block */ code\n");
+        assert_eq!(l.comments[0], "// note: SAFETY here");
+        assert_eq!(l.comments[1], "/* block */");
+        assert!(!l.comments[1].contains("code"));
+    }
+
+    #[test]
+    fn tokens_carry_kind_and_line() {
+        let l = lex("unsafe { x }\n// c\n\"s\"\n");
+        let kinds: Vec<(TokenKind, usize)> = l.tokens.iter().map(|t| (t.kind, t.line)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (TokenKind::Ident, 0),
+                (TokenKind::Punct, 0),
+                (TokenKind::Ident, 0),
+                (TokenKind::Punct, 0),
+                (TokenKind::LineComment, 1),
+                (TokenKind::Str, 2),
+            ]
+        );
+        assert_eq!(l.tokens[0].text, "unsafe");
+    }
+
+    #[test]
+    fn numbers_including_floats_and_ranges() {
+        let v = code_view("let a = 1.5e3; for i in 0..10 {}\n");
+        assert_eq!(v[0], "let a = 1.5e3; for i in 0..10 {}");
+    }
+
+    #[test]
+    fn unterminated_forms_do_not_hang_or_panic() {
+        let _ = lex("/* never closed\nmore");
+        let _ = lex("\"never closed\nmore");
+        let _ = lex("r#\"never closed");
+        let _ = lex("'");
+    }
+}

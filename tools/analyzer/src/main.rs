@@ -1,0 +1,80 @@
+//! Analyzer entry point: `cargo run -p memento-analyzer` from anywhere
+//! in the workspace.
+//!
+//! Flags:
+//! - `--root <path>`: scan a different tree (default: this workspace)
+//! - `--json <path>`: also write the machine-readable report
+//! - `--deny-warnings`: warn-severity findings fail the run (CI mode)
+//!
+//! Exit codes: 0 clean, 1 findings failed the run, 2 usage/IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use memento_analyzer::{scan_repo, summary, to_json};
+
+struct Options {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    deny_warnings: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        json: None,
+        deny_warnings: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a path")?);
+            }
+            "--json" => {
+                opts.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
+            }
+            "--deny-warnings" => opts.deny_warnings = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("memento-analyzer: {e}");
+            eprintln!("usage: memento-analyzer [--root <path>] [--json <path>] [--deny-warnings]");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match scan_repo(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "memento-analyzer: failed to scan {}: {e}",
+                opts.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    for f in &report.findings {
+        eprintln!("{f}");
+        eprintln!("    note: {}", f.rule.explanation());
+    }
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, to_json(&report, opts.deny_warnings)) {
+            eprintln!("memento-analyzer: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    println!("{}", summary(&report));
+    let failed = report.deny_count() > 0 || (opts.deny_warnings && report.warn_count() > 0);
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

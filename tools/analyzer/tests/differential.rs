@@ -1,0 +1,87 @@
+//! Differential test: on every checked-in `.rs` file, the token-stream
+//! engine reproduces the frozen legacy scanner's verdicts for the seven
+//! ported rules.
+//!
+//! The two engines diverge only on constructs the legacy scanner cannot
+//! see — block comments, multi-line strings, justification-free waivers
+//! — and the checked-in tree avoids triggering those blind spots, so the
+//! (line, rule-id) sets must match file for file. Fixture trees are
+//! excluded (they trip rules on purpose, including blind-spot cases).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use memento_analyzer::legacy;
+
+/// The seven rule ids both engines implement.
+const PORTED: [&str; 7] = [
+    "wall-clock",
+    "thread-spawn",
+    "unordered-iter",
+    "unwrap-in-lib",
+    "ignore-without-reason",
+    "ignore-in-experiments",
+    "btreemap-in-hot-path",
+];
+
+#[test]
+fn new_engine_matches_legacy_scanner_on_checked_in_sources() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples", "benches", "tools"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            memento_analyzer::walk(&dir, &mut files).expect("workspace readable");
+        }
+    }
+    assert!(files.len() > 100, "workspace walk looks truncated");
+
+    let mut compared = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(path).expect("source readable");
+
+        let old: BTreeSet<(usize, &str)> = legacy::scan_source(&rel, &source)
+            .into_iter()
+            .map(|f| (f.line, f.rule.id()))
+            .collect();
+        let new: BTreeSet<(usize, &str)> = memento_analyzer::scan_source(&rel, &source)
+            .into_iter()
+            .map(|f| (f.line, f.rule.id()))
+            .filter(|(_, id)| PORTED.contains(id))
+            .collect();
+        assert_eq!(
+            old, new,
+            "{rel}: legacy and token-stream verdicts diverge\nlegacy: {old:?}\nnew:    {new:?}"
+        );
+        compared += 1;
+    }
+    assert!(compared > 100, "compared too few files: {compared}");
+}
+
+#[test]
+fn engines_diverge_exactly_on_the_documented_blind_spots() {
+    // Block comment hiding a banned pattern: legacy false-positives, the
+    // token engine stays quiet. This is the regression fixture for the
+    // strip_comments bug.
+    let rel = "crates/system/src/machine.rs";
+    let src = "/* Instant::now() */ fn f() {}\n";
+    assert_eq!(legacy::scan_source(rel, src).len(), 1, "legacy blind spot");
+    assert!(memento_analyzer::scan_source(rel, src).is_empty());
+
+    // Multi-line block comment: the legacy scanner treats the interior
+    // as code.
+    let multi = "/*\nlet t = Instant::now();\n*/\nfn f() {}\n";
+    assert_eq!(legacy::scan_source(rel, multi).len(), 1);
+    assert!(memento_analyzer::scan_source(rel, multi).is_empty());
+
+    // Justification-free waiver: legacy accepts it, the new engine
+    // reports both the finding and the unjustified waiver.
+    let bare = "fn f() { x.unwrap(); } // lint:allow(unwrap-in-lib)\n";
+    assert!(legacy::scan_source(rel, bare).is_empty());
+    assert_eq!(memento_analyzer::scan_source(rel, bare).len(), 2);
+}
