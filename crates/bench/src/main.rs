@@ -37,7 +37,7 @@ use memento_cluster::{
     Placement, ProfileTable, WorkloadMix,
 };
 use memento_experiments::cluster::{run_for_jobs, ClusterParams};
-use memento_experiments::{memusage, EvalContext};
+use memento_experiments::{memusage, multicore, EvalContext};
 use memento_simcore::json::{self, Value};
 use memento_system::SystemConfig;
 use std::process::ExitCode;
@@ -178,6 +178,7 @@ fn bench_cluster_full_eval() -> Measurement {
     let cfg = ClusterConfig {
         nodes: 8,
         queue_capacity: 32,
+        cores_per_node: 1,
         placement: Placement::LeastLoaded,
         keep_alive,
         record_timeline: false,
@@ -212,6 +213,28 @@ fn bench_cluster_full_eval() -> Measurement {
         wall_ms,
         setup_ms,
         invocations,
+        spans: drain_spans(),
+    }
+}
+
+/// The multicore contention study at smoke scale: four invocations
+/// work-stealing-scheduled over two cores sharing an LLC and a memory
+/// controller, baseline and Memento trials plus the per-spec solo runs.
+/// Guards the scheduled-machine path (fair-share LLC partitioning, DRAM
+/// queueing, steal bookkeeping) that the fleet benches never touch.
+fn bench_multicore_scale() -> Measurement {
+    memento_obs::selfprof::enable();
+    let t = Instant::now();
+    let result =
+        multicore::run_for_jobs(&["aes", "jl", "aes", "jl"], 8, 1).expect("pinned workloads exist");
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    memento_obs::selfprof::disable();
+    assert_eq!(result.cores, 2, "four invocations contend on two cores");
+    Measurement {
+        name: "multicore_scale",
+        wall_ms,
+        setup_ms: 0.0,
+        invocations: 4 * result.rows.len() as u64,
         spans: drain_spans(),
     }
 }
@@ -288,6 +311,7 @@ fn main() -> ExitCode {
         best_of(args.reps, bench_cluster_smoke),
         best_of(args.reps, bench_warm_steady_state),
         best_of(args.reps, bench_cluster_full_eval),
+        best_of(args.reps, bench_multicore_scale),
     ];
 
     let mut report = Value::object();

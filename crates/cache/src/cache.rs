@@ -78,6 +78,9 @@ struct Line {
     valid: bool,
     dirty: bool,
     lru: u64,
+    /// Core that last filled this line (fair-share accounting in the LLC;
+    /// always 0 in private levels).
+    owner: usize,
 }
 
 /// Per-level statistics.
@@ -185,8 +188,29 @@ impl SetAssocCache {
     }
 
     /// Installs the line holding `addr`, evicting the LRU way if needed.
-    /// Marks the new line dirty when `dirty`.
+    /// Marks the new line dirty when `dirty`. Ownership defaults to core 0
+    /// with fair-share partitioning disabled — the single-core fill path.
     pub fn fill(&mut self, addr: PhysAddr, dirty: bool) -> Eviction {
+        self.fill_owned(addr, dirty, 0, 0)
+    }
+
+    /// Installs the line holding `addr` on behalf of `owner`, evicting a
+    /// victim if needed.
+    ///
+    /// With `fair_ways == 0` the victim is the plain LRU way — exactly the
+    /// behaviour of [`SetAssocCache::fill`]. With `fair_ways > 0` (shared
+    /// LLC under contention) victim selection prefers, among the valid
+    /// ways of the set, the LRU line whose owner currently holds *more*
+    /// than `fair_ways` ways in this set: cores that overflow their fair
+    /// share of the set are evicted first, approximating way-partitioned
+    /// occupancy without hard partitioning.
+    pub fn fill_owned(
+        &mut self,
+        addr: PhysAddr,
+        dirty: bool,
+        owner: usize,
+        fair_ways: usize,
+    ) -> Eviction {
         let (set_idx, tag) = self.set_and_tag(addr);
         self.stamp += 1;
         let stamp = self.stamp;
@@ -195,21 +219,18 @@ impl SetAssocCache {
         let set_shift = self.set_shift;
         let set = &mut self.sets[set_idx];
 
-        // Already present (e.g. racing fill): refresh in place.
+        // Already present (e.g. racing fill): refresh in place. The last
+        // filler takes ownership of the line.
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = stamp;
             line.dirty |= dirty;
+            line.owner = owner;
             return Eviction::None;
         }
 
         let victim_idx = match set.iter().position(|l| !l.valid) {
             Some(i) => i,
-            None => set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .expect("non-empty set"),
+            None => Self::pick_victim(set, fair_ways),
         };
         let victim = set[victim_idx];
         let eviction = if victim.valid {
@@ -229,8 +250,56 @@ impl SetAssocCache {
             valid: true,
             dirty,
             lru: stamp,
+            owner,
         };
         eviction
+    }
+
+    /// Victim way for a full set: LRU among over-quota owners when fair-share
+    /// partitioning is on, plain LRU otherwise.
+    fn pick_victim(set: &[Line], fair_ways: usize) -> usize {
+        if fair_ways > 0 {
+            let over_quota =
+                |l: &Line| set.iter().filter(|o| o.valid && o.owner == l.owner).count() > fair_ways;
+            if let Some(i) = set
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| over_quota(l))
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+            {
+                return i;
+            }
+        }
+        set.iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.lru)
+            .map(|(i, _)| i)
+            .expect("non-empty set")
+    }
+
+    /// Number of valid lines currently owned by `owner` (LLC fair-share
+    /// observability; private levels report everything under owner 0).
+    pub fn owner_occupancy(&self, owner: usize) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter())
+            .filter(|l| l.valid && l.owner == owner)
+            .count()
+    }
+
+    /// Total number of valid lines resident in the cache.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter())
+            .filter(|l| l.valid)
+            .count()
+    }
+
+    /// Line capacity of the cache (sets × ways).
+    pub fn capacity_lines(&self) -> usize {
+        self.cfg.num_sets() * self.cfg.assoc
     }
 
     /// Invalidates every line, returning the base addresses of dirty lines
@@ -370,6 +439,62 @@ mod tests {
         assert!(!c.probe(a));
         assert!(!c.probe(b));
         assert_eq!(c.stats().flushed, 2);
+    }
+
+    #[test]
+    fn fair_share_evicts_over_quota_owner_first() {
+        // One set, four ways: enough room for owners to differ in quota.
+        let mut c = SetAssocCache::new(CacheConfig::new("T4", 256, 4, 1));
+        let line = |tag: u64| PhysAddr::new(tag << CACHE_LINE_SHIFT);
+        // Core 1 fills first, so its line is the *global* LRU...
+        c.fill_owned(line(4), false, 1, 2);
+        // ...then core 0 claims the remaining three ways (over its fair
+        // share of 4 ways / 2 cores = 2).
+        c.fill_owned(line(1), false, 0, 2);
+        c.fill_owned(line(2), false, 0, 2);
+        c.fill_owned(line(3), false, 0, 2);
+        assert_eq!(c.owner_occupancy(0), 3);
+        assert_eq!(c.owner_occupancy(1), 1);
+        // Core 1 fills again: plain LRU would evict its own line(4); the
+        // fair-share policy instead evicts the LRU line of over-quota
+        // core 0, which is line(1).
+        match c.fill_owned(line(5), false, 1, 2) {
+            Eviction::Clean(victim) => assert_eq!(victim, line(1)),
+            other => panic!("expected clean eviction of over-quota line, got {other:?}"),
+        }
+        assert!(c.probe(line(4)), "under-quota owner keeps its line");
+        assert_eq!(c.owner_occupancy(0), 2);
+        assert_eq!(c.owner_occupancy(1), 2);
+    }
+
+    #[test]
+    fn fair_share_zero_is_plain_lru() {
+        let mut c = tiny();
+        let a = addr(0, 1);
+        let b = addr(0, 2);
+        let d = addr(0, 3);
+        c.fill_owned(a, false, 0, 0);
+        c.fill_owned(b, false, 1, 0);
+        assert!(c.access(a, false));
+        // fair_ways == 0: plain LRU picks `b` regardless of owners.
+        match c.fill_owned(d, false, 1, 0) {
+            Eviction::Clean(victim) => assert_eq!(victim, b),
+            other => panic!("expected clean LRU eviction of b, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn occupancy_tracks_valid_lines() {
+        let mut c = tiny();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.capacity_lines(), 4);
+        c.fill_owned(addr(0, 1), false, 0, 0);
+        c.fill_owned(addr(1, 1), false, 1, 0);
+        assert_eq!(c.occupancy(), 2);
+        assert_eq!(c.owner_occupancy(0), 1);
+        assert_eq!(c.owner_occupancy(1), 1);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
     }
 
     #[test]

@@ -6,6 +6,13 @@ use memento_obs::Log2Hist;
 use memento_simcore::addr::PhysAddr;
 use memento_simcore::cycles::Cycles;
 
+/// Extra cycles a DRAM line fill pays per *additional* active core, modeling
+/// memory-controller queueing under co-located load (charged only while the
+/// machine reports more than one in-flight invocation). The constant is
+/// deliberately coarse — roughly one bank cycle of queueing per contender on
+/// DDR4-3200 — and is pinned by the contention tests.
+pub const DRAM_QUEUE_CYCLES: u64 = 24;
+
 /// Kind of memory access issued to the hierarchy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessKind {
@@ -103,6 +110,9 @@ pub struct MemSystemStats {
     pub dram: DramStats,
     /// Lines instantiated in the LLC via Memento main-memory bypass.
     pub bypassed_fills: u64,
+    /// Extra cycles charged for memory-controller queueing under
+    /// multi-core contention (zero while at most one core is active).
+    pub dram_queue_cycles: u64,
 }
 
 impl MemSystemStats {
@@ -115,6 +125,7 @@ impl MemSystemStats {
             llc: self.llc.delta(earlier.llc),
             dram: self.dram.delta(earlier.dram),
             bypassed_fills: self.bypassed_fills - earlier.bypassed_fills,
+            dram_queue_cycles: self.dram_queue_cycles - earlier.dram_queue_cycles,
         }
     }
 }
@@ -126,6 +137,16 @@ fn merge_cache_stats(dst: &mut CacheStats, src: CacheStats) {
     dst.flushed += src.flushed;
 }
 
+/// The shared downstream every per-core fill cascades into: the LLC and
+/// the DRAM channel, tagged with the filling core and its fair-share
+/// eviction quota.
+struct Downstream<'a> {
+    llc: &'a mut SetAssocCache,
+    dram: &'a mut Dram,
+    owner: usize,
+    fair_ways: usize,
+}
+
 /// The full memory system: private L1s/L2 per core, shared LLC and DRAM.
 pub struct MemSystem {
     cfg: MemSystemConfig,
@@ -134,6 +155,12 @@ pub struct MemSystem {
     dram: Dram,
     bypassed_fills: u64,
     demand_lat: Log2Hist,
+    /// Cores with an invocation in flight right now. Contention (LLC
+    /// fair-share eviction, DRAM queueing) is inert at 1, so a machine
+    /// running one invocation at a time behaves exactly like the
+    /// single-core model regardless of how many cores exist.
+    active_cores: usize,
+    dram_queue_cycles: u64,
 }
 
 impl MemSystem {
@@ -157,8 +184,27 @@ impl MemSystem {
             dram: Dram::new(cfg.dram.clone()),
             bypassed_fills: 0,
             demand_lat: Log2Hist::default(),
+            active_cores: 1,
+            dram_queue_cycles: 0,
             cfg,
         }
+    }
+
+    /// Declares how many cores currently have an invocation in flight.
+    /// Clamped to `[1, cores]`. At 1 (the default) every contention model
+    /// is inert and the hierarchy is bit-identical to the single-core one.
+    pub fn set_active_cores(&mut self, n: usize) {
+        self.active_cores = n.clamp(1, self.cfg.cores);
+    }
+
+    /// Number of cores currently counted as active for contention.
+    pub fn active_cores(&self) -> usize {
+        self.active_cores
+    }
+
+    /// Read-only view of the shared LLC (occupancy/fair-share invariants).
+    pub fn llc(&self) -> &SetAssocCache {
+        &self.llc
     }
 
     /// Distribution of demand-access latencies (cycles per access, both
@@ -183,6 +229,7 @@ impl MemSystem {
             dram: self.dram.stats(),
             llc: self.llc.stats(),
             bypassed_fills: self.bypassed_fills,
+            dram_queue_cycles: self.dram_queue_cycles,
             ..MemSystemStats::default()
         };
         for core in &self.cores {
@@ -193,22 +240,23 @@ impl MemSystem {
         s
     }
 
-    fn fill_llc(llc: &mut SetAssocCache, dram: &mut Dram, addr: PhysAddr, dirty: bool) {
-        if let Eviction::Dirty(victim) = llc.fill(addr, dirty) {
-            dram.write_line(victim);
+    fn fill_llc(down: &mut Downstream<'_>, addr: PhysAddr, dirty: bool) {
+        if let Eviction::Dirty(victim) =
+            down.llc.fill_owned(addr, dirty, down.owner, down.fair_ways)
+        {
+            down.dram.write_line(victim);
         }
     }
 
-    fn fill_l2(core: &mut CoreCaches, llc: &mut SetAssocCache, dram: &mut Dram, addr: PhysAddr) {
+    fn fill_l2(core: &mut CoreCaches, down: &mut Downstream<'_>, addr: PhysAddr) {
         if let Eviction::Dirty(victim) = core.l2.fill(addr, false) {
-            Self::fill_llc(llc, dram, victim, true);
+            Self::fill_llc(down, victim, true);
         }
     }
 
     fn fill_l1(
         core: &mut CoreCaches,
-        llc: &mut SetAssocCache,
-        dram: &mut Dram,
+        down: &mut Downstream<'_>,
         instr: bool,
         addr: PhysAddr,
         dirty: bool,
@@ -217,8 +265,19 @@ impl MemSystem {
         if let Eviction::Dirty(victim) = l1.fill(addr, dirty) {
             // Dirty L1 victim moves to L2 (which may cascade to LLC/DRAM).
             if let Eviction::Dirty(v2) = core.l2.fill(victim, true) {
-                Self::fill_llc(llc, dram, v2, true);
+                Self::fill_llc(down, v2, true);
             }
+        }
+    }
+
+    /// LLC ways each active core may hold per set before becoming the
+    /// preferred eviction target; 0 disables fair-share partitioning
+    /// (single active core).
+    fn llc_fair_ways(&self) -> usize {
+        if self.active_cores > 1 {
+            self.llc.config().assoc / self.active_cores
+        } else {
+            0
         }
     }
 
@@ -232,7 +291,14 @@ impl MemSystem {
         let addr = addr.line_base();
         let instr = kind == AccessKind::InstrFetch;
         let write = kind == AccessKind::Write;
+        let fair_ways = self.llc_fair_ways();
         let core = &mut self.cores[core_id];
+        let mut down = Downstream {
+            llc: &mut self.llc,
+            dram: &mut self.dram,
+            owner: core_id,
+            fair_ways,
+        };
         let mut cycles = Cycles::ZERO;
 
         // L1 lookup.
@@ -249,7 +315,7 @@ impl MemSystem {
         // L2 lookup.
         cycles += core.l2.config().latency;
         if core.l2.access(addr, false) {
-            Self::fill_l1(core, &mut self.llc, &mut self.dram, instr, addr, write);
+            Self::fill_l1(core, &mut down, instr, addr, write);
             return AccessOutcome {
                 cycles,
                 level: HitLevel::L2,
@@ -258,10 +324,10 @@ impl MemSystem {
         }
 
         // LLC lookup.
-        cycles += self.llc.config().latency;
-        if self.llc.access(addr, false) {
-            Self::fill_l2(core, &mut self.llc, &mut self.dram, addr);
-            Self::fill_l1(core, &mut self.llc, &mut self.dram, instr, addr, write);
+        cycles += down.llc.config().latency;
+        if down.llc.access(addr, false) {
+            Self::fill_l2(core, &mut down, addr);
+            Self::fill_l1(core, &mut down, instr, addr, write);
             return AccessOutcome {
                 cycles,
                 level: HitLevel::Llc,
@@ -275,9 +341,9 @@ impl MemSystem {
             // instantiated (zero-filled) in the LLC without a DRAM fetch.
             // The LLC copy is dirty: DRAM does not hold this data.
             self.bypassed_fills += 1;
-            Self::fill_llc(&mut self.llc, &mut self.dram, addr, true);
-            Self::fill_l2(core, &mut self.llc, &mut self.dram, addr);
-            Self::fill_l1(core, &mut self.llc, &mut self.dram, instr, addr, write);
+            Self::fill_llc(&mut down, addr, true);
+            Self::fill_l2(core, &mut down, addr);
+            Self::fill_l1(core, &mut down, instr, addr, write);
             return AccessOutcome {
                 cycles,
                 level: HitLevel::Bypass,
@@ -285,11 +351,17 @@ impl MemSystem {
             };
         }
 
-        // DRAM fill.
-        cycles += self.dram.read_line(addr);
-        Self::fill_llc(&mut self.llc, &mut self.dram, addr, false);
-        Self::fill_l2(core, &mut self.llc, &mut self.dram, addr);
-        Self::fill_l1(core, &mut self.llc, &mut self.dram, instr, addr, write);
+        // DRAM fill, plus memory-controller queueing when co-located
+        // invocations contend for the channel.
+        cycles += down.dram.read_line(addr);
+        if self.active_cores > 1 {
+            let queue = DRAM_QUEUE_CYCLES * (self.active_cores as u64 - 1);
+            cycles += Cycles::new(queue);
+            self.dram_queue_cycles += queue;
+        }
+        Self::fill_llc(&mut down, addr, false);
+        Self::fill_l2(core, &mut down, addr);
+        Self::fill_l1(core, &mut down, instr, addr, write);
         AccessOutcome {
             cycles,
             level: HitLevel::Dram,
@@ -468,6 +540,54 @@ mod tests {
         let s = m.stats();
         assert_eq!(s.l1d.demand.total(), 2);
         assert_eq!(s.dram.read_lines, 2);
+    }
+
+    #[test]
+    fn active_cores_clamped_to_core_count() {
+        let mut m = sys();
+        assert_eq!(m.active_cores(), 1);
+        m.set_active_cores(99);
+        assert_eq!(m.active_cores(), 2);
+        m.set_active_cores(0);
+        assert_eq!(m.active_cores(), 1);
+    }
+
+    #[test]
+    fn contention_inflates_dram_latency() {
+        let mut m = sys();
+        m.set_active_cores(2);
+        let out = m.access(0, AccessKind::Read, PhysAddr::new(0x100000));
+        assert_eq!(out.level, HitLevel::Dram);
+        // Cold traversal plus one contender's worth of queueing.
+        assert_eq!(
+            out.cycles,
+            Cycles::new(2 + 14 + 40 + 130 + DRAM_QUEUE_CYCLES)
+        );
+        assert_eq!(m.stats().dram_queue_cycles, DRAM_QUEUE_CYCLES);
+        // Back to one active core: queueing vanishes.
+        m.set_active_cores(1);
+        let solo = m.access(1, AccessKind::Read, PhysAddr::new(0x900000));
+        assert_eq!(solo.cycles, Cycles::new(2 + 14 + 40 + 130));
+        assert_eq!(m.stats().dram_queue_cycles, DRAM_QUEUE_CYCLES);
+    }
+
+    #[test]
+    fn llc_occupancy_bounded_by_capacity() {
+        let mut m = sys();
+        m.set_active_cores(2);
+        for i in 0..10_000u64 {
+            m.access(
+                (i % 2) as usize,
+                AccessKind::Read,
+                PhysAddr::new(i * 64 * 3),
+            );
+        }
+        let llc = m.llc();
+        assert!(llc.occupancy() <= llc.capacity_lines());
+        assert_eq!(
+            llc.occupancy(),
+            llc.owner_occupancy(0) + llc.owner_occupancy(1)
+        );
     }
 
     #[test]

@@ -37,4 +37,5 @@ pub use cache::{CacheConfig, CacheStats, SetAssocCache};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use hierarchy::{
     AccessKind, AccessOutcome, HitLevel, MemSystem, MemSystemConfig, MemSystemStats,
+    DRAM_QUEUE_CYCLES,
 };

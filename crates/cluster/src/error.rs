@@ -8,11 +8,12 @@ use std::fmt;
 pub enum ClusterError {
     /// The workload mix is empty or has no positive weight.
     EmptyMix,
-    /// The cluster has zero nodes.
+    /// The cluster has zero nodes (or zero serving cores per node).
     NoNodes,
     /// The cluster exceeds the engine's supported fleet shape (the
     /// flat placement scan packs node index and load into one 64-bit
-    /// key: at most 2^16 nodes and queue capacity below 2^40).
+    /// key: at most 2^16 nodes, queue capacity below 2^40, and at most
+    /// 256 cores per node).
     FleetTooLarge,
     /// A Profiled-engine run references a workload with no calibrated
     /// service profile.
@@ -25,11 +26,11 @@ impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClusterError::EmptyMix => write!(f, "workload mix is empty or has zero total weight"),
-            ClusterError::NoNodes => write!(f, "cluster has zero nodes"),
+            ClusterError::NoNodes => write!(f, "cluster has zero nodes or zero cores per node"),
             ClusterError::FleetTooLarge => write!(
                 f,
                 "cluster exceeds the supported fleet shape (max 65536 nodes, \
-                 queue capacity below 2^40)"
+                 queue capacity below 2^40, max 256 cores per node)"
             ),
             ClusterError::MissingProfile(name) => {
                 write!(f, "no calibrated service profile for workload '{name}'")

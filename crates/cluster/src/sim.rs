@@ -84,14 +84,35 @@ pub enum Engine {
     Profiled(ProfileTable),
 }
 
+impl Engine {
+    /// Shapes Measured container machines to the fleet's per-node core
+    /// count, so a container's memory hierarchy matches the node hardware
+    /// it runs on. A no-op at one core (and for Profiled engines), which
+    /// keeps the single-lane fleet bit-identical to the pre-multicore
+    /// engine.
+    fn with_node_cores(self, cores: usize) -> Engine {
+        match self {
+            Engine::Measured(cfg) if cores > 1 => Engine::Measured(Box::new(cfg.with_cores(cores))),
+            other => other,
+        }
+    }
+}
+
 /// Fleet shape and policy knobs.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
-    /// Number of single-container-at-a-time nodes.
+    /// Number of nodes; each node serves up to [`Self::cores_per_node`]
+    /// containers at once.
     pub nodes: usize,
-    /// Bounded per-node queue depth (0 = no queueing: a busy node
-    /// rejects).
+    /// Bounded per-node queue depth (0 = no queueing: a node with every
+    /// core busy rejects).
     pub queue_capacity: usize,
+    /// Serving lanes per node: how many containers one node runs
+    /// concurrently. Measured-engine container machines are shaped to
+    /// this core count ([`memento_system::SystemConfig::with_cores`]),
+    /// so their memory hierarchy matches the node hardware. 1 reproduces
+    /// the original single-container-at-a-time fleet exactly.
+    pub cores_per_node: usize,
     /// Placement policy.
     pub placement: Placement,
     /// Keep-alive policy.
@@ -106,6 +127,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             nodes: 8,
             queue_capacity: 16,
+            cores_per_node: 1,
             placement: Placement::LeastLoaded,
             keep_alive: KeepAlive::Fixed(100_000_000),
             record_timeline: true,
@@ -190,10 +212,10 @@ impl ClusterResult {
 /// Validates a run's inputs: a non-empty fleet and mix, and (for the
 /// Profiled engine) a calibrated profile for every workload in the mix.
 fn validate(engine: &Engine, cfg: &ClusterConfig, mix: &WorkloadMix) -> Result<(), ClusterError> {
-    if cfg.nodes == 0 {
+    if cfg.nodes == 0 || cfg.cores_per_node == 0 {
         return Err(ClusterError::NoNodes);
     }
-    if cfg.nodes > 1 << 16 || cfg.queue_capacity >= 1 << 40 {
+    if cfg.nodes > 1 << 16 || cfg.queue_capacity >= 1 << 40 || cfg.cores_per_node > 1 << 8 {
         return Err(ClusterError::FleetTooLarge);
     }
     if mix.is_empty() {
@@ -221,7 +243,7 @@ pub fn simulate(
     arrivals: &[Arrival],
 ) -> Result<ClusterResult, ClusterError> {
     validate(&engine, cfg, mix)?;
-    let costs = Costs::resolve(engine, mix);
+    let costs = Costs::resolve(engine.with_node_cores(cfg.cores_per_node), mix);
     let mut sim = Sim::new(costs, cfg, mix, None, 0, cfg.record_timeline);
     sim.run(arrivals);
     Ok(sim.finish())
@@ -250,7 +272,7 @@ pub fn simulate_jobs(
             ));
         }
     }
-    let costs = Costs::resolve(engine, mix);
+    let costs = Costs::resolve(engine.with_node_cores(cfg.cores_per_node), mix);
     let mut sim = Sim::new(costs, cfg, mix, None, 0, cfg.record_timeline);
     sim.run(arrivals);
     Ok(sim.finish())
@@ -304,8 +326,8 @@ const NO_WARM: u32 = u32::MAX;
 
 /// A scheduled keep-alive expiry — the only event kind that still needs
 /// its own queue. Arrivals are a cursor over the (sorted) arrival slice
-/// and completions live in per-node slots (at most one in flight per
-/// node).
+/// and completions live in per-lane slots (at most one in flight per
+/// serving lane; `cores_per_node` lanes per node).
 #[derive(Clone, Copy, Debug)]
 struct ExpiryEv {
     slot: u32,
@@ -383,10 +405,6 @@ const NO_EXPIRY: (u64, u64) = (u64::MAX, u64::MAX);
 
 struct Node {
     queue: VecDeque<Queued>,
-    /// The in-flight request when `done[node] != IDLE`; stale garbage
-    /// otherwise (the `done` sentinel is the single source of truth for
-    /// whether the node is serving, so no `Option` tag is paid here).
-    serving: InFlight,
 }
 
 /// One container slab slot. Retirement bumps `gen`, so a stale expiry
@@ -423,18 +441,24 @@ pub(crate) struct Sim<'a> {
     next_seq: u64,
     now: u64,
     nodes: Vec<Node>,
-    /// Per-node completion key `(done_time, seq)`, [`IDLE`] when the node
-    /// is not serving. Kept as a compact parallel array so the event
-    /// loop's min-scan touches two cache lines, not every `Node` struct.
+    /// Per-lane completion key `(done_time, seq)`, [`IDLE`] when the lane
+    /// (node serving slot; `cores_per_node` lanes per node, lane index
+    /// `node * cores_per_node + core`) is not serving. Kept as a compact
+    /// parallel array so the event loop's min-scan stays cache-dense.
     done: Vec<(u64, u64)>,
+    /// The in-flight request per lane when `done[lane] != IDLE`; stale
+    /// garbage otherwise (the `done` sentinel is the single source of
+    /// truth for whether the lane is serving, so no `Option` tag is paid
+    /// here).
+    serving: Vec<InFlight>,
     /// Cached minimum of `done` (the next completion), [`IDLE`] when no
-    /// node is serving. `start_service` can only lower it, and the event
+    /// lane is serving. `start_service` can only lower it, and the event
     /// loop always fires the completion holding the minimum, so one
     /// rescan per completion keeps it exact — the loop itself never
     /// scans.
     done_min: (u64, u64),
-    /// Node holding `done_min` (meaningless while `done_min == IDLE`).
-    done_min_node: u32,
+    /// Lane holding `done_min` (meaningless while `done_min == IDLE`).
+    done_min_lane: u32,
     /// Cached key of the front of `expiries` ([`NO_EXPIRY`] when empty),
     /// so the event loop compares three integers instead of peeking the
     /// queue. Pushes can only lower it; pops re-derive it (skimming
@@ -527,13 +551,9 @@ impl<'a> Sim<'a> {
         let nodes = (0..cfg.nodes)
             .map(|_| Node {
                 queue: VecDeque::new(),
-                serving: InFlight {
-                    arrive_time: 0,
-                    slot: 0,
-                    workload: 0,
-                },
             })
             .collect();
+        let lanes = cfg.nodes * cfg.cores_per_node;
         Sim {
             costs,
             cfg,
@@ -545,9 +565,17 @@ impl<'a> Sim<'a> {
             next_seq: 0,
             now: 0,
             nodes,
-            done: vec![IDLE; cfg.nodes],
+            done: vec![IDLE; lanes],
+            serving: vec![
+                InFlight {
+                    arrive_time: 0,
+                    slot: 0,
+                    workload: 0,
+                };
+                lanes
+            ],
             done_min: IDLE,
-            done_min_node: 0,
+            done_min_lane: 0,
             next_expiry: NO_EXPIRY,
             load: vec![0; cfg.nodes],
             warm: vec![NO_WARM; cfg.nodes * mix.len()],
@@ -600,14 +628,14 @@ impl<'a> Sim<'a> {
         }
         loop {
             // Pick the earliest (time, seq) across the three sources: the
-            // arrival cursor, the per-node completion slots, the expiry
+            // arrival cursor, the per-lane completion slots, the expiry
             // queue. Seqs are unique, so the winner is unique.
             let mut best: Option<((u64, u64), Src)> = None;
             if let Some((t, s, _)) = next_arrival {
                 best = Some(((t, s), Src::Arrival));
             }
             if self.done_min != IDLE && best.is_none_or(|(bk, _)| self.done_min < bk) {
-                best = Some((self.done_min, Src::Completion(self.done_min_node)));
+                best = Some((self.done_min, Src::Completion(self.done_min_lane)));
             }
             if self.next_expiry != NO_EXPIRY && best.is_none_or(|(bk, _)| self.next_expiry < bk) {
                 best = Some((self.next_expiry, Src::Expiry));
@@ -629,7 +657,7 @@ impl<'a> Sim<'a> {
                     }
                     self.on_arrival(index, &arrivals[index]);
                 }
-                Src::Completion(node) => self.on_completion(node as usize),
+                Src::Completion(lane) => self.on_completion(lane as usize),
                 Src::Expiry => {
                     let (_, _, ev) = self.expiries.pop().expect("cached key exists");
                     self.advance_next_expiry();
@@ -660,8 +688,8 @@ impl<'a> Sim<'a> {
             Ok(node) => {
                 self.in_flight += 1;
                 self.load[node] += 1;
-                if self.done[node] == IDLE {
-                    self.start_service(node, a.time, workload);
+                if let Some(lane) = self.idle_lane(node) {
+                    self.start_service(lane, a.time, workload);
                 } else {
                     self.nodes[node].queue.push_back(Queued {
                         time: a.time,
@@ -676,12 +704,22 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Admission check: the per-node system (queue + server) has room.
-    /// `load == 0` is an idle node; a serving node admits while its queue
-    /// (`load - 1`) is below capacity — together, `load <= capacity`.
+    /// Admission check: the per-node system (queue + serving lanes) has
+    /// room. A node admits while its queued backlog (`load` minus the
+    /// lanes it can serve on) stays below capacity — `load < capacity +
+    /// cores_per_node`, which at one lane is the original `load <=
+    /// capacity`.
     #[inline]
     fn has_space(&self, node: usize) -> bool {
-        self.load[node] as usize <= self.cfg.queue_capacity
+        (self.load[node] as usize) < self.cfg.queue_capacity + self.cfg.cores_per_node
+    }
+
+    /// First idle serving lane of `node` (`None` when every core is
+    /// busy). Index order makes lane choice deterministic.
+    #[inline]
+    fn idle_lane(&self, node: usize) -> Option<usize> {
+        let lanes = self.cfg.cores_per_node;
+        (node * lanes..(node + 1) * lanes).find(|&l| self.done[l] == IDLE)
     }
 
     /// Index into the workload-major warm matrix.
@@ -710,12 +748,11 @@ impl<'a> Sim<'a> {
                 // u64 key and take a branchless argmin — eight data-
                 // dependent branch misses per arrival cost more than the
                 // scan itself.
-                // lint:allow(narrowing-cast-in-hot-path): queue_capacity is validated < 2^16 at config time
-                let cap = self.cfg.queue_capacity as u32;
+                let full = self.cfg.queue_capacity + self.cfg.cores_per_node;
                 let warm_row = &self.warm[workload * self.cfg.nodes..][..self.cfg.nodes];
                 let mut best = u64::MAX;
                 for (i, (&load, &warm)) in self.load.iter().zip(warm_row).enumerate() {
-                    let key = ((load > cap) as u64) << 63
+                    let key = ((load as usize >= full) as u64) << 63
                         | ((warm == NO_WARM) as u64) << 62
                         | (load as u64) << 16
                         | i as u64;
@@ -730,7 +767,11 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn start_service(&mut self, node: usize, arrive_time: u64, workload: u32) {
+    /// Starts one invocation on an idle serving lane (global lane index:
+    /// `node * cores_per_node + core`).
+    fn start_service(&mut self, lane: usize, arrive_time: u64, workload: u32) {
+        debug_assert_eq!(self.done[lane], IDLE, "start_service targets an idle lane");
+        let node = lane / self.cfg.cores_per_node;
         let widx = self.warm_idx(workload, node);
         let warm_slot = self.warm[widx];
         let (slot, service) = if warm_slot != NO_WARM {
@@ -748,13 +789,13 @@ impl<'a> Sim<'a> {
         self.node_invocations[node] += 1;
         let done_time = self.now + service.max(1);
         let seq = self.alloc_seq();
-        self.done[node] = (done_time, seq);
+        self.done[lane] = (done_time, seq);
         if (done_time, seq) < self.done_min {
             self.done_min = (done_time, seq);
-            // lint:allow(narrowing-cast-in-hot-path): node indexes cfg.nodes, far below 2^32
-            self.done_min_node = node as u32;
+            // lint:allow(narrowing-cast-in-hot-path): lane indexes nodes * cores_per_node, far below 2^32
+            self.done_min_lane = lane as u32;
         }
-        self.nodes[node].serving = InFlight {
+        self.serving[lane] = InFlight {
             arrive_time,
             slot,
             workload,
@@ -928,35 +969,36 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Recomputes `done_min` by scanning the per-node completion keys.
-    /// Called once per completion (after clearing that node's slot); the
-    /// `IDLE` sentinel is `(u64::MAX, u64::MAX)`, so an all-idle fleet
-    /// settles back to `done_min == IDLE` with no special case.
+    /// Recomputes `done_min` by scanning the per-lane completion keys.
+    /// Called once per completion (after clearing that lane); the `IDLE`
+    /// sentinel is `(u64::MAX, u64::MAX)`, so an all-idle fleet settles
+    /// back to `done_min == IDLE` with no special case.
     fn rescan_done_min(&mut self) {
         // Branchless select: completion times are unpredictable, so a
-        // conditional move beats a data-dependent branch per node.
+        // conditional move beats a data-dependent branch per lane.
         let mut min = IDLE;
-        let mut min_node = 0u32;
+        let mut min_lane = 0u32;
         for (i, &key) in self.done.iter().enumerate() {
             let better = key < min;
             min = if better { key } else { min };
-            // lint:allow(narrowing-cast-in-hot-path): i indexes cfg.nodes, far below 2^32
-            min_node = if better { i as u32 } else { min_node };
+            // lint:allow(narrowing-cast-in-hot-path): i indexes nodes * cores_per_node, far below 2^32
+            min_lane = if better { i as u32 } else { min_lane };
         }
         self.done_min = min;
-        self.done_min_node = min_node;
+        self.done_min_lane = min_lane;
     }
 
-    fn on_completion(&mut self, node: usize) {
-        debug_assert_ne!(self.done[node], IDLE, "completion fired on an idle node");
-        let inflight = self.nodes[node].serving;
+    fn on_completion(&mut self, lane: usize) {
+        debug_assert_ne!(self.done[lane], IDLE, "completion fired on an idle lane");
+        let node = lane / self.cfg.cores_per_node;
+        let inflight = self.serving[lane];
         let slot = inflight.slot;
-        debug_assert_eq!(self.done[node].0, self.now, "completion fired off-time");
+        debug_assert_eq!(self.done[lane].0, self.now, "completion fired off-time");
         debug_assert_eq!(
-            self.done_min_node as usize, node,
+            self.done_min_lane as usize, lane,
             "completions fire on the cached minimum"
         );
-        self.done[node] = IDLE;
+        self.done[lane] = IDLE;
         self.rescan_done_min();
         self.load[node] -= 1;
         self.completed += 1;
@@ -996,11 +1038,12 @@ impl<'a> Sim<'a> {
             }
         }
 
-        // Pull the next queued request, warm-starting on the container we
-        // just parked if the workload matches.
+        // Pull the next queued request onto the lane that just freed,
+        // warm-starting on the container we just parked if the workload
+        // matches.
         if let Some(q) = self.nodes[node].queue.pop_front() {
             self.queue_wait_hist.record(self.now - q.time);
-            self.start_service(node, q.time, q.workload);
+            self.start_service(lane, q.time, q.workload);
         }
     }
 
@@ -1531,6 +1574,147 @@ mod tests {
         assert_eq!(r.retired, r.completed, "every served container retires");
         assert_eq!(r.live_containers, 0);
         assert!(r.is_clean(), "slab churn must stay conservation-clean");
+    }
+
+    #[test]
+    fn multi_core_nodes_absorb_overload() {
+        // Same saturating arrival stream over the same two nodes: four
+        // serving lanes per node must complete more, reject less, and
+        // finish no later than one lane per node.
+        let mix = two_mix();
+        let arrival = ArrivalConfig {
+            seed: 3,
+            count: 3_000,
+            mean_interarrival_cycles: 100.0,
+        };
+        let narrow = ClusterConfig {
+            nodes: 2,
+            queue_capacity: 2,
+            ..ClusterConfig::default()
+        };
+        let wide = ClusterConfig {
+            cores_per_node: 4,
+            ..narrow.clone()
+        };
+        let one = run_profiled(&narrow, &arrival, &mix);
+        let four = run_profiled(&wide, &arrival, &mix);
+        assert!(
+            four.completed > one.completed,
+            "4 lanes/node must serve more: {} vs {}",
+            four.completed,
+            one.completed
+        );
+        assert!(four.rejected < one.rejected);
+        assert_eq!(four.submitted, four.completed + four.rejected);
+        assert!(
+            four.peak_fleet_frames >= one.peak_fleet_frames,
+            "more concurrently-serving containers cannot shrink the peak"
+        );
+        assert!(
+            four.is_clean(),
+            "multi-lane audits must pass: {}",
+            four.audit
+        );
+    }
+
+    #[test]
+    fn multi_core_sharded_runs_agree_with_serial() {
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            nodes: 5,
+            queue_capacity: 2,
+            cores_per_node: 3,
+            placement: Placement::RoundRobin,
+            keep_alive: KeepAlive::Fixed(30_000),
+            ..ClusterConfig::default()
+        };
+        let arrival = ArrivalConfig {
+            seed: 41,
+            count: 4_000,
+            mean_interarrival_cycles: 1_200.0,
+        };
+        let arrivals = generate_arrivals(&arrival, &mix).expect("valid arrivals");
+        let table = synthetic_table(&mix);
+        let serial =
+            simulate(Engine::Profiled(table.clone()), &cfg, &mix, &arrivals).expect("serial run");
+        let sharded =
+            simulate_jobs(Engine::Profiled(table), &cfg, &mix, &arrivals, 3).expect("sharded run");
+        assert_eq!(serial.latencies, sharded.latencies);
+        assert_eq!(serial.timeline, sharded.timeline);
+        assert_eq!(serial.peak_fleet_frames, sharded.peak_fleet_frames);
+        assert_eq!(serial.metrics.render(), sharded.metrics.render());
+        assert!(sharded.is_clean());
+    }
+
+    #[test]
+    fn measured_multi_core_nodes_run_exact_and_clean() {
+        let mix = WorkloadMix::uniform(vec![small_spec("aes")]).expect("non-empty");
+        let cfg = ClusterConfig {
+            nodes: 1,
+            queue_capacity: 8,
+            cores_per_node: 2,
+            keep_alive: KeepAlive::Infinite,
+            ..ClusterConfig::default()
+        };
+        // A burst denser than one container's service time forces both
+        // lanes of the single node to serve concurrently.
+        let arrival = ArrivalConfig {
+            seed: 17,
+            count: 8,
+            mean_interarrival_cycles: 20_000.0,
+        };
+        let arrivals = generate_arrivals(&arrival, &mix).expect("valid arrivals");
+        let r = simulate(
+            Engine::Measured(Box::new(SystemConfig::memento())),
+            &cfg,
+            &mix,
+            &arrivals,
+        )
+        .expect("valid cluster run");
+        assert_eq!(r.completed, 8);
+        assert!(
+            r.peak_fleet_frames > 0,
+            "serving containers charge the fleet footprint"
+        );
+        assert!(r.is_clean(), "measured multi-core audits: {}", r.audit);
+    }
+
+    #[test]
+    fn zero_cores_per_node_is_a_typed_error() {
+        let mix = two_mix();
+        let arrivals = generate_arrivals(
+            &ArrivalConfig {
+                seed: 1,
+                count: 4,
+                mean_interarrival_cycles: 1_000.0,
+            },
+            &mix,
+        )
+        .expect("valid arrivals");
+        let err = simulate(
+            Engine::Profiled(synthetic_table(&mix)),
+            &ClusterConfig {
+                cores_per_node: 0,
+                ..ClusterConfig::default()
+            },
+            &mix,
+            &arrivals,
+        )
+        .err()
+        .expect("must fail");
+        assert_eq!(err, ClusterError::NoNodes);
+        let err = simulate(
+            Engine::Profiled(synthetic_table(&mix)),
+            &ClusterConfig {
+                cores_per_node: 1 << 9,
+                ..ClusterConfig::default()
+            },
+            &mix,
+            &arrivals,
+        )
+        .err()
+        .expect("must fail");
+        assert_eq!(err, ClusterError::FleetTooLarge);
     }
 
     #[test]

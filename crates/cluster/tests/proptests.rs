@@ -54,6 +54,7 @@ fn table_for(
 struct FleetCase {
     nodes: usize,
     queue_capacity: usize,
+    cores_per_node: usize,
     placement: Placement,
     keep_alive: KeepAlive,
     seed: u64,
@@ -71,6 +72,7 @@ fn arb_case() -> impl Strategy<Value = FleetCase> {
         (
             1usize..10,
             0usize..12,
+            1usize..5,
             prop_oneof![Just(Placement::RoundRobin), Just(Placement::LeastLoaded)],
             prop_oneof![
                 Just(KeepAlive::None),
@@ -89,6 +91,7 @@ fn arb_case() -> impl Strategy<Value = FleetCase> {
                 (
                     nodes,
                     queue_capacity,
+                    cores_per_node,
                     placement,
                     keep_alive,
                     seed,
@@ -100,6 +103,7 @@ fn arb_case() -> impl Strategy<Value = FleetCase> {
             )| FleetCase {
                 nodes,
                 queue_capacity,
+                cores_per_node,
                 placement,
                 keep_alive,
                 seed,
@@ -120,6 +124,7 @@ fn run_case(case: &FleetCase) -> ClusterResult {
     let cfg = ClusterConfig {
         nodes: case.nodes,
         queue_capacity: case.queue_capacity,
+        cores_per_node: case.cores_per_node,
         placement: case.placement,
         keep_alive: case.keep_alive,
         record_timeline: true,

@@ -71,8 +71,12 @@ pub enum MementoError {
     NotMementoAddress(VirtAddr),
     /// `obj-alloc` of a size above 512 bytes (software path).
     SizeTooLarge(usize),
-    /// The page pool ran dry and the OS backend granted no frames.
-    PoolExhausted,
+    /// The page pool ran dry for the requesting core and the OS backend
+    /// granted no frames (or every idle frame is earmarked for a sibling).
+    PoolExhausted {
+        /// Core whose frame request could not be served.
+        core: usize,
+    },
 }
 
 impl fmt::Display for MementoError {
@@ -83,7 +87,9 @@ impl fmt::Display for MementoError {
                 write!(f, "{va} is outside the Memento region")
             }
             MementoError::SizeTooLarge(s) => write!(f, "size {s} exceeds 512 bytes"),
-            MementoError::PoolExhausted => fmt::Display::fmt(&PoolExhausted, f),
+            MementoError::PoolExhausted { core } => {
+                fmt::Display::fmt(&PoolExhausted { core: *core }, f)
+            }
         }
     }
 }
@@ -91,8 +97,8 @@ impl fmt::Display for MementoError {
 impl std::error::Error for MementoError {}
 
 impl From<PoolExhausted> for MementoError {
-    fn from(_: PoolExhausted) -> Self {
-        MementoError::PoolExhausted
+    fn from(e: PoolExhausted) -> Self {
+        MementoError::PoolExhausted { core: e.core }
     }
 }
 
@@ -123,6 +129,22 @@ pub enum DeviceEvent {
         class: SizeClass,
         /// Arena base VA.
         va: VirtAddr,
+    },
+    /// Cross-core coherence: `requester` needed exclusive access to an
+    /// arena header that `owner`'s HOT still cached, so the owner's entry
+    /// was written back (if dirty) and evicted — the hardware analogue of
+    /// an invalidating coherence snoop on the header line.
+    HeaderInvalidated {
+        /// Core whose HOT entry was invalidated (the installing core).
+        owner: usize,
+        /// Core whose request triggered the invalidation.
+        requester: usize,
+        /// Size class of the arena.
+        class: SizeClass,
+        /// Arena base VA.
+        va: VirtAddr,
+        /// Physical address of the header page.
+        header_pa: PhysAddr,
     },
 }
 
@@ -292,6 +314,18 @@ impl MementoDevice {
     /// Physical-page lifecycle audit snapshot (see [`PoolAudit`]).
     pub fn pool_audit(&self) -> PoolAudit {
         self.page_alloc.pool_audit()
+    }
+
+    /// Earmarks up to `n` idle pool frames for `core`
+    /// (see [`HardwarePageAllocator::reserve_frames`]). Returns the number
+    /// actually earmarked.
+    pub fn reserve_frames(&mut self, core: usize, n: u64) -> u64 {
+        self.page_alloc.reserve_frames(core, n)
+    }
+
+    /// Frames currently earmarked for `core`.
+    pub fn reserved_frames(&self, core: usize) -> u64 {
+        self.page_alloc.reserved_for(core)
     }
 
     /// Keep-alive park: sheds the pool's idle reserve above `keep` frames
@@ -677,6 +711,15 @@ impl MementoDevice {
                         },
                     );
                     self.hots[core].evict(sc);
+                    if self.log_events {
+                        self.events.push(DeviceEvent::HeaderInvalidated {
+                            owner: core,
+                            requester,
+                            class: sc,
+                            va: entry.header.va,
+                            header_pa: entry.pa,
+                        });
+                    }
                 }
             }
         }

@@ -26,15 +26,25 @@ use memento_vm::pagetable::{PageTable, Pte, PtePerms};
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// The pool ran dry and the OS backend granted no frames (memory pressure
-/// or outright refusal). Typed so the system layer can surface the failure
-/// through device statistics instead of a hardware panic.
+/// The pool ran dry for the requesting core — either no idle frames remain
+/// and the OS backend granted nothing (memory pressure or outright refusal),
+/// or every remaining idle frame is earmarked for a sibling core via
+/// [`HardwarePageAllocator::reserve_frames`]. Typed so the system layer can
+/// surface the failure through device statistics instead of a hardware
+/// panic, and carries the core so multicore runs can attribute exhaustion.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct PoolExhausted;
+pub struct PoolExhausted {
+    /// Core whose frame request could not be served.
+    pub core: usize,
+}
 
 impl fmt::Display for PoolExhausted {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("Memento page pool exhausted and the OS granted no frames")
+        write!(
+            f,
+            "Memento page pool exhausted on core {} and the OS granted no frames",
+            self.core
+        )
     }
 }
 
@@ -256,6 +266,12 @@ pub struct HardwarePageAllocator {
     /// Peak of `frames_mapped` since the last window reset (one
     /// invocation's data footprint, free pool staging excluded).
     window_peak_mapped: u64,
+    /// Per-core earmarks over the shared pool ([`Self::reserve_frames`]):
+    /// `claims[c]` idle frames are promised to core `c` and off-limits to
+    /// siblings. Bookkeeping only — the pool itself stays one LIFO stack,
+    /// so with no reservations frame hand-out order (and therefore every
+    /// downstream physical address) is identical to an unpartitioned pool.
+    claims: Vec<u64>,
     stats: PageAllocStats,
 }
 
@@ -271,8 +287,32 @@ impl HardwarePageAllocator {
             pointer_block,
             frames_mapped: 0,
             window_peak_mapped: 0,
+            claims: Vec::new(),
             stats: PageAllocStats::default(),
         }
+    }
+
+    /// Earmarks up to `n` idle pool frames for `core`: sibling cores'
+    /// frame requests treat earmarked frames as unavailable and fail with
+    /// a per-core typed [`PoolExhausted`] even while the pool still holds
+    /// free frames. A core's own requests consume its earmarks first.
+    /// Returns the number of frames actually earmarked (bounded by idle
+    /// frames not already claimed). With no reservations outstanding the
+    /// allocator behaves exactly as an unpartitioned shared pool.
+    pub fn reserve_frames(&mut self, core: usize, n: u64) -> u64 {
+        if self.claims.len() <= core {
+            self.claims.resize(core + 1, 0);
+        }
+        let claimed: u64 = self.claims.iter().sum();
+        let free = (self.pool.len() as u64).saturating_sub(claimed);
+        let add = n.min(free);
+        self.claims[core] += add;
+        add
+    }
+
+    /// Frames currently earmarked for `core` by [`Self::reserve_frames`].
+    pub fn reserved_for(&self, core: usize) -> u64 {
+        self.claims.get(core).copied().unwrap_or(0)
     }
 
     /// Restarts the mapped-frames peak window at the current level.
@@ -319,7 +359,10 @@ impl HardwarePageAllocator {
         cores: usize,
         region: MementoRegion,
     ) -> Result<ProcessPaging, PoolExhausted> {
-        let root = self.take_frame(backend)?;
+        // The page-table root is grabbed on the attach path, attributed to
+        // the boot core (core 0) — attach runs before any invocation is
+        // scheduled, so per-core earmarks cannot apply yet.
+        let root = self.take_frame(backend, 0)?;
         mem.zero_frame(root);
         let mut in_use = BTreeSet::new();
         in_use.insert(root.number());
@@ -367,7 +410,11 @@ impl HardwarePageAllocator {
         surplus.len() as u64
     }
 
-    fn take_frame(&mut self, backend: &mut dyn PoolBackend) -> Result<Frame, PoolExhausted> {
+    fn take_frame(
+        &mut self,
+        backend: &mut dyn PoolBackend,
+        core: usize,
+    ) -> Result<Frame, PoolExhausted> {
         if self.pool.len() <= self.cfg.low_water {
             let granted = backend.grant_frames(self.cfg.refill_batch);
             if !granted.is_empty() {
@@ -375,6 +422,24 @@ impl HardwarePageAllocator {
                 self.stats.frames_granted += granted.len() as u64;
             }
             self.pool.extend(granted);
+        }
+        // Frames earmarked for sibling cores are off-limits: `core` may
+        // only draw from the unreserved remainder (its own earmarks count
+        // toward what it may take, and taking consumes one). With no
+        // reservations this reduces to the plain pool-empty check.
+        let reserved_elsewhere: u64 = self
+            .claims
+            .iter()
+            .enumerate()
+            .filter(|&(c, _)| c != core)
+            .map(|(_, &n)| n)
+            .sum();
+        if self.pool.len() as u64 <= reserved_elsewhere {
+            self.stats.pool_exhausted += 1;
+            return Err(PoolExhausted { core });
+        }
+        if let Some(claim) = self.claims.get_mut(core) {
+            *claim = claim.saturating_sub(1);
         }
         match self.pool.pop() {
             Some(f) => {
@@ -384,7 +449,7 @@ impl HardwarePageAllocator {
             }
             None => {
                 self.stats.pool_exhausted += 1;
-                Err(PoolExhausted)
+                Err(PoolExhausted { core })
             }
         }
     }
@@ -436,7 +501,7 @@ impl HardwarePageAllocator {
                 if pte.present() {
                     return Ok((pte.frame(), cycles, allocated));
                 }
-                let frame = self.take_frame(backend)?;
+                let frame = self.take_frame(backend, core)?;
                 mem.zero_frame(frame);
                 proc.in_use.insert(frame.number());
                 mem.write_u64(entry_addr, Pte::leaf(frame, PtePerms::rw()).raw());
@@ -449,7 +514,7 @@ impl HardwarePageAllocator {
             table = if pte.present() {
                 pte.frame()
             } else {
-                let new_table = self.take_frame(backend)?;
+                let new_table = self.take_frame(backend, core)?;
                 mem.zero_frame(new_table);
                 proc.in_use.insert(new_table.number());
                 mem.write_u64(entry_addr, Pte::table(new_table).raw());
@@ -846,9 +911,59 @@ mod tests {
                 Err(e) => break e,
             }
         };
-        assert_eq!(err, PoolExhausted);
+        assert_eq!(err, PoolExhausted { core: 0 });
         assert!(r.alloc.stats().pool_exhausted > 0);
         assert_eq!(r.alloc.pool_len(), 0);
+    }
+
+    #[test]
+    fn reservation_starves_sibling_while_frames_remain() {
+        let mut mem = PhysMem::new(1 << 30);
+        let ptr_block = mem.alloc_frame().unwrap().base_addr();
+        let mut alloc = HardwarePageAllocator::new(
+            PageAllocatorConfig::paper_default(),
+            MementoCosts::calibrated(),
+            ptr_block,
+        );
+        let mut backend = TestBackend::new();
+        let mut proc = alloc
+            .attach_process(&mut mem, &mut backend, 2, MementoRegion::standard())
+            .expect("attach");
+        let mut sys = MemSystem::new(MemSystemConfig::paper_default(2));
+        backend.limit = backend.next; // OS refuses every further grant
+        let idle = alloc.pool_len() as u64;
+        assert!(idle > 0, "attach refill leaves idle frames");
+        // Core 1 earmarks every idle frame; core 0 must fail typed and
+        // per-core even though the pool is visibly non-empty.
+        assert_eq!(alloc.reserve_frames(1, idle + 10), idle);
+        let sc = SizeClass::for_size(8).unwrap();
+        let err = alloc
+            .alloc_arena(&mut mem, &mut sys, &mut backend, 0, &mut proc, sc)
+            .expect_err("core 0 must starve");
+        assert_eq!(err, PoolExhausted { core: 0 });
+        assert_eq!(alloc.pool_len() as u64, idle, "no frame was consumed");
+        // Core 1 still allocates from its own earmarked frames.
+        let before = alloc.reserved_for(1);
+        alloc
+            .alloc_arena(&mut mem, &mut sys, &mut backend, 1, &mut proc, sc)
+            .expect("core 1 draws on its reservation");
+        assert!(alloc.reserved_for(1) < before, "earmarks were consumed");
+    }
+
+    #[test]
+    fn no_reservations_is_an_unpartitioned_pool() {
+        let mut r = rig();
+        assert_eq!(r.alloc.reserved_for(0), 0);
+        assert_eq!(r.alloc.reserved_for(7), 0);
+        let sc = SizeClass::for_size(8).unwrap();
+        // A long allocation run with zero claims must never trip the
+        // per-core starvation path (pool_exhausted stays zero).
+        for _ in 0..50 {
+            r.alloc
+                .alloc_arena(&mut r.mem, &mut r.sys, &mut r.backend, 0, &mut r.proc, sc)
+                .expect("arena");
+        }
+        assert_eq!(r.alloc.stats().pool_exhausted, 0);
     }
 
     #[test]

@@ -207,6 +207,7 @@ pub fn run_specs(
         let cluster = ClusterConfig {
             nodes: params.nodes,
             queue_capacity: params.queue_capacity,
+            cores_per_node: 1,
             placement: Placement::LeastLoaded,
             keep_alive,
             record_timeline: false,

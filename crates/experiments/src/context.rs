@@ -101,6 +101,12 @@ impl EvalContext {
         self.jobs
     }
 
+    /// The divisor this context applies to every workload's instruction
+    /// count (1 = full fidelity).
+    pub fn scale_divisor(&self) -> u64 {
+        self.scale_divisor
+    }
+
     /// Accumulated timing over every parallel sweep this context ran.
     pub fn timing(&self) -> &RunnerTiming {
         &self.timing

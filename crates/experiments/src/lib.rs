@@ -18,7 +18,7 @@
 //! | [`pricing`] | Fig. 14 (normalized runtime pricing) |
 //! | [`comparisons`] | §6.1 iso-storage, §6.7 idealized Mallacc |
 //! | [`sensitivity`] | §6.6 studies: `MAP_POPULATE`, multi-process, fragmentation, cold starts, allocator tuning |
-//! | [`multicore`] | extension: spatial co-location, one function per core |
+//! | [`multicore`] | extension: work-stealing co-location under shared LLC/DRAM contention |
 //! | [`ablation`] | extension: eager replenish / bypass / pool batch / AAC ablations |
 //! | [`profile`] | extension: traced run → flame table, metrics appendix, heap samples |
 //! | [`cluster`] | extension: fleet-scale traffic, tail latency + fleet footprint |

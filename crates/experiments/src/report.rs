@@ -4,7 +4,7 @@
 use crate::context::EvalContext;
 use crate::{
     arena_list, bandwidth, breakdown, characterization, cluster, comparisons, config_table, hot,
-    memusage, pricing, sensitivity, speedup,
+    memusage, multicore, pricing, sensitivity, speedup,
 };
 use memento_simcore::json::Value;
 use std::fmt;
@@ -41,6 +41,8 @@ pub struct FullReport {
     pub fragmentation: sensitivity::FragmentationResult,
     /// Extension: cluster-scale traffic (tail latency + fleet footprint).
     pub cluster: cluster::ClusterReport,
+    /// Extension: multi-core contention (work-stealing co-location).
+    pub multicore: multicore::MulticoreResult,
 }
 
 /// Prefetches every simulation point the full report needs, fanning them
@@ -101,6 +103,15 @@ pub fn run(ctx: &mut EvalContext) -> FullReport {
         populate: sensitivity::populate(ctx),
         fragmentation: sensitivity::fragmentation(ctx),
         cluster: cluster::run(ctx).expect("default cluster mix is drawn from the suite"),
+        // The contention study builds whole multi-core machines rather
+        // than reading the memo cache, so it runs at twice the context's
+        // divisor — matching the standalone study's `/2` at full fidelity.
+        multicore: multicore::run_for_jobs(
+            &["html", "US", "bfs-go", "jl"],
+            ctx.scale_divisor().saturating_mul(2),
+            ctx.jobs(),
+        )
+        .expect("default contention mix is drawn from the suite"),
     }
 }
 
@@ -163,6 +174,31 @@ impl FullReport {
             .set("cluster_memento_peak_mb", peak.memento.peak_mb)
             .set("cluster_baseline_rejected", peak.baseline.rejected as f64)
             .set("cluster_memento_rejected", peak.memento.rejected as f64);
+        doc.set("multicore_cores", self.multicore.cores as f64)
+            .set("multicore_solo_avg", self.multicore.solo_avg)
+            .set("multicore_colocated_avg", self.multicore.colocated_avg)
+            .set("multicore_slowdown_avg", self.multicore.slowdown_avg)
+            .set("multicore_steals", self.multicore.sched.steals as f64)
+            .set(
+                "multicore_dram_queue_cycles",
+                self.multicore.dram_queue_cycles as f64,
+            )
+            .set(
+                "multicore_slowdowns",
+                Value::Array(
+                    self.multicore
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            let mut row = Value::object();
+                            row.set("name", r.name.as_str())
+                                .set("colocated", r.colocated)
+                                .set("slowdown", r.slowdown);
+                            row
+                        })
+                        .collect(),
+                ),
+            );
         doc
     }
 }
@@ -233,6 +269,8 @@ impl fmt::Display for FullReport {
         writeln!(f)?;
         writeln!(f, "{}", self.fragmentation)?;
         writeln!(f)?;
-        write!(f, "{}", self.cluster)
+        writeln!(f, "{}", self.cluster)?;
+        writeln!(f)?;
+        write!(f, "{}", self.multicore)
     }
 }

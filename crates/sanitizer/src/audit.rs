@@ -81,12 +81,21 @@ pub fn audit_process(
                 continue;
             }
             if let Some((other, _)) = cached.insert(va.raw(), (core, *entry)) {
+                // A duplicate entry means a coherence invalidation was
+                // missed; blame the core the shadow saw install the arena.
+                let installer = shadow.arenas().get(&va.raw()).map(|r| r.core);
                 out.push(violation(
                     ViolationKind::HotIncoherence,
-                    core,
+                    installer.unwrap_or(core),
                     event_index,
                     Some(class),
-                    format!("arena {va} cached in two HOTs (cores {other} and {core})"),
+                    match installer {
+                        Some(ic) => format!(
+                            "arena {va} cached in two HOTs (cores {other} and {core}; \
+                             installed by core {ic})"
+                        ),
+                        None => format!("arena {va} cached in two HOTs (cores {other} and {core})"),
+                    },
                 ));
             }
             // The entry's slot must match the arena the header claims.

@@ -147,6 +147,15 @@ impl HeapSanitizer {
                 DeviceEvent::ArenaReclaimed { core, class, va } => {
                     slot.shadow.on_arena_reclaimed(core, idx, class, va)
                 }
+                DeviceEvent::HeaderInvalidated {
+                    owner,
+                    requester,
+                    class,
+                    va,
+                    ..
+                } => slot
+                    .shadow
+                    .on_header_invalidated(owner, requester, idx, class, va),
             };
             self.report.violations.extend(vs);
         }

@@ -62,6 +62,8 @@ pub struct ShadowHeap {
     reclaimed: BTreeSet<u64>,
     /// Cores this process has executed hardware operations on.
     cores: BTreeSet<usize>,
+    /// Cross-core header invalidations mirrored from the device.
+    header_invalidations: u64,
 }
 
 impl ShadowHeap {
@@ -74,7 +76,13 @@ impl ShadowHeap {
             installs: BTreeMap::new(),
             reclaimed: BTreeSet::new(),
             cores: BTreeSet::new(),
+            header_invalidations: 0,
         }
+    }
+
+    /// Cross-core header invalidations seen so far.
+    pub fn header_invalidations(&self) -> u64 {
+        self.header_invalidations
     }
 
     /// The region this shadow validates against.
@@ -201,6 +209,55 @@ impl ShadowHeap {
             Some(_) => {}
         }
         self.reclaimed.insert(va.raw());
+        out
+    }
+
+    /// Mirrors a cross-core header invalidation: `owner`'s HOT entry for
+    /// the arena at `va` was written back and evicted on behalf of
+    /// `requester`. The arena must be live, of the stated class, and
+    /// genuinely shared (a self-invalidation means the device snooped its
+    /// own core, which the coherence protocol never does).
+    pub fn on_header_invalidated(
+        &mut self,
+        owner: usize,
+        requester: usize,
+        event_index: u64,
+        class: SizeClass,
+        va: VirtAddr,
+    ) -> Vec<Violation> {
+        self.cores.insert(owner);
+        self.cores.insert(requester);
+        self.header_invalidations += 1;
+        let mut out = Vec::new();
+        if owner == requester {
+            out.push(Self::violation(
+                ViolationKind::HotIncoherence,
+                owner,
+                event_index,
+                Some(class),
+                format!("self-invalidation of arena {va} header (owner == requester {owner})"),
+            ));
+        }
+        match self.arenas.get(&va.raw()) {
+            None => out.push(Self::violation(
+                ViolationKind::ArenaLifecycle,
+                owner,
+                event_index,
+                Some(class),
+                format!("header invalidation of arena {va} the shadow never saw installed"),
+            )),
+            Some(rec) if rec.class != class => out.push(Self::violation(
+                ViolationKind::HotIncoherence,
+                rec.core,
+                event_index,
+                Some(class),
+                format!(
+                    "arena {va} invalidated as {class} but installed as {} by core {}",
+                    rec.class, rec.core
+                ),
+            )),
+            Some(_) => {}
+        }
         out
     }
 
@@ -450,6 +507,29 @@ mod tests {
         assert!(v
             .iter()
             .any(|v| v.kind == ViolationKind::OverlappingObjects));
+    }
+
+    #[test]
+    fn header_invalidation_rules() {
+        let mut sh = shadow();
+        let class = SizeClass::for_size(64).unwrap();
+        let base = install(&mut sh, class);
+        // A genuine cross-core invalidation of a live arena is clean.
+        assert!(sh.on_header_invalidated(0, 1, 5, class, base).is_empty());
+        assert_eq!(sh.header_invalidations(), 1);
+        // Self-invalidation is incoherent.
+        let v = sh.on_header_invalidated(1, 1, 6, class, base);
+        assert!(v.iter().any(|v| v.kind == ViolationKind::HotIncoherence));
+        // Invalidating an arena the shadow never saw installed.
+        let unknown = sh.region().arena_at(class, 9);
+        let v = sh.on_header_invalidated(0, 1, 7, class, unknown);
+        assert!(v.iter().any(|v| v.kind == ViolationKind::ArenaLifecycle));
+        // Wrong class names the installing core in the provenance.
+        let other = SizeClass::for_size(8).unwrap();
+        let v = sh.on_header_invalidated(2, 1, 8, other, base);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::HotIncoherence);
+        assert_eq!(v[0].provenance.core, 0, "installing core, not owner");
     }
 
     #[test]

@@ -198,6 +198,25 @@ impl SystemConfig {
         }
     }
 
+    /// This configuration with `n` cores. Each core gets a private
+    /// L1I/L1D/L2, TLB, page walker, and (under Memento) HOT; the LLC,
+    /// DRAM, kernel, and the hardware page pool stay shared. With `n = 1`
+    /// the machine is identical to the single-core configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_cores(self, n: usize) -> Self {
+        assert!(n > 0, "a machine needs at least one core");
+        let mut mem = self.mem;
+        mem.cores = n;
+        SystemConfig {
+            cores: n,
+            mem,
+            ..self
+        }
+    }
+
     /// Whether this configuration runs the Memento hardware.
     pub fn is_memento(&self) -> bool {
         matches!(self.mode, Mode::Memento(_))

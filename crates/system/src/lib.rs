@@ -12,6 +12,9 @@
 //! - [`machine`] — the machine itself: cores + TLBs + caches + kernel +
 //!   software allocators or the Memento device; executes [`memento_workloads::Event`]
 //!   streams, handles Go GC policy, context switches, and teardown.
+//! - [`scheduler`] — [`scheduler::Scheduler`]: deterministic work-stealing
+//!   distribution of invocation batches across the machine's cores
+//!   ([`Machine::run_scheduled`]), with per-core clocks and steal counters.
 //! - [`stats`] — [`stats::RunStats`]: cycle attribution, DRAM traffic,
 //!   memory-usage aggregates, HOT/AAC/arena statistics.
 //!
@@ -35,9 +38,11 @@ pub mod container;
 pub mod gc;
 pub mod machine;
 pub mod observe;
+pub mod scheduler;
 pub mod stats;
 
 pub use config::{Mode, SystemConfig, TraceConfig};
 pub use container::WarmContainer;
 pub use machine::Machine;
+pub use scheduler::{SchedStats, Scheduler};
 pub use stats::RunStats;

@@ -4,6 +4,7 @@
 use crate::config::{Mode, SystemConfig};
 use crate::gc::{GcPolicy, GoGcState};
 use crate::observe::MachineObs;
+use crate::scheduler::{SchedStats, Scheduler};
 use crate::stats::RunStats;
 use memento_cache::{AccessKind, MemSystem};
 use memento_core::device::{DeviceEvent, MementoDevice, MementoProcess};
@@ -136,7 +137,7 @@ pub struct Machine {
     mem: PhysMem,
     mem_sys: MemSystem,
     tlbs: Vec<Tlb>,
-    walker: PageWalker,
+    walkers: Vec<PageWalker>,
     kernel: Kernel,
     device: Option<MementoDevice>,
     san: Option<HeapSanitizer>,
@@ -177,7 +178,7 @@ impl Machine {
         Machine {
             mem_sys: MemSystem::new(cfg.mem.clone()),
             tlbs: (0..cfg.cores).map(|_| Tlb::default()).collect(),
-            walker: PageWalker::new(),
+            walkers: (0..cfg.cores).map(|_| PageWalker::new()).collect(),
             kernel,
             device,
             san,
@@ -303,7 +304,7 @@ impl Machine {
     fn soft_alloc(&mut self, run: &mut FunctionRun, core: usize, size: usize) -> VirtAddr {
         let mut ctx = Self::soft_ctx(
             &mut self.kernel,
-            &mut self.walker,
+            &mut self.walkers[core],
             &mut self.mem,
             &mut self.mem_sys,
             &mut self.tlbs[core],
@@ -328,7 +329,7 @@ impl Machine {
     fn soft_free(&mut self, run: &mut FunctionRun, core: usize, addr: VirtAddr, size: usize) {
         let mut ctx = Self::soft_ctx(
             &mut self.kernel,
-            &mut self.walker,
+            &mut self.walkers[core],
             &mut self.mem,
             &mut self.mem_sys,
             &mut self.tlbs[core],
@@ -463,7 +464,7 @@ impl Machine {
             // factor; translation/fault work stays on the critical path.
             let acc = demand_access(
                 &mut self.kernel,
-                &mut self.walker,
+                &mut self.walkers[core],
                 &mut self.mem,
                 &mut self.mem_sys,
                 &mut self.tlbs[core],
@@ -758,44 +759,101 @@ impl Machine {
         });
     }
 
-    /// Runs several functions concurrently, one per core, interleaving
-    /// events round-robin (one event per core per round — a simple but
-    /// fair co-location model). All cores share the LLC, DRAM, the kernel,
-    /// and Memento's memory-controller page allocator; HOTs and TLBs are
-    /// per-core.
+    /// Runs a batch of invocations across every configured core under the
+    /// deterministic work-stealing [`Scheduler`]: jobs are dealt round-robin
+    /// to per-core deques, idle cores steal from seeded victims, and the
+    /// machine always advances the core with the lowest simulated clock by
+    /// one trace event. While several cores have in-flight work, the shared
+    /// LLC runs its fair-share eviction policy and DRAM fills pay the
+    /// queueing penalty; with one active core both are exactly inert, so a
+    /// one-core batch reproduces [`Machine::run`] cycle-for-cycle.
+    ///
+    /// Returns per-job statistics (in `specs` order) plus the scheduler's
+    /// counters. Statistics are collected after the whole batch drains;
+    /// each job's window starts at its own bring-up snapshot, so windows
+    /// of co-resident jobs overlap on the shared counters.
+    pub fn run_scheduled(
+        &mut self,
+        specs: &[WorkloadSpec],
+        seed: u64,
+    ) -> (Vec<RunStats>, SchedStats) {
+        self.run_scheduled_with(specs, seed, |_, _| {})
+    }
+
+    /// [`Machine::run_scheduled`] with a fault-injection hook called once
+    /// per scheduler iteration (before job acquisition) with the scheduler
+    /// and the iteration number — tests use it to stall and release cores
+    /// mid-invocation.
     ///
     /// # Panics
     ///
-    /// Panics if `specs.len()` exceeds the configured core count.
-    pub fn run_concurrent(&mut self, specs: &[WorkloadSpec]) -> Vec<RunStats> {
-        assert!(
-            specs.len() <= self.cfg.cores,
-            "need {} cores, configured {}",
-            specs.len(),
-            self.cfg.cores
-        );
+    /// Panics if the scheduler wedges: no core can run, yet no stalled
+    /// work explains why (a scheduler invariant violation), or stalled
+    /// work is never released by the hook.
+    pub fn run_scheduled_with(
+        &mut self,
+        specs: &[WorkloadSpec],
+        seed: u64,
+        mut hook: impl FnMut(&mut Scheduler, u64),
+    ) -> (Vec<RunStats>, SchedStats) {
         let traces: Vec<Trace> = specs.iter().map(generate).collect();
-        let mut runs: Vec<FunctionRun> = specs.iter().map(|s| self.start(s)).collect();
+        let mut runs: Vec<Option<FunctionRun>> = specs.iter().map(|_| None).collect();
         let mut cursors = vec![0usize; specs.len()];
-        loop {
-            let mut progressed = false;
-            for core in 0..runs.len() {
-                if runs[core].finished {
-                    continue;
-                }
-                let events = &traces[core].events;
-                if cursors[core] < events.len() {
-                    let event = events[cursors[core]];
-                    cursors[core] += 1;
-                    self.step_on(&mut runs[core], &event, core);
-                    progressed = true;
-                }
+        let mut sched = Scheduler::new(self.cfg.cores, specs.len(), seed);
+        let mut steps: u64 = 0;
+        let mut idle_spins: u32 = 0;
+        while !sched.all_done() {
+            hook(&mut sched, steps);
+            steps += 1;
+            sched.acquire_jobs();
+            // Contention tracks how many cores hold in-flight work right
+            // now; one active core makes both shared-resource penalties
+            // exactly zero-cost.
+            self.mem_sys.set_active_cores(sched.active_cores().max(1));
+            let Some(core) = sched.next_core() else {
+                assert!(
+                    sched.has_stalled_work(),
+                    "scheduler wedged: no runnable core and no stalled work"
+                );
+                idle_spins += 1;
+                assert!(
+                    idle_spins < 1 << 20,
+                    "stalled work never released (hook missing an unstall?)"
+                );
+                continue;
+            };
+            idle_spins = 0;
+            let job = sched.current(core).expect("running core has a job");
+            if runs[job].is_none() {
+                // Lazy start at first dispatch, so bring-up cycles land on
+                // the core that actually executes the invocation.
+                let run = self.start(&specs[job]);
+                sched.advance(core, run.account.total().raw());
+                runs[job] = Some(run);
             }
-            if !progressed {
-                break;
+            let run = runs[job].as_mut().expect("started above");
+            let before = run.account.total();
+            let events = &traces[job].events;
+            if cursors[job] < events.len() {
+                let event = events[cursors[job]];
+                cursors[job] += 1;
+                self.step_on(run, &event, core);
+            }
+            if !run.finished && cursors[job] >= events.len() {
+                // Traces end with Exit, but tolerate truncated ones.
+                self.finish_run(run, core);
+            }
+            sched.advance(core, (run.account.total() - before).raw());
+            if run.finished {
+                sched.complete(core);
             }
         }
-        runs.iter().map(|r| self.collect(r)).collect()
+        self.mem_sys.set_active_cores(1);
+        let stats = runs
+            .iter()
+            .map(|r| self.collect(r.as_ref().expect("scheduler runs every job")))
+            .collect();
+        (stats, sched.stats().clone())
     }
 
     pub(crate) fn finish_run(&mut self, run: &mut FunctionRun, core: usize) {
@@ -818,7 +876,7 @@ impl Machine {
         {
             let mut ctx = Self::soft_ctx(
                 &mut self.kernel,
-                &mut self.walker,
+                &mut self.walkers[core],
                 &mut self.mem,
                 &mut self.mem_sys,
                 &mut self.tlbs[core],
@@ -929,8 +987,16 @@ impl Machine {
         m.set("tlb.shootdowns", ts.shootdowns);
         m.set("tlb.flushes", ts.flushes);
 
-        let ws = self.walker.stats();
-        m.set_hist("walk.depth", self.walker.depth_hist().clone());
+        let mut walk_depth = Log2Hist::default();
+        let mut ws = memento_vm::walker::WalkerStats::default();
+        for walker in &self.walkers {
+            walk_depth.merge(walker.depth_hist());
+            let s = walker.stats();
+            ws.walks.hits += s.walks.hits;
+            ws.walks.misses += s.walks.misses;
+            ws.pte_reads += s.pte_reads;
+        }
+        m.set_hist("walk.depth", walk_depth);
         m.set("walk.completed", ws.walks.hits);
         m.set("walk.faulted", ws.walks.misses);
         m.set("walk.pte_reads", ws.pte_reads);
@@ -1179,7 +1245,7 @@ impl Machine {
         {
             let mut ctx = Self::soft_ctx(
                 &mut self.kernel,
-                &mut self.walker,
+                &mut self.walkers[core],
                 &mut self.mem,
                 &mut self.mem_sys,
                 &mut self.tlbs[core],
@@ -1397,6 +1463,13 @@ impl Machine {
     pub fn pool_audit(&self) -> Option<memento_core::page_alloc::PoolAudit> {
         self.device.as_ref().map(|d| d.pool_audit())
     }
+
+    /// Whole-machine memory-system counters since construction, summed
+    /// across every core (unlike per-run windows, which snapshot at each
+    /// job's bring-up and therefore overlap under co-location).
+    pub fn mem_stats(&self) -> memento_cache::MemSystemStats {
+        self.mem_sys.stats()
+    }
 }
 
 impl std::fmt::Debug for Machine {
@@ -1582,6 +1655,60 @@ mod tests {
         // HOT was flushed at least once per switch.
         let hot = stats[0].hot.expect("hot stats");
         assert!(hot.flushes > 0);
+    }
+
+    #[test]
+    fn scheduled_one_core_matches_plain_run() {
+        // The headline differential guarantee: a one-core scheduled batch
+        // of one invocation is the serial runner, cycle for cycle — every
+        // contention mechanism must be exactly inert at N=1.
+        let spec = small_spec("aes");
+        let serial = Machine::new(SystemConfig::memento()).run(&spec);
+        let (mut batch, sched) = Machine::new(SystemConfig::memento()).run_scheduled(&[spec], 42);
+        let scheduled = batch.remove(0);
+        assert_eq!(serial.total_cycles(), scheduled.total_cycles());
+        assert_eq!(serial.mem.dram, scheduled.mem.dram);
+        assert_eq!(serial.mem.dram_queue_cycles, 0);
+        assert_eq!(scheduled.mem.dram_queue_cycles, 0);
+        assert_eq!(serial.hot, scheduled.hot);
+        assert_eq!(serial.user_pages_agg, scheduled.user_pages_agg);
+        assert_eq!(sched.steals, 0);
+        assert_eq!(sched.per_core_jobs, vec![1]);
+        assert_eq!(sched.per_core_cycles, vec![scheduled.total_cycles().raw()]);
+    }
+
+    #[test]
+    fn scheduled_batch_is_seed_deterministic() {
+        let specs: Vec<WorkloadSpec> = ["aes", "jl", "ir", "aes"]
+            .iter()
+            .map(|n| small_spec_n(n, 400_000))
+            .collect();
+        let cfg = SystemConfig::memento().with_cores(2);
+        let (a, sa) = Machine::new(cfg.clone()).run_scheduled(&specs, 7);
+        let (b, sb) = Machine::new(cfg).run_scheduled(&specs, 7);
+        assert_eq!(sa, sb, "scheduler counters must repeat exactly");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.total_cycles(), y.total_cycles());
+            assert_eq!(x.mem.dram, y.mem.dram);
+        }
+        // Both cores did work and paid DRAM queueing while co-resident.
+        assert!(sa.per_core_jobs.iter().all(|&j| j > 0));
+        assert!(a.iter().map(|s| s.mem.dram_queue_cycles).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn scheduled_colocation_is_no_faster_than_solo() {
+        let spec = small_spec_n("aes", 600_000);
+        let solo = Machine::new(SystemConfig::memento()).run(&spec);
+        let cfg = SystemConfig::memento().with_cores(2);
+        let (pair, _) =
+            Machine::new(cfg).run_scheduled(&[spec.clone(), small_spec_n("jl", 600_000)], 1);
+        assert!(
+            pair[0].total_cycles() >= solo.total_cycles(),
+            "contention can only add cycles: colocated {} vs solo {}",
+            pair[0].total_cycles(),
+            solo.total_cycles()
+        );
     }
 
     #[test]

@@ -74,6 +74,9 @@ impl MachineObs {
             match e {
                 DeviceEvent::ArenaInstalled { .. } => self.metrics.add("device.arena_installs", 1),
                 DeviceEvent::ArenaReclaimed { .. } => self.metrics.add("device.arena_reclaims", 1),
+                DeviceEvent::HeaderInvalidated { .. } => {
+                    self.metrics.add("device.header_invalidations", 1)
+                }
             }
         }
     }

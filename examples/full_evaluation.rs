@@ -11,9 +11,7 @@
 //! points across N worker threads — the tables are byte-identical at any
 //! job count; only the timing summary at the end differs.
 
-use memento_experiments::{
-    ablation, multicore, profile_run, report, sensitivity, ConfigKind, EvalContext,
-};
+use memento_experiments::{ablation, profile_run, report, sensitivity, ConfigKind, EvalContext};
 
 struct Args {
     jobs: Option<usize>,
@@ -71,11 +69,6 @@ fn main() {
 
     println!();
     println!("{}", sensitivity::multiprocess(&ctx));
-    println!();
-    println!(
-        "{}",
-        multicore::run_for_jobs(&["html", "US", "bfs-go", "jl"], 2, jobs).expect("suite workloads")
-    );
     println!();
     println!(
         "{}",

@@ -199,7 +199,7 @@ fn pool_exhaustion_surfaces_typed_error_not_panic() {
             Err(e) => break e,
         }
     };
-    assert_eq!(err, MementoError::PoolExhausted);
+    assert_eq!(err, MementoError::PoolExhausted { core: 0 });
     let stats = dev.page_stats();
     assert!(stats.pool_exhausted > 0, "refusals counted: {stats:?}");
     assert_eq!(dev.pool_audit().pool_len, 0, "pool fully drained");
@@ -220,8 +220,162 @@ fn attach_with_zero_grant_backend_fails_cleanly() {
     let err = dev
         .attach_process(&mut mem, &mut backend, MementoRegion::standard())
         .expect_err("no frames, no page-table root");
-    assert_eq!(err, MementoError::PoolExhausted);
+    assert_eq!(err, MementoError::PoolExhausted { core: 0 });
     assert!(dev.page_stats().pool_exhausted > 0);
+}
+
+#[test]
+fn stalled_core_mid_invocation_is_stolen_back_around() {
+    // A core wedges mid-invocation (modeling a hiccup): its in-flight job
+    // stays pinned, the jobs queued behind it are stolen back by its
+    // sibling, and once the stall clears the whole batch completes.
+    use memento_system::Scheduler;
+    let mut specs = Vec::new();
+    for i in 0..4u64 {
+        let mut s = tiny_spec();
+        s.name = format!("inject-{i}");
+        s.seed = 9 + i;
+        s.total_instructions = 40_000;
+        specs.push(s);
+    }
+    let mut machine = Machine::new(SystemConfig::memento().with_cores(2));
+    let (runs, sched) = machine.run_scheduled_with(&specs, 11, |sched: &mut Scheduler, steps| {
+        if steps == 3 {
+            sched.stall(0);
+        } else if steps > 3
+            && sched.is_stalled(0)
+            && sched.queued_jobs() == 0
+            && sched.next_core().is_none()
+        {
+            // Only the stalled core's pinned invocation remains (the hook
+            // runs before job acquisition, so an idle sibling with queued
+            // work does not count) — release the wedged core.
+            sched.unstall(0);
+        }
+    });
+    assert_eq!(runs.len(), 4);
+    for (i, r) in runs.iter().enumerate() {
+        assert!(r.total_cycles().raw() > 0, "job {i} never ran");
+    }
+    assert_eq!(sched.per_core_jobs.iter().sum::<u64>(), 4);
+    assert!(
+        sched.steals >= 1,
+        "the sibling must steal the stalled core's queue: {sched:?}"
+    );
+    assert!(
+        sched.per_core_jobs[1] >= 3,
+        "core 1 ran its own two jobs plus the steal-back: {sched:?}"
+    );
+}
+
+#[test]
+fn reservations_starve_one_core_while_frames_remain() {
+    // Per-core frame earmarks: core 1 reserves part of the pool, the OS
+    // then refuses further grants, and core 0 must see a typed, correctly
+    // attributed `PoolExhausted { core: 0 }` even though idle frames
+    // remain — they belong to core 1, which can still spend them.
+    let mut mem = PhysMem::new(64 << 20);
+    let ptr_block = mem.alloc_frame().expect("pointer block").base_addr();
+    let mut backend = StingyBackend::new(&mut mem, 40);
+    let mut dev = MementoDevice::new(MementoConfig::paper_default(), 2, ptr_block);
+    let mut mproc = dev
+        .attach_process(&mut mem, &mut backend, MementoRegion::standard())
+        .expect("attach fits in the budget");
+    let mut sys = MemSystem::new(MemSystemConfig::paper_default(2));
+    let reserved = dev.reserve_frames(1, 4);
+    assert_eq!(reserved, 4, "idle frames earmarked for core 1");
+
+    let err = loop {
+        match dev.obj_alloc(&mut mem, &mut sys, &mut backend, 0, &mut mproc, 64) {
+            Ok(out) => {
+                let _ =
+                    dev.translate_miss(&mut mem, &mut sys, &mut backend, 0, &mut mproc, out.addr);
+            }
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, MementoError::PoolExhausted { core: 0 });
+    assert!(
+        dev.pool_len() > 0,
+        "core 0 starved with frames still idle in the pool"
+    );
+    assert_eq!(
+        dev.pool_audit().pool_len,
+        dev.reserved_frames(1),
+        "the remaining frames are exactly core 1's earmark"
+    );
+    // Core 1 spends its earmark and allocates where core 0 could not.
+    let out = dev
+        .obj_alloc(&mut mem, &mut sys, &mut backend, 1, &mut mproc, 64)
+        .expect("core 1's earmarked frames back its allocation");
+    let _ = dev.translate_miss(&mut mem, &mut sys, &mut backend, 1, &mut mproc, out.addr);
+    assert!(
+        dev.reserved_frames(1) < reserved,
+        "core 1's allocation consumed its earmark"
+    );
+    assert!(dev.pool_audit().conserved(), "{:?}", dev.pool_audit());
+}
+
+#[test]
+fn stale_shared_header_audit_names_installing_core() {
+    // Coherence-violation provenance: if a core acquires a stale copy of a
+    // shared arena header without the invalidating snoop `coherence_sync`
+    // models, the sanitizer audit must flag the duplicate and blame the
+    // core that originally installed the arena — not the one that happens
+    // to be scanned last.
+    use memento_sanitizer::{HeapSanitizer, SanitizerConfig, ViolationKind};
+    let mut mem = PhysMem::new(64 << 20);
+    let ptr_block = mem.alloc_frame().expect("pointer block").base_addr();
+    let mut backend = StingyBackend::new(&mut mem, 32);
+    let mut dev = MementoDevice::new(MementoConfig::paper_default(), 2, ptr_block);
+    dev.record_events(true);
+    let mut mproc = dev
+        .attach_process(&mut mem, &mut backend, MementoRegion::standard())
+        .expect("attach fits in the budget");
+    let mut sys = MemSystem::new(MemSystemConfig::paper_default(2));
+    let mut san = HeapSanitizer::new(SanitizerConfig {
+        audit_every: 0,
+        oracle: false,
+    });
+    let pid = san.attach(mproc.region());
+
+    // Core 0 installs a 64 B-class arena; core 1 allocates from another
+    // class so the shadow knows both cores executed.
+    let on_zero = dev
+        .obj_alloc(&mut mem, &mut sys, &mut backend, 0, &mut mproc, 64)
+        .expect("core 0 alloc");
+    san.on_device_events(pid, dev.take_events());
+    san.on_obj_alloc(pid, 0, on_zero.addr, 64);
+    let on_one = dev
+        .obj_alloc(&mut mem, &mut sys, &mut backend, 1, &mut mproc, 256)
+        .expect("core 1 alloc");
+    san.on_device_events(pid, dev.take_events());
+    san.on_obj_alloc(pid, 1, on_one.addr, 256);
+
+    // Inject the bug: core 1 caches core 0's header without eviction.
+    let (class, entry) = {
+        let (class, entry) = dev
+            .hot(0)
+            .iter_valid()
+            .next()
+            .expect("core 0 caches its arena");
+        (class, *entry)
+    };
+    dev.hot_mut(1).install(class, entry);
+
+    san.audit(pid, &dev, &mproc, &mem);
+    let report = san.report();
+    assert!(!report.is_clean(), "duplicate HOT entries must be caught");
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.kind == ViolationKind::HotIncoherence)
+        .expect("a HotIncoherence violation");
+    assert_eq!(
+        v.provenance.core, 0,
+        "provenance names the installing core: {v:?}"
+    );
+    assert!(v.detail.contains("installed by core 0"), "{}", v.detail);
 }
 
 #[test]

@@ -95,6 +95,58 @@ fn evaluation_summary_matches_golden_snapshot() {
 }
 
 #[test]
+fn one_core_scheduled_machine_reproduces_golden_path_numbers() {
+    // The multicore machine's contention machinery (fair-share LLC
+    // partitioning, DRAM queueing, per-core pool claims) must be exactly
+    // inert at one core: a cores=1 scheduled batch reproduces the plain
+    // runner — the path every golden number above is measured on — field
+    // for field at snapshot tolerance.
+    use memento_system::{Machine, SystemConfig};
+    let ctx = EvalContext::scaled(GOLDEN_SCALE);
+    let mut plain_doc = Value::object();
+    let mut sched_doc = Value::object();
+    for name in ["aes", "html", "US"] {
+        let spec = ctx.workload(name);
+        for (label, cfg) in [
+            ("baseline", SystemConfig::baseline()),
+            ("memento", SystemConfig::memento()),
+        ] {
+            let plain = Machine::new(cfg.clone()).run(&spec);
+            let (mut batch, sched) =
+                Machine::new(cfg.with_cores(1)).run_scheduled(std::slice::from_ref(&spec), 0x5EED);
+            let scheduled = batch.remove(0);
+            assert_eq!(sched.steals, 0, "one core has nobody to steal from");
+            for (doc, stats) in [(&mut plain_doc, &plain), (&mut sched_doc, &scheduled)] {
+                doc.set(
+                    format!("{name}.{label}.cycles").as_str(),
+                    stats.total_cycles().raw() as f64,
+                )
+                .set(
+                    format!("{name}.{label}.dram_bytes").as_str(),
+                    stats.dram_bytes() as f64,
+                )
+                .set(
+                    format!("{name}.{label}.mm_fraction").as_str(),
+                    stats.mm_fraction(),
+                )
+                .set(
+                    format!("{name}.{label}.peak_mb").as_str(),
+                    stats.peak_memory_mb(),
+                );
+            }
+        }
+    }
+    let mut mismatches = Vec::new();
+    diff("one_core", &plain_doc, &sched_doc, &mut mismatches);
+    assert!(
+        mismatches.is_empty(),
+        "a cores=1 scheduled machine diverged from the single-core runner in {} field(s):\n  {}",
+        mismatches.len(),
+        mismatches.join("\n  ")
+    );
+}
+
+#[test]
 fn golden_diff_reports_each_differing_field() {
     // The diff engine itself: tolerance applies per-field, paths name the
     // exact divergence, extra and missing keys are both reported.
