@@ -19,6 +19,10 @@
 //!   calls; calibration and arrival generation are reported separately
 //!   as `setup_ms` so the invocations/sec figure measures the event
 //!   engine itself.
+//! - `region_scale` — the region engine with every dynamic feature on
+//!   (flash-crowd trace, autoscaler, snapshot restores, squeeze
+//!   reclamation, size-aware keep-alive) at 200 000 invocations per
+//!   fleet, baseline and Memento.
 //!
 //! Each workload runs `--reps` times (default 3) and reports the
 //! fastest repetition: the simulated work is deterministic, so the
@@ -33,13 +37,16 @@
 
 use memento_bench::gate;
 use memento_cluster::{
-    calibrate, generate_arrivals, simulate, ArrivalConfig, ClusterConfig, Engine, KeepAlive,
-    Placement, ProfileTable, WorkloadMix,
+    calibrate, generate_arrivals, generate_trace, simulate, ArrivalConfig, Autoscaler,
+    AutoscalerConfig, ClusterConfig, ColdStart, DiurnalTrace, Engine, FlashCrowd, KeepAlive,
+    Placement, ProfileTable, Reclamation, WorkloadMix,
 };
 use memento_experiments::cluster::{run_for_jobs, ClusterParams};
+use memento_experiments::context::STEADY_INVOCATIONS;
 use memento_experiments::{memusage, multicore, EvalContext};
 use memento_simcore::json::{self, Value};
 use memento_system::SystemConfig;
+use memento_workloads::spec::Category;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -123,14 +130,25 @@ fn bench_cluster_smoke() -> Measurement {
 /// The Fig. 11 warm steady-state experiment over four representative
 /// workloads: full per-machine simulation, so this guards the
 /// single-node pipeline rather than the fleet engine. `invocations`
-/// counts simulated machine runs (one baseline + one Memento per
-/// workload).
+/// counts the invocations actually simulated: per (workload, config),
+/// functions run cold once while the long-running categories serve a
+/// [`STEADY_INVOCATIONS`]-deep warm window.
 fn bench_warm_steady_state() -> Measurement {
     let mut ctx = EvalContext::scaled(8);
     let specs: Vec<_> = ["Redis", "Silo", "SQLite3", "html"]
         .iter()
         .map(|n| ctx.try_workload(n).expect("pinned workloads exist"))
         .collect();
+    let invocations: u64 = 2 * specs
+        .iter()
+        .map(|s| {
+            if s.category == Category::Function {
+                1
+            } else {
+                STEADY_INVOCATIONS as u64
+            }
+        })
+        .sum::<u64>();
     memento_obs::selfprof::enable();
     let t = Instant::now();
     let result = memusage::run_for(&mut ctx, &specs);
@@ -141,7 +159,7 @@ fn bench_warm_steady_state() -> Measurement {
         name: "warm_steady_state",
         wall_ms,
         setup_ms: 0.0,
-        invocations: 2 * specs.len() as u64,
+        invocations,
         spans: drain_spans(),
     }
 }
@@ -181,6 +199,9 @@ fn bench_cluster_full_eval() -> Measurement {
         cores_per_node: 1,
         placement: Placement::LeastLoaded,
         keep_alive,
+        cold_start: ColdStart::Boot,
+        reclamation: Reclamation::None,
+        autoscaler: Autoscaler::None,
         record_timeline: false,
     };
     let arrival_sets: Vec<_> = LOADS
@@ -210,6 +231,100 @@ fn bench_cluster_full_eval() -> Measurement {
     memento_obs::selfprof::disable();
     Measurement {
         name: "cluster_full_eval",
+        wall_ms,
+        setup_ms,
+        invocations,
+        spans: drain_spans(),
+    }
+}
+
+/// The region engine under its full feature set: a flash-crowd-on-
+/// diurnal trace drives an autoscaled fleet with snapshot restores,
+/// pressure-driven squeezes, and size-aware keep-alive, for baseline
+/// and Memento profile tables. This is the event-engine path none of
+/// the fixed-fleet benches touch (tick/boot event sources, drain
+/// bookkeeping, squeeze passes), measured the same way as
+/// `cluster_full_eval`: `wall_ms` covers only the two `simulate`
+/// calls.
+fn bench_region_scale() -> Measurement {
+    const NAMES: [&str; 4] = ["html", "US", "Redis", "SQLite3"];
+    const INVOCATIONS: u64 = 200_000;
+
+    let setup = Instant::now();
+    let ctx = EvalContext::scaled(64);
+    let specs: Vec<_> = NAMES
+        .iter()
+        .map(|n| ctx.try_workload(n).expect("pinned workloads exist"))
+        .collect();
+    let mix = WorkloadMix::uniform(specs.clone()).expect("non-empty mix");
+    let base: Vec<_> = specs
+        .iter()
+        .map(|s| calibrate(&SystemConfig::baseline(), s, 3))
+        .collect();
+    let mem: Vec<_> = specs
+        .iter()
+        .map(|s| calibrate(&SystemConfig::memento(), s, 3))
+        .collect();
+    let mean_service: f64 =
+        base.iter().map(|p| p.warm_cycles as f64).sum::<f64>() / base.len() as f64;
+    let idle_sum: u64 = base.iter().map(|p| p.idle_frames).sum();
+    let max_cold = base.iter().map(|p| p.cold_cycles).max().unwrap_or(1);
+    let base_table = ProfileTable::from_profiles(base);
+    let mem_table = ProfileTable::from_profiles(mem);
+    let cfg = ClusterConfig {
+        nodes: 4,
+        queue_capacity: 32,
+        cores_per_node: 1,
+        placement: Placement::LeastLoaded,
+        keep_alive: KeepAlive::SizeAware {
+            budget_frame_cycles: (mean_service * 20.0) as u64 * (idle_sum / NAMES.len() as u64),
+            min_cycles: (mean_service * 2.0) as u64,
+            max_cycles: (mean_service * 160.0) as u64,
+        },
+        cold_start: ColdStart::Snapshot,
+        reclamation: Reclamation::Squeeze {
+            watermark_frames: 8 * idle_sum,
+        },
+        autoscaler: Autoscaler::TargetUtilization(AutoscalerConfig {
+            interval_cycles: (mean_service * 4.0) as u64,
+            target_load_pct: 70,
+            min_nodes: 2,
+            max_nodes: 16,
+            spinup_cycles: 8 * max_cold,
+        }),
+        record_timeline: false,
+    };
+    let trace = FlashCrowd {
+        base: DiurnalTrace {
+            day_cycles: (mean_service * 4_000.0) as u64,
+            trough_ppm: 250_000,
+            peak_ppm: 1_000_000,
+        },
+        period_cycles: (mean_service * 400.0) as u64,
+        burst_cycles: (mean_service * 40.0) as u64,
+        multiplier: 4,
+    };
+    let arrival = ArrivalConfig {
+        seed: 7,
+        count: INVOCATIONS,
+        mean_interarrival_cycles: mean_service / (cfg.nodes as f64 * 0.9),
+    };
+    let arrivals = generate_trace(&arrival, &mix, &trace).expect("valid trace");
+    let setup_ms = setup.elapsed().as_secs_f64() * 1e3;
+
+    memento_obs::selfprof::enable();
+    let mut invocations = 0u64;
+    let t = Instant::now();
+    for table in [&base_table, &mem_table] {
+        let r = simulate(Engine::Profiled(table.clone()), &cfg, &mix, &arrivals)
+            .expect("validated config");
+        assert!(r.is_clean(), "region bench audits must pass");
+        invocations += r.completed;
+    }
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    memento_obs::selfprof::disable();
+    Measurement {
+        name: "region_scale",
         wall_ms,
         setup_ms,
         invocations,
@@ -311,6 +426,7 @@ fn main() -> ExitCode {
         best_of(args.reps, bench_cluster_smoke),
         best_of(args.reps, bench_warm_steady_state),
         best_of(args.reps, bench_cluster_full_eval),
+        best_of(args.reps, bench_region_scale),
         best_of(args.reps, bench_multicore_scale),
     ];
 

@@ -74,7 +74,7 @@ impl WorkloadMix {
         self.specs.is_empty()
     }
 
-    fn sample(&self, rng: &mut StdRng) -> usize {
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> usize {
         let u = rng.gen_range(0.0..1.0);
         self.cumulative
             .iter()

@@ -20,6 +20,15 @@ pub enum ClusterError {
     MissingProfile(String),
     /// The arrival process has a non-positive mean inter-arrival time.
     InvalidArrivalRate(f64),
+    /// An arrival trace is malformed (zero peak intensity, or an
+    /// intensity above its declared peak).
+    InvalidTrace(String),
+    /// An autoscaler configuration is malformed (zero interval or
+    /// target, empty node range, or a range the fleet shape violates).
+    InvalidAutoscaler(String),
+    /// A keep-alive policy is malformed (zero budget or an empty TTL
+    /// clamp range).
+    InvalidKeepAlive(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -37,6 +46,13 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::InvalidArrivalRate(mean) => {
                 write!(f, "mean inter-arrival must be positive, got {mean}")
+            }
+            ClusterError::InvalidTrace(why) => write!(f, "invalid arrival trace: {why}"),
+            ClusterError::InvalidAutoscaler(why) => {
+                write!(f, "invalid autoscaler config: {why}")
+            }
+            ClusterError::InvalidKeepAlive(why) => {
+                write!(f, "invalid keep-alive policy: {why}")
             }
         }
     }

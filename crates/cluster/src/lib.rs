@@ -16,9 +16,16 @@
 //! - [`arrival`] — open-loop Poisson arrivals with seeded workload-mix
 //!   sampling; a pure function of the seed, shared across the fleets
 //!   under comparison.
+//! - [`trace`] — non-homogeneous arrival intensity shapes
+//!   ([`trace::DiurnalTrace`] day curves, [`trace::FlashCrowd`] burst
+//!   overlays) thinned onto the same seeded cursor, so shaped traffic
+//!   stays a pure function of the seed too.
 //! - [`policy`] — the scheduler policy surface: [`policy::Placement`]
 //!   (round-robin / warm-affinity least-loaded), [`policy::KeepAlive`]
-//!   (none / fixed / infinite), and typed [`policy::RejectReason`]s.
+//!   (none / fixed / infinite / size-aware), [`policy::ColdStart`]
+//!   (boot / snapshot-restore), [`policy::Reclamation`] (pressure-driven
+//!   squeeze), [`policy::Autoscaler`] (target-utilization node scaling),
+//!   and typed [`policy::RejectReason`]s.
 //! - [`profile`] — per-(workload, config) service profiles calibrated
 //!   from real [`memento_system::WarmContainer`] runs, letting the
 //!   simulator scale to millions of invocations.
@@ -72,10 +79,14 @@ pub mod policy;
 pub mod profile;
 mod shard;
 pub mod sim;
+pub mod trace;
 
 pub use arrival::{generate_arrivals, Arrival, ArrivalConfig, WorkloadMix};
 pub use error::ClusterError;
 pub use event_heap::EventHeap;
-pub use policy::{KeepAlive, Placement, RejectReason};
+pub use policy::{
+    Autoscaler, AutoscalerConfig, ColdStart, KeepAlive, Placement, Reclamation, RejectReason,
+};
 pub use profile::{calibrate, ProfileTable, ServiceProfile};
 pub use sim::{simulate, simulate_jobs, ClusterConfig, ClusterResult, Engine};
+pub use trace::{generate_trace, ArrivalTrace, DiurnalTrace, FlashCrowd, UniformTrace};

@@ -1,5 +1,5 @@
-//! Scheduler policy surface: placement, keep-alive, and typed admission
-//! rejection.
+//! Scheduler policy surface: placement, keep-alive, cold-start mechanism,
+//! reclamation, node autoscaling, and typed admission rejection.
 
 use std::fmt;
 
@@ -36,6 +36,20 @@ pub enum KeepAlive {
     Fixed(u64),
     /// Never expire: maximal warm-start rate, maximal idle footprint.
     Infinite,
+    /// KiSS-style size-aware keep-alive: a container's TTL is inversely
+    /// proportional to its idle footprint, so small containers linger and
+    /// large ones make way. The TTL is `budget_frame_cycles /
+    /// idle_frames` (a fixed frame·cycle budget per container), clamped
+    /// to `[min_cycles, max_cycles]`.
+    SizeAware {
+        /// Frame·cycle budget each idle container may spend
+        /// (TTL × idle frames ≤ budget before clamping).
+        budget_frame_cycles: u64,
+        /// TTL floor in cycles (even huge containers get this long).
+        min_cycles: u64,
+        /// TTL ceiling in cycles (even tiny containers expire by then).
+        max_cycles: u64,
+    },
 }
 
 impl fmt::Display for KeepAlive {
@@ -44,6 +58,104 @@ impl fmt::Display for KeepAlive {
             KeepAlive::None => f.write_str("none"),
             KeepAlive::Fixed(cycles) => write!(f, "fixed({cycles})"),
             KeepAlive::Infinite => f.write_str("infinite"),
+            KeepAlive::SizeAware {
+                budget_frame_cycles,
+                ..
+            } => write!(f, "size-aware({budget_frame_cycles})"),
+        }
+    }
+}
+
+/// How a container with no warm pool hit comes up.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ColdStart {
+    /// Full cold boot: the container pays the calibrated cold-start
+    /// service time (bring-up + first invocation).
+    #[default]
+    Boot,
+    /// REAP-style snapshot restore: the container's stable working set is
+    /// prefetched from a snapshot instead of rebuilt, so the start pays
+    /// the calibrated restore cost — strictly between a warm hit and a
+    /// full cold boot.
+    Snapshot,
+}
+
+impl fmt::Display for ColdStart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColdStart::Boot => f.write_str("boot"),
+            ColdStart::Snapshot => f.write_str("snapshot"),
+        }
+    }
+}
+
+/// Fleet-pressure-driven reclamation of idle-warm containers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Reclamation {
+    /// No pressure response: idle-warm containers keep their full parked
+    /// footprint until keep-alive expires them.
+    #[default]
+    None,
+    /// Squeezy-style squeeze: when the fleet's unreclaimable footprint
+    /// crosses `watermark_frames`, idle-warm containers are squeezed back
+    /// toward their unreclaimable floor (page tables + kernel metadata);
+    /// the squeezed-out frames are re-faulted by that container's next
+    /// warm start, at a per-frame cost where Memento's pool re-grant path
+    /// holds a hardware-assisted edge over baseline demand faults.
+    Squeeze {
+        /// Fleet footprint (frames) above which idle containers squeeze.
+        watermark_frames: u64,
+    },
+}
+
+impl fmt::Display for Reclamation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reclamation::None => f.write_str("none"),
+            Reclamation::Squeeze { watermark_frames } => {
+                write!(f, "squeeze({watermark_frames})")
+            }
+        }
+    }
+}
+
+/// Target-utilization autoscaler parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AutoscalerConfig {
+    /// Controller period in simulated cycles.
+    pub interval_cycles: u64,
+    /// Target percentage of serving capacity in use; the controller sizes
+    /// the active fleet so `in_flight / (nodes × cores)` tracks this.
+    pub target_load_pct: u64,
+    /// Never scale below this many nodes.
+    pub min_nodes: usize,
+    /// Never scale above this many nodes (the region's hardware bound).
+    pub max_nodes: usize,
+    /// Cold-node spin-up delay: cycles between the scale-up decision and
+    /// the node accepting placements.
+    pub spinup_cycles: u64,
+}
+
+/// Whether and how the fleet resizes itself under load.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Autoscaler {
+    /// Fixed fleet: every configured node is active for the whole run.
+    #[default]
+    None,
+    /// A target-utilization controller: every `interval_cycles` it
+    /// compares in-flight work against active serving capacity, boots
+    /// cold nodes (after `spinup_cycles`) when over target, and drains
+    /// the highest-numbered active nodes when under.
+    TargetUtilization(AutoscalerConfig),
+}
+
+impl fmt::Display for Autoscaler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Autoscaler::None => f.write_str("none"),
+            Autoscaler::TargetUtilization(c) => {
+                write!(f, "target-util({}%)", c.target_load_pct)
+            }
         }
     }
 }
@@ -78,8 +190,46 @@ mod tests {
         assert_eq!(KeepAlive::Fixed(1000).to_string(), "fixed(1000)");
         assert_eq!(KeepAlive::Infinite.to_string(), "infinite");
         assert_eq!(
+            KeepAlive::SizeAware {
+                budget_frame_cycles: 500,
+                min_cycles: 1,
+                max_cycles: 10,
+            }
+            .to_string(),
+            "size-aware(500)"
+        );
+        assert_eq!(ColdStart::Boot.to_string(), "boot");
+        assert_eq!(ColdStart::Snapshot.to_string(), "snapshot");
+        assert_eq!(Reclamation::None.to_string(), "none");
+        assert_eq!(
+            Reclamation::Squeeze {
+                watermark_frames: 4096
+            }
+            .to_string(),
+            "squeeze(4096)"
+        );
+        assert_eq!(Autoscaler::None.to_string(), "none");
+        assert_eq!(
+            Autoscaler::TargetUtilization(AutoscalerConfig {
+                interval_cycles: 1_000,
+                target_load_pct: 70,
+                min_nodes: 1,
+                max_nodes: 8,
+                spinup_cycles: 100,
+            })
+            .to_string(),
+            "target-util(70%)"
+        );
+        assert_eq!(
             RejectReason::ClusterSaturated.to_string(),
             "cluster-saturated"
         );
+    }
+
+    #[test]
+    fn defaults_are_the_fixed_fleet_cold_boot_path() {
+        assert_eq!(ColdStart::default(), ColdStart::Boot);
+        assert_eq!(Reclamation::default(), Reclamation::None);
+        assert_eq!(Autoscaler::default(), Autoscaler::None);
     }
 }

@@ -33,6 +33,19 @@ pub struct ServiceProfile {
     /// cannot give back. This is the keep-alive footprint a fleet pays
     /// per warm container.
     pub idle_frames: u64,
+    /// Cycles for a REAP-style snapshot restore: a warm invocation plus
+    /// the calibrated stable-working-set prefetch, clamped strictly
+    /// between `warm_cycles` and `cold_cycles`.
+    pub restore_cycles: u64,
+    /// Frames a pressure squeeze cannot reclaim from this container while
+    /// it idles warm (page tables + kernel metadata; never above
+    /// `idle_frames`).
+    pub squeeze_floor_frames: u64,
+    /// Cycles the next warm start pays to re-fault the squeezed-out
+    /// `idle_frames - squeeze_floor_frames` frames. Memento machines
+    /// re-grant through the hardware pool; baselines demand-fault — the
+    /// cost edge shows up here.
+    pub squeeze_refault_cycles: u64,
 }
 
 /// Calibrates a profile by running a real machine through the cluster's
@@ -49,12 +62,26 @@ pub fn calibrate(cfg: &SystemConfig, spec: &WorkloadSpec, warm_samples: usize) -
     }
     let active_frames = container.serving_peak_pages();
     container.park();
+    let cold_cycles = cold.total_cycles().raw().max(1);
+    let warm_cycles = warm.total_cycles().raw().max(1);
+    let idle_frames = container.unreclaimable_pages();
+    // Snapshot restore replays a warm invocation plus the stable-working-
+    // set prefetch, clamped strictly inside the (warm, cold) interval —
+    // the same formula `WarmContainer::restore_start` charges.
+    let restore_cycles = (warm_cycles + container.snapshot_restore_cycles())
+        .clamp(warm_cycles + 1, (cold_cycles - 1).max(warm_cycles + 1));
+    let squeeze_floor_frames = container.squeeze_floor_pages().min(idle_frames);
+    let squeeze_refault_cycles =
+        (idle_frames - squeeze_floor_frames) * container.squeeze_refault_unit_cycles();
     ServiceProfile {
         workload: spec.name.clone(),
-        cold_cycles: cold.total_cycles().raw().max(1),
-        warm_cycles: warm.total_cycles().raw().max(1),
+        cold_cycles,
+        warm_cycles,
         active_frames,
-        idle_frames: container.unreclaimable_pages(),
+        idle_frames,
+        restore_cycles,
+        squeeze_floor_frames,
+        squeeze_refault_cycles,
     }
 }
 
@@ -122,6 +149,17 @@ mod tests {
             "serving needs at least idle frames"
         );
         assert!(p.idle_frames > 0, "a warm container keeps frames resident");
+        assert!(
+            p.warm_cycles < p.restore_cycles && p.restore_cycles < p.cold_cycles,
+            "snapshot restore must land strictly between warm ({}) and cold ({}): {}",
+            p.warm_cycles,
+            p.cold_cycles,
+            p.restore_cycles
+        );
+        assert!(
+            p.squeeze_floor_frames > 0 && p.squeeze_floor_frames <= p.idle_frames,
+            "squeeze floor must be a nonzero fraction of the idle footprint"
+        );
     }
 
     #[test]

@@ -158,6 +158,8 @@ fn merge(cfg: &ClusterConfig, shards: Vec<ClusterResult>) -> ClusterResult {
     let mut expired = 0;
     let mut retired = 0;
     let mut live_containers = 0;
+    let mut restores = 0;
+    let mut squeezed = 0;
     let mut makespan = 0;
     let mut latencies = Vec::with_capacity(shards.iter().map(|s| s.latencies.len()).sum());
     let mut metrics = memento_obs::MetricsRegistry::new();
@@ -175,6 +177,8 @@ fn merge(cfg: &ClusterConfig, shards: Vec<ClusterResult>) -> ClusterResult {
         expired += shard.expired;
         retired += shard.retired;
         live_containers += shard.live_containers;
+        restores += shard.restores;
+        squeezed += shard.squeezed;
         makespan = makespan.max(shard.makespan_cycles);
         latencies.extend_from_slice(&shard.latencies);
         metrics.merge(&shard.metrics);
@@ -207,6 +211,11 @@ fn merge(cfg: &ClusterConfig, shards: Vec<ClusterResult>) -> ClusterResult {
         expired,
         retired,
         live_containers,
+        restores,
+        squeezed,
+        // The sharded path only runs fixed fleets (no autoscaler), where
+        // every configured node is active for the whole run.
+        peak_active_nodes: cfg.nodes as u64,
         makespan_cycles: makespan,
         peak_fleet_frames: peak,
         final_fleet_frames: final_level,
@@ -273,6 +282,9 @@ mod tests {
             expired: 0,
             retired: 0,
             live_containers: 0,
+            restores: 0,
+            squeezed: 0,
+            peak_active_nodes: 0,
             makespan_cycles: 0,
             peak_fleet_frames: 0,
             final_fleet_frames: 0,

@@ -68,7 +68,7 @@ use memento_system::{SystemConfig, WarmContainer};
 use crate::arrival::{Arrival, WorkloadMix};
 use crate::error::ClusterError;
 use crate::event_heap::EventHeap;
-use crate::policy::{KeepAlive, Placement, RejectReason};
+use crate::policy::{Autoscaler, ColdStart, KeepAlive, Placement, Reclamation, RejectReason};
 use crate::profile::ProfileTable;
 
 /// How the simulator obtains service times and frame footprints.
@@ -117,6 +117,17 @@ pub struct ClusterConfig {
     pub placement: Placement,
     /// Keep-alive policy.
     pub keep_alive: KeepAlive,
+    /// How a cold container comes up: full boot or REAP-style snapshot
+    /// restore.
+    pub cold_start: ColdStart,
+    /// Pressure-driven reclamation of idle-warm containers.
+    pub reclamation: Reclamation,
+    /// Node autoscaling. With [`Autoscaler::None`], every configured node
+    /// is active for the whole run (the fixed-fleet engine, bit-identical
+    /// to the pre-region simulator). With a target-utilization
+    /// controller, [`Self::nodes`] is the *initial* active fleet inside
+    /// the controller's `[min_nodes, max_nodes]` range.
+    pub autoscaler: Autoscaler,
     /// Record the full footprint timeline (disable for very large runs;
     /// peak tracking is unaffected).
     pub record_timeline: bool,
@@ -130,6 +141,9 @@ impl Default for ClusterConfig {
             cores_per_node: 1,
             placement: Placement::LeastLoaded,
             keep_alive: KeepAlive::Fixed(100_000_000),
+            cold_start: ColdStart::Boot,
+            reclamation: Reclamation::None,
+            autoscaler: Autoscaler::None,
             record_timeline: true,
         }
     }
@@ -156,6 +170,15 @@ pub struct ClusterResult {
     pub retired: u64,
     /// Containers still idle-warm at drain.
     pub live_containers: u64,
+    /// Cold-path starts served by snapshot restore (a subset of
+    /// `cold_starts`; 0 under [`ColdStart::Boot`]).
+    pub restores: u64,
+    /// Idle-warm containers squeezed by pressure-driven reclamation
+    /// (0 under [`Reclamation::None`]).
+    pub squeezed: u64,
+    /// Peak simultaneously active-or-booting nodes (the configured fleet
+    /// size when autoscaling is off).
+    pub peak_active_nodes: u64,
     /// Simulated cycle of the last processed event.
     pub makespan_cycles: u64,
     /// Highest timestamp-settled fleet footprint, in frames.
@@ -176,14 +199,12 @@ pub struct ClusterResult {
 
 impl ClusterResult {
     /// Exact latency quantile (nearest-rank over the full sorted latency
-    /// vector; 0 when nothing completed).
+    /// vector; 0 when nothing completed). Delegates to the workspace's
+    /// single shared rank convention so the cluster tables and the
+    /// [`memento_obs::metrics::Log2Hist`] approximation can never drift
+    /// apart again.
     pub fn latency_quantile(&self, q: f64) -> u64 {
-        if self.latencies.is_empty() {
-            return 0;
-        }
-        let n = self.latencies.len();
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
-        self.latencies[rank - 1]
+        memento_obs::percentile::nearest_rank_sorted(&self.latencies, q)
     }
 
     /// (p50, p95, p99) end-to-end latency in cycles.
@@ -220,6 +241,50 @@ fn validate(engine: &Engine, cfg: &ClusterConfig, mix: &WorkloadMix) -> Result<(
     }
     if mix.is_empty() {
         return Err(ClusterError::EmptyMix);
+    }
+    if let Autoscaler::TargetUtilization(ac) = cfg.autoscaler {
+        if ac.interval_cycles == 0 {
+            return Err(ClusterError::InvalidAutoscaler(
+                "controller interval must be positive".into(),
+            ));
+        }
+        if ac.target_load_pct == 0 {
+            return Err(ClusterError::InvalidAutoscaler(
+                "target load percentage must be positive".into(),
+            ));
+        }
+        if ac.min_nodes == 0 || ac.min_nodes > ac.max_nodes {
+            return Err(ClusterError::InvalidAutoscaler(format!(
+                "node range [{}, {}] is empty",
+                ac.min_nodes, ac.max_nodes
+            )));
+        }
+        if cfg.nodes < ac.min_nodes || cfg.nodes > ac.max_nodes {
+            return Err(ClusterError::InvalidAutoscaler(format!(
+                "initial fleet of {} nodes is outside [{}, {}]",
+                cfg.nodes, ac.min_nodes, ac.max_nodes
+            )));
+        }
+        if ac.max_nodes > 1 << 16 {
+            return Err(ClusterError::FleetTooLarge);
+        }
+    }
+    if let KeepAlive::SizeAware {
+        budget_frame_cycles,
+        min_cycles,
+        max_cycles,
+    } = cfg.keep_alive
+    {
+        if budget_frame_cycles == 0 {
+            return Err(ClusterError::InvalidKeepAlive(
+                "size-aware frame-cycle budget must be positive".into(),
+            ));
+        }
+        if min_cycles == 0 || min_cycles > max_cycles {
+            return Err(ClusterError::InvalidKeepAlive(format!(
+                "TTL clamp range [{min_cycles}, {max_cycles}] is empty"
+            )));
+        }
     }
     if let Engine::Profiled(table) = engine {
         for spec in mix.specs() {
@@ -264,7 +329,18 @@ pub fn simulate_jobs(
     jobs: usize,
 ) -> Result<ClusterResult, ClusterError> {
     validate(&engine, cfg, mix)?;
-    if jobs > 1 && cfg.nodes > 1 && cfg.placement == Placement::RoundRobin {
+    // The node-sharded path needs per-node decomposability: round-robin
+    // routing fixes each arrival's node up front, and nothing may couple
+    // nodes through fleet-global state. Variable size-aware TTLs shard
+    // fine in principle, but the autoscaler (global controller) and the
+    // squeeze (fleet-watermark trigger) do not — those fall back to the
+    // serial reference. Snapshot restore is per-container and shards.
+    let decomposable = matches!(
+        cfg.keep_alive,
+        KeepAlive::None | KeepAlive::Fixed(_) | KeepAlive::Infinite
+    ) && cfg.autoscaler == Autoscaler::None
+        && cfg.reclamation == Reclamation::None;
+    if jobs > 1 && cfg.nodes > 1 && cfg.placement == Placement::RoundRobin && decomposable {
         if let Engine::Profiled(table) = &engine {
             let costs = resolve_profiles(table, mix);
             return Ok(crate::shard::simulate_sharded(
@@ -286,6 +362,9 @@ pub(crate) struct ProfileCosts {
     pub(crate) warm_cycles: u64,
     pub(crate) active_frames: u64,
     pub(crate) idle_frames: u64,
+    pub(crate) restore_cycles: u64,
+    pub(crate) squeeze_floor_frames: u64,
+    pub(crate) squeeze_refault_cycles: u64,
 }
 
 /// Resolves a validated profile table into mix-index order.
@@ -301,6 +380,9 @@ pub(crate) fn resolve_profiles(table: &ProfileTable, mix: &WorkloadMix) -> Vec<P
                 warm_cycles: p.warm_cycles,
                 active_frames: p.active_frames,
                 idle_frames: p.idle_frames,
+                restore_cycles: p.restore_cycles,
+                squeeze_floor_frames: p.squeeze_floor_frames,
+                squeeze_refault_cycles: p.squeeze_refault_cycles,
             }
         })
         .collect()
@@ -403,8 +485,27 @@ const IDLE: (u64, u64) = (u64::MAX, u64::MAX);
 /// Sentinel for an empty expiry queue (same never-selected reasoning).
 const NO_EXPIRY: (u64, u64) = (u64::MAX, u64::MAX);
 
+/// Sentinel for "no pending autoscaler tick" (same reasoning).
+const NO_EVENT: (u64, u64) = (u64::MAX, u64::MAX);
+
 struct Node {
     queue: VecDeque<Queued>,
+}
+
+/// Autoscaler lifecycle of one node. Without an autoscaler every node is
+/// `Active` for the whole run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NodeState {
+    /// Accepting placements and serving.
+    Active,
+    /// Scale-up decided; becomes `Active` when its boot event fires
+    /// (spin-up delay elapsed). Accepts no placements meanwhile.
+    Booting,
+    /// Scale-down decided; accepts no new placements but finishes its
+    /// queued/in-flight work, then turns `Off` (retiring its warm pool).
+    Draining,
+    /// Powered down: no load, no warm containers, no footprint.
+    Off,
 }
 
 /// One container slab slot. Retirement bumps `gen`, so a stale expiry
@@ -418,6 +519,14 @@ struct Slot {
     token: u32,
     /// Frames currently charged to the fleet footprint.
     contrib: u64,
+    /// True while pressure reclamation holds this idle-warm container at
+    /// its squeeze floor; cleared by the next warm start (which pays the
+    /// re-fault bill) and at retirement.
+    squeezed: bool,
+    /// Unreclaimable floor charged while squeezed (audit ground truth).
+    squeeze_floor: u64,
+    /// Re-fault cycles the next warm start owes for the squeezed frames.
+    squeeze_refault: u64,
     /// The live machine (Measured engine only).
     measured: Option<WarmContainer>,
 }
@@ -474,6 +583,23 @@ pub(crate) struct Sim<'a> {
     /// `BTreeMap<usize, u64>`.
     warm: Vec<u32>,
     node_invocations: Vec<u64>,
+    /// Autoscaler lifecycle per node (all `Active` without one).
+    node_state: Vec<NodeState>,
+    /// Pending node-boot events `(time, seq, node)`. Spin-up delay is
+    /// constant, so push times are monotone and a FIFO pops them in
+    /// `(time, seq)` order — same reasoning as the expiry fast path.
+    boots: VecDeque<(u64, u64, u32)>,
+    /// Next autoscaler controller tick (`NO_EVENT` when disabled or when
+    /// the controller stopped re-arming at drain).
+    next_tick: (u64, u64),
+    /// Nodes currently `Active` or `Booting` — the capacity the
+    /// controller has committed to.
+    active_committed: usize,
+    peak_active_nodes: u64,
+    scale_ups: u64,
+    scale_downs: u64,
+    restores: u64,
+    squeezed: u64,
     slots: Vec<Slot>,
     free: Vec<u32>,
     live_count: u64,
@@ -548,12 +674,27 @@ impl<'a> Sim<'a> {
         node_offset: usize,
         record_timeline: bool,
     ) -> Self {
-        let nodes = (0..cfg.nodes)
+        // With an autoscaler, every array is sized for the controller's
+        // hardware bound; nodes beyond the initial fleet start `Off`.
+        let total_nodes = match cfg.autoscaler {
+            Autoscaler::TargetUtilization(ac) => ac.max_nodes,
+            Autoscaler::None => cfg.nodes,
+        };
+        let nodes: Vec<Node> = (0..total_nodes)
             .map(|_| Node {
                 queue: VecDeque::new(),
             })
             .collect();
-        let lanes = cfg.nodes * cfg.cores_per_node;
+        let node_state = (0..total_nodes)
+            .map(|i| {
+                if i < cfg.nodes {
+                    NodeState::Active
+                } else {
+                    NodeState::Off
+                }
+            })
+            .collect();
+        let lanes = total_nodes * cfg.cores_per_node;
         Sim {
             costs,
             cfg,
@@ -577,9 +718,18 @@ impl<'a> Sim<'a> {
             done_min: IDLE,
             done_min_lane: 0,
             next_expiry: NO_EXPIRY,
-            load: vec![0; cfg.nodes],
-            warm: vec![NO_WARM; cfg.nodes * mix.len()],
-            node_invocations: vec![0; cfg.nodes],
+            load: vec![0; total_nodes],
+            warm: vec![NO_WARM; total_nodes * mix.len()],
+            node_invocations: vec![0; total_nodes],
+            node_state,
+            boots: VecDeque::new(),
+            next_tick: NO_EVENT,
+            active_committed: cfg.nodes,
+            peak_active_nodes: cfg.nodes as u64,
+            scale_ups: 0,
+            scale_downs: 0,
+            restores: 0,
+            squeezed: 0,
             slots: Vec::new(),
             free: Vec::new(),
             live_count: 0,
@@ -620,16 +770,26 @@ impl<'a> Sim<'a> {
         if let Some(first) = arrivals.first() {
             next_arrival = Some((first.time, self.alloc_seq(), 0));
         }
+        // The first controller tick is stamped *after* the first-arrival
+        // seq, and only when the autoscaler is on — a disabled feature
+        // allocates no seq, so the default path's (time, seq) stream is
+        // bit-identical to the fixed-fleet engine.
+        if let Autoscaler::TargetUtilization(ac) = self.cfg.autoscaler {
+            self.next_tick = (ac.interval_cycles, self.alloc_seq());
+        }
         #[derive(Clone, Copy)]
         enum Src {
             Arrival,
             Completion(u32),
             Expiry,
+            Boot,
+            Tick,
         }
         loop {
-            // Pick the earliest (time, seq) across the three sources: the
+            // Pick the earliest (time, seq) across the five sources: the
             // arrival cursor, the per-lane completion slots, the expiry
-            // queue. Seqs are unique, so the winner is unique.
+            // queue, pending node boots, and the autoscaler tick. Seqs
+            // are unique, so the winner is unique.
             let mut best: Option<((u64, u64), Src)> = None;
             if let Some((t, s, _)) = next_arrival {
                 best = Some(((t, s), Src::Arrival));
@@ -639,6 +799,14 @@ impl<'a> Sim<'a> {
             }
             if self.next_expiry != NO_EXPIRY && best.is_none_or(|(bk, _)| self.next_expiry < bk) {
                 best = Some((self.next_expiry, Src::Expiry));
+            }
+            if let Some(&(t, s, _)) = self.boots.front() {
+                if best.is_none_or(|(bk, _)| (t, s) < bk) {
+                    best = Some(((t, s), Src::Boot));
+                }
+            }
+            if self.next_tick != NO_EVENT && best.is_none_or(|(bk, _)| self.next_tick < bk) {
+                best = Some((self.next_tick, Src::Tick));
             }
             let Some(((time, _), src)) = best else { break };
             debug_assert!(time >= self.now, "simulated time must not run backwards");
@@ -662,6 +830,17 @@ impl<'a> Sim<'a> {
                     let (_, _, ev) = self.expiries.pop().expect("cached key exists");
                     self.advance_next_expiry();
                     self.on_expiry(ev.slot, ev.gen, ev.token);
+                }
+                Src::Boot => {
+                    let (_, _, node) = self.boots.pop_front().expect("boot source chosen");
+                    self.on_boot(node as usize);
+                }
+                Src::Tick => {
+                    // Re-arm only while work remains (pending arrivals or
+                    // accepted invocations); otherwise the controller
+                    // stops and the run drains through expiries alone.
+                    let more = next_arrival.is_some() || self.in_flight > 0;
+                    self.on_tick(more);
                 }
             }
         }
@@ -722,22 +901,43 @@ impl<'a> Sim<'a> {
         (node * lanes..(node + 1) * lanes).find(|&l| self.done[l] == IDLE)
     }
 
-    /// Index into the workload-major warm matrix.
+    /// Index into the workload-major warm matrix (row width is the
+    /// *total* node count — the autoscaler's hardware bound).
     #[inline]
     fn warm_idx(&self, workload: u32, node: usize) -> usize {
-        workload as usize * self.cfg.nodes + node
+        workload as usize * self.nodes.len() + node
     }
 
     fn place(&mut self, workload: usize) -> Result<usize, RejectReason> {
         match self.cfg.placement {
             Placement::RoundRobin => {
-                let node = self.rr % self.nodes.len();
-                self.rr += 1;
-                if self.has_space(node) {
-                    Ok(node)
-                } else {
-                    Err(RejectReason::QueueFull)
+                if matches!(self.cfg.autoscaler, Autoscaler::None) {
+                    // The fixed-fleet fast path: one rotation step per
+                    // arrival, bit-identical to the pre-region engine.
+                    let node = self.rr % self.nodes.len();
+                    self.rr += 1;
+                    return if self.has_space(node) {
+                        Ok(node)
+                    } else {
+                        Err(RejectReason::QueueFull)
+                    };
                 }
+                // Autoscaled round-robin rotates to the next *active*
+                // node; booting, draining, and off nodes take no new
+                // placements. Local admission semantics are unchanged.
+                let n = self.nodes.len();
+                for _ in 0..n {
+                    let node = self.rr % n;
+                    self.rr += 1;
+                    if self.node_state[node] == NodeState::Active {
+                        return if self.has_space(node) {
+                            Ok(node)
+                        } else {
+                            Err(RejectReason::QueueFull)
+                        };
+                    }
+                }
+                Err(RejectReason::ClusterSaturated)
             }
             Placement::LeastLoaded => {
                 // Warm-affinity least-loaded over two compact arrays: the
@@ -747,12 +947,16 @@ impl<'a> Sim<'a> {
                 // (admissible, then warm, then load, then index) into one
                 // u64 key and take a branchless argmin — eight data-
                 // dependent branch misses per arrival cost more than the
-                // scan itself.
+                // scan itself. Inactive nodes fold into the inadmissible
+                // bit (all nodes are active without an autoscaler).
                 let full = self.cfg.queue_capacity + self.cfg.cores_per_node;
-                let warm_row = &self.warm[workload * self.cfg.nodes..][..self.cfg.nodes];
+                let n = self.nodes.len();
+                let warm_row = &self.warm[workload * n..][..n];
                 let mut best = u64::MAX;
                 for (i, (&load, &warm)) in self.load.iter().zip(warm_row).enumerate() {
-                    let key = ((load as usize >= full) as u64) << 63
+                    let inadmissible =
+                        load as usize >= full || self.node_state[i] != NodeState::Active;
+                    let key = (inadmissible as u64) << 63
                         | ((warm == NO_WARM) as u64) << 62
                         | (load as u64) << 16
                         | i as u64;
@@ -782,10 +986,19 @@ impl<'a> Sim<'a> {
             (warm_slot, cycles)
         } else {
             self.cold_starts += 1;
-            let (slot, cycles, active) = self.cold_start(node, workload);
+            let (slot, cycles, active) = match self.cfg.cold_start {
+                ColdStart::Boot => self.cold_start(node, workload),
+                ColdStart::Snapshot => {
+                    self.restores += 1;
+                    self.restore_start(node, workload)
+                }
+            };
             self.set_contrib(slot, active);
             (slot, cycles)
         };
+        if !matches!(self.cfg.reclamation, Reclamation::None) {
+            self.squeeze_pass();
+        }
         self.node_invocations[node] += 1;
         let done_time = self.now + service.max(1);
         let seq = self.alloc_seq();
@@ -815,6 +1028,9 @@ impl<'a> Sim<'a> {
             c.node = node as u32;
             c.token = 0;
             c.contrib = 0;
+            c.squeezed = false;
+            c.squeeze_floor = 0;
+            c.squeeze_refault = 0;
             c.measured = measured;
             slot
         } else {
@@ -826,6 +1042,9 @@ impl<'a> Sim<'a> {
                 node: node as u32,
                 token: 0,
                 contrib: 0,
+                squeezed: false,
+                squeeze_floor: 0,
+                squeeze_refault: 0,
                 measured,
             });
             // lint:allow(narrowing-cast-in-hot-path): slot count is bounded by live containers < 2^32
@@ -850,10 +1069,38 @@ impl<'a> Sim<'a> {
         (slot, cycles, active)
     }
 
+    /// REAP-style snapshot restore of a fresh container: the stable
+    /// working set is prefetched instead of rebuilt, so the charged
+    /// service time lands strictly between a warm hit and a cold boot.
+    fn restore_start(&mut self, node: usize, workload: u32) -> (u32, u64, u64) {
+        let (measured, cycles, active) = match &self.costs {
+            Costs::Measured(cfg) => {
+                let spec = self.mix.spec(workload as usize);
+                let (c, restore) = WarmContainer::restore_start(cfg.as_ref().clone(), spec);
+                let active = c.serving_peak_pages();
+                (Some(c), restore, active)
+            }
+            Costs::Profiled(costs) => {
+                let p = &costs[workload as usize];
+                (None, p.restore_cycles, p.active_frames)
+            }
+        };
+        let slot = self.alloc_slot(workload, node, measured);
+        (slot, cycles, active)
+    }
+
     fn invoke_warm(&mut self, slot: u32) -> (u64, u64) {
         let c = &mut self.slots[slot as usize];
         debug_assert!(c.live, "warm slot is live");
         c.token += 1; // cancels any scheduled keep-alive expiry
+                      // A squeezed container pays its re-fault bill here: the frames
+                      // pressure reclamation took must page back in before serving.
+        let refault = if c.squeezed {
+            c.squeezed = false;
+            c.squeeze_refault
+        } else {
+            0
+        };
         match &self.costs {
             Costs::Measured(_) => {
                 let m = c
@@ -861,11 +1108,11 @@ impl<'a> Sim<'a> {
                     .as_mut()
                     .expect("measured containers carry machines");
                 let stats = m.invoke();
-                (stats.total_cycles().raw(), m.serving_peak_pages())
+                (stats.total_cycles().raw() + refault, m.serving_peak_pages())
             }
             Costs::Profiled(costs) => {
                 let p = &costs[c.workload as usize];
-                (p.warm_cycles, p.active_frames)
+                (p.warm_cycles + refault, p.active_frames)
             }
         }
     }
@@ -889,9 +1136,14 @@ impl<'a> Sim<'a> {
 
     /// Non-mutating ground-truth recount for the drain audit. Idle
     /// containers were parked when they went warm, so on Measured machines
-    /// this reads the same unreclaimable count `park_idle` charged.
+    /// this reads the same unreclaimable count `park_idle` charged. A
+    /// squeezed container is held at its squeeze floor — that *is* the
+    /// ground truth while pressure reclamation has its data pages.
     fn idle_frames(&self, slot: u32) -> u64 {
         let c = &self.slots[slot as usize];
+        if c.squeezed {
+            return c.squeeze_floor;
+        }
         match &self.costs {
             Costs::Measured(_) => c
                 .measured
@@ -900,6 +1152,59 @@ impl<'a> Sim<'a> {
                 .unreclaimable_pages(),
             Costs::Profiled(costs) => costs[c.workload as usize].idle_frames,
         }
+    }
+
+    /// Squeezy-style pressure pass: while the fleet footprint sits above
+    /// the watermark, squeeze idle-warm containers (warm-matrix index
+    /// order — deterministic) down to their unreclaimable floor. The
+    /// squeezed container stays warm; its next warm start repays the
+    /// evicted frames through [`Self::invoke_warm`]'s re-fault bill.
+    fn squeeze_pass(&mut self) {
+        let Reclamation::Squeeze { watermark_frames } = self.cfg.reclamation else {
+            return;
+        };
+        if self.fleet_now <= watermark_frames {
+            return;
+        }
+        for widx in 0..self.warm.len() {
+            let slot = self.warm[widx];
+            if slot == NO_WARM || self.slots[slot as usize].squeezed {
+                continue;
+            }
+            self.squeeze(slot);
+            if self.fleet_now <= watermark_frames {
+                return;
+            }
+        }
+    }
+
+    fn squeeze(&mut self, slot: u32) {
+        let (floor, refault) = match &self.costs {
+            Costs::Profiled(costs) => {
+                let c = &self.slots[slot as usize];
+                let p = &costs[c.workload as usize];
+                (
+                    p.squeeze_floor_frames.min(c.contrib),
+                    p.squeeze_refault_cycles,
+                )
+            }
+            Costs::Measured(_) => {
+                let c = &self.slots[slot as usize];
+                let m = c
+                    .measured
+                    .as_ref()
+                    .expect("measured containers carry machines");
+                let idle = c.contrib;
+                let floor = m.squeeze_floor_pages().min(idle);
+                (floor, (idle - floor) * m.squeeze_refault_unit_cycles())
+            }
+        };
+        let c = &mut self.slots[slot as usize];
+        c.squeezed = true;
+        c.squeeze_floor = floor;
+        c.squeeze_refault = refault;
+        self.squeezed += 1;
+        self.set_contrib(slot, floor);
     }
 
     fn set_contrib(&mut self, slot: u32, new: u64) {
@@ -916,6 +1221,106 @@ impl<'a> Sim<'a> {
                 _ => self.timeline.push((self.now, self.fleet_now)),
             }
         }
+    }
+
+    /// One autoscaler controller tick: size the committed fleet so
+    /// in-flight work tracks the target utilization of active serving
+    /// capacity, then re-arm while work remains.
+    fn on_tick(&mut self, more: bool) {
+        let Autoscaler::TargetUtilization(ac) = self.cfg.autoscaler else {
+            debug_assert!(false, "tick fired without an autoscaler");
+            return;
+        };
+        // want = ceil(in_flight / (cores_per_node × target%)) nodes,
+        // clamped to the controller's range. Integer arithmetic only.
+        let capacity_unit = (self.cfg.cores_per_node as u64 * ac.target_load_pct).max(1);
+        let want = (self.in_flight * 100)
+            .div_ceil(capacity_unit)
+            .clamp(ac.min_nodes as u64, ac.max_nodes as u64) as usize;
+        while self.active_committed < want && self.scale_up_one() {}
+        while self.active_committed > want && self.scale_down_one() {}
+        self.next_tick = if more {
+            (self.now + ac.interval_cycles, self.alloc_seq())
+        } else {
+            NO_EVENT
+        };
+    }
+
+    /// Commits one more node: reactivate a draining node (still warm, no
+    /// delay) if one exists, else boot the lowest-numbered off node after
+    /// the spin-up delay. Returns false when no node is available.
+    fn scale_up_one(&mut self) -> bool {
+        let Autoscaler::TargetUtilization(ac) = self.cfg.autoscaler else {
+            return false;
+        };
+        if let Some(node) =
+            (0..self.nodes.len()).find(|&n| self.node_state[n] == NodeState::Draining)
+        {
+            self.node_state[node] = NodeState::Active;
+        } else if let Some(node) =
+            (0..self.nodes.len()).find(|&n| self.node_state[n] == NodeState::Off)
+        {
+            self.node_state[node] = NodeState::Booting;
+            let seq = self.alloc_seq();
+            // lint:allow(narrowing-cast-in-hot-path): node indexes max_nodes <= 2^16
+            let node = node as u32;
+            self.boots
+                .push_back((self.now + ac.spinup_cycles, seq, node));
+        } else {
+            return false;
+        }
+        self.scale_ups += 1;
+        self.active_committed += 1;
+        self.peak_active_nodes = self.peak_active_nodes.max(self.active_committed as u64);
+        true
+    }
+
+    /// Uncommits one node: the highest-numbered active node drains (no
+    /// new placements; it finishes queued/in-flight work, then turns
+    /// off). Returns false when only booting nodes remain to uncommit —
+    /// a boot in flight is left to land rather than cancelled.
+    fn scale_down_one(&mut self) -> bool {
+        let Some(node) = (0..self.nodes.len())
+            .rev()
+            .find(|&n| self.node_state[n] == NodeState::Active)
+        else {
+            return false;
+        };
+        self.node_state[node] = NodeState::Draining;
+        self.scale_downs += 1;
+        self.active_committed -= 1;
+        if self.load[node] == 0 {
+            self.node_off(node);
+        }
+        true
+    }
+
+    /// A booted node joins the active set.
+    fn on_boot(&mut self, node: usize) {
+        debug_assert_eq!(
+            self.node_state[node],
+            NodeState::Booting,
+            "boot events only land on booting nodes"
+        );
+        self.node_state[node] = NodeState::Active;
+    }
+
+    /// Powers a drained node off, retiring its idle-warm containers. The
+    /// retirements bump each slot's generation, so any keep-alive expiry
+    /// still queued for those containers lands stale and no-ops — the
+    /// slab machinery, not the event queue, keeps scale-down safe.
+    fn node_off(&mut self, node: usize) {
+        debug_assert_eq!(self.load[node], 0, "node_off requires a drained node");
+        for workload in 0..self.mix.len() {
+            // lint:allow(narrowing-cast-in-hot-path): workload ids index the mix table, far below 2^32
+            let widx = self.warm_idx(workload as u32, node);
+            let slot = self.warm[widx];
+            if slot != NO_WARM {
+                self.warm[widx] = NO_WARM;
+                self.retire(slot);
+            }
+        }
+        self.node_state[node] = NodeState::Off;
     }
 
     /// Folds the settled footprint at the just-finished instant into the
@@ -945,12 +1350,14 @@ impl<'a> Sim<'a> {
     /// Re-derives `next_expiry` after a pop, skimming entries that went
     /// stale while queued instead of paying an event dispatch each. Safe
     /// because staleness is permanent (`gen`/`token` only move forward)
-    /// and a stale expiry's handler observes nothing and mutates nothing
-    /// — not even the makespan, since expiry times are monotone in push
-    /// order, so the last-scheduled (and thus last-fired) expiry is
-    /// always a live one. Each entry is checked at most once here; one
-    /// that goes stale *after* being cached is dispatched normally and
-    /// no-ops in [`Self::on_expiry`].
+    /// and a stale expiry's handler observes nothing and mutates nothing.
+    /// Skimmed entries never advance the clock either: under constant
+    /// TTLs push times are monotone, so the last-fired expiry is always
+    /// live; under size-aware TTLs a skimmed trailing entry simply never
+    /// becomes part of the run — the defined (and still deterministic)
+    /// semantics of that policy. Each entry is checked at most once here;
+    /// one that goes stale *after* being cached is dispatched normally
+    /// and no-ops in [`Self::on_expiry`].
     fn advance_next_expiry(&mut self) {
         loop {
             match self.expiries.peek() {
@@ -1036,14 +1443,41 @@ impl<'a> Sim<'a> {
                     self.retire(old);
                 }
             }
+            KeepAlive::SizeAware {
+                budget_frame_cycles,
+                min_cycles,
+                max_cycles,
+            } => {
+                // KiSS-style: TTL inversely proportional to the parked
+                // footprint — big containers make way first. Variable
+                // TTLs push out of FIFO order; the expiry queue's heap
+                // spill absorbs them.
+                let c = &self.slots[slot as usize];
+                let (gen, token) = (c.gen, c.token);
+                let old = std::mem::replace(&mut self.warm[widx], slot);
+                if old != NO_WARM {
+                    self.retire(old);
+                }
+                let ttl = (budget_frame_cycles / idle.max(1)).clamp(min_cycles, max_cycles);
+                let seq = self.alloc_seq();
+                let at = self.now + ttl;
+                self.expiries
+                    .push_at(at, seq, ExpiryEv { slot, gen, token });
+                if (at, seq) < self.next_expiry {
+                    self.next_expiry = (at, seq);
+                }
+            }
         }
 
         // Pull the next queued request onto the lane that just freed,
         // warm-starting on the container we just parked if the workload
-        // matches.
+        // matches. A draining node that just went empty powers off
+        // instead.
         if let Some(q) = self.nodes[node].queue.pop_front() {
             self.queue_wait_hist.record(self.now - q.time);
             self.start_service(lane, q.time, q.workload);
+        } else if self.node_state[node] == NodeState::Draining && self.load[node] == 0 {
+            self.node_off(node);
         }
     }
 
@@ -1072,6 +1506,7 @@ impl<'a> Sim<'a> {
         let c = &mut self.slots[slot as usize];
         debug_assert!(c.live, "retire targets a live container");
         c.live = false;
+        c.squeezed = false;
         c.gen = c.gen.wrapping_add(1);
         if let Some(m) = c.measured.take() {
             let _ = m.finish();
@@ -1113,6 +1548,28 @@ impl<'a> Sim<'a> {
             })
             .collect();
         auditor.audit_fleet_frames(self.next_seq, self.fleet_now, per_node);
+        if !matches!(self.cfg.autoscaler, Autoscaler::None) {
+            // Scale-up/down hygiene: a node outside the active set must
+            // hold nothing (scale-down retired its warm pool; the slab's
+            // generation tags kept stale expiries inert).
+            let mut warm_counts = vec![0u64; self.nodes.len()];
+            for &slot in &self.warm {
+                if slot != NO_WARM {
+                    warm_counts[self.slots[slot as usize].node as usize] += 1;
+                }
+            }
+            auditor.audit_node_lifecycle(
+                self.next_seq,
+                (0..self.nodes.len()).map(|n| {
+                    (
+                        self.node_offset + n,
+                        self.node_state[n] == NodeState::Active,
+                        self.load[n] as u64,
+                        warm_counts[n],
+                    )
+                }),
+            );
+        }
 
         let mut metrics = MetricsRegistry::new();
         metrics.add("cluster.submitted", self.submitted);
@@ -1121,6 +1578,19 @@ impl<'a> Sim<'a> {
         metrics.add("cluster.cold_starts", self.cold_starts);
         metrics.add("cluster.warm_starts", self.warm_starts);
         metrics.add("cluster.expired", self.expired);
+        // Region-layer metrics are emitted only when their feature is on,
+        // so the default fixed-fleet render stays byte-identical.
+        if self.cfg.cold_start == ColdStart::Snapshot {
+            metrics.add("cluster.restores", self.restores);
+        }
+        if !matches!(self.cfg.reclamation, Reclamation::None) {
+            metrics.add("cluster.squeezed", self.squeezed);
+        }
+        if !matches!(self.cfg.autoscaler, Autoscaler::None) {
+            metrics.add("cluster.scale_ups", self.scale_ups);
+            metrics.add("cluster.scale_downs", self.scale_downs);
+            metrics.set("cluster.peak_active_nodes", self.peak_active_nodes);
+        }
         metrics.set("cluster.peak_fleet_frames", self.fleet_peak);
         metrics.set("cluster.final_fleet_frames", self.fleet_now);
         metrics.set("cluster.makespan_cycles", self.now);
@@ -1149,6 +1619,9 @@ impl<'a> Sim<'a> {
             expired: self.expired,
             retired: self.retired,
             live_containers: self.live_count,
+            restores: self.restores,
+            squeezed: self.squeezed,
+            peak_active_nodes: self.peak_active_nodes,
             makespan_cycles: self.now,
             peak_fleet_frames: self.fleet_peak,
             final_fleet_frames: self.fleet_now,
@@ -1190,6 +1663,7 @@ pub(crate) fn run_shard(
 mod tests {
     use super::*;
     use crate::arrival::{generate_arrivals, ArrivalConfig};
+    use crate::policy::AutoscalerConfig;
     use crate::profile::ServiceProfile;
     use memento_workloads::suite;
 
@@ -1210,6 +1684,9 @@ mod tests {
                 warm_cycles: 10_000 + 1_000 * i as u64,
                 active_frames: 200 + 10 * i as u64,
                 idle_frames: 40 + 2 * i as u64,
+                restore_cycles: 30_000 + 3_000 * i as u64,
+                squeeze_floor_frames: 10 + i as u64,
+                squeeze_refault_cycles: 5_000 + 500 * i as u64,
             });
         }
         t
@@ -1738,5 +2215,361 @@ mod tests {
         assert!(r.expired > 0, "some expiries must land");
         assert_eq!(r.submitted, r.completed + r.rejected);
         assert!(r.is_clean(), "expiry races must stay clean: {}", r.audit);
+    }
+
+    #[test]
+    fn snapshot_restores_land_between_warm_and_cold() {
+        // KeepAlive::None forces every start down the cold path; with
+        // sparse arrivals there is no queueing, so each latency equals the
+        // start cost exactly: restore_cycles under Snapshot, cold_cycles
+        // under Boot, both bracketed by the profile's warm/cold costs.
+        let mix = two_mix();
+        let arrival = ArrivalConfig {
+            seed: 7,
+            count: 300,
+            mean_interarrival_cycles: 500_000.0,
+        };
+        let base = ClusterConfig {
+            keep_alive: KeepAlive::None,
+            ..ClusterConfig::default()
+        };
+        let boot = run_profiled(&base, &arrival, &mix);
+        let snap = run_profiled(
+            &ClusterConfig {
+                cold_start: ColdStart::Snapshot,
+                ..base
+            },
+            &arrival,
+            &mix,
+        );
+        assert_eq!(snap.restores, snap.completed, "every start restored");
+        assert_eq!(boot.restores, 0, "boot path never restores");
+        let table = synthetic_table(&mix);
+        let (warm_max, cold_min) = mix.specs().iter().fold((0u64, u64::MAX), |(w, c), s| {
+            let p = table.get(&s.name).unwrap();
+            (w.max(p.warm_cycles), c.min(p.cold_cycles))
+        });
+        for &lat in &snap.latencies {
+            assert!(
+                lat > warm_max && lat < cold_min,
+                "restore latency {lat} must land strictly between warm ({warm_max}) and cold ({cold_min})"
+            );
+        }
+        let sum = |v: &[u64]| v.iter().sum::<u64>();
+        assert!(
+            sum(&snap.latencies) < sum(&boot.latencies),
+            "snapshot restores must beat cold boots in aggregate"
+        );
+        assert_eq!(
+            snap.metrics.counter("cluster.restores"),
+            snap.restores,
+            "restore counter must be surfaced"
+        );
+        assert!(snap.is_clean() && boot.is_clean());
+    }
+
+    #[test]
+    fn squeeze_reclaims_idle_footprint_under_pressure() {
+        // Infinite keep-alive builds a warm pool whose idle footprint
+        // exceeds a tight watermark; the squeeze pass must trim idle-warm
+        // containers toward their unreclaimable floor and the next warm
+        // start must still be served (paying the refault, not a cold
+        // boot).
+        let mix = two_mix();
+        let arrival = ArrivalConfig {
+            seed: 19,
+            count: 800,
+            mean_interarrival_cycles: 40_000.0,
+        };
+        let base = ClusterConfig {
+            nodes: 4,
+            keep_alive: KeepAlive::Infinite,
+            ..ClusterConfig::default()
+        };
+        let lax = run_profiled(&base, &arrival, &mix);
+        assert!(lax.final_fleet_frames > 100, "warm pool must build up");
+        let squeezed = run_profiled(
+            &ClusterConfig {
+                reclamation: Reclamation::Squeeze {
+                    watermark_frames: 100,
+                },
+                ..base
+            },
+            &arrival,
+            &mix,
+        );
+        assert!(squeezed.squeezed > 0, "pressure must squeeze containers");
+        assert!(
+            squeezed.final_fleet_frames < lax.final_fleet_frames,
+            "squeeze must shrink the resident footprint: {} vs {}",
+            squeezed.final_fleet_frames,
+            lax.final_fleet_frames
+        );
+        assert_eq!(
+            squeezed.completed, lax.completed,
+            "reclamation must not drop work"
+        );
+        assert!(
+            squeezed.warm_starts > 0,
+            "squeezed containers still serve warm starts"
+        );
+        assert!(
+            squeezed.latencies.iter().sum::<u64>() > lax.latencies.iter().sum::<u64>(),
+            "refaulting squeezed frames costs cycles"
+        );
+        assert!(squeezed.is_clean(), "squeeze audits: {}", squeezed.audit);
+    }
+
+    #[test]
+    fn autoscaler_tracks_load_up_and_down() {
+        // A dense arrival burst against a 1-node floor must spin nodes up
+        // (bounded by max_nodes) and drain them back once the burst
+        // passes; generation tags keep retired warm pools inert.
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            nodes: 1,
+            queue_capacity: 8,
+            keep_alive: KeepAlive::Fixed(50_000),
+            autoscaler: Autoscaler::TargetUtilization(AutoscalerConfig {
+                interval_cycles: 20_000,
+                target_load_pct: 70,
+                min_nodes: 1,
+                max_nodes: 6,
+                spinup_cycles: 40_000,
+            }),
+            ..ClusterConfig::default()
+        };
+        let arrival = ArrivalConfig {
+            seed: 31,
+            count: 2_000,
+            mean_interarrival_cycles: 2_000.0,
+        };
+        let r = run_profiled(&cfg, &arrival, &mix);
+        assert!(
+            r.peak_active_nodes > 1,
+            "sustained overload must scale the fleet up"
+        );
+        assert!(r.peak_active_nodes <= 6, "never beyond max_nodes");
+        let ups = r.metrics.counter("cluster.scale_ups");
+        let downs = r.metrics.counter("cluster.scale_downs");
+        assert!(ups > 0, "scale-ups must be recorded");
+        assert!(downs > 0, "the drained fleet must scale back down");
+        assert!(downs <= ups, "cannot drain more commitments than made");
+        assert_eq!(r.submitted, r.completed + r.rejected);
+        assert!(r.is_clean(), "autoscaler audits: {}", r.audit);
+
+        let fixed = run_profiled(
+            &ClusterConfig {
+                autoscaler: Autoscaler::None,
+                ..cfg.clone()
+            },
+            &arrival,
+            &mix,
+        );
+        assert!(
+            r.completed > fixed.completed,
+            "extra nodes must absorb load a 1-node fleet rejects: {} vs {}",
+            r.completed,
+            fixed.completed
+        );
+    }
+
+    #[test]
+    fn size_aware_keep_alive_evicts_large_footprints_sooner() {
+        // KiSS-style TTLs are inversely proportional to idle footprint, so
+        // against the same trace the size-aware fleet must hold no more
+        // resident frames than an infinite pool, while still serving warm
+        // starts — and the per-container TTL stays inside [min, max].
+        let mix = two_mix();
+        let arrival = ArrivalConfig {
+            seed: 9,
+            count: 600,
+            mean_interarrival_cycles: 30_000.0,
+        };
+        let size_aware = run_profiled(
+            &ClusterConfig {
+                keep_alive: KeepAlive::SizeAware {
+                    budget_frame_cycles: 2_000_000,
+                    min_cycles: 10_000,
+                    max_cycles: 80_000,
+                },
+                ..ClusterConfig::default()
+            },
+            &arrival,
+            &mix,
+        );
+        let infinite = run_profiled(
+            &ClusterConfig {
+                keep_alive: KeepAlive::Infinite,
+                ..ClusterConfig::default()
+            },
+            &arrival,
+            &mix,
+        );
+        assert!(size_aware.warm_starts > 0, "budget must allow some reuse");
+        assert!(size_aware.expired > 0, "budget must expire some pools");
+        assert!(
+            size_aware.final_fleet_frames < infinite.final_fleet_frames,
+            "size-aware TTLs must bound the resident footprint: {} vs {}",
+            size_aware.final_fleet_frames,
+            infinite.final_fleet_frames
+        );
+        assert!(size_aware.is_clean(), "audits: {}", size_aware.audit);
+    }
+
+    #[test]
+    fn region_features_combined_conserve_and_stay_deterministic() {
+        // Everything at once — autoscaling, snapshot restores, pressure
+        // squeezes, and size-aware keep-alive — under a bursty trace:
+        // conservation and the fleet audits must hold, and the run must
+        // stay byte-identical when repeated.
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            nodes: 2,
+            queue_capacity: 4,
+            keep_alive: KeepAlive::SizeAware {
+                budget_frame_cycles: 4_000_000,
+                min_cycles: 5_000,
+                max_cycles: 200_000,
+            },
+            cold_start: ColdStart::Snapshot,
+            reclamation: Reclamation::Squeeze {
+                watermark_frames: 150,
+            },
+            autoscaler: Autoscaler::TargetUtilization(AutoscalerConfig {
+                interval_cycles: 15_000,
+                target_load_pct: 60,
+                min_nodes: 1,
+                max_nodes: 8,
+                spinup_cycles: 30_000,
+            }),
+            record_timeline: true,
+            ..ClusterConfig::default()
+        };
+        let trace = crate::trace::FlashCrowd {
+            base: crate::trace::DiurnalTrace {
+                day_cycles: 4_000_000,
+                trough_ppm: 100,
+                peak_ppm: 900,
+            },
+            period_cycles: 1_000_000,
+            burst_cycles: 120_000,
+            multiplier: 4,
+        };
+        let arrivals = crate::trace::generate_trace(
+            &ArrivalConfig {
+                seed: 33,
+                count: 3_000,
+                mean_interarrival_cycles: 6_000.0,
+            },
+            &mix,
+            &trace,
+        )
+        .expect("valid trace");
+        let table = synthetic_table(&mix);
+        let a =
+            simulate(Engine::Profiled(table.clone()), &cfg, &mix, &arrivals).expect("combined run");
+        assert_eq!(a.submitted, a.completed + a.rejected, "conservation");
+        assert_eq!(a.completed, a.cold_starts + a.warm_starts);
+        assert_eq!(a.cold_starts, a.restores, "snapshot path serves all colds");
+        assert!(a.squeezed > 0, "bursty warm pool must hit the watermark");
+        assert!(a.peak_active_nodes > 1, "bursts must scale the fleet");
+        assert!(a.is_clean(), "combined audits must pass: {}", a.audit);
+        let b = simulate(Engine::Profiled(table), &cfg, &mix, &arrivals).expect("repeat run");
+        assert_eq!(a.latencies, b.latencies);
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.metrics.render(), b.metrics.render());
+    }
+
+    #[test]
+    fn invalid_autoscaler_and_keep_alive_are_typed_errors() {
+        let mix = two_mix();
+        let arrivals = generate_arrivals(
+            &ArrivalConfig {
+                seed: 1,
+                count: 4,
+                mean_interarrival_cycles: 1_000.0,
+            },
+            &mix,
+        )
+        .expect("valid arrivals");
+        let run = |cfg: ClusterConfig| {
+            simulate(
+                Engine::Profiled(synthetic_table(&mix)),
+                &cfg,
+                &mix,
+                &arrivals,
+            )
+            .err()
+            .expect("must fail")
+        };
+        let scaler = |ac: AutoscalerConfig| ClusterConfig {
+            autoscaler: Autoscaler::TargetUtilization(ac),
+            ..ClusterConfig::default()
+        };
+        let ok = AutoscalerConfig {
+            interval_cycles: 10_000,
+            target_load_pct: 70,
+            min_nodes: 1,
+            max_nodes: 4,
+            spinup_cycles: 1_000,
+        };
+        for bad in [
+            AutoscalerConfig {
+                interval_cycles: 0,
+                ..ok
+            },
+            AutoscalerConfig {
+                target_load_pct: 0,
+                ..ok
+            },
+            AutoscalerConfig { min_nodes: 0, ..ok },
+            AutoscalerConfig {
+                min_nodes: 5,
+                max_nodes: 4,
+                ..ok
+            },
+        ] {
+            assert!(
+                matches!(run(scaler(bad)), ClusterError::InvalidAutoscaler(_)),
+                "{bad:?} must be rejected"
+            );
+        }
+        // A fixed fleet outside the autoscaler's [min, max] band.
+        assert!(matches!(
+            run(ClusterConfig {
+                nodes: 8,
+                ..scaler(ok)
+            }),
+            ClusterError::InvalidAutoscaler(_)
+        ));
+        for bad in [
+            KeepAlive::SizeAware {
+                budget_frame_cycles: 0,
+                min_cycles: 1,
+                max_cycles: 2,
+            },
+            KeepAlive::SizeAware {
+                budget_frame_cycles: 1_000,
+                min_cycles: 0,
+                max_cycles: 2,
+            },
+            KeepAlive::SizeAware {
+                budget_frame_cycles: 1_000,
+                min_cycles: 9,
+                max_cycles: 3,
+            },
+        ] {
+            assert!(
+                matches!(
+                    run(ClusterConfig {
+                        keep_alive: bad,
+                        ..ClusterConfig::default()
+                    }),
+                    ClusterError::InvalidKeepAlive(_)
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 }

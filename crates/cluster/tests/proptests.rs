@@ -39,12 +39,18 @@ fn table_for(
     let mut t = ProfileTable::new();
     for (i, spec) in mix.specs().iter().enumerate() {
         let warm_cycles = warm + 997 * i as u64;
+        let cold_cycles = warm_cycles + cold_over_warm;
+        let idle_frames = idle.min(active) + i as u64;
         t.insert(ServiceProfile {
             workload: spec.name.clone(),
-            cold_cycles: warm_cycles + cold_over_warm,
+            cold_cycles,
             warm_cycles,
             active_frames: active + 13 * i as u64,
-            idle_frames: idle.min(active) + i as u64,
+            idle_frames,
+            restore_cycles: (warm_cycles + cold_over_warm / 2)
+                .clamp(warm_cycles + 1, (cold_cycles - 1).max(warm_cycles + 1)),
+            squeeze_floor_frames: idle_frames / 2,
+            squeeze_refault_cycles: 710 * (idle_frames - idle_frames / 2),
         });
     }
     t
@@ -127,6 +133,9 @@ fn run_case(case: &FleetCase) -> ClusterResult {
         cores_per_node: case.cores_per_node,
         placement: case.placement,
         keep_alive: case.keep_alive,
+        cold_start: memento_cluster::ColdStart::Boot,
+        reclamation: memento_cluster::Reclamation::None,
+        autoscaler: memento_cluster::Autoscaler::None,
         record_timeline: true,
     };
     let arrival = ArrivalConfig {

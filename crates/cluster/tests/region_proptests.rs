@@ -1,0 +1,228 @@
+//! Property tests of the region layer's hardest race: node scale-down
+//! interleaved with keep-alive expiry and completion delivery.
+//!
+//! An aggressive autoscaler (tick interval comparable to service times,
+//! near-zero spin-up) drains and re-commits nodes constantly while short
+//! fixed or size-aware TTLs keep the expiry queue full and completions
+//! land on draining nodes. Every such interleaving must leave the books
+//! balanced: scale-down retires a node's warm pool by bumping slot
+//! generations, so expiries already queued for those containers — and
+//! completions racing the drain — must observe stale tokens and no-op
+//! instead of resurrecting freed slots or double-counting frames. The
+//! simulator's own invocation-conservation, fleet-frame, and
+//! node-lifecycle audits are the oracle, plus byte-determinism across
+//! repeats.
+
+use memento_cluster::{
+    generate_arrivals, simulate, ArrivalConfig, Autoscaler, AutoscalerConfig, ClusterConfig,
+    ClusterResult, ColdStart, Engine, KeepAlive, Placement, ProfileTable, Reclamation,
+    ServiceProfile, WorkloadMix,
+};
+use memento_workloads::spec::WorkloadSpec;
+use memento_workloads::suite;
+use proptest::prelude::*;
+
+fn mix_of(n: usize) -> WorkloadMix {
+    let names = ["aes", "html", "US"];
+    let specs: Vec<WorkloadSpec> = names
+        .iter()
+        .take(n.clamp(1, names.len()))
+        .map(|name| {
+            let mut s = suite::by_name(name).expect("known workload");
+            s.total_instructions = 100_000;
+            s
+        })
+        .collect();
+    WorkloadMix::uniform(specs).expect("non-empty mix")
+}
+
+/// Synthetic profiles with service times near the autoscaler tick so
+/// drains, expiries, and completions constantly interleave.
+fn table_for(mix: &WorkloadMix, warm: u64, cold_over_warm: u64, idle: u64) -> ProfileTable {
+    let mut t = ProfileTable::new();
+    for (i, spec) in mix.specs().iter().enumerate() {
+        let warm_cycles = warm + 311 * i as u64;
+        let cold_cycles = warm_cycles + cold_over_warm;
+        let idle_frames = idle + i as u64;
+        t.insert(ServiceProfile {
+            workload: spec.name.clone(),
+            cold_cycles,
+            warm_cycles,
+            active_frames: idle_frames + 50,
+            idle_frames,
+            restore_cycles: (warm_cycles + cold_over_warm / 3)
+                .clamp(warm_cycles + 1, (cold_cycles - 1).max(warm_cycles + 1)),
+            squeeze_floor_frames: idle_frames / 3,
+            squeeze_refault_cycles: 710 * (idle_frames - idle_frames / 3),
+        });
+    }
+    t
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RegionCase {
+    nodes: usize,
+    max_nodes: usize,
+    queue_capacity: usize,
+    placement: Placement,
+    keep_alive: KeepAlive,
+    cold_start: ColdStart,
+    reclamation: Reclamation,
+    interval: u64,
+    target_pct: u64,
+    spinup: u64,
+    seed: u64,
+    count: u64,
+    mean_interarrival: f64,
+    warm: u64,
+    cold_over_warm: u64,
+    idle: u64,
+}
+
+fn arb_region_case() -> impl Strategy<Value = RegionCase> {
+    (
+        (
+            1usize..4,
+            1usize..8,
+            0usize..6,
+            prop_oneof![Just(Placement::RoundRobin), Just(Placement::LeastLoaded)],
+            prop_oneof![
+                // Short TTLs maximize queued expiries racing the drain.
+                (2_000u64..60_000).prop_map(KeepAlive::Fixed),
+                (500_000u64..5_000_000).prop_map(|budget| KeepAlive::SizeAware {
+                    budget_frame_cycles: budget,
+                    min_cycles: 2_000,
+                    max_cycles: 80_000,
+                }),
+                Just(KeepAlive::Infinite),
+            ],
+            prop_oneof![Just(ColdStart::Boot), Just(ColdStart::Snapshot)],
+            prop_oneof![
+                Just(Reclamation::None),
+                (50u64..400).prop_map(|w| Reclamation::Squeeze {
+                    watermark_frames: w
+                }),
+            ],
+        ),
+        (
+            // Ticks at or below the service time, spin-up near zero:
+            // the scale loop churns as fast as the event engine allows.
+            2_000u64..40_000,
+            30u64..95,
+            1u64..30_000,
+            any::<u64>(),
+            50u64..600,
+            300.0f64..20_000.0,
+            5_000u64..60_000,
+            10_000u64..200_000,
+            20u64..120,
+        ),
+    )
+        .prop_map(
+            |(
+                (nodes, extra, queue_capacity, placement, keep_alive, cold_start, reclamation),
+                (
+                    interval,
+                    target_pct,
+                    spinup,
+                    seed,
+                    count,
+                    mean_interarrival,
+                    warm,
+                    cold_over_warm,
+                    idle,
+                ),
+            )| RegionCase {
+                nodes,
+                max_nodes: nodes + extra,
+                queue_capacity,
+                placement,
+                keep_alive,
+                cold_start,
+                reclamation,
+                interval,
+                target_pct,
+                spinup,
+                seed,
+                count,
+                mean_interarrival,
+                warm,
+                cold_over_warm,
+                idle,
+            },
+        )
+}
+
+fn run_case(case: &RegionCase) -> ClusterResult {
+    let mix = mix_of(2);
+    let table = table_for(&mix, case.warm, case.cold_over_warm, case.idle);
+    let cfg = ClusterConfig {
+        nodes: case.nodes,
+        queue_capacity: case.queue_capacity,
+        cores_per_node: 1,
+        placement: case.placement,
+        keep_alive: case.keep_alive,
+        cold_start: case.cold_start,
+        reclamation: case.reclamation,
+        autoscaler: Autoscaler::TargetUtilization(AutoscalerConfig {
+            interval_cycles: case.interval,
+            target_load_pct: case.target_pct,
+            min_nodes: 1.min(case.nodes),
+            max_nodes: case.max_nodes,
+            spinup_cycles: case.spinup,
+        }),
+        record_timeline: true,
+    };
+    let arrival = ArrivalConfig {
+        seed: case.seed,
+        count: case.count,
+        mean_interarrival_cycles: case.mean_interarrival,
+    };
+    let arrivals = generate_arrivals(&arrival, &mix).expect("valid arrival config");
+    simulate(Engine::Profiled(table), &cfg, &mix, &arrivals).expect("valid region run")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scale-down racing expiry and completion delivery never loses an
+    /// invocation, never leaks a frame, and never leaves a powered-off
+    /// node holding state — the generation-tag slab machinery must make
+    /// every stale event inert.
+    #[test]
+    fn scale_down_expiry_completion_races_stay_clean(case in arb_region_case()) {
+        let r = run_case(&case);
+        prop_assert_eq!(r.submitted, case.count);
+        prop_assert_eq!(r.submitted, r.completed + r.rejected, "conservation at drain");
+        prop_assert_eq!(r.completed, r.cold_starts + r.warm_starts);
+        prop_assert_eq!(r.completed, r.latencies.len() as u64);
+        prop_assert!(r.expired <= r.retired, "expiries are one retirement path");
+        prop_assert!(r.peak_fleet_frames >= r.final_fleet_frames);
+        prop_assert!(
+            r.peak_active_nodes as usize <= case.max_nodes,
+            "committed nodes may never exceed max_nodes"
+        );
+        if matches!(case.cold_start, ColdStart::Boot) {
+            prop_assert_eq!(r.restores, 0);
+        } else {
+            prop_assert_eq!(r.restores, r.cold_starts, "snapshot serves every cold path");
+        }
+        prop_assert!(r.is_clean(), "audits must pass: {}", r.audit);
+    }
+
+    /// The full region feature set stays byte-deterministic: autoscaler
+    /// ticks, boots, squeezes, and variable TTLs all sit in the same
+    /// `(time, seq)` total order, so a repeat replays every race the
+    /// same way.
+    #[test]
+    fn region_runs_are_byte_identical(case in arb_region_case()) {
+        let a = run_case(&case);
+        let b = run_case(&case);
+        prop_assert_eq!(a.latencies, b.latencies);
+        prop_assert_eq!(a.timeline, b.timeline);
+        prop_assert_eq!(a.peak_fleet_frames, b.peak_fleet_frames);
+        prop_assert_eq!(a.peak_active_nodes, b.peak_active_nodes);
+        prop_assert_eq!(a.squeezed, b.squeezed);
+        prop_assert_eq!(a.metrics.render(), b.metrics.render());
+    }
+}

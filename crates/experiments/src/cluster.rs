@@ -210,6 +210,9 @@ pub fn run_specs(
             cores_per_node: 1,
             placement: Placement::LeastLoaded,
             keep_alive,
+            cold_start: memento_cluster::ColdStart::Boot,
+            reclamation: memento_cluster::Reclamation::None,
+            autoscaler: memento_cluster::Autoscaler::None,
             record_timeline: false,
         };
         let table = if memento { &mem_table } else { &base_table };

@@ -60,6 +60,7 @@ pub mod multicore;
 pub mod pricing;
 pub mod profile;
 pub mod ratio;
+pub mod region;
 pub mod report;
 pub mod runner;
 pub mod sensitivity;

@@ -4,7 +4,7 @@
 use crate::context::EvalContext;
 use crate::{
     arena_list, bandwidth, breakdown, characterization, cluster, comparisons, config_table, hot,
-    memusage, multicore, pricing, sensitivity, speedup,
+    memusage, multicore, pricing, region, sensitivity, speedup,
 };
 use memento_simcore::json::Value;
 use std::fmt;
@@ -43,6 +43,9 @@ pub struct FullReport {
     pub cluster: cluster::ClusterReport,
     /// Extension: multi-core contention (work-stealing co-location).
     pub multicore: multicore::MulticoreResult,
+    /// Extension: region policy matrix (autoscaling, snapshot restores,
+    /// pressure reclamation, size-aware keep-alive; Pareto fronts).
+    pub region: region::RegionReport,
 }
 
 /// Prefetches every simulation point the full report needs, fanning them
@@ -112,6 +115,7 @@ pub fn run(ctx: &mut EvalContext) -> FullReport {
             ctx.jobs(),
         )
         .expect("default contention mix is drawn from the suite"),
+        region: region::run(ctx).expect("default region mix is drawn from the suite"),
     }
 }
 
@@ -199,6 +203,33 @@ impl FullReport {
                         .collect(),
                 ),
             );
+        doc.set("region_invocations", self.region.params.invocations as f64)
+            .set(
+                "region_memento_on_flash_front",
+                if self.region.memento_on_flash_front {
+                    1.0
+                } else {
+                    0.0
+                },
+            )
+            .set(
+                "region_fronts",
+                Value::Array(
+                    self.region
+                        .front_rows()
+                        .iter()
+                        .map(|r| {
+                            let mut row = Value::object();
+                            row.set("trace", r.trace.as_str())
+                                .set("policy", r.policy.as_str())
+                                .set("config", r.config.as_str())
+                                .set("p99_us", r.p99_us)
+                                .set("peak_mb", r.peak_mb);
+                            row
+                        })
+                        .collect(),
+                ),
+            );
         doc
     }
 }
@@ -271,6 +302,8 @@ impl fmt::Display for FullReport {
         writeln!(f)?;
         writeln!(f, "{}", self.cluster)?;
         writeln!(f)?;
-        write!(f, "{}", self.multicore)
+        writeln!(f, "{}", self.multicore)?;
+        writeln!(f)?;
+        write!(f, "{}", self.region)
     }
 }

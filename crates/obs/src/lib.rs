@@ -13,6 +13,9 @@
 //! - [`metrics`] — a [`MetricsRegistry`] of monotonic counters and
 //!   log2-bucketed histograms ([`Log2Hist`]), rendered as a per-run
 //!   "metrics appendix".
+//! - [`percentile`] — the one shared exact nearest-rank quantile over
+//!   fully-retained sample sets; `Log2Hist::quantile` is the bucketed
+//!   approximation of the same rank convention.
 //! - [`profile`] — [`ProfileSample`] snapshots (live-heap bytes, pool
 //!   occupancy, HOT residency) taken every N simulated cycles.
 //! - [`selfprof`] — wall-clock spans over the *simulator's own* hot loops
@@ -35,10 +38,12 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod percentile;
 pub mod profile;
 pub mod selfprof;
 pub mod trace;
 
 pub use metrics::{Log2Hist, MetricsRegistry};
+pub use percentile::nearest_rank_sorted;
 pub use profile::ProfileSample;
 pub use trace::Tracer;

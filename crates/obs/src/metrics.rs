@@ -90,13 +90,19 @@ impl Log2Hist {
 
     /// Estimates the `q`-quantile of the recorded distribution.
     ///
-    /// Uses the nearest-rank sample (rank `ceil(q * count)`, clamped to
-    /// `[1, count]`), located in its bucket and linearly interpolated
-    /// across the bucket's value range — so distributions whose mass falls
-    /// on bucket boundaries (0, 1, powers of two minus one) come back
-    /// exact, and wide buckets degrade gracefully instead of snapping to a
-    /// power-of-two edge. Deterministic, integer-only. Returns 0 on an
-    /// empty histogram.
+    /// **This is an approximation.** It uses the same nearest-rank
+    /// convention as [`crate::percentile::nearest_rank_sorted`] (rank
+    /// `ceil(q * count)`, clamped to `[1, count]`) — but the histogram
+    /// only knows which log2 bucket the rank's sample fell in, so the
+    /// sample is reconstructed by linear interpolation across the
+    /// bucket's value range. Distributions whose mass falls on bucket
+    /// boundaries (0, 1, powers of two minus one) come back exact; inside
+    /// a wide bucket `[2^(b-1), 2^b - 1]` the answer can be off by up to
+    /// the bucket span (a factor of 2 in the worst case), degrading
+    /// gracefully instead of snapping to a power-of-two edge. When the
+    /// full sample vector is retained, prefer the exact helper; use this
+    /// for merged shards and layer histograms where only buckets survive.
+    /// Deterministic, integer-only. Returns 0 on an empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;

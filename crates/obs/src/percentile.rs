@@ -1,0 +1,83 @@
+//! The exact nearest-rank quantile over fully-retained sample sets.
+//!
+//! Two quantile paths exist in the workspace and they are *not* the same
+//! estimator:
+//!
+//! - **Exact** — when a result keeps every sample (the cluster
+//!   simulator's sorted latency vector), quantiles are order statistics:
+//!   the nearest-rank sample at rank `ceil(q * n)`, clamped to `[1, n]`.
+//!   That is [`nearest_rank_sorted`], the single shared implementation.
+//! - **Approximate** — when only a [`crate::metrics::Log2Hist`] survives
+//!   (merged shards, layer histograms), [`crate::metrics::Log2Hist::quantile`]
+//!   locates the same nearest rank in its log2 bucket and linearly
+//!   interpolates across the bucket's value span. Exact on
+//!   bucket-boundary masses, approximate inside wide buckets.
+//!
+//! Both paths use the identical rank convention, so they agree wherever
+//! the histogram has per-value resolution; the differential test in
+//! `crates/obs/tests` pins that agreement (and the approximation's error
+//! bound) on shared sample sets.
+
+/// The exact `q`-quantile of an **ascending-sorted** sample slice by the
+/// nearest-rank method: rank `ceil(q * n)` clamped to `[1, n]`, returning
+/// the sample at that rank (1-indexed). Returns 0 on an empty slice.
+///
+/// This is the rank convention every exact percentile in the workspace
+/// uses; keep callers delegating here rather than re-deriving it (a
+/// second copy with a different convention is how p99s silently disagree
+/// between tables).
+pub fn nearest_rank_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// The (p50, p95, p99) triple over an ascending-sorted sample slice.
+pub fn percentiles_sorted(sorted: &[u64]) -> (u64, u64, u64) {
+    (
+        nearest_rank_sorted(sorted, 0.50),
+        nearest_rank_sorted(sorted, 0.95),
+        nearest_rank_sorted(sorted, 0.99),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(nearest_rank_sorted(&[], 0.5), 0);
+        assert_eq!(percentiles_sorted(&[]), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile() {
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(nearest_rank_sorted(&[42], q), 42, "q={q}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_picks_order_statistics() {
+        let v = [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(nearest_rank_sorted(&v, 0.0), 10, "q=0 clamps to rank 1");
+        assert_eq!(nearest_rank_sorted(&v, 0.10), 10);
+        assert_eq!(nearest_rank_sorted(&v, 0.11), 20, "ceil moves to rank 2");
+        assert_eq!(nearest_rank_sorted(&v, 0.50), 50);
+        assert_eq!(nearest_rank_sorted(&v, 0.95), 100);
+        assert_eq!(nearest_rank_sorted(&v, 1.0), 100);
+        assert_eq!(percentiles_sorted(&v), (50, 100, 100));
+    }
+
+    #[test]
+    fn out_of_range_q_clamps() {
+        let v = [1u64, 2, 3];
+        assert_eq!(nearest_rank_sorted(&v, -1.0), 1);
+        assert_eq!(nearest_rank_sorted(&v, 2.0), 3);
+        assert_eq!(nearest_rank_sorted(&v, f64::NAN), 1, "NaN clamps low");
+    }
+}

@@ -1,0 +1,99 @@
+//! Differential test: the exact nearest-rank helper and the log2-bucketed
+//! histogram estimate the *same* rank convention, so on any shared sample
+//! set the histogram's answer must land in the same log2 bucket as the
+//! exact order statistic — and must be exactly equal wherever the
+//! histogram has per-value resolution (values 0 and 1, bucket edges).
+//!
+//! This is the regression net for the bug this suite fixed: the cluster
+//! simulator and the histogram used to carry two independently-derived
+//! rank conventions, so their p99s could silently disagree by a whole
+//! rank even on boundary-mass distributions.
+
+use memento_obs::metrics::Log2Hist;
+use memento_obs::percentile::{nearest_rank_sorted, percentiles_sorted};
+
+const QS: [f64; 7] = [0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0];
+
+/// Bucket index of `v` under the histogram's log2 rule.
+fn bucket_of(v: u64) -> u32 {
+    u64::BITS - v.leading_zeros()
+}
+
+/// Asserts the two estimators agree bucket-for-bucket (and exactly where
+/// the bucket is a single value) on `samples`.
+fn assert_agreement(mut samples: Vec<u64>) {
+    let mut hist = Log2Hist::new();
+    for &s in &samples {
+        hist.record(s);
+    }
+    samples.sort_unstable();
+    for q in QS {
+        let exact = nearest_rank_sorted(&samples, q);
+        let approx = hist.quantile(q);
+        assert_eq!(
+            bucket_of(exact),
+            bucket_of(approx),
+            "q={q}: exact {exact} and histogram {approx} disagree on the log2 bucket"
+        );
+        if exact <= 1 {
+            assert_eq!(approx, exact, "q={q}: single-value buckets must be exact");
+        }
+    }
+}
+
+#[test]
+fn boundary_mass_distributions_agree_exactly() {
+    // Every sample sits alone at a bucket's upper edge, so interpolation
+    // has no slack: the histogram must reproduce the order statistic.
+    let samples: Vec<u64> = vec![0, 1, 3, 7, 15, 31, 63, 127, 255, 511];
+    let mut hist = Log2Hist::new();
+    for &s in &samples {
+        hist.record(s);
+    }
+    for q in QS {
+        assert_eq!(
+            hist.quantile(q),
+            nearest_rank_sorted(&samples, q),
+            "q={q}: boundary-mass distributions leave no interpolation slack"
+        );
+    }
+    assert_eq!(percentiles_sorted(&samples), hist.percentiles());
+}
+
+#[test]
+fn seeded_latency_shapes_agree_per_bucket() {
+    // Deterministic pseudo-random sample sets spanning the shapes the
+    // cluster reports: short uniform-ish, heavy-tailed, bimodal.
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let uniform: Vec<u64> = (0..5_000).map(|_| next() % 10_000).collect();
+    let heavy: Vec<u64> = (0..5_000)
+        .map(|_| {
+            let v = next();
+            (v % 1_000) << (v % 12)
+        })
+        .collect();
+    let bimodal: Vec<u64> = (0..5_000)
+        .map(|i| if i % 100 == 0 { 1 << 20 } else { 100 + i % 28 })
+        .collect();
+    for samples in [uniform, heavy, bimodal] {
+        assert_agreement(samples);
+    }
+}
+
+#[test]
+fn cluster_rank_convention_matches_shared_helper() {
+    // The exact convention the cluster's latency table relies on: rank
+    // ceil(q*n) clamped to [1, n]. A off-by-one in either direction
+    // changes rank 990 vs 991 on a 1000-sample p99.
+    let samples: Vec<u64> = (1..=1000).collect();
+    assert_eq!(nearest_rank_sorted(&samples, 0.99), 990);
+    assert_eq!(nearest_rank_sorted(&samples, 0.9901), 991);
+    assert_eq!(nearest_rank_sorted(&samples, 0.0), 1);
+    assert_eq!(nearest_rank_sorted(&samples, 1.0), 1000);
+}

@@ -101,6 +101,29 @@ impl FleetAuditor {
         }
     }
 
+    /// Checks node-lifecycle hygiene for an autoscaled fleet: `nodes` is
+    /// `(node id, active, load, warm containers)` for every node; a node
+    /// outside the active serving set must hold no load and no idle-warm
+    /// containers (scale-down must retire its warm pool, and the
+    /// generation-tag machinery must have kept stale expiries inert).
+    pub fn audit_node_lifecycle<I>(&mut self, event_index: u64, nodes: I)
+    where
+        I: IntoIterator<Item = (usize, bool, u64, u64)>,
+    {
+        self.report.audits += 1;
+        for (node, active, load, warm) in nodes {
+            if !active && (load > 0 || warm > 0) {
+                self.report.violations.push(Violation {
+                    kind: ViolationKind::NodeLifecycle,
+                    provenance: fleet_provenance(event_index),
+                    detail: format!(
+                        "inactive node {node} still holds load {load} and {warm} warm container(s)"
+                    ),
+                });
+            }
+        }
+    }
+
     /// The accumulated report.
     pub fn report(&self) -> &SanitizerReport {
         &self.report
@@ -200,6 +223,26 @@ mod tests {
         assert!(r.violations[0].detail.contains("125"));
         assert!(r.violations[0].detail.contains("120"));
         assert!(r.violations[0].detail.contains("3 node(s)"));
+    }
+
+    #[test]
+    fn inactive_node_holding_state_is_flagged() {
+        let mut a = FleetAuditor::new();
+        // Active nodes may hold anything; inactive nodes must be empty.
+        a.audit_node_lifecycle(
+            12,
+            [
+                (0usize, true, 5u64, 2u64),
+                (1, false, 0, 0),
+                (2, false, 0, 0),
+            ],
+        );
+        assert!(a.report().is_clean());
+        a.audit_node_lifecycle(13, [(3usize, false, 0u64, 1u64)]);
+        let r = a.into_report();
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].kind, ViolationKind::NodeLifecycle);
+        assert!(r.violations[0].detail.contains("node 3"));
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub enum ViolationKind {
     /// The scheduler's incrementally-tracked fleet memory footprint
     /// disagrees with a node-by-node recount of resident frames.
     FleetFrameDivergence,
+    /// An autoscaled node's lifecycle broke: a node not in the active
+    /// serving set (off, booting, or draining at quiescence) still holds
+    /// queued/in-flight load or idle-warm containers.
+    NodeLifecycle,
 }
 
 impl fmt::Display for ViolationKind {
@@ -73,6 +77,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::PoolConservation => "pool-conservation",
             ViolationKind::InvocationConservation => "invocation-conservation",
             ViolationKind::FleetFrameDivergence => "fleet-frame-divergence",
+            ViolationKind::NodeLifecycle => "node-lifecycle",
         };
         f.write_str(s)
     }

@@ -70,6 +70,26 @@ impl WarmContainer {
         (container, cold)
     }
 
+    /// Boots a container from a REAP-style snapshot and serves the first
+    /// invocation. The machine state is built the same way as
+    /// [`WarmContainer::cold_start`] (snapshots capture exactly the booted
+    /// state), but the *charged* service time replaces instruction replay
+    /// with a warm invocation plus the calibrated working-set prefetch
+    /// ([`Machine::snapshot_restore_cycles`]), clamped strictly between
+    /// the warm and cold costs. Returns the container and the restore
+    /// service time in cycles.
+    pub fn restore_start(cfg: SystemConfig, spec: &WorkloadSpec) -> (Self, u64) {
+        let (mut container, cold) = WarmContainer::cold_start(cfg, spec);
+        container.park();
+        let prefetch = container.machine.snapshot_restore_cycles();
+        let warm = container.invoke();
+        let warm_cycles = warm.total_cycles().raw().max(1);
+        let cold_cycles = cold.total_cycles().raw().max(1);
+        let restore =
+            (warm_cycles + prefetch).clamp(warm_cycles + 1, (cold_cycles - 1).max(warm_cycles + 1));
+        (container, restore)
+    }
+
     /// Serves one warm invocation and returns its statistics (the warm
     /// service time). The container stays alive: frames recycled at the
     /// boundary serve the next request without fresh OS grants. After the
@@ -155,6 +175,24 @@ impl WarmContainer {
     /// footprint.
     pub fn unreclaimable_pages(&self) -> u64 {
         self.machine.unreclaimable_pages()
+    }
+
+    /// Cycles a REAP-style snapshot restore of this container would pay
+    /// (see [`Machine::snapshot_restore_cycles`]).
+    pub fn snapshot_restore_cycles(&self) -> u64 {
+        self.machine.snapshot_restore_cycles()
+    }
+
+    /// The frames a pressure squeeze cannot reclaim from this container
+    /// (see [`Machine::squeeze_floor_pages`]).
+    pub fn squeeze_floor_pages(&self) -> u64 {
+        self.machine.squeeze_floor_pages()
+    }
+
+    /// Per-frame cost of re-faulting squeezed frames on the next warm
+    /// start (see [`Machine::squeeze_refault_unit_cycles`]).
+    pub fn squeeze_refault_unit_cycles(&self) -> u64 {
+        self.machine.squeeze_refault_unit_cycles()
     }
 }
 

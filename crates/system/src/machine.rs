@@ -1458,6 +1458,46 @@ impl Machine {
         self.kernel.frame_stats().peak_total()
     }
 
+    /// Cycles to restore this machine's container from a REAP-style
+    /// snapshot: one mmap-shaped syscall to re-establish the mappings,
+    /// then an eager prefetch of the stable working set — the currently
+    /// unreclaimable frames — at the kernel's populate cost per page.
+    /// This replaces a full cold boot's instruction replay with a bulk
+    /// page-in, which is why a snapshot restore lands strictly between a
+    /// warm hit and a cold boot.
+    pub fn snapshot_restore_cycles(&self) -> u64 {
+        let costs = self.kernel.costs();
+        costs.syscall_overhead
+            + costs.mmap_work
+            + self.unreclaimable_pages() * costs.populate_per_page
+    }
+
+    /// The floor a pressure-driven squeeze cannot reclaim from an
+    /// idle-warm container: page tables plus kernel bookkeeping. Data
+    /// pages can be written back and dropped under pressure, but the
+    /// tables describing the address space (and the kernel's metadata for
+    /// it) must survive for the container to stay warm at all.
+    pub fn squeeze_floor_pages(&self) -> u64 {
+        use memento_kernel::buddy::FrameUse;
+        let stats = self.kernel.frame_stats();
+        stats.get(FrameUse::PageTable).current + stats.get(FrameUse::KernelMeta).current
+    }
+
+    /// Per-frame cycle cost of re-faulting pages a squeeze reclaimed,
+    /// paid by the container's next warm start. A Memento machine
+    /// re-grants through the hardware pool (buddy refill + populate,
+    /// no per-page fault trap); a baseline machine demand-faults every
+    /// page back in (full fault handling + buddy allocation) — the
+    /// hardware-assisted cost edge the reclamation study measures.
+    pub fn squeeze_refault_unit_cycles(&self) -> u64 {
+        let costs = self.kernel.costs();
+        if self.device.is_some() {
+            costs.buddy_alloc + costs.populate_per_page
+        } else {
+            costs.fault_work + costs.buddy_alloc
+        }
+    }
+
     /// Physical-page lifecycle audit of the device's pool, if the machine
     /// runs a Memento design (test/diagnostic accessor).
     pub fn pool_audit(&self) -> Option<memento_core::page_alloc::PoolAudit> {
