@@ -23,6 +23,9 @@
 //!   (flash-crowd trace, autoscaler, snapshot restores, squeeze
 //!   reclamation, size-aware keep-alive) at 200 000 invocations per
 //!   fleet, baseline and Memento.
+//! - `region_pm` — the persistent-memory keep-alive path: the Azure
+//!   day-curve trace over an autoscaled Memento fleet parking idle
+//!   containers to PM (200 000 invocations).
 //!
 //! Each workload runs `--reps` times (default 3) and reports the
 //! fastest repetition: the simulated work is deterministic, so the
@@ -38,8 +41,8 @@
 use memento_bench::gate;
 use memento_cluster::{
     calibrate, generate_arrivals, generate_trace, simulate, ArrivalConfig, Autoscaler,
-    AutoscalerConfig, ClusterConfig, ColdStart, DiurnalTrace, Engine, FlashCrowd, KeepAlive,
-    Placement, ProfileTable, Reclamation, WorkloadMix,
+    AutoscalerConfig, ClusterConfig, ColdStart, DiurnalTrace, EmpiricalTrace, Engine, FlashCrowd,
+    KeepAlive, Placement, ProfileTable, Reclamation, WorkloadMix,
 };
 use memento_experiments::cluster::{run_for_jobs, ClusterParams};
 use memento_experiments::context::STEADY_INVOCATIONS;
@@ -332,6 +335,83 @@ fn bench_region_scale() -> Measurement {
     }
 }
 
+/// The persistent-memory keep-alive path at region scale: the checked-in
+/// Azure-style day curve (with flash crowds layered on top) drives an
+/// autoscaled Memento fleet whose idle containers park to PM instead of
+/// holding DRAM. Exercises the park/restore event path, the PM retention
+/// scan, and the empirical-trace interpolation that `region_scale` never
+/// touches. `wall_ms` covers only the `simulate` call.
+fn bench_region_pm() -> Measurement {
+    const NAMES: [&str; 4] = ["html", "US", "Redis", "SQLite3"];
+    const INVOCATIONS: u64 = 200_000;
+
+    let setup = Instant::now();
+    let ctx = EvalContext::scaled(64);
+    let specs: Vec<_> = NAMES
+        .iter()
+        .map(|n| ctx.try_workload(n).expect("pinned workloads exist"))
+        .collect();
+    let mix = WorkloadMix::uniform(specs.clone()).expect("non-empty mix");
+    let mem: Vec<_> = specs
+        .iter()
+        .map(|s| calibrate(&SystemConfig::memento(), s, 3))
+        .collect();
+    let mean_service: f64 =
+        mem.iter().map(|p| p.warm_cycles as f64).sum::<f64>() / mem.len() as f64;
+    let max_cold = mem.iter().map(|p| p.cold_cycles).max().unwrap_or(1);
+    let mem_table = ProfileTable::from_profiles(mem);
+    let cfg = ClusterConfig {
+        nodes: 4,
+        queue_capacity: 32,
+        cores_per_node: 1,
+        placement: Placement::LeastLoaded,
+        keep_alive: KeepAlive::ParkToPM {
+            ttl_cycles: (mean_service * 160.0) as u64,
+        },
+        cold_start: ColdStart::Snapshot,
+        reclamation: Reclamation::None,
+        autoscaler: Autoscaler::TargetUtilization(AutoscalerConfig {
+            interval_cycles: (mean_service * 4.0) as u64,
+            target_load_pct: 70,
+            min_nodes: 2,
+            max_nodes: 16,
+            spinup_cycles: 8 * max_cold,
+        }),
+        record_timeline: false,
+    };
+    let trace = FlashCrowd {
+        base: EmpiricalTrace::azure_day((mean_service * 4_000.0) as u64),
+        period_cycles: (mean_service * 400.0) as u64,
+        burst_cycles: (mean_service * 40.0) as u64,
+        multiplier: 4,
+    };
+    let arrival = ArrivalConfig {
+        seed: 7,
+        count: INVOCATIONS,
+        mean_interarrival_cycles: mean_service / (cfg.nodes as f64 * 0.9),
+    };
+    let arrivals = generate_trace(&arrival, &mix, &trace).expect("valid trace");
+    let setup_ms = setup.elapsed().as_secs_f64() * 1e3;
+
+    memento_obs::selfprof::enable();
+    let t = Instant::now();
+    let r = simulate(Engine::Profiled(mem_table), &cfg, &mix, &arrivals).expect("validated config");
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    memento_obs::selfprof::disable();
+    assert!(r.is_clean(), "region PM bench audits must pass");
+    assert!(
+        r.pm_parks > 0,
+        "PM keep-alive must actually park containers"
+    );
+    Measurement {
+        name: "region_pm",
+        wall_ms,
+        setup_ms,
+        invocations: r.completed,
+        spans: drain_spans(),
+    }
+}
+
 /// The multicore contention study at smoke scale: four invocations
 /// work-stealing-scheduled over two cores sharing an LLC and a memory
 /// controller, baseline and Memento trials plus the per-spec solo runs.
@@ -427,6 +507,7 @@ fn main() -> ExitCode {
         best_of(args.reps, bench_warm_steady_state),
         best_of(args.reps, bench_cluster_full_eval),
         best_of(args.reps, bench_region_scale),
+        best_of(args.reps, bench_region_pm),
         best_of(args.reps, bench_multicore_scale),
     ];
 

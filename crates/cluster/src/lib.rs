@@ -89,4 +89,6 @@ pub use policy::{
 };
 pub use profile::{calibrate, ProfileTable, ServiceProfile};
 pub use sim::{simulate, simulate_jobs, ClusterConfig, ClusterResult, Engine};
-pub use trace::{generate_trace, ArrivalTrace, DiurnalTrace, FlashCrowd, UniformTrace};
+pub use trace::{
+    generate_trace, ArrivalTrace, DiurnalTrace, EmpiricalTrace, FlashCrowd, UniformTrace,
+};

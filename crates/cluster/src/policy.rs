@@ -50,6 +50,17 @@ pub enum KeepAlive {
         /// TTL ceiling in cycles (even tiny containers expire by then).
         max_cycles: u64,
     },
+    /// Park the idle container to persistent memory: its Memento state is
+    /// checkpointed into a crash-consistent PM image and its DRAM frames
+    /// are shed, so an idle container contributes (near-)zero DRAM
+    /// footprint; the next hit on it pays the calibrated PM restore —
+    /// strictly between a warm hit and a snapshot restore on Memento
+    /// fleets — instead of a free warm start. Parked containers still
+    /// expire after this many cycles (PM capacity is not free either).
+    ParkToPM {
+        /// Cycles a parked image is retained before eviction.
+        ttl_cycles: u64,
+    },
 }
 
 impl fmt::Display for KeepAlive {
@@ -62,6 +73,7 @@ impl fmt::Display for KeepAlive {
                 budget_frame_cycles,
                 ..
             } => write!(f, "size-aware({budget_frame_cycles})"),
+            KeepAlive::ParkToPM { ttl_cycles } => write!(f, "park-to-pm({ttl_cycles})"),
         }
     }
 }
@@ -197,6 +209,10 @@ mod tests {
             }
             .to_string(),
             "size-aware(500)"
+        );
+        assert_eq!(
+            KeepAlive::ParkToPM { ttl_cycles: 9000 }.to_string(),
+            "park-to-pm(9000)"
         );
         assert_eq!(ColdStart::Boot.to_string(), "boot");
         assert_eq!(ColdStart::Snapshot.to_string(), "snapshot");

@@ -46,6 +46,23 @@ pub struct ServiceProfile {
     /// re-grant through the hardware pool; baselines demand-fault — the
     /// cost edge shows up here.
     pub squeeze_refault_cycles: u64,
+    /// Cycles a park-to-PM restore costs on top of a warm invocation:
+    /// PM recovery plus sealed-image replay (Memento) or whole-working-set
+    /// demand refault (baselines persist an empty image). Clamped strictly
+    /// between `warm_cycles` and `restore_cycles` — PM is byte-addressable,
+    /// so replaying a compact image always undercuts a snapshot's bulk
+    /// page-in, but a restored container is never as cheap as one that
+    /// never left DRAM.
+    pub pm_restore_cycles: u64,
+    /// Background cycles one park-to-PM persist costs (checkpoint record
+    /// flushes + working-set writeback). Off the latency path — the
+    /// container is idle when it parks — but reported so operators can see
+    /// the PM write traffic the policy generates.
+    pub pm_persist_cycles: u64,
+    /// DRAM frames a parked-to-PM container keeps resident. The image
+    /// itself lives in PM, so this is 0: park-to-PM's entire point is
+    /// that idle containers stop costing DRAM.
+    pub pm_idle_frames: u64,
 }
 
 /// Calibrates a profile by running a real machine through the cluster's
@@ -73,6 +90,14 @@ pub fn calibrate(cfg: &SystemConfig, spec: &WorkloadSpec, warm_samples: usize) -
     let squeeze_floor_frames = container.squeeze_floor_pages().min(idle_frames);
     let squeeze_refault_cycles =
         (idle_frames - squeeze_floor_frames) * container.squeeze_refault_unit_cycles();
+    // Park-to-PM round trip on the same machine: the persist is measured
+    // directly; the restore premium rides on a warm invocation and is
+    // clamped strictly inside (warm, snapshot-restore) — PM image replay
+    // must undercut a snapshot's bulk page-in but never beat staying warm.
+    let pm_persist_cycles = container.park_to_pm(0);
+    let pm_extra = container.restore_from_pm();
+    let pm_restore_cycles =
+        (warm_cycles + pm_extra).clamp(warm_cycles + 1, (restore_cycles - 1).max(warm_cycles + 1));
     ServiceProfile {
         workload: spec.name.clone(),
         cold_cycles,
@@ -82,6 +107,9 @@ pub fn calibrate(cfg: &SystemConfig, spec: &WorkloadSpec, warm_samples: usize) -
         restore_cycles,
         squeeze_floor_frames,
         squeeze_refault_cycles,
+        pm_restore_cycles,
+        pm_persist_cycles,
+        pm_idle_frames: 0,
     }
 }
 
@@ -160,6 +188,22 @@ mod tests {
             p.squeeze_floor_frames > 0 && p.squeeze_floor_frames <= p.idle_frames,
             "squeeze floor must be a nonzero fraction of the idle footprint"
         );
+    }
+
+    #[test]
+    fn pm_restore_lands_between_warm_and_snapshot_restore() {
+        for cfg in [SystemConfig::memento(), SystemConfig::baseline()] {
+            let p = calibrate(&cfg, &small("aes"), 2);
+            assert!(
+                p.warm_cycles < p.pm_restore_cycles && p.pm_restore_cycles < p.restore_cycles,
+                "pm restore must sit strictly inside (warm {}, snapshot {}): {}",
+                p.warm_cycles,
+                p.restore_cycles,
+                p.pm_restore_cycles
+            );
+            assert!(p.pm_persist_cycles > 0, "persist work is accounted");
+            assert_eq!(p.pm_idle_frames, 0, "parked images cost no DRAM");
+        }
     }
 
     #[test]

@@ -160,6 +160,8 @@ fn merge(cfg: &ClusterConfig, shards: Vec<ClusterResult>) -> ClusterResult {
     let mut live_containers = 0;
     let mut restores = 0;
     let mut squeezed = 0;
+    let mut pm_parks = 0;
+    let mut pm_restores = 0;
     let mut makespan = 0;
     let mut latencies = Vec::with_capacity(shards.iter().map(|s| s.latencies.len()).sum());
     let mut metrics = memento_obs::MetricsRegistry::new();
@@ -179,6 +181,8 @@ fn merge(cfg: &ClusterConfig, shards: Vec<ClusterResult>) -> ClusterResult {
         live_containers += shard.live_containers;
         restores += shard.restores;
         squeezed += shard.squeezed;
+        pm_parks += shard.pm_parks;
+        pm_restores += shard.pm_restores;
         makespan = makespan.max(shard.makespan_cycles);
         latencies.extend_from_slice(&shard.latencies);
         metrics.merge(&shard.metrics);
@@ -213,6 +217,8 @@ fn merge(cfg: &ClusterConfig, shards: Vec<ClusterResult>) -> ClusterResult {
         live_containers,
         restores,
         squeezed,
+        pm_parks,
+        pm_restores,
         // The sharded path only runs fixed fleets (no autoscaler), where
         // every configured node is active for the whole run.
         peak_active_nodes: cfg.nodes as u64,
@@ -284,6 +290,8 @@ mod tests {
             live_containers: 0,
             restores: 0,
             squeezed: 0,
+            pm_parks: 0,
+            pm_restores: 0,
             peak_active_nodes: 0,
             makespan_cycles: 0,
             peak_fleet_frames: 0,

@@ -176,6 +176,12 @@ pub struct ClusterResult {
     /// Idle-warm containers squeezed by pressure-driven reclamation
     /// (0 under [`Reclamation::None`]).
     pub squeezed: u64,
+    /// Containers parked to persistent memory after completing
+    /// (0 unless [`KeepAlive::ParkToPM`]).
+    pub pm_parks: u64,
+    /// Warm hits that paid a PM restore to revive a parked container
+    /// (a subset of `warm_starts`; 0 unless [`KeepAlive::ParkToPM`]).
+    pub pm_restores: u64,
     /// Peak simultaneously active-or-booting nodes (the configured fleet
     /// size when autoscaling is off).
     pub peak_active_nodes: u64,
@@ -286,6 +292,13 @@ fn validate(engine: &Engine, cfg: &ClusterConfig, mix: &WorkloadMix) -> Result<(
             )));
         }
     }
+    if let KeepAlive::ParkToPM { ttl_cycles } = cfg.keep_alive {
+        if ttl_cycles == 0 {
+            return Err(ClusterError::InvalidKeepAlive(
+                "park-to-pm retention TTL must be positive".into(),
+            ));
+        }
+    }
     if let Engine::Profiled(table) = engine {
         for spec in mix.specs() {
             if table.get(&spec.name).is_none() {
@@ -334,10 +347,11 @@ pub fn simulate_jobs(
     // nodes through fleet-global state. Variable size-aware TTLs shard
     // fine in principle, but the autoscaler (global controller) and the
     // squeeze (fleet-watermark trigger) do not — those fall back to the
-    // serial reference. Snapshot restore is per-container and shards.
+    // serial reference. Snapshot restore and park-to-PM are per-container
+    // (constant TTL, per-slot checkpoint state) and shard.
     let decomposable = matches!(
         cfg.keep_alive,
-        KeepAlive::None | KeepAlive::Fixed(_) | KeepAlive::Infinite
+        KeepAlive::None | KeepAlive::Fixed(_) | KeepAlive::Infinite | KeepAlive::ParkToPM { .. }
     ) && cfg.autoscaler == Autoscaler::None
         && cfg.reclamation == Reclamation::None;
     if jobs > 1 && cfg.nodes > 1 && cfg.placement == Placement::RoundRobin && decomposable {
@@ -365,6 +379,9 @@ pub(crate) struct ProfileCosts {
     pub(crate) restore_cycles: u64,
     pub(crate) squeeze_floor_frames: u64,
     pub(crate) squeeze_refault_cycles: u64,
+    pub(crate) pm_restore_cycles: u64,
+    pub(crate) pm_persist_cycles: u64,
+    pub(crate) pm_idle_frames: u64,
 }
 
 /// Resolves a validated profile table into mix-index order.
@@ -383,6 +400,9 @@ pub(crate) fn resolve_profiles(table: &ProfileTable, mix: &WorkloadMix) -> Vec<P
                 restore_cycles: p.restore_cycles,
                 squeeze_floor_frames: p.squeeze_floor_frames,
                 squeeze_refault_cycles: p.squeeze_refault_cycles,
+                pm_restore_cycles: p.pm_restore_cycles,
+                pm_persist_cycles: p.pm_persist_cycles,
+                pm_idle_frames: p.pm_idle_frames,
             }
         })
         .collect()
@@ -405,6 +425,10 @@ impl Costs {
 
 /// Sentinel for "no warm container" in a node's dense warm array.
 const NO_WARM: u32 = u32::MAX;
+
+/// Sentinel for "no live machine" in a slot's machine-arena index —
+/// every Profiled-engine slot, and Measured slots between tenants.
+const NO_MACHINE: u32 = u32::MAX;
 
 /// A scheduled keep-alive expiry — the only event kind that still needs
 /// its own queue. Arrivals are a cursor over the (sorted) arrival slice
@@ -527,8 +551,15 @@ struct Slot {
     squeeze_floor: u64,
     /// Re-fault cycles the next warm start owes for the squeezed frames.
     squeeze_refault: u64,
-    /// The live machine (Measured engine only).
-    measured: Option<WarmContainer>,
+    /// True while the idle container sits parked in persistent memory
+    /// (its DRAM contribution is the profile's `pm_idle_frames`); cleared
+    /// by the next warm start, which pays the PM restore premium.
+    pm_parked: bool,
+    /// Index of the live machine in the sim's machine arena
+    /// ([`NO_MACHINE`] on Profiled slots). Keeping the multi-KB
+    /// [`WarmContainer`] out of line leaves the slot a compact POD, so
+    /// the Profiled engine's slab walks stay cache-dense.
+    machine: u32,
 }
 
 pub(crate) struct Sim<'a> {
@@ -600,8 +631,22 @@ pub(crate) struct Sim<'a> {
     scale_downs: u64,
     restores: u64,
     squeezed: u64,
+    pm_parks: u64,
+    pm_restores: u64,
+    /// Background PM write cycles parks generated (off the latency path).
+    pm_persist_cycles: u64,
     slots: Vec<Slot>,
     free: Vec<u32>,
+    /// Slab arena of live Measured machines, indexed by [`Slot::machine`]
+    /// and recycled through `machine_free` — the big per-container state
+    /// lives here, not inline in the slot slab. Empty on Profiled runs.
+    machines: Vec<Option<WarmContainer>>,
+    machine_free: Vec<u32>,
+    /// Sanitizer findings absorbed from retired Measured machines (plus
+    /// the ones still live at drain), merged into the fleet audit — a
+    /// machine-level violation (e.g. a failed PM recovery audit) must
+    /// fail `ClusterResult::is_clean`, not vanish with the container.
+    machine_audit: SanitizerReport,
     live_count: u64,
     rr: usize,
     submitted: u64,
@@ -730,8 +775,14 @@ impl<'a> Sim<'a> {
             scale_downs: 0,
             restores: 0,
             squeezed: 0,
+            pm_parks: 0,
+            pm_restores: 0,
+            pm_persist_cycles: 0,
             slots: Vec::new(),
             free: Vec::new(),
+            machines: Vec::new(),
+            machine_free: Vec::new(),
+            machine_audit: SanitizerReport::default(),
             live_count: 0,
             rr: 0,
             submitted: 0,
@@ -1015,10 +1066,40 @@ impl<'a> Sim<'a> {
         };
     }
 
+    /// Parks a fresh Measured machine in the machine arena (recycling
+    /// freed entries) and returns its index.
+    fn attach_machine(&mut self, m: WarmContainer) -> u32 {
+        if let Some(i) = self.machine_free.pop() {
+            debug_assert!(self.machines[i as usize].is_none(), "free entry is empty");
+            self.machines[i as usize] = Some(m);
+            i
+        } else {
+            self.machines.push(Some(m));
+            // lint:allow(narrowing-cast-in-hot-path): machine count is bounded by live containers < 2^32
+            (self.machines.len() - 1) as u32
+        }
+    }
+
+    fn machine(&self, idx: u32) -> &WarmContainer {
+        self.machines[idx as usize]
+            .as_ref()
+            .expect("measured containers carry machines")
+    }
+
+    fn machine_mut(&mut self, idx: u32) -> &mut WarmContainer {
+        self.machines[idx as usize]
+            .as_mut()
+            .expect("measured containers carry machines")
+    }
+
     /// Allocates a slab slot for a fresh container (recycling retired
     /// slots; `gen` survives recycling so stale expiries miss).
     fn alloc_slot(&mut self, workload: u32, node: usize, measured: Option<WarmContainer>) -> u32 {
         self.live_count += 1;
+        let machine = match measured {
+            Some(m) => self.attach_machine(m),
+            None => NO_MACHINE,
+        };
         if let Some(slot) = self.free.pop() {
             let c = &mut self.slots[slot as usize];
             debug_assert!(!c.live, "free list must only hold retired slots");
@@ -1031,7 +1112,8 @@ impl<'a> Sim<'a> {
             c.squeezed = false;
             c.squeeze_floor = 0;
             c.squeeze_refault = 0;
-            c.measured = measured;
+            c.pm_parked = false;
+            c.machine = machine;
             slot
         } else {
             self.slots.push(Slot {
@@ -1045,7 +1127,8 @@ impl<'a> Sim<'a> {
                 squeezed: false,
                 squeeze_floor: 0,
                 squeeze_refault: 0,
-                measured,
+                pm_parked: false,
+                machine,
             });
             // lint:allow(narrowing-cast-in-hot-path): slot count is bounded by live containers < 2^32
             (self.slots.len() - 1) as u32
@@ -1101,18 +1184,34 @@ impl<'a> Sim<'a> {
         } else {
             0
         };
+        // A PM-parked container pays the restore premium: recovery plus
+        // sealed-image replay (or demand refault on baselines) on top of
+        // the warm service time.
+        let pm_parked = std::mem::take(&mut c.pm_parked);
+        let (workload, machine) = (c.workload, c.machine);
+        if pm_parked {
+            self.pm_restores += 1;
+        }
         match &self.costs {
             Costs::Measured(_) => {
-                let m = c
-                    .measured
+                let m = self.machines[machine as usize]
                     .as_mut()
                     .expect("measured containers carry machines");
+                let pm_extra = if pm_parked { m.restore_from_pm() } else { 0 };
                 let stats = m.invoke();
-                (stats.total_cycles().raw() + refault, m.serving_peak_pages())
+                (
+                    stats.total_cycles().raw() + refault + pm_extra,
+                    m.serving_peak_pages(),
+                )
             }
             Costs::Profiled(costs) => {
-                let p = &costs[c.workload as usize];
-                (p.warm_cycles + refault, p.active_frames)
+                let p = &costs[workload as usize];
+                let base = if pm_parked {
+                    p.pm_restore_cycles
+                } else {
+                    p.warm_cycles
+                };
+                (base + refault, p.active_frames)
             }
         }
     }
@@ -1120,17 +1219,17 @@ impl<'a> Sim<'a> {
     /// Parks the container (sheds the pool's free reserve on Measured
     /// machines) and returns its idle-warm unreclaimable footprint.
     fn park_idle(&mut self, slot: u32) -> u64 {
-        let c = &mut self.slots[slot as usize];
+        let (workload, machine) = {
+            let c = &self.slots[slot as usize];
+            (c.workload, c.machine)
+        };
         match &self.costs {
             Costs::Measured(_) => {
-                let m = c
-                    .measured
-                    .as_mut()
-                    .expect("measured containers carry machines");
+                let m = self.machine_mut(machine);
                 m.park();
                 m.unreclaimable_pages()
             }
-            Costs::Profiled(costs) => costs[c.workload as usize].idle_frames,
+            Costs::Profiled(costs) => costs[workload as usize].idle_frames,
         }
     }
 
@@ -1144,14 +1243,45 @@ impl<'a> Sim<'a> {
         if c.squeezed {
             return c.squeeze_floor;
         }
+        // A PM-parked container's image and working set live in PM, not
+        // DRAM — that *is* the ground truth while it sits parked.
+        if c.pm_parked {
+            return match &self.costs {
+                Costs::Measured(_) => 0,
+                Costs::Profiled(costs) => costs[c.workload as usize].pm_idle_frames,
+            };
+        }
         match &self.costs {
-            Costs::Measured(_) => c
-                .measured
-                .as_ref()
-                .expect("measured containers carry machines")
-                .unreclaimable_pages(),
+            Costs::Measured(_) => self.machine(c.machine).unreclaimable_pages(),
             Costs::Profiled(costs) => costs[c.workload as usize].idle_frames,
         }
+    }
+
+    /// Parks an idle container to persistent memory: checkpoints its
+    /// Memento state (Measured machines run the real crash-consistent
+    /// protocol, audit included when the sanitizer is on; Profiled replays
+    /// the calibrated costs) and drops its DRAM contribution to the PM
+    /// idle footprint. The persist cycles are background PM write traffic,
+    /// accumulated off the latency path.
+    fn park_to_pm_slot(&mut self, slot: u32) {
+        let (persist, pm_idle) = match &self.costs {
+            Costs::Measured(_) => {
+                let machine = self.slots[slot as usize].machine;
+                let m = self.machine_mut(machine);
+                // Seed the crash-injection audit from the container's own
+                // checkpoint history — deterministic and shard-independent.
+                let seed = m.pm_sealed_epoch().map(|e| e.raw()).unwrap_or(0);
+                (m.park_to_pm(seed), 0)
+            }
+            Costs::Profiled(costs) => {
+                let p = &costs[self.slots[slot as usize].workload as usize];
+                (p.pm_persist_cycles, p.pm_idle_frames)
+            }
+        };
+        self.pm_persist_cycles += persist;
+        self.pm_parks += 1;
+        self.slots[slot as usize].pm_parked = true;
+        self.set_contrib(slot, pm_idle);
     }
 
     /// Squeezy-style pressure pass: while the fleet footprint sits above
@@ -1190,10 +1320,7 @@ impl<'a> Sim<'a> {
             }
             Costs::Measured(_) => {
                 let c = &self.slots[slot as usize];
-                let m = c
-                    .measured
-                    .as_ref()
-                    .expect("measured containers carry machines");
+                let m = self.machine(c.machine);
                 let idle = c.contrib;
                 let floor = m.squeeze_floor_pages().min(idle);
                 (floor, (idle - floor) * m.squeeze_refault_unit_cycles())
@@ -1443,6 +1570,26 @@ impl<'a> Sim<'a> {
                     self.retire(old);
                 }
             }
+            KeepAlive::ParkToPM { ttl_cycles } => {
+                // Park the idle container's state into persistent memory:
+                // near-zero DRAM while idle, a calibrated PM restore on
+                // the next hit, eviction when the retention TTL lapses.
+                // Constant TTL keeps the expiry FIFO fast path.
+                self.park_to_pm_slot(slot);
+                let c = &self.slots[slot as usize];
+                let (gen, token) = (c.gen, c.token);
+                let old = std::mem::replace(&mut self.warm[widx], slot);
+                if old != NO_WARM {
+                    self.retire(old);
+                }
+                let seq = self.alloc_seq();
+                let at = self.now + ttl_cycles;
+                self.expiries
+                    .push_at(at, seq, ExpiryEv { slot, gen, token });
+                if (at, seq) < self.next_expiry {
+                    self.next_expiry = (at, seq);
+                }
+            }
             KeepAlive::SizeAware {
                 budget_frame_cycles,
                 min_cycles,
@@ -1501,15 +1648,33 @@ impl<'a> Sim<'a> {
         self.retire(slot);
     }
 
+    /// Folds a machine's sanitizer report into the fleet-level audit
+    /// accumulator (no-op when the sanitizer is off).
+    fn absorb_machine_report(&mut self, report: Option<memento_sanitizer::SanitizerReport>) {
+        let Some(r) = report else { return };
+        self.machine_audit.violations.extend(r.violations);
+        self.machine_audit.events += r.events;
+        self.machine_audit.ops += r.ops;
+        self.machine_audit.audits += r.audits;
+        self.machine_audit.oracle_ops += r.oracle_ops;
+    }
+
     fn retire(&mut self, slot: u32) {
         self.set_contrib(slot, 0);
         let c = &mut self.slots[slot as usize];
         debug_assert!(c.live, "retire targets a live container");
         c.live = false;
         c.squeezed = false;
+        c.pm_parked = false;
         c.gen = c.gen.wrapping_add(1);
-        if let Some(m) = c.measured.take() {
-            let _ = m.finish();
+        let machine = std::mem::replace(&mut c.machine, NO_MACHINE);
+        if machine != NO_MACHINE {
+            let m = self.machines[machine as usize]
+                .take()
+                .expect("measured containers carry machines");
+            let (_, report) = m.finish_with_report();
+            self.absorb_machine_report(report);
+            self.machine_free.push(machine);
         }
         self.free.push(slot);
         self.live_count -= 1;
@@ -1571,6 +1736,17 @@ impl<'a> Sim<'a> {
             );
         }
 
+        // Machines still live at drain keep their sanitizer findings too:
+        // fold them in so fleet cleanliness covers every container, not
+        // just the retired ones.
+        for slot in 0..self.slots.len() {
+            let (live, machine) = (self.slots[slot].live, self.slots[slot].machine);
+            if live && machine != NO_MACHINE {
+                let report = self.machine(machine).machine().sanitizer_report().cloned();
+                self.absorb_machine_report(report);
+            }
+        }
+
         let mut metrics = MetricsRegistry::new();
         metrics.add("cluster.submitted", self.submitted);
         metrics.add("cluster.completed", self.completed);
@@ -1585,6 +1761,11 @@ impl<'a> Sim<'a> {
         }
         if !matches!(self.cfg.reclamation, Reclamation::None) {
             metrics.add("cluster.squeezed", self.squeezed);
+        }
+        if matches!(self.cfg.keep_alive, KeepAlive::ParkToPM { .. }) {
+            metrics.add("cluster.pm_parks", self.pm_parks);
+            metrics.add("cluster.pm_restores", self.pm_restores);
+            metrics.add("cluster.pm_persist_cycles", self.pm_persist_cycles);
         }
         if !matches!(self.cfg.autoscaler, Autoscaler::None) {
             metrics.add("cluster.scale_ups", self.scale_ups);
@@ -1609,6 +1790,13 @@ impl<'a> Sim<'a> {
                 rejected_by.insert(*reason, self.rejected_by[i]);
             }
         }
+        let mut audit = auditor.into_report();
+        audit.violations.extend(self.machine_audit.violations);
+        audit.events += self.machine_audit.events;
+        audit.ops += self.machine_audit.ops;
+        audit.audits += self.machine_audit.audits;
+        audit.oracle_ops += self.machine_audit.oracle_ops;
+
         ClusterResult {
             submitted: self.submitted,
             completed: self.completed,
@@ -1621,6 +1809,8 @@ impl<'a> Sim<'a> {
             live_containers: self.live_count,
             restores: self.restores,
             squeezed: self.squeezed,
+            pm_parks: self.pm_parks,
+            pm_restores: self.pm_restores,
             peak_active_nodes: self.peak_active_nodes,
             makespan_cycles: self.now,
             peak_fleet_frames: self.fleet_peak,
@@ -1628,7 +1818,7 @@ impl<'a> Sim<'a> {
             timeline: self.timeline,
             latencies: self.latencies,
             metrics,
-            audit: auditor.into_report(),
+            audit,
         }
     }
 }
@@ -1687,6 +1877,9 @@ mod tests {
                 restore_cycles: 30_000 + 3_000 * i as u64,
                 squeeze_floor_frames: 10 + i as u64,
                 squeeze_refault_cycles: 5_000 + 500 * i as u64,
+                pm_restore_cycles: 20_000 + 2_000 * i as u64,
+                pm_persist_cycles: 8_000 + 800 * i as u64,
+                pm_idle_frames: 0,
             });
         }
         t
@@ -2266,6 +2459,133 @@ mod tests {
             "restore counter must be surfaced"
         );
         assert!(snap.is_clean() && boot.is_clean());
+    }
+
+    #[test]
+    fn park_to_pm_trades_restore_latency_for_idle_footprint() {
+        // Against an infinite warm pool, park-to-PM must (a) hold a far
+        // smaller resident fleet while idle and (b) pay for it with PM
+        // restore premiums on warm hits — never with lost work.
+        let mix = two_mix();
+        let arrival = ArrivalConfig {
+            seed: 29,
+            count: 800,
+            mean_interarrival_cycles: 40_000.0,
+        };
+        let base = ClusterConfig {
+            nodes: 4,
+            keep_alive: KeepAlive::Infinite,
+            ..ClusterConfig::default()
+        };
+        let warm_pool = run_profiled(&base, &arrival, &mix);
+        let pm = run_profiled(
+            &ClusterConfig {
+                keep_alive: KeepAlive::ParkToPM {
+                    ttl_cycles: 1 << 40,
+                },
+                ..base
+            },
+            &arrival,
+            &mix,
+        );
+        assert_eq!(pm.completed, warm_pool.completed, "no work lost");
+        assert_eq!(pm.pm_parks, pm.completed, "every completion parks");
+        assert_eq!(pm.pm_restores, pm.warm_starts, "every warm hit restores");
+        assert!(pm.pm_restores > 0, "the parked pool must get hits");
+        assert!(
+            pm.final_fleet_frames < warm_pool.final_fleet_frames / 4,
+            "parked images must shed the DRAM warm pool: {} vs {}",
+            pm.final_fleet_frames,
+            warm_pool.final_fleet_frames
+        );
+        assert!(
+            pm.latencies.iter().sum::<u64>() > warm_pool.latencies.iter().sum::<u64>(),
+            "PM restores cost more than staying warm"
+        );
+        assert_eq!(pm.metrics.counter("cluster.pm_parks"), pm.pm_parks);
+        assert_eq!(pm.metrics.counter("cluster.pm_restores"), pm.pm_restores);
+        assert!(
+            pm.metrics.counter("cluster.pm_persist_cycles") > 0,
+            "background persist traffic is surfaced"
+        );
+        assert_eq!(
+            warm_pool.metrics.counter("cluster.pm_parks"),
+            0,
+            "PM metrics stay inert without the policy"
+        );
+        assert!(pm.is_clean(), "park-to-pm audits: {}", pm.audit);
+    }
+
+    #[test]
+    fn park_to_pm_retention_ttl_expires_parked_images() {
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            nodes: 2,
+            keep_alive: KeepAlive::ParkToPM { ttl_cycles: 30_000 },
+            ..ClusterConfig::default()
+        };
+        let arrival = ArrivalConfig {
+            seed: 31,
+            count: 400,
+            mean_interarrival_cycles: 150_000.0,
+        };
+        let r = run_profiled(&cfg, &arrival, &mix);
+        assert!(r.expired > 0, "sparse arrivals must outlive the TTL");
+        assert!(r.pm_parks > 0);
+        assert_eq!(r.live_containers as usize, 0, "short TTL drains the pool");
+        assert!(r.is_clean(), "{}", r.audit);
+    }
+
+    #[test]
+    fn measured_engine_park_to_pm_runs_real_checkpoints() {
+        // The Measured engine drives the actual crash-consistent protocol
+        // (with the sanitizer's injection audit) on every park.
+        let mix = WorkloadMix::uniform(vec![small_spec("aes")]).expect("non-empty");
+        let cfg = ClusterConfig {
+            nodes: 2,
+            queue_capacity: 4,
+            keep_alive: KeepAlive::ParkToPM {
+                ttl_cycles: 1 << 40,
+            },
+            ..ClusterConfig::default()
+        };
+        let arrival = ArrivalConfig {
+            seed: 37,
+            count: 10,
+            mean_interarrival_cycles: 200_000.0,
+        };
+        let arrivals = generate_arrivals(&arrival, &mix).expect("valid arrivals");
+        let r = simulate(
+            Engine::Measured(Box::new(SystemConfig::memento_sanitized())),
+            &cfg,
+            &mix,
+            &arrivals,
+        )
+        .expect("valid cluster run");
+        assert_eq!(r.completed, 10);
+        assert_eq!(r.pm_parks, r.completed);
+        assert!(r.pm_restores > 0, "warm hits revive parked machines");
+        assert!(
+            r.audit.audits > r.pm_parks,
+            "machine-level audits (crash injections included) must surface \
+             in the fleet report: {} audits",
+            r.audit.audits
+        );
+        assert!(r.is_clean(), "measured park-to-pm audits: {}", r.audit);
+    }
+
+    #[test]
+    fn zero_park_to_pm_ttl_is_a_typed_error() {
+        let mix = two_mix();
+        let cfg = ClusterConfig {
+            keep_alive: KeepAlive::ParkToPM { ttl_cycles: 0 },
+            ..ClusterConfig::default()
+        };
+        let r = simulate(Engine::Profiled(synthetic_table(&mix)), &cfg, &mix, &[]);
+        assert!(
+            matches!(r, Err(ClusterError::InvalidKeepAlive(_))),
+            "zero TTL must be rejected"
+        );
     }
 
     #[test]

@@ -51,6 +51,10 @@ fn table_for(
                 .clamp(warm_cycles + 1, (cold_cycles - 1).max(warm_cycles + 1)),
             squeeze_floor_frames: idle_frames / 2,
             squeeze_refault_cycles: 710 * (idle_frames - idle_frames / 2),
+            pm_restore_cycles: (warm_cycles + cold_over_warm / 4)
+                .clamp(warm_cycles + 1, (cold_cycles - 1).max(warm_cycles + 1)),
+            pm_persist_cycles: 37 + 11 * i as u64,
+            pm_idle_frames: 0,
         });
     }
     t
@@ -84,6 +88,7 @@ fn arb_case() -> impl Strategy<Value = FleetCase> {
                 Just(KeepAlive::None),
                 (1_000u64..2_000_000).prop_map(KeepAlive::Fixed),
                 Just(KeepAlive::Infinite),
+                (1_000u64..2_000_000).prop_map(|ttl_cycles| KeepAlive::ParkToPM { ttl_cycles }),
             ],
             any::<u64>(),
             1u64..800,

@@ -54,6 +54,10 @@ fn table_for(mix: &WorkloadMix, warm: u64, cold_over_warm: u64, idle: u64) -> Pr
                 .clamp(warm_cycles + 1, (cold_cycles - 1).max(warm_cycles + 1)),
             squeeze_floor_frames: idle_frames / 3,
             squeeze_refault_cycles: 710 * (idle_frames - idle_frames / 3),
+            pm_restore_cycles: (warm_cycles + cold_over_warm / 4)
+                .clamp(warm_cycles + 1, (cold_cycles - 1).max(warm_cycles + 1)),
+            pm_persist_cycles: 53 + 7 * i as u64,
+            pm_idle_frames: 0,
         });
     }
     t
@@ -95,6 +99,7 @@ fn arb_region_case() -> impl Strategy<Value = RegionCase> {
                     max_cycles: 80_000,
                 }),
                 Just(KeepAlive::Infinite),
+                (2_000u64..60_000).prop_map(|ttl_cycles| KeepAlive::ParkToPM { ttl_cycles }),
             ],
             prop_oneof![Just(ColdStart::Boot), Just(ColdStart::Snapshot)],
             prop_oneof![

@@ -20,7 +20,7 @@ use memento_simcore::addr::{PhysAddr, VirtAddr, CACHE_LINE_SIZE, PAGE_SIZE};
 use memento_simcore::cycles::Cycles;
 use memento_simcore::physmem::PhysMem;
 use memento_vm::tlb::Tlb;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// `prev`-field sentinel marking an arena as *current* (cached in a HOT or
@@ -146,6 +146,20 @@ pub enum DeviceEvent {
         /// Physical address of the header page.
         header_pa: PhysAddr,
     },
+    /// The container's Memento state was checkpointed to persistent
+    /// memory and sealed under `epoch` (a park-to-PM transition).
+    PmParked {
+        /// The sealed checkpoint epoch.
+        epoch: u64,
+        /// Records in the sealed image.
+        records: u64,
+    },
+    /// The container was restored from the sealed PM checkpoint `epoch`
+    /// (a restore-from-PM transition).
+    PmRestored {
+        /// The epoch the restore replayed.
+        epoch: u64,
+    },
 }
 
 /// Saved per-(core, class) state spilled by a HOT flush.
@@ -170,6 +184,49 @@ impl MementoProcess {
     pub fn region(&self) -> MementoRegion {
         self.paging.region
     }
+}
+
+/// One live arena in a PM checkpoint capture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PmArenaState {
+    /// Arena base VA.
+    pub va: VirtAddr,
+    /// Size class.
+    pub class: SizeClass,
+    /// Allocation bitmap (the HOT-cached copy for cached arenas).
+    pub bitmap: [u64; 4],
+    /// Physical address of the header page.
+    pub header_pa: PhysAddr,
+}
+
+/// One valid HOT entry in a PM checkpoint capture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PmHotState {
+    /// Core whose HOT caches the entry.
+    pub core: usize,
+    /// Size class (HOT slot).
+    pub class: SizeClass,
+    /// Arena base VA the entry caches.
+    pub va: VirtAddr,
+    /// Cached allocation bitmap (may be dirtier than memory).
+    pub bitmap: [u64; 4],
+    /// Physical address of the backing header page.
+    pub header_pa: PhysAddr,
+}
+
+/// The device-visible Memento state of one process, captured for a
+/// persistent checkpoint (see [`MementoDevice::pm_state`]). Everything is
+/// deterministically ordered.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PmState {
+    /// Every live arena, ordered by base VA.
+    pub arenas: Vec<PmArenaState>,
+    /// Nonzero AAC bump pointers as `(core, class, next)`.
+    pub bumps: Vec<(usize, SizeClass, u64)>,
+    /// Valid HOT entries in the process's region, ordered by (core, class).
+    pub hot: Vec<PmHotState>,
+    /// Memento page-table mappings of live arena pages as `(va, pa)`.
+    pub mappings: Vec<(VirtAddr, PhysAddr)>,
 }
 
 /// Result of `obj-alloc`.
@@ -1009,6 +1066,115 @@ impl MementoDevice {
             backed += b1 + b2;
         }
         (live, backed)
+    }
+
+    // ----- persistent-memory checkpoints ---------------------------------
+
+    /// Logs a park-to-PM transition (checkpoint sealed under `epoch`) for
+    /// external auditors. Untimed, event-log-gated like every device event.
+    pub fn note_pm_parked(&mut self, epoch: u64, records: u64) {
+        if self.log_events {
+            self.events.push(DeviceEvent::PmParked { epoch, records });
+        }
+    }
+
+    /// Logs a restore-from-PM transition (image of `epoch` replayed).
+    pub fn note_pm_restored(&mut self, epoch: u64) {
+        if self.log_events {
+            self.events.push(DeviceEvent::PmRestored { epoch });
+        }
+    }
+
+    /// Captures the device-visible Memento state of `proc` for a
+    /// persistent checkpoint: every live arena (current, available, and
+    /// full lists of every core and class — HOT-cached headers taken from
+    /// the cache, which may be dirtier than memory), the AAC bump
+    /// pointers, the valid HOT entries, and the Memento page-table
+    /// mappings of every live arena page. Deterministically ordered;
+    /// untimed instrumentation (the persist cost is charged by the
+    /// persistence layer, not here).
+    pub fn pm_state(&self, mem: &PhysMem, proc: &MementoProcess) -> PmState {
+        let cores = self.hots.len();
+        // Live arenas keyed by VA: cached current arenas may also need
+        // their in-memory twins skipped, so collect into a map first.
+        let mut arenas: BTreeMap<u64, PmArenaState> = BTreeMap::new();
+        let mut insert = |header: &ArenaHeader, class: SizeClass, pa: PhysAddr| {
+            arenas.insert(
+                header.va.raw(),
+                PmArenaState {
+                    va: header.va,
+                    class,
+                    bitmap: header.bitmap,
+                    header_pa: pa,
+                },
+            );
+        };
+        let walk = |head: u64,
+                    class: SizeClass,
+                    insert: &mut dyn FnMut(&ArenaHeader, SizeClass, PhysAddr)| {
+            let mut at = head;
+            let mut guard = 0;
+            while at != 0 && at != CURRENT_SENTINEL && guard < 1_000_000 {
+                let h = ArenaHeader::load(mem, PhysAddr::new(at));
+                let next = h.next;
+                insert(&h, class, PhysAddr::new(at));
+                at = next;
+                guard += 1;
+            }
+        };
+        let mut hot = Vec::new();
+        for core in 0..cores {
+            for sc in SizeClass::all() {
+                let e = self.hots[core].entry(sc);
+                let (avail, full) = if e.valid && proc.paging.region.contains(e.header.va) {
+                    insert(&e.header, sc, e.pa);
+                    hot.push(PmHotState {
+                        core,
+                        class: sc,
+                        va: e.header.va,
+                        bitmap: e.header.bitmap,
+                        header_pa: e.pa,
+                    });
+                    (e.avail_head, e.full_head)
+                } else if let Some(s) = proc.saved.get(&(core, sc.index() as u8)) {
+                    if s.header_pa != 0 {
+                        let h = ArenaHeader::load(mem, PhysAddr::new(s.header_pa));
+                        insert(&h, sc, PhysAddr::new(s.header_pa));
+                    }
+                    (s.avail_head, s.full_head)
+                } else {
+                    (0, 0)
+                };
+                walk(avail, sc, &mut insert);
+                walk(full, sc, &mut insert);
+            }
+        }
+        let mut bumps = Vec::new();
+        for core in 0..cores {
+            for sc in SizeClass::all() {
+                let next = proc.paging.bump_for(core, sc);
+                if next != 0 {
+                    bumps.push((core, sc, next));
+                }
+            }
+        }
+        // The page-table mappings backing every live arena page (the
+        // working set a demand-refaulting restore would fault back in).
+        let mut mappings = Vec::new();
+        for state in arenas.values() {
+            for page in 0..state.class.arena_pages() as u64 {
+                let va = state.va.add(page * PAGE_SIZE as u64);
+                if let Some(t) = proc.paging.page_table.translate(mem, va) {
+                    mappings.push((va, t.frame.base_addr()));
+                }
+            }
+        }
+        PmState {
+            arenas: arenas.into_values().collect(),
+            bumps,
+            hot,
+            mappings,
+        }
     }
 
     // ----- context switches ----------------------------------------------

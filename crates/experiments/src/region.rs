@@ -23,6 +23,12 @@
 //! 5. `kiss` — KiSS-style size-aware keep-alive on top of bundle 4:
 //!    big idle footprints expire sooner than small ones under a shared
 //!    frame-cycle budget.
+//! 6. `park-to-pm` (opt-in via [`RegionParams::park_to_pm`]) — idle
+//!    containers checkpoint their Memento state to persistent memory and
+//!    shed their entire DRAM footprint; a warm hit replays the sealed
+//!    image (Memento) or demand-refaults the working set (baseline,
+//!    which persists an empty image). Off by default so the five-bundle
+//!    matrix — and the golden snapshot pinned to it — is unchanged.
 //!
 //! Each bundle runs under a flat Poisson trace and a flash-crowd-on-
 //! diurnal trace (Lewis–Shedler thinning, byte-deterministic), for both
@@ -37,8 +43,8 @@ use crate::runner;
 use crate::table::Table;
 use memento_cluster::{
     calibrate, generate_trace, simulate, Arrival, ArrivalConfig, ArrivalTrace, Autoscaler,
-    AutoscalerConfig, ClusterConfig, ColdStart, DiurnalTrace, Engine, FlashCrowd, KeepAlive,
-    Placement, ProfileTable, Reclamation, ServiceProfile, UniformTrace, WorkloadMix,
+    AutoscalerConfig, ClusterConfig, ColdStart, DiurnalTrace, EmpiricalTrace, Engine, FlashCrowd,
+    KeepAlive, Placement, ProfileTable, Reclamation, ServiceProfile, UniformTrace, WorkloadMix,
 };
 use memento_system::{stats, SystemConfig};
 use memento_workloads::spec::WorkloadSpec;
@@ -65,6 +71,15 @@ pub struct RegionParams {
     pub invocations: u64,
     /// Arrival-process seed (shared by every cell).
     pub seed: u64,
+    /// Include the sixth `park-to-pm` bundle. Off by default: the
+    /// five-bundle matrix (and every golden capture of it) is reproduced
+    /// byte-for-byte when this is false.
+    pub park_to_pm: bool,
+    /// Replay the checked-in Azure-style day curve instead of the
+    /// synthetic diurnal base under the bursty trace (satellite of the
+    /// PR 9 "Azure-trace replay" follow-on). Off by default for the same
+    /// golden-stability reason.
+    pub empirical_trace: bool,
 }
 
 impl Default for RegionParams {
@@ -76,6 +91,8 @@ impl Default for RegionParams {
             queue_capacity: 32,
             invocations: 1_000_000,
             seed: 7,
+            park_to_pm: false,
+            empirical_trace: false,
         }
     }
 }
@@ -107,6 +124,12 @@ pub struct RegionRow {
     pub restores: u64,
     /// Containers squeezed by pressure reclamation.
     pub squeezed: u64,
+    /// Idle containers checkpointed to persistent memory (0 unless the
+    /// `park-to-pm` bundle is enabled).
+    pub pm_parks: u64,
+    /// Warm starts served by replaying a PM image (0 unless the
+    /// `park-to-pm` bundle is enabled).
+    pub pm_restores: u64,
     /// Most nodes ever committed at once.
     pub peak_nodes: u64,
     /// Drain-time conservation + lifecycle audits passed.
@@ -182,12 +205,35 @@ const BUNDLES: [Bundle; 5] = [
     },
 ];
 
+/// The opt-in sixth bundle: snapshot cold starts and autoscaling like
+/// bundle 3, but idle containers park to persistent memory instead of
+/// holding a DRAM warm pool. It does not squeeze (`reclaims: false`) —
+/// parking sheds the whole idle footprint, so there is nothing left for
+/// a watermark pass to take.
+const PM_BUNDLE: Bundle = Bundle {
+    label: "park-to-pm",
+    reclaims: false,
+};
+
+/// The bundle list for a run: the five-bundle PR 9 matrix, plus
+/// `park-to-pm` when opted in.
+fn bundles(params: &RegionParams) -> Vec<&'static Bundle> {
+    let mut all: Vec<&'static Bundle> = BUNDLES.iter().collect();
+    if params.park_to_pm {
+        all.push(&PM_BUNDLE);
+    }
+    all
+}
+
 /// Derived per-config knobs every bundle shares.
 struct Knobs {
     fixed_ttl: u64,
     size_aware: KeepAlive,
     watermark: u64,
     autoscaler: AutoscalerConfig,
+    /// Park-to-PM retention TTL. Parked images cost no DRAM, so they can
+    /// be retained far longer than a DRAM warm pool before eviction pays.
+    pm_ttl: u64,
 }
 
 fn knobs(params: &RegionParams, profiles: &[ServiceProfile]) -> Knobs {
@@ -220,6 +266,7 @@ fn knobs(params: &RegionParams, profiles: &[ServiceProfile]) -> Knobs {
             max_nodes: params.max_nodes,
             spinup_cycles: 8 * max_cold,
         },
+        pm_ttl: fixed_ttl * 8,
     }
 }
 
@@ -230,10 +277,12 @@ fn cell_config(params: &RegionParams, k: &Knobs, bundle: &Bundle) -> ClusterConf
         queue_capacity: params.queue_capacity,
         cores_per_node: 1,
         placement: Placement::LeastLoaded,
-        keep_alive: if bundle.label == "kiss" {
-            k.size_aware
-        } else {
-            KeepAlive::Fixed(k.fixed_ttl)
+        keep_alive: match bundle.label {
+            "kiss" => k.size_aware,
+            "park-to-pm" => KeepAlive::ParkToPM {
+                ttl_cycles: k.pm_ttl,
+            },
+            _ => KeepAlive::Fixed(k.fixed_ttl),
         },
         cold_start: if matches!(bundle.label, "fixed-fleet" | "autoscale") {
             ColdStart::Boot
@@ -277,6 +326,8 @@ fn summarize(
         rejected: result.rejected,
         restores: result.restores,
         squeezed: result.squeezed,
+        pm_parks: result.pm_parks,
+        pm_restores: result.pm_restores,
         peak_nodes: result.peak_active_nodes,
         clean: result.is_clean(),
         on_front: false,
@@ -330,17 +381,39 @@ pub fn run_specs(
         count: params.invocations,
         mean_interarrival_cycles: mean_service / (params.nodes as f64 * 0.9),
     };
-    let flash = FlashCrowd {
-        base: DiurnalTrace {
-            day_cycles: (mean_service * 20_000.0) as u64,
-            trough_ppm: 250_000,
-            peak_ppm: 1_000_000,
-        },
-        period_cycles: (mean_service * 2_000.0) as u64,
-        burst_cycles: (mean_service * 200.0) as u64,
-        multiplier: 3,
+    // The bursty trace: flash crowds over a day curve — the synthetic
+    // triangle-wave diurnal by default, or the checked-in Azure-style
+    // hourly table when `empirical_trace` is set.
+    let day_cycles = (mean_service * 20_000.0) as u64;
+    let period_cycles = (mean_service * 2_000.0) as u64;
+    let burst_cycles = (mean_service * 200.0) as u64;
+    let (bursty_label, bursty): (&str, Box<dyn ArrivalTrace>) = if params.empirical_trace {
+        (
+            "azure",
+            Box::new(FlashCrowd {
+                base: EmpiricalTrace::azure_day(day_cycles),
+                period_cycles,
+                burst_cycles,
+                multiplier: 3,
+            }),
+        )
+    } else {
+        (
+            "flash",
+            Box::new(FlashCrowd {
+                base: DiurnalTrace {
+                    day_cycles,
+                    trough_ppm: 250_000,
+                    peak_ppm: 1_000_000,
+                },
+                period_cycles,
+                burst_cycles,
+                multiplier: 3,
+            }),
+        )
     };
-    let traces: [(&str, &dyn ArrivalTrace); 2] = [("uniform", &UniformTrace), ("flash", &flash)];
+    let traces: [(&str, &dyn ArrivalTrace); 2] =
+        [("uniform", &UniformTrace), (bursty_label, bursty.as_ref())];
     let arrival_sets: Vec<(&str, Vec<Arrival>)> = traces
         .iter()
         .map(|(label, trace)| Ok((*label, generate_trace(&arrival, &mix, *trace)?)))
@@ -348,15 +421,16 @@ pub fn run_specs(
 
     // One shard per (trace, bundle, config) cell, trace-major so rows
     // land in presentation order.
+    let run_bundles = bundles(&params);
     let configs = tables.len();
     let cell_points: Vec<(usize, usize, usize)> = (0..arrival_sets.len())
         .flat_map(|ti| {
-            (0..BUNDLES.len()).flat_map(move |bi| (0..configs).map(move |ci| (ti, bi, ci)))
+            (0..run_bundles.len()).flat_map(move |bi| (0..configs).map(move |ci| (ti, bi, ci)))
         })
         .collect();
     let cell_results = runner::map_ordered(jobs, &cell_points, |&(ti, bi, ci)| {
         let (trace_label, arrivals) = &arrival_sets[ti];
-        let bundle = &BUNDLES[bi];
+        let bundle = run_bundles[bi];
         let (config_label, k, table) = &tables[ci];
         let cfg = cell_config(&params, k, bundle);
         let result = simulate(Engine::Profiled(table.clone()), &cfg, &mix, arrivals)?;
@@ -392,16 +466,21 @@ pub fn run_specs(
         }
     }
 
-    // Headline acceptance: a reclaiming Memento point under the bursty
-    // trace that no baseline point (any policy) dominates.
+    // Headline acceptance: a footprint-shedding Memento point (squeeze,
+    // KiSS, or park-to-PM) under the bursty trace that no baseline point
+    // (any policy) dominates.
     let baseline_flash: Vec<(f64, f64)> = rows
         .iter()
-        .filter(|r| r.trace == "flash" && r.config == "baseline")
+        .filter(|r| r.trace == bursty_label && r.config == "baseline")
         .map(|r| (r.p99_us, r.peak_mb))
         .collect();
     let memento_on_flash_front = rows
         .iter()
-        .filter(|r| r.trace == "flash" && r.config == "memento" && r.reclaims)
+        .filter(|r| {
+            r.trace == bursty_label
+                && r.config == "memento"
+                && (r.reclaims || r.policy == PM_BUNDLE.label)
+        })
         .any(|r| {
             !baseline_flash
                 .iter()
@@ -465,21 +544,20 @@ impl fmt::Display for RegionReport {
             "(open-loop traces via thinning; latency includes queue wait; \
              * marks the (trace, config) Pareto front on p99 x peak footprint)"
         )?;
-        let mut t = Table::new(vec![
-            "trace",
-            "policy",
-            "config",
-            "p50 µs",
-            "p95 µs",
-            "p99 µs",
-            "peak MB",
-            "restores",
+        // PM columns appear only when the park-to-pm bundle ran, so the
+        // five-bundle table renders byte-identically to its PR 9 form.
+        let with_pm = self.rows.iter().any(|r| r.pm_parks > 0);
+        let mut headers = vec![
+            "trace", "policy", "config", "p50 µs", "p95 µs", "p99 µs", "peak MB", "restores",
             "squeezed",
-            "peak nodes",
-            "rejected",
-        ]);
+        ];
+        if with_pm {
+            headers.push("pm parks");
+        }
+        headers.extend(["peak nodes", "rejected"]);
+        let mut t = Table::new(headers);
         for row in &self.rows {
-            t.row(vec![
+            let mut cells = vec![
                 row.trace.clone(),
                 format!("{}{}", row.policy, if row.on_front { " *" } else { "" }),
                 row.config.clone(),
@@ -489,14 +567,23 @@ impl fmt::Display for RegionReport {
                 format!("{:.2}", row.peak_mb),
                 row.restores.to_string(),
                 row.squeezed.to_string(),
-                row.peak_nodes.to_string(),
-                row.rejected.to_string(),
-            ]);
+            ];
+            if with_pm {
+                cells.push(row.pm_parks.to_string());
+            }
+            cells.extend([row.peak_nodes.to_string(), row.rejected.to_string()]);
+            t.row(cells);
         }
         write!(f, "{t}")?;
+        let bursty = self
+            .rows
+            .iter()
+            .map(|r| r.trace.as_str())
+            .find(|t| *t != "uniform")
+            .unwrap_or("flash");
         write!(
             f,
-            "\nunder the flash trace, a reclaiming memento point {} the baseline Pareto front",
+            "\nunder the {bursty} trace, a reclaiming memento point {} the baseline Pareto front",
             if self.memento_on_flash_front {
                 "sits on or inside"
             } else {
@@ -601,6 +688,8 @@ mod tests {
 
     #[test]
     fn report_is_byte_identical_across_job_counts() {
+        // Full feature surface on: the sixth bundle and the empirical
+        // trace must shard exactly like the PR 9 matrix.
         let renders: Vec<String> = [1, 3, 7]
             .iter()
             .map(|&jobs| {
@@ -610,6 +699,8 @@ mod tests {
                     jobs,
                     RegionParams {
                         invocations: 6_000,
+                        park_to_pm: true,
+                        empirical_trace: true,
                         ..RegionParams::default()
                     },
                 )
@@ -619,6 +710,116 @@ mod tests {
             .collect();
         assert_eq!(renders[0], renders[1], "jobs=1 vs jobs=3");
         assert_eq!(renders[0], renders[2], "jobs=1 vs jobs=7");
+    }
+
+    #[test]
+    fn park_to_pm_bundle_extends_the_matrix_and_sheds_footprint() {
+        let report = run_for_jobs(
+            &["aes", "html", "Redis"],
+            32,
+            2,
+            RegionParams {
+                invocations: 8_000,
+                park_to_pm: true,
+                ..RegionParams::default()
+            },
+        )
+        .expect("known workloads");
+        assert_eq!(
+            report.rows.len(),
+            2 * (BUNDLES.len() + 1) * 2,
+            "2 traces x 6 bundles x 2 configs"
+        );
+        let rendered = report.to_string();
+        assert!(
+            rendered.contains("pm parks"),
+            "PM column appears: {rendered}"
+        );
+        for row in report.rows.iter().filter(|r| r.policy == "park-to-pm") {
+            assert!(row.clean, "{}/{} audits must pass", row.trace, row.config);
+            assert!(row.pm_parks > 0, "{}/{} must park", row.trace, row.config);
+            assert!(
+                row.pm_restores > 0,
+                "{}/{} must serve warm hits from PM",
+                row.trace,
+                row.config
+            );
+            assert_eq!(row.squeezed, 0, "parking leaves nothing to squeeze");
+            assert!(row.restores > 0, "cold paths still snapshot-restore");
+        }
+        // Under the steady trace — where the peak is set by the warm pool,
+        // not by burst-concurrent actives — parking the idle pool must
+        // beat the keep-warm snapshot bundle on peak footprint.
+        for config in ["baseline", "memento"] {
+            let peak_of = |policy: &str| {
+                report
+                    .rows
+                    .iter()
+                    .find(|r| r.trace == "uniform" && r.config == config && r.policy == policy)
+                    .map(|r| r.peak_mb)
+                    .expect("cell exists")
+            };
+            assert!(
+                peak_of("park-to-pm") < peak_of("+snapshot"),
+                "uniform/{config}: parked fleet must hold fewer frames"
+            );
+        }
+        // With baseline park-to-pm points in play the headline must still
+        // hold: some footprint-shedding memento point stays undominated.
+        assert!(
+            report.memento_on_flash_front,
+            "memento must keep its place on the bursty front:\n{report}"
+        );
+        // No six-bundle row perturbs the original five-bundle numbers:
+        // re-running without the flag reproduces the PR 9 table verbatim.
+        let five = run_for_jobs(
+            &["aes", "html", "Redis"],
+            32,
+            2,
+            RegionParams {
+                invocations: 8_000,
+                ..RegionParams::default()
+            },
+        )
+        .expect("known workloads");
+        assert!(!five.to_string().contains("park-to-pm"));
+        assert!(!five.to_string().contains("pm parks"));
+        for (a, b) in five
+            .rows
+            .iter()
+            .zip(report.rows.iter().filter(|r| r.policy != "park-to-pm"))
+        {
+            assert_eq!(a.policy, b.policy);
+            assert_eq!((a.p99_us, a.peak_mb), (b.p99_us, b.peak_mb));
+            assert_eq!(a.completed, b.completed);
+        }
+    }
+
+    #[test]
+    fn empirical_trace_flag_replays_the_azure_day_curve() {
+        let report = run_for_jobs(
+            &["aes", "html"],
+            32,
+            2,
+            RegionParams {
+                invocations: 6_000,
+                empirical_trace: true,
+                ..RegionParams::default()
+            },
+        )
+        .expect("known workloads");
+        assert!(
+            report.rows.iter().any(|r| r.trace == "azure"),
+            "bursty rows must carry the azure label"
+        );
+        assert!(
+            report.rows.iter().all(|r| r.trace != "flash"),
+            "the synthetic diurnal base is replaced, not added"
+        );
+        assert!(report.to_string().contains("under the azure trace"));
+        for row in &report.rows {
+            assert!(row.clean, "{}/{} audits", row.trace, row.policy);
+        }
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! The cycle cost model for persist and restore.
+//!
+//! Persist is priced per dirty line: one `clwb`-shaped flush per record
+//! line plus ordering fences at the protocol's two commit points (after
+//! the record batch, after the seal word). Restore is priced both ways a
+//! recovery could bring the image back — eager replay of every image line
+//! versus demand-refaulting the mapped pages — and the model picks the
+//! cheaper, which is the choice a restore policy would make given the
+//! image shape (header-heavy images replay; page-heavy images are where
+//! replay wins by avoiding per-page fault work).
+
+use crate::image::PmImage;
+
+/// Which restore strategy the cost model picked for an image.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RestoreKind {
+    /// Eagerly replay every image line into the hardware structures.
+    #[default]
+    Replay,
+    /// Map lazily and demand-refault the pages on first touch.
+    Refault,
+}
+
+impl std::fmt::Display for RestoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreKind::Replay => f.write_str("replay"),
+            RestoreKind::Refault => f.write_str("refault"),
+        }
+    }
+}
+
+/// Cycle prices for the PM operations the pool issues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PmCosts {
+    /// Flushing one 64-byte line to PM (`clwb` + write-queue drain share).
+    pub flush_line_cycles: u64,
+    /// One ordering fence (`sfence`).
+    pub fence_cycles: u64,
+    /// Reading one image line back and applying it during replay.
+    pub replay_line_cycles: u64,
+    /// Demand-refaulting one mapped page on restore (machine-specific:
+    /// the integration layer sets this from its kernel cost table).
+    pub refault_page_cycles: u64,
+}
+
+impl PmCosts {
+    /// Defaults in line with the simulator's DRAM-relative scale: PM line
+    /// flushes cost a few DRAM accesses, fences drain the write queue,
+    /// replay reads are PM-read priced.
+    pub fn paper_default() -> Self {
+        PmCosts {
+            flush_line_cycles: 120,
+            fence_cycles: 60,
+            replay_line_cycles: 90,
+            refault_page_cycles: 1200,
+        }
+    }
+
+    /// Persist cost of one full checkpoint of `image`: slot invalidation,
+    /// per-line flushes, batch fence, seal-word flush, commit fence.
+    pub fn persist_cycles(&self, image: &PmImage) -> u64 {
+        (image.lines() + 2) * self.flush_line_cycles + 3 * self.fence_cycles
+    }
+
+    /// Restore cost of `image` and the strategy that achieves it: the
+    /// cheaper of eager line replay and per-page demand refault. Images
+    /// with no mapped pages always replay (there is nothing to fault).
+    pub fn restore_cycles(&self, image: &PmImage) -> (u64, RestoreKind) {
+        let replay = image.lines() * self.replay_line_cycles + self.fence_cycles;
+        let pages = image.mapped_pages();
+        if pages == 0 {
+            return (replay, RestoreKind::Replay);
+        }
+        // A refaulting restore still replays the non-page records (bump
+        // pointers, HOT headers) — only the page-table lines go lazy.
+        let eager_lines = image.lines() - pages;
+        let refault = eager_lines * self.replay_line_cycles
+            + self.fence_cycles
+            + pages * self.refault_page_cycles;
+        if replay <= refault {
+            (replay, RestoreKind::Replay)
+        } else {
+            (refault, RestoreKind::Refault)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::PmRecord;
+
+    fn image(pages: u64, bumps: u64) -> PmImage {
+        let mut records = Vec::new();
+        for i in 0..pages {
+            records.push(PmRecord::PageMap {
+                va: 0x1000 * (i + 1),
+                pa: i + 1,
+            });
+        }
+        for i in 0..bumps {
+            records.push(PmRecord::Bump {
+                core: 0,
+                class: i as u8,
+                next: 1,
+            });
+        }
+        PmImage::normalize(1, &records)
+    }
+
+    #[test]
+    fn persist_charges_every_line_plus_protocol_overhead() {
+        let costs = PmCosts::paper_default();
+        let img = image(3, 2);
+        assert_eq!(
+            costs.persist_cycles(&img),
+            (5 + 2) * costs.flush_line_cycles + 3 * costs.fence_cycles
+        );
+    }
+
+    #[test]
+    fn restore_picks_replay_when_refault_is_dearer() {
+        let costs = PmCosts::paper_default();
+        // refault_page_cycles >> replay_line_cycles, so page-bearing
+        // images replay.
+        let (cycles, kind) = costs.restore_cycles(&image(8, 1));
+        assert_eq!(kind, RestoreKind::Replay);
+        assert_eq!(cycles, 9 * costs.replay_line_cycles + costs.fence_cycles);
+    }
+
+    #[test]
+    fn restore_refaults_when_faults_are_cheap() {
+        let costs = PmCosts {
+            refault_page_cycles: 10,
+            ..PmCosts::paper_default()
+        };
+        let (cycles, kind) = costs.restore_cycles(&image(8, 1));
+        assert_eq!(kind, RestoreKind::Refault);
+        assert_eq!(
+            cycles,
+            costs.replay_line_cycles + costs.fence_cycles + 8 * 10
+        );
+    }
+
+    #[test]
+    fn pageless_images_always_replay() {
+        let costs = PmCosts {
+            refault_page_cycles: 0,
+            ..PmCosts::paper_default()
+        };
+        let (_, kind) = costs.restore_cycles(&image(0, 4));
+        assert_eq!(kind, RestoreKind::Replay);
+    }
+}

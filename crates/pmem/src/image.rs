@@ -1,0 +1,217 @@
+//! Checkpoint images: the device-visible Memento state of one parked
+//! container, flattened into cache-line-sized records.
+//!
+//! A record is the unit of persistence: each one occupies (at most) one
+//! 64-byte PM line, so the persist cost model can charge one `clwb` per
+//! record and the restore cost model one line replay per record. The four
+//! record kinds mirror the four hardware structures a park must carry
+//! across power loss for a restore to skip the cold boot: in-memory arena
+//! headers (VA + allocation bitmap), AAC bump pointers, HOT-resident
+//! header copies (which may be dirtier than memory), and the Memento page
+//! table's mappings.
+
+use std::fmt;
+
+/// One cache-line-sized record in a checkpoint image.
+///
+/// All fields are plain integers — the crate models persistence mechanics
+/// and costs, not the allocator itself, so it stays independent of the
+/// core crate's types (`class` is a size-class index, addresses are raw).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PmRecord {
+    /// An in-memory arena header: base VA, size-class index, allocation
+    /// bitmap, and the physical address of the header page. 48 bytes of
+    /// payload — one PM line.
+    Arena {
+        /// Arena base VA.
+        va: u64,
+        /// Size-class index.
+        class: u8,
+        /// Allocation bitmap (bit i ⇒ slot i live).
+        bitmap: [u64; 4],
+        /// Physical address of the header page.
+        header_pa: u64,
+    },
+    /// An AAC bump pointer: the next arena index for `(core, class)`.
+    Bump {
+        /// Core the bump pointer belongs to.
+        core: u32,
+        /// Size-class index.
+        class: u8,
+        /// Next arena index the AAC would hand out.
+        next: u64,
+    },
+    /// A HOT-resident header copy. Cached entries may be dirtier than the
+    /// in-memory header, so the checkpoint must carry the cached bitmap —
+    /// otherwise a restore would resurrect stale slots.
+    HotHeader {
+        /// Core whose HOT caches the entry.
+        core: u32,
+        /// Size-class index (the HOT slot).
+        class: u8,
+        /// Arena base VA the entry caches.
+        va: u64,
+        /// Cached allocation bitmap.
+        bitmap: [u64; 4],
+        /// Physical address of the backing header page.
+        header_pa: u64,
+    },
+    /// One Memento page-table mapping (VA page → PA frame). Restores that
+    /// replay the image rebuild these eagerly; restores that demand-refault
+    /// pay per page instead — the record count is what the cost model's
+    /// refault alternative charges against.
+    PageMap {
+        /// Page VA.
+        va: u64,
+        /// Backing frame PA.
+        pa: u64,
+    },
+}
+
+impl PmRecord {
+    /// A total ordering key that is unique per logical slot: two records
+    /// with equal keys describe the same persistent location, so the later
+    /// write wins when an image is normalized.
+    pub fn key(&self) -> (u8, u64, u64) {
+        match *self {
+            PmRecord::Arena { va, .. } => (0, va, 0),
+            PmRecord::Bump { core, class, .. } => (1, core as u64, class as u64),
+            PmRecord::HotHeader { core, class, .. } => (2, core as u64, class as u64),
+            PmRecord::PageMap { va, .. } => (3, va, 0),
+        }
+    }
+
+    /// Dirty PM lines this record occupies (every kind fits one line).
+    pub fn lines(&self) -> u64 {
+        1
+    }
+}
+
+impl fmt::Display for PmRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmRecord::Arena { va, class, .. } => write!(f, "arena({va:#x}, sc{class})"),
+            PmRecord::Bump { core, class, next } => write!(f, "bump(c{core}, sc{class})={next}"),
+            PmRecord::HotHeader {
+                core, class, va, ..
+            } => write!(f, "hot(c{core}, sc{class})={va:#x}"),
+            PmRecord::PageMap { va, pa } => write!(f, "pte({va:#x}->{pa:#x})"),
+        }
+    }
+}
+
+/// A sealed checkpoint image: the records of one epoch, normalized (sorted
+/// by [`PmRecord::key`], later duplicates winning) so images compare and
+/// replay deterministically regardless of capture order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PmImage {
+    epoch: u64,
+    records: Vec<PmRecord>,
+}
+
+impl PmImage {
+    /// Builds a normalized image for `epoch` from records in capture
+    /// order: sorted by key, with the last record for each key retained.
+    pub fn normalize(epoch: u64, records: &[PmRecord]) -> Self {
+        let mut indexed: Vec<(usize, PmRecord)> = records.iter().copied().enumerate().collect();
+        // Stable by key, then capture position: the last capture of a key
+        // ends up last in its run and survives the dedup below.
+        indexed.sort_by_key(|(i, r)| (r.key(), *i));
+        let mut out: Vec<PmRecord> = Vec::with_capacity(indexed.len());
+        for (_, r) in indexed {
+            match out.last_mut() {
+                Some(prev) if prev.key() == r.key() => *prev = r,
+                _ => out.push(r),
+            }
+        }
+        PmImage {
+            epoch,
+            records: out,
+        }
+    }
+
+    /// The epoch this image was sealed under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The normalized records.
+    pub fn records(&self) -> &[PmRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the image carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total dirty PM lines the image occupies.
+    pub fn lines(&self) -> u64 {
+        self.records.iter().map(PmRecord::lines).sum()
+    }
+
+    /// Pages a demand-refault restore would fault back in (the page-table
+    /// mappings carried by the image).
+    pub fn mapped_pages(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| matches!(r, PmRecord::PageMap { .. }))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_sorts_and_dedups_last_write_wins() {
+        let records = [
+            PmRecord::PageMap { va: 0x2000, pa: 1 },
+            PmRecord::Bump {
+                core: 0,
+                class: 3,
+                next: 1,
+            },
+            PmRecord::Bump {
+                core: 0,
+                class: 3,
+                next: 2,
+            },
+            PmRecord::Arena {
+                va: 0x1000,
+                class: 3,
+                bitmap: [1, 0, 0, 0],
+                header_pa: 0x8000,
+            },
+        ];
+        let img = PmImage::normalize(7, &records);
+        assert_eq!(img.epoch(), 7);
+        assert_eq!(img.len(), 3, "duplicate bump collapsed");
+        assert!(matches!(
+            img.records()[0],
+            PmRecord::Arena { va: 0x1000, .. }
+        ));
+        assert!(matches!(img.records()[1], PmRecord::Bump { next: 2, .. }));
+        assert_eq!(img.mapped_pages(), 1);
+        assert_eq!(img.lines(), 3);
+    }
+
+    #[test]
+    fn normalization_is_capture_order_independent() {
+        let a = [
+            PmRecord::PageMap { va: 0x3000, pa: 5 },
+            PmRecord::PageMap { va: 0x1000, pa: 9 },
+        ];
+        let b = [
+            PmRecord::PageMap { va: 0x1000, pa: 9 },
+            PmRecord::PageMap { va: 0x3000, pa: 5 },
+        ];
+        assert_eq!(PmImage::normalize(1, &a), PmImage::normalize(1, &b));
+    }
+}

@@ -1,0 +1,472 @@
+//! The persistent pool: epoch-sealed checkpoints with detectable commit.
+//!
+//! [`PmPool`] models a small NVM region holding at most two checkpoint
+//! images of one container, written with the checkpoint + detectable-CAS
+//! discipline of persistent lock-free frameworks: records are flushed
+//! line by line into the *non-live* slot, then a single sealed-epoch word
+//! (flush + fence) publishes the new image atomically. The two slots
+//! alternate, so a crash at any point during a checkpoint leaves the
+//! previously sealed image intact:
+//!
+//! - crash mid-persist → the partial records sit in an unsealed slot;
+//!   recovery detects the missing seal and discards them (torn epoch);
+//! - crash mid-seal → the seal word itself is torn (modeled as an invalid
+//!   slot, the detectable half of the CAS); recovery falls back to the
+//!   other slot exactly as above;
+//! - crash after the seal fence → the new epoch is durable and recovery
+//!   returns it.
+//!
+//! Everything is cycle-accounted through [`PmCosts`]; the pool mutates no
+//! simulated machine state, so callers charge (or ignore) the returned
+//! cycles as their timing model dictates.
+
+use crate::costs::{PmCosts, RestoreKind};
+use crate::image::{PmImage, PmRecord};
+
+/// A sealed-epoch identifier. Epochs are per-pool and strictly increasing;
+/// epoch 0 means "nothing ever sealed".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PmEpoch(pub u64);
+
+impl PmEpoch {
+    /// The raw epoch number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PmEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Where a simulated crash is injected during one checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// After `n` records were flushed durable, before the seal word.
+    AfterRecords(usize),
+    /// During the seal-word write: the word is torn (detectably invalid).
+    MidSeal,
+    /// After the seal fence: the new epoch is durable.
+    AfterSeal,
+}
+
+/// Number of distinct injection points for a checkpoint of `records`
+/// records: after 0..=records flushed records, mid-seal, and after-seal.
+pub fn injection_points(records: usize) -> usize {
+    records + 3
+}
+
+/// Maps a seed onto one of the [`injection_points`] for a checkpoint of
+/// `records` records (seeded injection for audits: every seed is a valid
+/// point, and seeds 0..points sweep them all).
+pub fn crash_point_for_seed(seed: u64, records: usize) -> CrashPoint {
+    let points = injection_points(records) as u64;
+    let p = (seed % points) as usize;
+    if p <= records {
+        CrashPoint::AfterRecords(p)
+    } else if p == records + 1 {
+        CrashPoint::MidSeal
+    } else {
+        CrashPoint::AfterSeal
+    }
+}
+
+/// One durable seal word: the epoch a slot claims plus a monotone stamp
+/// ordering the two slots, and whether the word was completely written
+/// (the detectable bit — a torn seal write leaves `valid == false`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct SealSlot {
+    epoch: u64,
+    stamp: u64,
+    valid: bool,
+}
+
+/// The in-flight (volatile bookkeeping of the) checkpoint being written.
+#[derive(Clone, Debug)]
+struct Inflight {
+    slot: usize,
+    epoch: u64,
+    /// Normalized records still to be flushed (suffix from `persisted`).
+    records: Vec<PmRecord>,
+    /// Records already flushed durable into the slot's record area.
+    persisted: usize,
+}
+
+/// Cumulative pool statistics (durable-side accounting; survives crashes
+/// only in the sense the simulation keeps them — they feed reports, not
+/// recovery decisions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PmStats {
+    /// Epochs sealed.
+    pub seals: u64,
+    /// Recoveries executed.
+    pub recoveries: u64,
+    /// Torn (unsealed) records discarded across recoveries.
+    pub torn_records_discarded: u64,
+    /// PM lines flushed.
+    pub flushed_lines: u64,
+    /// Ordering fences issued.
+    pub fences: u64,
+}
+
+/// What a recovery found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Recovery {
+    /// The sealed epoch recovered to (`None` when nothing was ever sealed).
+    pub epoch: Option<PmEpoch>,
+    /// Records in the recovered image.
+    pub records: usize,
+    /// Torn in-flight records discarded by this recovery.
+    pub discarded: usize,
+    /// Cycles the restore pays (cheaper of replay and demand-refault).
+    pub restore_cycles: u64,
+    /// Which restore strategy the cost model picked.
+    pub restore_kind: RestoreKind,
+}
+
+/// An NVM-backed checkpoint pool for one container.
+#[derive(Clone, Debug)]
+pub struct PmPool {
+    costs: PmCosts,
+    /// Durable seal words (survive [`PmPool::crash`]).
+    slots: [SealSlot; 2],
+    /// Durable record areas, one per slot (survive [`PmPool::crash`]).
+    areas: [Vec<PmRecord>; 2],
+    /// Volatile: the checkpoint currently being written, if any.
+    inflight: Option<Inflight>,
+    stats: PmStats,
+}
+
+impl PmPool {
+    /// An empty pool (no epoch sealed) under `costs`.
+    pub fn new(costs: PmCosts) -> Self {
+        PmPool {
+            costs,
+            slots: [SealSlot::default(); 2],
+            areas: [Vec::new(), Vec::new()],
+            inflight: None,
+            stats: PmStats::default(),
+        }
+    }
+
+    /// The cost model in force.
+    pub fn costs(&self) -> PmCosts {
+        self.costs
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> PmStats {
+        self.stats
+    }
+
+    /// The slot holding the newest *sealed* image, if any.
+    fn live_slot(&self) -> Option<usize> {
+        match (self.slots[0], self.slots[1]) {
+            (a, b) if a.valid && b.valid => Some(if a.stamp >= b.stamp { 0 } else { 1 }),
+            (a, _) if a.valid => Some(0),
+            (_, b) if b.valid => Some(1),
+            _ => None,
+        }
+    }
+
+    /// The last sealed epoch (`None` before the first seal).
+    pub fn sealed_epoch(&self) -> Option<PmEpoch> {
+        self.live_slot().map(|s| PmEpoch(self.slots[s].epoch))
+    }
+
+    /// The last sealed image (`None` before the first seal).
+    pub fn sealed_image(&self) -> Option<PmImage> {
+        self.live_slot()
+            .map(|s| PmImage::normalize(self.slots[s].epoch, &self.areas[s]))
+    }
+
+    /// Opens a checkpoint for `records` (normalized internally) in the
+    /// non-live slot and returns the epoch it will seal under. The slot's
+    /// old seal word is invalidated durably *before* any record is
+    /// flushed — the ordering that makes every later crash detectable (a
+    /// partial record area can never sit under a valid seal). Any
+    /// previous in-flight checkpoint is abandoned — its durable records
+    /// stay in the slot as unsealed garbage until recovery scrubs them,
+    /// exactly like a crash.
+    pub fn begin(&mut self, records: &[PmRecord]) -> PmEpoch {
+        let epoch = self.sealed_epoch().map(|e| e.raw()).unwrap_or(0) + 1;
+        let slot = match self.live_slot() {
+            Some(live) => 1 - live,
+            None => 0,
+        };
+        let image = PmImage::normalize(epoch, records);
+        self.slots[slot] = SealSlot::default();
+        self.stats.flushed_lines += 1;
+        self.stats.fences += 1;
+        self.areas[slot].clear();
+        self.inflight = Some(Inflight {
+            slot,
+            epoch,
+            records: image.records().to_vec(),
+            persisted: 0,
+        });
+        PmEpoch(epoch)
+    }
+
+    /// Flushes the next pending record durable (one line + `clwb`).
+    /// Returns the cycles spent, or `None` when every record is flushed.
+    pub fn persist_step(&mut self) -> Option<u64> {
+        let inflight = self.inflight.as_mut()?;
+        let rec = *inflight.records.get(inflight.persisted)?;
+        self.areas[inflight.slot].push(rec);
+        inflight.persisted += 1;
+        self.stats.flushed_lines += rec.lines();
+        Some(rec.lines() * self.costs.flush_line_cycles)
+    }
+
+    /// Flushes every pending record and issues the pre-seal ordering
+    /// fence. Returns the cycles spent.
+    pub fn persist_all(&mut self) -> u64 {
+        let mut cycles = 0;
+        while let Some(c) = self.persist_step() {
+            cycles += c;
+        }
+        if self.inflight.is_some() {
+            self.stats.fences += 1;
+            cycles += self.costs.fence_cycles;
+        }
+        cycles
+    }
+
+    /// Publishes the in-flight checkpoint: one seal-word flush plus the
+    /// commit fence. Returns the cycles spent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checkpoint is open or records remain unflushed — the
+    /// protocol is persist-everything-then-seal, and a caller skipping
+    /// flushes would silently publish a torn image.
+    pub fn seal(&mut self) -> u64 {
+        let inflight = self.inflight.take().expect("seal without begin");
+        assert_eq!(
+            inflight.persisted,
+            inflight.records.len(),
+            "seal before every record was persisted"
+        );
+        let stamp = self.slots[0].stamp.max(self.slots[1].stamp) + 1;
+        self.slots[inflight.slot] = SealSlot {
+            epoch: inflight.epoch,
+            stamp,
+            valid: true,
+        };
+        self.stats.seals += 1;
+        self.stats.flushed_lines += 1;
+        self.stats.fences += 1;
+        self.costs.flush_line_cycles + self.costs.fence_cycles
+    }
+
+    /// One full checkpoint: begin + persist + seal. Returns the sealed
+    /// epoch and the total persist cycles.
+    pub fn checkpoint(&mut self, records: &[PmRecord]) -> (PmEpoch, u64) {
+        let epoch = self.begin(records);
+        // The slot invalidation `begin` wrote is a durable line + fence.
+        let mut cycles = self.costs.flush_line_cycles + self.costs.fence_cycles;
+        cycles += self.persist_all();
+        cycles += self.seal();
+        (epoch, cycles)
+    }
+
+    /// Power loss: volatile state vanishes. Durable slots and record
+    /// areas survive — including any unsealed partial write, which stays
+    /// as unreachable garbage until [`PmPool::recover`] scrubs it.
+    pub fn crash(&mut self) {
+        self.inflight = None;
+    }
+
+    /// Tears the seal word being written (the detectable failure of the
+    /// seal CAS) and crashes: used by crash injection for
+    /// [`CrashPoint::MidSeal`].
+    fn crash_mid_seal(&mut self) {
+        if let Some(inflight) = self.inflight.take() {
+            // The word reached PM half-written: epoch bits present, but
+            // the valid bit never made it — recovery must treat the slot
+            // as unsealed.
+            self.slots[inflight.slot] = SealSlot {
+                epoch: inflight.epoch,
+                stamp: 0,
+                valid: false,
+            };
+        }
+    }
+
+    /// Post-crash recovery: picks the newest *sealed* slot, scrubs any
+    /// unsealed (torn) records from the other slot, and prices the
+    /// restore of the surviving image. In-flight epoch contents never
+    /// survive — that is the invariant the sanitizer's recovery audit
+    /// checks against this method's result.
+    pub fn recover(&mut self) -> Recovery {
+        self.inflight = None;
+        self.stats.recoveries += 1;
+        let live = self.live_slot();
+        let mut discarded = 0;
+        for s in 0..2 {
+            if Some(s) != live && !self.slots[s].valid {
+                discarded += self.areas[s].len();
+                self.areas[s].clear();
+                self.slots[s] = SealSlot::default();
+            }
+        }
+        self.stats.torn_records_discarded += discarded as u64;
+        match self.sealed_image() {
+            Some(image) => {
+                let (restore_cycles, restore_kind) = self.costs.restore_cycles(&image);
+                Recovery {
+                    epoch: Some(PmEpoch(image.epoch())),
+                    records: image.len(),
+                    discarded,
+                    restore_cycles,
+                    restore_kind,
+                }
+            }
+            None => Recovery {
+                epoch: None,
+                records: 0,
+                discarded,
+                restore_cycles: 0,
+                restore_kind: RestoreKind::Replay,
+            },
+        }
+    }
+
+    /// Clones the pool, runs one checkpoint of `records` against the
+    /// clone, and crashes it at `point`. The returned pool is the
+    /// post-crash durable state, ready for [`PmPool::recover`]; `self` is
+    /// untouched. `AfterRecords(n)` with `n` beyond the record count
+    /// clamps to "everything flushed, seal never written".
+    pub fn simulate_crash(&self, records: &[PmRecord], point: CrashPoint) -> PmPool {
+        let mut pool = self.clone();
+        pool.begin(records);
+        match point {
+            CrashPoint::AfterRecords(n) => {
+                for _ in 0..n {
+                    if pool.persist_step().is_none() {
+                        break;
+                    }
+                }
+                pool.crash();
+            }
+            CrashPoint::MidSeal => {
+                pool.persist_all();
+                pool.crash_mid_seal();
+            }
+            CrashPoint::AfterSeal => {
+                pool.persist_all();
+                pool.seal();
+                pool.crash();
+            }
+        }
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(n: u64) -> Vec<PmRecord> {
+        (0..n)
+            .map(|i| PmRecord::PageMap {
+                va: 0x1000 * (i + 1),
+                pa: i + 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn checkpoint_seals_and_recovers_identically() {
+        let mut pool = PmPool::new(PmCosts::paper_default());
+        let recs = records(4);
+        let (epoch, cycles) = pool.checkpoint(&recs);
+        assert_eq!(epoch, PmEpoch(1));
+        assert!(cycles > 0);
+        let mut crashed = pool.clone();
+        crashed.crash();
+        let r = crashed.recover();
+        assert_eq!(r.epoch, Some(PmEpoch(1)));
+        assert_eq!(r.records, 4);
+        assert_eq!(r.discarded, 0);
+        assert_eq!(crashed.sealed_image(), pool.sealed_image());
+    }
+
+    #[test]
+    fn pre_seal_crashes_recover_previous_epoch_never_torn() {
+        let mut pool = PmPool::new(PmCosts::paper_default());
+        let first = records(3);
+        pool.checkpoint(&first);
+        let sealed = pool.sealed_image().unwrap();
+        let second = records(5);
+        for point in 0..injection_points(second.len()) {
+            let cp = crash_point_for_seed(point as u64, second.len());
+            let mut crashed = pool.simulate_crash(&second, cp);
+            let r = crashed.recover();
+            match cp {
+                CrashPoint::AfterSeal => {
+                    assert_eq!(r.epoch, Some(PmEpoch(2)), "{cp:?}");
+                    assert_eq!(crashed.sealed_image().unwrap().len(), 5);
+                }
+                _ => {
+                    assert_eq!(r.epoch, Some(PmEpoch(1)), "{cp:?}");
+                    assert_eq!(
+                        crashed.sealed_image().unwrap(),
+                        sealed,
+                        "{cp:?}: pre-seal crash must recover the sealed epoch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_epoch_crash_recovers_to_nothing() {
+        let pool = PmPool::new(PmCosts::paper_default());
+        let recs = records(2);
+        let mut crashed = pool.simulate_crash(&recs, CrashPoint::AfterRecords(1));
+        let r = crashed.recover();
+        assert_eq!(r.epoch, None);
+        assert_eq!(r.discarded, 1, "the one flushed record is torn garbage");
+        assert!(crashed.sealed_image().is_none());
+    }
+
+    #[test]
+    fn mid_seal_crash_is_detected_and_discarded() {
+        let mut pool = PmPool::new(PmCosts::paper_default());
+        pool.checkpoint(&records(2));
+        let mut crashed = pool.simulate_crash(&records(4), CrashPoint::MidSeal);
+        let r = crashed.recover();
+        assert_eq!(r.epoch, Some(PmEpoch(1)));
+        assert_eq!(r.discarded, 4, "every flushed record of the torn epoch");
+    }
+
+    #[test]
+    fn epochs_increase_and_slots_alternate() {
+        let mut pool = PmPool::new(PmCosts::paper_default());
+        for i in 1..=5u64 {
+            let (epoch, _) = pool.checkpoint(&records(i));
+            assert_eq!(epoch, PmEpoch(i));
+            assert_eq!(pool.sealed_image().unwrap().len() as u64, i);
+        }
+        assert_eq!(pool.stats().seals, 5);
+    }
+
+    #[test]
+    fn seed_mapping_covers_every_point() {
+        let n = 4;
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..injection_points(n) as u64 {
+            seen.insert(format!("{:?}", crash_point_for_seed(seed, n)));
+        }
+        assert_eq!(seen.len(), injection_points(n));
+        // Seeds beyond the point count wrap around.
+        assert_eq!(
+            crash_point_for_seed(injection_points(n) as u64, n),
+            CrashPoint::AfterRecords(0)
+        );
+    }
+}

@@ -21,6 +21,7 @@
 pub mod audit;
 pub mod fleet;
 pub mod oracle;
+pub mod recovery;
 pub mod report;
 pub mod shadow;
 
@@ -156,6 +157,8 @@ impl HeapSanitizer {
                 } => slot
                     .shadow
                     .on_header_invalidated(owner, requester, idx, class, va),
+                DeviceEvent::PmParked { epoch, .. } => slot.shadow.on_pm_parked(idx, epoch),
+                DeviceEvent::PmRestored { epoch } => slot.shadow.on_pm_restored(idx, epoch),
             };
             self.report.violations.extend(vs);
         }
@@ -211,6 +214,22 @@ impl HeapSanitizer {
         let idx = self.report.events;
         self.report.audits += 1;
         let vs = audit::audit_process(dev, mproc, mem, &self.procs[pid.0].shadow, idx);
+        self.report.violations.extend(vs);
+    }
+
+    /// Runs the crash-injected recovery audit for one park-to-PM
+    /// checkpoint. `pool` is the container's pool *before* the checkpoint,
+    /// `records` the image about to be persisted, `seed` the injection
+    /// point selector (see [`recovery::audit_recovery`]).
+    pub fn audit_pm_recovery(
+        &mut self,
+        pool: &memento_pmem::PmPool,
+        records: &[memento_pmem::PmRecord],
+        seed: u64,
+    ) {
+        let idx = self.report.events;
+        self.report.audits += 1;
+        let vs = recovery::audit_recovery(pool, records, seed, idx);
         self.report.violations.extend(vs);
     }
 

@@ -57,6 +57,15 @@ pub enum ViolationKind {
     /// serving set (off, booting, or draining at quiescence) still holds
     /// queued/in-flight load or idle-warm containers.
     NodeLifecycle,
+    /// A PM park/restore transition is impossible: a restore replayed an
+    /// epoch that was never sealed, or the sealed epoch regressed.
+    PmLifecycle,
+    /// Crash-injected recovery diverged: the post-recovery image does not
+    /// equal the pre-crash *sealed*-epoch image.
+    RecoveryDivergence,
+    /// In-flight (unsealed) epoch contents survived a crash — a torn
+    /// checkpoint became visible after recovery.
+    TornEpochSurvived,
 }
 
 impl fmt::Display for ViolationKind {
@@ -78,6 +87,9 @@ impl fmt::Display for ViolationKind {
             ViolationKind::InvocationConservation => "invocation-conservation",
             ViolationKind::FleetFrameDivergence => "fleet-frame-divergence",
             ViolationKind::NodeLifecycle => "node-lifecycle",
+            ViolationKind::PmLifecycle => "pm-lifecycle",
+            ViolationKind::RecoveryDivergence => "recovery-divergence",
+            ViolationKind::TornEpochSurvived => "torn-epoch-survived",
         };
         f.write_str(s)
     }

@@ -64,6 +64,12 @@ pub struct ShadowHeap {
     cores: BTreeSet<usize>,
     /// Cross-core header invalidations mirrored from the device.
     header_invalidations: u64,
+    /// Last PM checkpoint epoch the device sealed (0 = never parked).
+    pm_sealed_epoch: u64,
+    /// Park-to-PM transitions mirrored from the device.
+    pm_parks: u64,
+    /// Restore-from-PM transitions mirrored from the device.
+    pm_restores: u64,
 }
 
 impl ShadowHeap {
@@ -77,12 +83,81 @@ impl ShadowHeap {
             reclaimed: BTreeSet::new(),
             cores: BTreeSet::new(),
             header_invalidations: 0,
+            pm_sealed_epoch: 0,
+            pm_parks: 0,
+            pm_restores: 0,
         }
     }
 
     /// Cross-core header invalidations seen so far.
     pub fn header_invalidations(&self) -> u64 {
         self.header_invalidations
+    }
+
+    /// Park-to-PM transitions seen so far.
+    pub fn pm_parks(&self) -> u64 {
+        self.pm_parks
+    }
+
+    /// Restore-from-PM transitions seen so far.
+    pub fn pm_restores(&self) -> u64 {
+        self.pm_restores
+    }
+
+    /// The last PM epoch the shadow saw sealed (0 = never parked).
+    pub fn pm_sealed_epoch(&self) -> u64 {
+        self.pm_sealed_epoch
+    }
+
+    /// Mirrors a park-to-PM transition: epochs are per-container and
+    /// strictly increasing, so a seal at or below the last sealed epoch
+    /// is a lifecycle break.
+    pub fn on_pm_parked(&mut self, event_index: u64, epoch: u64) -> Vec<Violation> {
+        let mut out = Vec::new();
+        if epoch <= self.pm_sealed_epoch {
+            out.push(Self::violation(
+                ViolationKind::PmLifecycle,
+                0,
+                event_index,
+                None,
+                format!(
+                    "PM epoch regressed: sealed e{epoch} after e{}",
+                    self.pm_sealed_epoch
+                ),
+            ));
+        }
+        self.pm_sealed_epoch = epoch;
+        self.pm_parks += 1;
+        out
+    }
+
+    /// Mirrors a restore-from-PM transition: only the last *sealed* epoch
+    /// can be replayed (an unsealed or superseded epoch surviving into a
+    /// restore is exactly the torn-image failure recovery must prevent).
+    pub fn on_pm_restored(&mut self, event_index: u64, epoch: u64) -> Vec<Violation> {
+        let mut out = Vec::new();
+        if self.pm_parks == 0 {
+            out.push(Self::violation(
+                ViolationKind::PmLifecycle,
+                0,
+                event_index,
+                None,
+                format!("restore-from-PM of e{epoch} but the container never parked"),
+            ));
+        } else if epoch != self.pm_sealed_epoch {
+            out.push(Self::violation(
+                ViolationKind::PmLifecycle,
+                0,
+                event_index,
+                None,
+                format!(
+                    "restore-from-PM replayed e{epoch}, but the sealed epoch is e{}",
+                    self.pm_sealed_epoch
+                ),
+            ));
+        }
+        self.pm_restores += 1;
+        out
     }
 
     /// The region this shadow validates against.

@@ -25,6 +25,7 @@
 use crate::config::SystemConfig;
 use crate::machine::{FunctionRun, Machine};
 use crate::stats::RunStats;
+use memento_pmem::{PmEpoch, PmPool};
 use memento_workloads::event::{Event, Trace};
 use memento_workloads::generator::generate;
 use memento_workloads::spec::WorkloadSpec;
@@ -39,6 +40,12 @@ pub struct WarmContainer {
     body_len: usize,
     invocations: u64,
     serving_peak_pages: u64,
+    /// The container's persistent checkpoint pool, created on the first
+    /// [`WarmContainer::park_to_pm`] and reused for every later park (the
+    /// two-slot protocol alternates areas, so successive epochs never
+    /// overwrite each other in place).
+    pm: Option<PmPool>,
+    pm_parked: bool,
 }
 
 impl WarmContainer {
@@ -65,6 +72,8 @@ impl WarmContainer {
             body_len,
             invocations: 0,
             serving_peak_pages: 0,
+            pm: None,
+            pm_parked: false,
         };
         let cold = container.serve();
         (container, cold)
@@ -120,10 +129,19 @@ impl WarmContainer {
     /// Tears the container down (keep-alive expiry or scheduler eviction):
     /// Memento detach with batch pool return, then OS unmap of what
     /// remains. Returns the teardown-window statistics.
-    pub fn finish(mut self) -> RunStats {
+    pub fn finish(self) -> RunStats {
+        self.finish_with_report().0
+    }
+
+    /// [`WarmContainer::finish`], but also hands back the machine's final
+    /// sanitizer report (None when the sanitizer is off) — teardown runs
+    /// the last audit, so the report is only complete after it.
+    pub fn finish_with_report(mut self) -> (RunStats, Option<memento_sanitizer::SanitizerReport>) {
         self.machine.begin_measurement(&mut self.run);
         self.machine.finish_run(&mut self.run, 0);
-        self.machine.collect_inner(&self.run)
+        let stats = self.machine.collect_inner(&self.run);
+        let report = self.machine.sanitizer_report().cloned();
+        (stats, report)
     }
 
     /// Invocations served so far (cold start included).
@@ -160,6 +178,74 @@ impl WarmContainer {
     /// frames shed; 0 on baseline containers.
     pub fn park(&mut self) -> u64 {
         self.machine.park()
+    }
+
+    /// Parks this container to persistent memory: captures a
+    /// crash-consistent checkpoint of its Memento state (arena bitmaps,
+    /// AAC bump pointers, HOT-resident headers, Memento page table) into
+    /// the container's [`PmPool`], then sheds the DRAM pool's idle
+    /// reserve exactly like [`WarmContainer::park`]. When the sanitizer
+    /// is on, the checkpoint is first put through the crash-injected
+    /// recovery audit at a `audit_seed`-selected injection point.
+    ///
+    /// Returns the cycles the persist costs — checkpoint record flushes
+    /// plus the working-set writeback — paid off the latency path: the
+    /// container is idle when it parks, so schedulers account this as
+    /// background work, not service time. Baseline containers persist an
+    /// empty image (no device state exists); their restore degenerates to
+    /// demand-refaulting, which is the cost edge the fleet experiment
+    /// measures.
+    pub fn park_to_pm(&mut self, audit_seed: u64) -> u64 {
+        let records = self.machine.pm_records(&self.run);
+        if self.pm.is_none() {
+            self.pm = Some(PmPool::new(self.machine.pm_costs()));
+        }
+        // Audit against the pool *before* the new checkpoint: pre-seal
+        // crashes must recover the previous epoch, never a torn image.
+        let pool = self.pm.as_ref().expect("pool just ensured");
+        self.machine.audit_pm_recovery(pool, &records, audit_seed);
+        let pool = self.pm.as_mut().expect("pool just ensured");
+        let (epoch, checkpoint_cycles) = pool.checkpoint(&records);
+        self.machine
+            .note_pm_parked(&self.run, epoch.raw(), records.len() as u64);
+        self.machine.park();
+        self.pm_parked = true;
+        checkpoint_cycles + self.machine.pm_persist_data_cycles()
+    }
+
+    /// Brings a parked-to-PM container back to serving: runs PM recovery
+    /// (picking the newest sealed epoch, scrubbing any in-flight one) and
+    /// replays the sealed image. Returns the extra cycles the next warm
+    /// invocation must be charged on top of its warm service time (see
+    /// [`Machine::pm_restore_cycles`]); frames shed at park re-enter
+    /// through the normal low-water pool refill, whose cost lands in that
+    /// invocation's own ledger. Returns 0 if the container is not parked.
+    pub fn restore_from_pm(&mut self) -> u64 {
+        if !self.pm_parked {
+            return 0;
+        }
+        let pool = self.pm.as_mut().expect("parked implies pool");
+        pool.recover();
+        let image = pool.sealed_image().expect("park always seals an epoch");
+        let extra = self.machine.pm_restore_cycles(&image);
+        self.machine.note_pm_restored(&self.run, image.epoch());
+        self.pm_parked = false;
+        extra
+    }
+
+    /// Whether the container currently sits parked in PM.
+    pub fn is_pm_parked(&self) -> bool {
+        self.pm_parked
+    }
+
+    /// The newest sealed checkpoint epoch, if the container ever parked.
+    pub fn pm_sealed_epoch(&self) -> Option<PmEpoch> {
+        self.pm.as_ref().and_then(|p| p.sealed_epoch())
+    }
+
+    /// The container's checkpoint pool (diagnostics and tests).
+    pub fn pm_pool(&self) -> Option<&PmPool> {
+        self.pm.as_ref()
     }
 
     /// Peak unreclaimable frames while the most recent request body
@@ -271,6 +357,82 @@ mod tests {
             "idle footprint grew: {after_second} -> {after_fifth} frames"
         );
         assert!(c.peak_resident_pages() >= after_fifth);
+    }
+
+    #[test]
+    fn park_to_pm_round_trip_restores_between_warm_and_snapshot() {
+        let spec = small_spec("aes");
+        let (mut c, _) = WarmContainer::cold_start(SystemConfig::memento(), &spec);
+        let warm = c.invoke().total_cycles().raw();
+        let snapshot = c.snapshot_restore_cycles();
+        let persist = c.park_to_pm(3);
+        assert!(persist > 0, "persist work was charged");
+        assert!(c.is_pm_parked());
+        let epoch = c.pm_sealed_epoch().expect("epoch sealed");
+        assert_eq!(epoch.raw(), 1);
+        let restore = c.restore_from_pm();
+        assert!(!c.is_pm_parked());
+        assert!(
+            restore > 0 && restore < warm + snapshot,
+            "PM restore ({restore}) must undercut snapshot-restore-plus-warm ({warm}+{snapshot})"
+        );
+        // The container still serves after the round trip.
+        let again = c.invoke();
+        assert!(again.total_cycles().raw() > 0);
+        // A second park seals a strictly newer epoch.
+        c.park_to_pm(5);
+        assert_eq!(c.pm_sealed_epoch().expect("resealed").raw(), 2);
+    }
+
+    #[test]
+    fn pm_checkpoint_survives_sanitizer_recovery_audit() {
+        // With the sanitizer on, every park runs the crash-injected
+        // recovery audit; the machine's real state must pass at several
+        // seeded injection points and the lifecycle events must balance.
+        let spec = small_spec("html");
+        let mut cfg = SystemConfig::memento();
+        cfg.sanitizer = Some(memento_sanitizer::SanitizerConfig::default());
+        let (mut c, _) = WarmContainer::cold_start(cfg, &spec);
+        for seed in 0..4 {
+            c.park_to_pm(seed);
+            c.restore_from_pm();
+            c.invoke();
+        }
+        let report = c.machine().sanitizer_report().expect("sanitizer on");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn baseline_park_to_pm_persists_empty_image_and_refaults() {
+        let spec = small_spec("jl");
+        let (mut c, _) = WarmContainer::cold_start(SystemConfig::baseline(), &spec);
+        c.invoke();
+        let persist = c.park_to_pm(0);
+        assert!(persist > 0, "working-set writeback still costs cycles");
+        let pool = c.pm_pool().expect("pool exists");
+        assert!(
+            pool.sealed_image().expect("sealed").is_empty(),
+            "baselines have no device state to checkpoint"
+        );
+        let restore = c.restore_from_pm();
+        let memento_restore = {
+            let (mut m, _) = WarmContainer::cold_start(SystemConfig::memento(), &spec);
+            m.invoke();
+            m.park_to_pm(0);
+            m.restore_from_pm()
+        };
+        assert!(
+            restore > memento_restore,
+            "demand-refault restore ({restore}) must exceed image replay ({memento_restore})"
+        );
+    }
+
+    #[test]
+    fn restore_without_park_is_a_no_op() {
+        let spec = small_spec("aes");
+        let (mut c, _) = WarmContainer::cold_start(SystemConfig::memento(), &spec);
+        assert_eq!(c.restore_from_pm(), 0);
+        assert!(c.pm_sealed_epoch().is_none());
     }
 
     #[test]

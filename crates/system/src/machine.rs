@@ -1498,6 +1498,149 @@ impl Machine {
         }
     }
 
+    // --- persistent ephemeral memory (park-to-PM) ---------------------
+
+    /// Captures the device-visible Memento state of `run`'s process as
+    /// persistent-checkpoint records: live arena bitmaps, AAC bump
+    /// pointers, HOT-resident headers, and the Memento page table. A
+    /// baseline machine has no device state to persist — its image is
+    /// empty, so a PM restore degenerates to demand-refaulting the whole
+    /// working set (the cost edge [`Machine::pm_restore_cycles`] prices).
+    pub fn pm_records(&self, run: &FunctionRun) -> Vec<memento_pmem::PmRecord> {
+        use memento_pmem::PmRecord;
+        let (Some(dev), Some(mproc)) = (self.device.as_ref(), run.mproc.as_ref()) else {
+            return Vec::new();
+        };
+        let state = dev.pm_state(&self.mem, mproc);
+        let mut out = Vec::with_capacity(
+            state.arenas.len() + state.hot.len() + state.bumps.len() + state.mappings.len(),
+        );
+        for a in &state.arenas {
+            out.push(PmRecord::Arena {
+                va: a.va.raw(),
+                class: a.class.index() as u8,
+                bitmap: a.bitmap,
+                header_pa: a.header_pa.raw(),
+            });
+        }
+        for h in &state.hot {
+            out.push(PmRecord::HotHeader {
+                core: h.core as u32,
+                class: h.class.index() as u8,
+                va: h.va.raw(),
+                bitmap: h.bitmap,
+                header_pa: h.header_pa.raw(),
+            });
+        }
+        for &(core, class, next) in &state.bumps {
+            out.push(PmRecord::Bump {
+                core: core as u32,
+                class: class.index() as u8,
+                next,
+            });
+        }
+        for &(va, pa) in &state.mappings {
+            out.push(PmRecord::PageMap {
+                va: va.raw(),
+                pa: pa.raw(),
+            });
+        }
+        out
+    }
+
+    /// The PM cost model for this machine: NVM line costs from the paper
+    /// defaults, with the demand-refault fallback priced by this kernel's
+    /// own fault path (hardware pool refill on Memento, full fault
+    /// handling on baselines) so replay-vs-refault decisions stay
+    /// consistent with the reclamation study's unit costs.
+    pub fn pm_costs(&self) -> memento_pmem::PmCosts {
+        memento_pmem::PmCosts {
+            refault_page_cycles: self.squeeze_refault_unit_cycles(),
+            ..memento_pmem::PmCosts::paper_default()
+        }
+    }
+
+    /// Cycles to write the container's working set out to PM alongside a
+    /// checkpoint's metadata records: every currently-unreclaimable frame
+    /// is copied at the kernel's populate cost. Paid off the latency path
+    /// (the container is idle when it parks), so schedulers account it as
+    /// background work, not service time.
+    pub fn pm_persist_data_cycles(&self) -> u64 {
+        self.unreclaimable_pages() * self.kernel.costs().populate_per_page
+    }
+
+    /// Cycles to bring a parked-to-PM container back to serving: one
+    /// mmap-shaped syscall to re-establish mappings, then either a replay
+    /// of the sealed image's records (Memento: arena headers, bumps, HOT
+    /// state, page-table entries — the data itself is byte-addressable in
+    /// PM) or, for an empty image (baselines persist no device state), a
+    /// demand-refault of the whole working set. This is why park-to-PM
+    /// restores land strictly between a warm hit and a snapshot restore
+    /// on Memento machines, and degrade toward the snapshot cost on
+    /// baselines.
+    pub fn pm_restore_cycles(&self, image: &memento_pmem::PmImage) -> u64 {
+        let costs = self.kernel.costs();
+        let base = costs.syscall_overhead + costs.mmap_work;
+        if image.is_empty() {
+            base + self.unreclaimable_pages() * self.squeeze_refault_unit_cycles()
+        } else {
+            base + self.pm_costs().restore_cycles(image).0
+        }
+    }
+
+    /// Emits the park transition through the device event log (so the
+    /// sanitizer and observability layers see it) and fans the drained
+    /// events out, exactly like the hardware alloc/free paths. No-op on
+    /// baseline machines — they have no device, hence no event log.
+    pub fn note_pm_parked(&mut self, run: &FunctionRun, epoch: u64, records: u64) {
+        let Some(dev) = self.device.as_mut() else {
+            return;
+        };
+        dev.note_pm_parked(epoch, records);
+        self.drain_pm_events(run);
+    }
+
+    /// Emits the restore transition (see [`Machine::note_pm_parked`]).
+    pub fn note_pm_restored(&mut self, run: &FunctionRun, epoch: u64) {
+        let Some(dev) = self.device.as_mut() else {
+            return;
+        };
+        dev.note_pm_restored(epoch);
+        self.drain_pm_events(run);
+    }
+
+    fn drain_pm_events(&mut self, run: &FunctionRun) {
+        let Some(dev) = self.device.as_mut() else {
+            return;
+        };
+        let events = if self.obs.is_some() || run.shadow_pid.is_some() {
+            dev.take_events()
+        } else {
+            Vec::new()
+        };
+        if let Some(obs) = self.obs.as_mut() {
+            obs.on_device_events(&events);
+        }
+        if let Some(pid) = run.shadow_pid {
+            let san = self.san.as_mut().expect("shadow pid implies sanitizer");
+            san.on_device_events(pid, events);
+        }
+    }
+
+    /// Runs the sanitizer's crash-injected recovery audit for one
+    /// park-to-PM checkpoint (no-op when the sanitizer is off). `pool`
+    /// must be the container's pool *before* the checkpoint runs.
+    pub fn audit_pm_recovery(
+        &mut self,
+        pool: &memento_pmem::PmPool,
+        records: &[memento_pmem::PmRecord],
+        seed: u64,
+    ) {
+        if let Some(san) = self.san.as_mut() {
+            san.audit_pm_recovery(pool, records, seed);
+        }
+    }
+
     /// Physical-page lifecycle audit of the device's pool, if the machine
     /// runs a Memento design (test/diagnostic accessor).
     pub fn pool_audit(&self) -> Option<memento_core::page_alloc::PoolAudit> {

@@ -77,6 +77,8 @@ impl MachineObs {
                 DeviceEvent::HeaderInvalidated { .. } => {
                     self.metrics.add("device.header_invalidations", 1)
                 }
+                DeviceEvent::PmParked { .. } => self.metrics.add("device.pm_parks", 1),
+                DeviceEvent::PmRestored { .. } => self.metrics.add("device.pm_restores", 1),
             }
         }
     }

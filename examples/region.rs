@@ -20,18 +20,25 @@ struct Args {
     invocations: Option<u64>,
     scale: Option<u64>,
     out: Option<std::path::PathBuf>,
+    park_to_pm: bool,
+    azure: bool,
 }
 
 /// Parses `--jobs N`, `--invocations N`, `--scale N` (workload scale
-/// divisor — CI smoke runs use a large divisor to stay cheap), and
-/// `--out PATH` (with `=` forms); a missing `--jobs` defers to
-/// `MEMENTO_JOBS` and then the machine's available parallelism.
+/// divisor — CI smoke runs use a large divisor to stay cheap),
+/// `--out PATH` (with `=` forms), `--park-to-pm` (adds the sixth
+/// persistent-memory keep-alive bundle), and `--azure` (replays the
+/// checked-in Azure-style day curve as the bursty trace); a missing
+/// `--jobs` defers to `MEMENTO_JOBS` and then the machine's available
+/// parallelism.
 fn parse_args() -> Args {
     let mut parsed = Args {
         jobs: None,
         invocations: None,
         scale: None,
         out: None,
+        park_to_pm: false,
+        azure: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +62,10 @@ fn parse_args() -> Args {
             parsed.out = Some(value.into());
         } else if let Some(value) = arg.strip_prefix("--out=") {
             parsed.out = Some(value.into());
+        } else if arg == "--park-to-pm" {
+            parsed.park_to_pm = true;
+        } else if arg == "--azure" {
+            parsed.azure = true;
         } else {
             usage();
         }
@@ -70,7 +81,10 @@ fn parse_num(value: &str) -> u64 {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: region [--jobs N] [--invocations N] [--scale N] [--out PATH]");
+    eprintln!(
+        "usage: region [--jobs N] [--invocations N] [--scale N] [--out PATH] \
+         [--park-to-pm] [--azure]"
+    );
     std::process::exit(2);
 }
 
@@ -85,6 +99,8 @@ fn main() {
     }
     let mut params = RegionParams {
         invocations: (RegionParams::default().invocations / ctx.scale_divisor()).max(10_000),
+        park_to_pm: args.park_to_pm,
+        empirical_trace: args.azure,
         ..RegionParams::default()
     };
     if let Some(n) = args.invocations {
